@@ -1,0 +1,72 @@
+"""B4 — repair programs: stable models ≙ S-repairs, at what cost.
+
+Section 3.3: "repair programs have exactly the required expressive power
+for the task" — deciding stable models of disjunctive programs is as hard
+as CQA itself.  These benchmarks ground and solve repair programs and
+compare against direct enumeration on the same instances, asserting
+exact agreement every time.
+"""
+
+import pytest
+
+from repro.asp import RepairProgram, Solver, ground_program
+from repro.repairs import c_repairs, s_repairs
+from repro.workloads import employee_key_violations, random_rs_instance, rs_instance
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_repair_program_solving(benchmark, seed):
+    scenario = random_rs_instance(6, 5, 5, seed=seed)
+
+    def solve_fresh():
+        rp = RepairProgram(scenario.db, scenario.constraints)
+        return rp.repairs()
+
+    repairs = benchmark(solve_fresh)
+    direct = {
+        r.instance.facts()
+        for r in s_repairs(scenario.db, scenario.constraints)
+    }
+    assert {r.instance.facts() for r in repairs} == direct
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_direct_enumeration_baseline(benchmark, seed):
+    scenario = random_rs_instance(6, 5, 5, seed=seed)
+    repairs = benchmark(s_repairs, scenario.db, scenario.constraints)
+    assert repairs
+
+
+def test_grounding_cost(benchmark):
+    scenario = employee_key_violations(8, 3, 2, seed=1)
+    rp = RepairProgram(scenario.db, scenario.constraints)
+    ground = benchmark(ground_program, rp.program)
+    assert ground.n_atoms > 0
+
+
+def test_weak_constraint_optimization(benchmark):
+    scenario = rs_instance()
+
+    def optimal_models():
+        rp = RepairProgram(
+            scenario.db, scenario.constraints,
+            include_weak_constraints=True,
+        )
+        return rp.c_repairs()
+
+    repairs = benchmark(optimal_models)
+    direct = {
+        r.instance.facts()
+        for r in c_repairs(scenario.db, scenario.constraints)
+    }
+    assert {r.instance.facts() for r in repairs} == direct
+
+
+def test_cqa_via_cautious_reasoning(benchmark):
+    from repro.workloads import employee
+
+    scenario = employee()
+    rp = RepairProgram(scenario.db, scenario.constraints)
+    q = scenario.queries["Q2"]
+    answers = benchmark(rp.consistent_answers, q)
+    assert answers == {("smith",), ("stowe",), ("page",)}

@@ -1,0 +1,97 @@
+"""B5 — causality: the repair connection vs the direct definition vs ASP.
+
+Section 7: computing causes for CQs is PTIME, but responsibilities
+connect to C-repairs and are provably harder.  The repair-connection
+implementation amortizes one S-repair enumeration across all causes;
+the direct search pays per-cause exponential contingency search; the
+ASP path grounds and solves the extended repair program.
+"""
+
+import pytest
+
+from repro.causality import (
+    actual_causes,
+    actual_causes_direct,
+    actual_causes_under_ics,
+    attribute_causes,
+    causes_via_asp,
+)
+from repro.logic import atom, cq, vars_
+from repro.workloads import dep_course, random_rs_instance
+
+X, Y = vars_("x y")
+QUERY = cq([], [atom("S", X), atom("R", X, Y), atom("S", Y)], name="Q")
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_causes_via_repairs(benchmark, seed):
+    scenario = random_rs_instance(6, 4, 4, seed=seed)
+    causes = benchmark(actual_causes, scenario.db, QUERY)
+    assert isinstance(causes, list)
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_causes_direct(benchmark, seed):
+    scenario = random_rs_instance(6, 4, 4, seed=seed)
+    expected = {
+        c.fact: c.responsibility
+        for c in actual_causes(scenario.db, QUERY)
+    }
+    causes = benchmark(actual_causes_direct, scenario.db, QUERY)
+    assert {c.fact: c.responsibility for c in causes} == expected
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_causes_via_asp(benchmark, seed):
+    scenario = random_rs_instance(4, 3, 3, seed=seed)
+    expected = {
+        scenario.db.tid_of(c.fact): c.responsibility
+        for c in actual_causes(scenario.db, QUERY)
+    }
+    rho = benchmark(causes_via_asp, scenario.db, QUERY)
+    assert rho == expected
+
+
+def test_attribute_causes(benchmark):
+    scenario = random_rs_instance(5, 4, 4, seed=1)
+    causes = benchmark(attribute_causes, scenario.db, QUERY)
+    assert isinstance(causes, list)
+
+
+def test_causes_under_ics(benchmark):
+    scenario = dep_course()
+    causes = benchmark(
+        actual_causes_under_ics,
+        scenario.db,
+        scenario.constraints,
+        scenario.queries["Q2"],
+        ("John",),
+    )
+    assert len(causes) == 2
+
+
+def test_datalog_causes(benchmark):
+    from repro.causality import datalog_causes
+    from repro.datalog import Program, rule
+    from repro.relational import Database
+
+    # A diamond-chain graph: multiple derivations per path goal.
+    edges = []
+    for layer in range(4):
+        edges.append((f"n{layer}", f"a{layer}"))
+        edges.append((f"n{layer}", f"b{layer}"))
+        edges.append((f"a{layer}", f"n{layer + 1}"))
+        edges.append((f"b{layer}", f"n{layer + 1}"))
+    db = Database.from_dict({"edge": edges})
+    (z,) = vars_("z")
+    tc = Program((
+        rule(atom("path", X, Y), [atom("edge", X, Y)]),
+        rule(
+            atom("path", X, Y),
+            [atom("edge", X, z), atom("path", z, Y)],
+        ),
+    ))
+    causes = benchmark(datalog_causes, db, tc, atom("path", "n0", "n4"))
+    rhos = {c.responsibility for c in causes}
+    # Per layer the two parallel edges halve responsibility.
+    assert causes and max(rhos) <= 0.5

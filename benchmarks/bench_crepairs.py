@@ -1,0 +1,59 @@
+"""B3 — C-repairs: branch-and-bound vs filtering all S-repairs.
+
+Section 4.1: "the complexity of computational problems related to
+C-repairs tends to be higher than for S-repairs".  Computing the full
+C-repair set by filtering every S-repair pays the S-enumeration cost;
+the dedicated minimum-hitting-set branch-and-bound prunes on the best
+cardinality found (the DESIGN.md ablation pair).
+"""
+
+import pytest
+
+from repro.constraints import ConflictHypergraph
+from repro.repairs import (
+    c_repairs,
+    minimum_hitting_sets_branch_and_bound,
+    one_c_repair,
+    repair_distance,
+    s_repairs,
+)
+from repro.workloads import employee_key_violations, random_rs_instance
+
+
+@pytest.mark.parametrize("seed", [11, 13])
+def test_filter_engine(benchmark, seed):
+    scenario = random_rs_instance(12, 6, 6, seed=seed)
+    repairs = benchmark(
+        c_repairs, scenario.db, scenario.constraints, None, "filter"
+    )
+    assert repairs
+
+
+@pytest.mark.parametrize("seed", [11, 13])
+def test_branch_and_bound_engine(benchmark, seed):
+    scenario = random_rs_instance(12, 6, 6, seed=seed)
+    expected = {
+        r.diff
+        for r in c_repairs(
+            scenario.db, scenario.constraints, engine="filter"
+        )
+    }
+    repairs = benchmark(c_repairs, scenario.db, scenario.constraints)
+    assert {r.diff for r in repairs} == expected
+
+
+@pytest.mark.parametrize("k", [4, 8])
+def test_one_c_repair(benchmark, k):
+    scenario = employee_key_violations(6, k, 2, seed=3)
+    repair = benchmark(one_c_repair, scenario.db, scenario.constraints)
+    assert repair.size == repair_distance(
+        scenario.db, scenario.constraints
+    )
+
+
+@pytest.mark.parametrize("k", [4, 8])
+def test_minimum_hitting_sets(benchmark, k):
+    scenario = employee_key_violations(6, k, 2, seed=3)
+    graph = ConflictHypergraph.build(scenario.db, scenario.constraints)
+    sets = benchmark(minimum_hitting_sets_branch_and_bound, graph)
+    assert all(len(s) == k for s in sets)

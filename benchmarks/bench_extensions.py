@@ -1,0 +1,90 @@
+"""B9 — extension features: aggregates, priorities, probabilistic answers.
+
+Covers the "further developments" the paper points at beyond the core:
+range-consistent aggregation ([5]), prioritized repairing ([103]), and
+probabilistic clean answers ([2]).  Each benchmark cross-checks the fast
+path against the defining enumeration.
+"""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.cqa import (
+    AggregateQuery,
+    fd_range_sum,
+    range_consistent_answer,
+)
+from repro.logic import atom, cq, vars_
+from repro.probabilistic import (
+    DirtyDatabase,
+    clean_answers,
+    clean_answers_single_atom,
+)
+from repro.repairs import PriorityRelation, globally_optimal_repairs
+from repro.workloads import employee_key_violations
+
+X, Y = vars_("x y")
+
+
+def _salary_scenario(k):
+    return employee_key_violations(8, k, 2, seed=21)
+
+
+@pytest.mark.parametrize("k", [2, 5, 8])
+def test_aggregate_range_enumeration(benchmark, k):
+    scenario = _salary_scenario(k)
+    query = AggregateQuery("Employee", "sum", "Salary")
+    r = benchmark(
+        range_consistent_answer, scenario.db, scenario.constraints, query
+    )
+    assert r.glb is not None and r.glb <= r.lub
+
+
+@pytest.mark.parametrize("k", [2, 5, 8, 16])
+def test_aggregate_range_closed_form(benchmark, k):
+    scenario = _salary_scenario(k)
+    (kc,) = scenario.constraints
+    r = benchmark(fd_range_sum, scenario.db, kc, "Salary")
+    if k <= 8:
+        exact = range_consistent_answer(
+            scenario.db, scenario.constraints,
+            AggregateQuery("Employee", "sum", "Salary"),
+        )
+        assert (r.glb, r.lub) == (exact.glb, exact.lub)
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_prioritized_repairs(benchmark, k):
+    scenario = _salary_scenario(k)
+    priority = PriorityRelation.from_score(
+        scenario.db, lambda f: float(f.values[1])
+    )
+    preferred = benchmark(
+        globally_optimal_repairs,
+        scenario.db, scenario.constraints, priority,
+    )
+    # The highest salary dominates in every group: one preferred repair.
+    assert len(preferred) == 1
+
+
+@pytest.mark.parametrize("k", [2, 5])
+def test_probabilistic_enumeration(benchmark, k):
+    scenario = _salary_scenario(k)
+    (kc,) = scenario.constraints
+    dirty = DirtyDatabase(scenario.db, kc)
+    q = cq([X], [atom("Employee", X, Y)], name="names")
+    probs = benchmark(clean_answers, dirty, q)
+    assert all(p == pytest.approx(1.0) for _, p in probs)
+
+
+@pytest.mark.parametrize("k", [2, 5, 16])
+def test_probabilistic_closed_form(benchmark, k):
+    scenario = _salary_scenario(k)
+    (kc,) = scenario.constraints
+    dirty = DirtyDatabase(scenario.db, kc)
+    q = cq([X, Y], [atom("Employee", X, Y)], name="rows")
+    fast = benchmark(clean_answers_single_atom, dirty, q)
+    if k <= 5:
+        exact = dict(clean_answers(dirty, q))
+        for row, p in fast:
+            assert p == pytest.approx(exact[row])

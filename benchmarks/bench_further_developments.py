@@ -1,0 +1,148 @@
+"""B10 — Section 8 directions: OBDA, data exchange, operational CQA.
+
+Shapes demonstrated:
+
+* IAR is a sound, cheaper under-approximation of AR (OBDA);
+* exchange-repair certain answers drop exactly the conflicted exchanged
+  data;
+* the operational distribution is exact yet exponential — sampling is
+  the tractable estimator;
+* the ConsEx-style query slicing shrinks repair programs.
+"""
+
+import pytest
+
+from repro.asp import RepairProgram
+from repro.constraints import DenialConstraint, FunctionalDependency
+from repro.cqa.operational import (
+    estimate_answer_probabilities,
+    operational_repair_distribution,
+)
+from repro.datalog import rule
+from repro.exchange import ExchangeSetting
+from repro.logic import atom, cq, vars_
+from repro.obda import Ontology
+from repro.relational import Database, RelationSchema, Schema
+from repro.workloads import employee_key_violations, random_rs_instance
+
+X, Y, Z = vars_("x y z")
+
+
+def _ontology_and_abox(n: int):
+    ontology = Ontology(
+        tbox=(
+            rule(atom("Person", X), [atom("Prof", X)]),
+            rule(atom("Person", X), [atom("Student", X)]),
+        ),
+        negative_constraints=(
+            DenialConstraint(
+                (atom("Prof", X), atom("Student", X)), name="disjoint"
+            ),
+        ),
+    )
+    profs = [(f"p{i}",) for i in range(n)]
+    students = [(f"p{i}",) for i in range(0, n, 2)] + [("only",)]
+    abox = Database.from_dict({"Prof": profs, "Student": students})
+    return ontology, abox
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_obda_ar_answers(benchmark, n):
+    ontology, abox = _ontology_and_abox(n)
+    q = cq([X], [atom("Person", X)], name="persons")
+    ar = benchmark(ontology.ar_answers, abox, q)
+    iar = ontology.iar_answers(abox, q)
+    assert iar <= ar  # IAR under-approximates AR
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_obda_iar_answers(benchmark, n):
+    ontology, abox = _ontology_and_abox(n)
+    q = cq([X], [atom("Person", X)], name="persons")
+    iar = benchmark(ontology.iar_answers, abox, q)
+    assert ("only",) in iar
+
+
+def test_exchange_certain_answers(benchmark):
+    source_schema = Schema.of(RelationSchema("Emp", ("Name", "Dept")))
+    target_schema = Schema.of(
+        RelationSchema("Worker", ("Name", "Dept", "Office")),
+    )
+    from repro.constraints import TupleGeneratingDependency
+
+    st = TupleGeneratingDependency(
+        (atom("Emp", X, Y),), (atom("Worker", X, Y, Z),), name="st"
+    )
+    fd = FunctionalDependency("Worker", ("Name",), ("Dept",))
+    setting = ExchangeSetting(
+        source_schema, target_schema, (st,), (fd,)
+    )
+    rows = [(f"e{i}", f"d{i % 3}") for i in range(8)]
+    rows += [("e0", "dX"), ("e1", "dY")]  # conflicted employees
+    source = Database.from_dict({"Emp": rows}, schema=source_schema)
+    q = cq([X, Y], [atom("Worker", X, Y, Z)], name="who")
+    certain = benchmark(setting.certain_answers, source, q)
+    assert ("e2", "d2") in certain
+    assert not any(name == "e0" for name, _ in certain)
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_operational_exact_distribution(benchmark, k):
+    scenario = employee_key_violations(4, k, 2, seed=3)
+    distribution = benchmark(
+        operational_repair_distribution,
+        scenario.db, scenario.constraints,
+    )
+    assert sum(p for _, p in distribution) == pytest.approx(1.0)
+
+
+def test_operational_sampling_estimator(benchmark):
+    scenario = employee_key_violations(4, 6, 2, seed=3)
+    q = cq([X], [atom("Employee", X, Y)], name="names")
+    estimates = benchmark(
+        estimate_answer_probabilities,
+        scenario.db, scenario.constraints, q, 50, 0,
+    )
+    assert all(0 < p <= 1 for p in estimates.values())
+
+
+def test_consex_slicing_speedup(benchmark):
+    # Two unrelated constrained relations; the query sees only one.
+    schema = Schema.of(
+        RelationSchema("Employee", ("Name", "Salary"), key=("Name",)),
+        RelationSchema("Rooms", ("Room", "Floor"), key=("Room",)),
+    )
+    emp = employee_key_violations(4, 2, 2, seed=1).db.relation("Employee")
+    rooms = [(f"r{i % 3}", i) for i in range(6)]
+    db = Database.from_dict(
+        {"Employee": emp, "Rooms": rooms}, schema=schema
+    )
+    constraints = (
+        FunctionalDependency("Employee", ("Name",), ("Salary",)),
+        FunctionalDependency("Rooms", ("Room",), ("Floor",)),
+    )
+    q = cq([X], [atom("Employee", X, Y)], name="names")
+    rp = RepairProgram(db, constraints)
+    full = rp.consistent_answers(q)
+    sliced = benchmark(rp.consistent_answers, q, "s", True)
+    assert sliced == full
+
+
+def test_dimension_repairs(benchmark):
+    from repro.mdim import Dimension, dimension_repairs
+
+    dimension = Dimension(
+        categories={
+            "City": frozenset({f"c{i}" for i in range(4)}),
+            "Region": frozenset({"r1", "r2"}),
+            "Country": frozenset({"k"}),
+        },
+        hierarchy=frozenset({("City", "Region"), ("Region", "Country")}),
+        rollup=frozenset(
+            {(f"c{i}", "r1") for i in range(4)}
+            | {("c0", "r2"), ("c1", "r2")}     # two double parents
+            | {("r1", "k"), ("r2", "k")}
+        ),
+    )
+    repairs = benchmark(dimension_repairs, dimension)
+    assert all(r.repaired.is_summarizable() for r in repairs)

@@ -1,0 +1,74 @@
+"""B8 — repairs under updates: incremental vs from-scratch (Section 4.1).
+
+[87] "just started to scratch the surface" of repairs under updates; the
+incremental maintainer re-derives only conflicts anchored at changed
+tuples, while the baseline rebuilds the conflict hypergraph after every
+update.
+"""
+
+import pytest
+
+from repro.constraints import ConflictHypergraph
+from repro.relational import fact
+from repro.repairs import IncrementalRepairer, s_repairs
+from repro.workloads import random_rs_instance
+
+
+def _updates(seed: int):
+    import random
+
+    rng = random.Random(seed)
+    return (
+        [fact("S", f"a{rng.randrange(6)}") for _ in range(3)],
+        [fact("R", f"a{rng.randrange(6)}", f"a{rng.randrange(6)}")
+         for _ in range(3)],
+    )
+
+
+@pytest.mark.parametrize("seed", [1, 5])
+def test_incremental_maintenance(benchmark, seed):
+    scenario = random_rs_instance(15, 6, 6, seed=seed)
+    inserts_s, inserts_r = _updates(seed)
+
+    def run_incremental():
+        repairer = IncrementalRepairer(scenario.db, scenario.constraints)
+        for f in inserts_s:
+            repairer.insert([f])
+        for f in inserts_r:
+            repairer.insert([f])
+        return repairer
+
+    repairer = benchmark(run_incremental)
+    expected = ConflictHypergraph.build(
+        repairer.database, scenario.constraints
+    )
+    assert repairer.graph.edges == expected.edges
+
+
+@pytest.mark.parametrize("seed", [1, 5])
+def test_from_scratch_baseline(benchmark, seed):
+    scenario = random_rs_instance(15, 6, 6, seed=seed)
+    inserts_s, inserts_r = _updates(seed)
+
+    def run_batch():
+        db = scenario.db
+        graph = None
+        for f in inserts_s + inserts_r:
+            db = db.insert([f])
+            graph = ConflictHypergraph.build(db, scenario.constraints)
+        return db, graph
+
+    db, graph = benchmark(run_batch)
+    assert graph is not None
+
+
+def test_incremental_repairs_after_updates(benchmark):
+    scenario = random_rs_instance(8, 4, 5, seed=2)
+    repairer = IncrementalRepairer(scenario.db, scenario.constraints)
+    repairer.insert([fact("S", "a0"), fact("S", "a1")])
+    repairs = benchmark(repairer.s_repairs)
+    expected = {
+        r.instance.facts()
+        for r in s_repairs(repairer.database, scenario.constraints)
+    }
+    assert {r.instance.facts() for r in repairs} == expected

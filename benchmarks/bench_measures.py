@@ -1,0 +1,66 @@
+"""B7 — repair-based inconsistency measures across violation rates.
+
+The Section-8 endnote: repairs give a basis for measuring the degree of
+inconsistency of a database.  The measures must (and do) grow
+monotonically with the number of injected violations; these benchmarks
+track their cost as the workload dirties.
+"""
+
+import pytest
+
+from repro.measures import (
+    InconsistencyReport,
+    cardinality_repair_measure,
+    g3_measure,
+    violation_ratio,
+)
+from repro.workloads import employee_key_violations, supply_chain
+
+
+@pytest.mark.parametrize("k", [1, 4, 8])
+def test_cardinality_measure(benchmark, k):
+    scenario = employee_key_violations(8, k, 2, seed=9)
+    measure = benchmark(
+        cardinality_repair_measure, scenario.db, scenario.constraints
+    )
+    assert 0 < measure < 1
+
+
+@pytest.mark.parametrize("k", [1, 4, 8])
+def test_violation_ratio(benchmark, k):
+    scenario = employee_key_violations(8, k, 2, seed=9)
+    ratio = benchmark(
+        violation_ratio, scenario.db, scenario.constraints
+    )
+    assert ratio == pytest.approx(2 * k / (8 + 2 * k))
+
+
+def test_g3_measure(benchmark):
+    scenario = employee_key_violations(8, 4, 2, seed=9)
+    g3 = benchmark(g3_measure, scenario.db, scenario.constraints)
+    assert g3 == pytest.approx(
+        cardinality_repair_measure(scenario.db, scenario.constraints)
+    )
+
+
+def test_full_report_with_tgds(benchmark):
+    scenario = supply_chain(12, 0.25, seed=4)
+    report = benchmark(
+        InconsistencyReport.of, scenario.db, scenario.constraints
+    )
+    assert report.size == len(scenario.db)
+
+
+def test_measures_monotone(benchmark):
+    def sweep():
+        values = []
+        for k in (0, 2, 4, 6):
+            scenario = employee_key_violations(8, k, 2, seed=9)
+            values.append(cardinality_repair_measure(
+                scenario.db, scenario.constraints
+            ))
+        return values
+
+    values = benchmark(sweep)
+    assert values == sorted(values)
+    assert values[0] == 0.0

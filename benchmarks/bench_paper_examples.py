@@ -1,0 +1,88 @@
+"""Benchmarks regenerating every worked example of the paper.
+
+Each benchmark runs one experiment from the harness registry, asserts
+that the result still matches the paper, and reports its cost.  These are
+the executable counterparts of the EXPERIMENTS.md example rows.
+"""
+
+import pytest
+
+from repro.harness import run
+
+
+def _bench_experiment(benchmark, exp_id: str):
+    result = benchmark(run, exp_id)
+    assert result.match, result.render()
+    return result
+
+
+def test_ex21_residue_rewriting(benchmark):
+    _bench_experiment(benchmark, "EX2.1")
+
+
+def test_ex31_srepairs(benchmark):
+    _bench_experiment(benchmark, "EX3.1")
+
+
+def test_ex32_certain_answers(benchmark):
+    _bench_experiment(benchmark, "EX3.2")
+
+
+def test_ex33_key_repairs(benchmark):
+    _bench_experiment(benchmark, "EX3.3")
+
+
+def test_ex34_sql_rewriting(benchmark):
+    _bench_experiment(benchmark, "EX3.4")
+
+
+def test_ex35_repair_program(benchmark):
+    _bench_experiment(benchmark, "EX3.5")
+
+
+def test_ex41_crepairs(benchmark):
+    _bench_experiment(benchmark, "EX4.1")
+
+
+def test_ex42_weak_constraints(benchmark):
+    _bench_experiment(benchmark, "EX4.2")
+
+
+def test_ex43_null_tuple_repairs(benchmark):
+    _bench_experiment(benchmark, "EX4.3")
+
+
+def test_ex44_attribute_repairs(benchmark):
+    _bench_experiment(benchmark, "EX4.4")
+
+
+def test_ex51_gav_mediator(benchmark):
+    _bench_experiment(benchmark, "EX5.1")
+
+
+def test_ex52_global_cqa(benchmark):
+    _bench_experiment(benchmark, "EX5.2")
+
+
+def test_ex6_cfd(benchmark):
+    _bench_experiment(benchmark, "EX6")
+
+
+def test_ex71_causes(benchmark):
+    _bench_experiment(benchmark, "EX7.1")
+
+
+def test_ex72_asp_causes(benchmark):
+    _bench_experiment(benchmark, "EX7.2")
+
+
+def test_ex73_attribute_causes(benchmark):
+    _bench_experiment(benchmark, "EX7.3")
+
+
+def test_ex74_causality_under_ics(benchmark):
+    _bench_experiment(benchmark, "EX7.4")
+
+
+def test_fig1_conflict_hypergraph(benchmark):
+    _bench_experiment(benchmark, "FIG1")

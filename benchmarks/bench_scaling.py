@@ -1,0 +1,36 @@
+"""B1 — repair counts grow exponentially; closed-form counting stays flat.
+
+The paper notes "it is easy to produce examples of databases that have
+exponentially many repairs in the size of the database" (Section 3.1).
+The workload injects k key-violating groups; the S-repair count is 2^k.
+The benchmarks contrast enumerating all repairs with the closed-form
+count (the ablation pair of DESIGN.md).
+"""
+
+import pytest
+
+from repro.repairs import count_fd_repairs, s_repairs
+from repro.workloads import employee_key_violations
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8])
+def test_enumerate_repairs(benchmark, k):
+    scenario = employee_key_violations(5, k, 2, seed=7)
+    repairs = benchmark(s_repairs, scenario.db, scenario.constraints)
+    assert len(repairs) == 2 ** k
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8, 16, 32])
+def test_closed_form_count(benchmark, k):
+    scenario = employee_key_violations(5, k, 2, seed=7)
+    (kc,) = scenario.constraints
+    count = benchmark(count_fd_repairs, scenario.db, kc)
+    assert count == 2 ** k
+
+
+@pytest.mark.parametrize("group_size", [2, 3, 4])
+def test_count_scales_with_group_size(benchmark, group_size):
+    scenario = employee_key_violations(5, 4, group_size, seed=7)
+    (kc,) = scenario.constraints
+    count = benchmark(count_fd_repairs, scenario.db, kc)
+    assert count == group_size ** 4

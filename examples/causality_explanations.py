@@ -1,0 +1,81 @@
+"""Why is this alert firing?  Causality-based explanations (Section 7).
+
+A monitoring database joins services to their hosts and flags hosts in a
+degraded rack.  The Boolean query "some service runs on a degraded host"
+is true; causality ranks the tuples responsible — via the repair
+connection, via the direct definition, and via the ASP repair program —
+then refines the explanation to the attribute level.
+
+Run:  python examples/causality_explanations.py
+"""
+
+from repro import Database, RelationSchema, Schema, atom, cq, vars_
+from repro.causality import (
+    actual_causes,
+    actual_causes_direct,
+    attribute_causes,
+    causes_via_asp,
+    most_responsible_causes,
+)
+
+
+def main() -> None:
+    schema = Schema.of(
+        RelationSchema("Runs", ("Service", "Host")),
+        RelationSchema("Degraded", ("Host",)),
+    )
+    db = Database.from_dict(
+        {
+            "Runs": [
+                ("api", "h1"),
+                ("api", "h2"),
+                ("billing", "h2"),
+                ("search", "h3"),
+            ],
+            "Degraded": [("h1",), ("h2",)],
+        },
+        schema=schema,
+    )
+    print("Monitoring state:")
+    print(db.render())
+
+    s, h = vars_("s h")
+    alert = cq([], [atom("Runs", s, h), atom("Degraded", h)], name="alert")
+    print(f"\nAlert fires (some service on a degraded host)? "
+          f"{alert.holds(db)}")
+
+    print("\nActual causes with responsibilities (repair connection):")
+    for cause in actual_causes(db, alert):
+        marker = " [counterfactual]" if cause.is_counterfactual else ""
+        print(f"  rho={cause.responsibility:.3g}  {cause.fact!r}{marker}")
+
+    print("\nMost responsible causes (via C-repairs):")
+    for cause in most_responsible_causes(db, alert):
+        print(f"  {cause.fact!r}")
+
+    # Cross-check all three computation paths.
+    direct = {
+        c.fact: c.responsibility for c in actual_causes_direct(db, alert)
+    }
+    via_repairs = {
+        c.fact: c.responsibility for c in actual_causes(db, alert)
+    }
+    via_asp = causes_via_asp(db, alert)
+    via_asp_facts = {
+        db.fact_by_tid(tid): rho for tid, rho in via_asp.items()
+    }
+    print("\nThree computation paths agree? "
+          f"{direct == via_repairs == via_asp_facts}")
+
+    print("\nAttribute-level causes (which *cell* explains the alert):")
+    for cause in attribute_causes(db, alert):
+        tid, pos = cause.position
+        fct = db.fact_by_tid(tid)
+        rel = db.schema.relation(fct.relation)
+        print(f"  rho={cause.responsibility:.3g}  {cause.label()} "
+              f"({fct.relation}.{rel.attributes[pos]} = "
+              f"{fct.values[pos]!r})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Repairing a data-warehouse dimension (Section 8, multidimensional).
+
+A Location dimension whose rollup got dirty: Santiago points at two
+regions (non-strict) and Concepción points at none (non-covering).
+Aggregates computed per Region cannot be reused per Country until the
+dimension is repaired; the repairs edit a minimal set of rollup edges.
+
+Run:  python examples/warehouse_dimensions.py
+"""
+
+from repro.mdim import Dimension, c_dimension_repairs, dimension_repairs
+
+
+def main() -> None:
+    dimension = Dimension(
+        categories={
+            "City": frozenset({"santiago", "concepcion"}),
+            "Region": frozenset({"metropolitana", "biobio"}),
+            "Country": frozenset({"chile"}),
+        },
+        hierarchy=frozenset({
+            ("City", "Region"),
+            ("Region", "Country"),
+        }),
+        rollup=frozenset({
+            ("santiago", "metropolitana"),
+            ("santiago", "biobio"),       # double parent: non-strict
+            ("metropolitana", "chile"),
+            ("biobio", "chile"),
+            # concepcion has no region at all: non-covering
+        }),
+    )
+    print("Strict?   ", dimension.is_strict())
+    print("Covering? ", dimension.is_covering())
+    print("\nStrictness violations:")
+    for member, category, ancestors in dimension.strictness_violations():
+        print(f"  {member} reaches {sorted(ancestors)} in {category}")
+    print("Covering violations:")
+    for member, category in dimension.covering_violations():
+        print(f"  {member} has no parent in {category}")
+
+    repairs = dimension_repairs(dimension)
+    print(f"\n{len(repairs)} minimal repairs:")
+    for r in repairs:
+        print(f"  -{sorted(r.deleted_edges)} +{sorted(r.inserted_edges)}")
+        assert r.repaired.is_summarizable()
+
+    best = c_dimension_repairs(dimension)
+    print(f"\nminimum-edit repairs ({best[0].size} change(s) each):")
+    for r in best:
+        print(f"  -{sorted(r.deleted_edges)} +{sorted(r.inserted_edges)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""repro — Database Repairs and Consistent Query Answering.
+
+A full reproduction of Bertossi, "Database Repairs and Consistent Query
+Answering: Origins and Further Developments", PODS 2019, built from
+scratch in Python: relational engine, FO logic, Datalog, constraints,
+repair semantics, CQA (model-theoretic / residue rewriting /
+Fuxman–Miller / SQL), a native answer-set-programming engine with repair
+programs, database causality, virtual data integration, data cleaning,
+and repair-based inconsistency measures.
+
+Quickstart::
+
+    from repro import Database, FunctionalDependency, atom, cq, vars_
+    from repro import consistent_answers, s_repairs
+
+    db = Database.from_dict({"Employee": [("page", "5K"), ("page", "8K"),
+                                          ("smith", "3K")]})
+    kc = FunctionalDependency("Employee", ("a0",), ("a1",))
+    x, y = vars_("x y")
+    q = cq([x], [atom("Employee", x, y)])
+    print(consistent_answers(db, (kc,), q))
+"""
+
+from .constraints import (
+    ConditionalFunctionalDependency,
+    ConflictHypergraph,
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    IntegrityConstraint,
+    TupleGeneratingDependency,
+    Violation,
+    WILDCARD,
+    cfd,
+    denial,
+    inclusion,
+    key_constraint,
+)
+from .cqa import (
+    consistent_answers,
+    consistent_answers_by_rewriting,
+    consistent_answers_fm,
+    fo_rewrite,
+    fuxman_miller_rewrite,
+    is_consistently_true,
+    query_to_sql,
+)
+from .logic import (
+    Atom,
+    parse_denial,
+    parse_fd,
+    parse_inclusion,
+    parse_query,
+    ConjunctiveQuery,
+    Query,
+    UnionQuery,
+    atom,
+    boolean_query,
+    cq,
+    eq,
+    neq,
+    vars_,
+)
+from .relational import (
+    NULL,
+    Database,
+    Fact,
+    LabeledNull,
+    RelationSchema,
+    Schema,
+    fact,
+)
+from .repairs import (
+    Repair,
+    attribute_repairs,
+    c_repairs,
+    count_s_repairs,
+    delete_only_repairs,
+    is_c_repair,
+    is_s_repair,
+    null_tuple_repairs,
+    one_c_repair,
+    one_s_repair,
+    s_repairs,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ConditionalFunctionalDependency",
+    "ConflictHypergraph",
+    "DenialConstraint",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "IntegrityConstraint",
+    "TupleGeneratingDependency",
+    "Violation",
+    "WILDCARD",
+    "cfd",
+    "denial",
+    "inclusion",
+    "key_constraint",
+    "consistent_answers",
+    "consistent_answers_by_rewriting",
+    "consistent_answers_fm",
+    "fo_rewrite",
+    "fuxman_miller_rewrite",
+    "is_consistently_true",
+    "query_to_sql",
+    "Atom",
+    "parse_denial",
+    "parse_fd",
+    "parse_inclusion",
+    "parse_query",
+    "ConjunctiveQuery",
+    "Query",
+    "UnionQuery",
+    "atom",
+    "boolean_query",
+    "cq",
+    "eq",
+    "neq",
+    "vars_",
+    "NULL",
+    "Database",
+    "Fact",
+    "LabeledNull",
+    "RelationSchema",
+    "Schema",
+    "fact",
+    "Repair",
+    "attribute_repairs",
+    "c_repairs",
+    "count_s_repairs",
+    "delete_only_repairs",
+    "is_c_repair",
+    "is_s_repair",
+    "null_tuple_repairs",
+    "one_c_repair",
+    "one_s_repair",
+    "s_repairs",
+    "__version__",
+]

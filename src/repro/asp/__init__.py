@@ -1,0 +1,51 @@
+"""Answer-set programming engine and repair programs."""
+
+from .general_programs import GeneralRepairProgram
+from .grounding import GroundProgram, Grounder, ground_program
+from .parser import parse_asp_program, parse_asp_rule
+from .reasoning import AnswerSet, Solver, solve
+from .repair_programs import (
+    DELETED,
+    STAYS,
+    RepairProgram,
+    denial_constraints_of,
+    primed,
+    relevant_relations,
+)
+from .solver import is_stable, program_clauses, reduct_clauses, stable_models
+from .syntax import (
+    AspProgram,
+    AspRule,
+    WeakConstraint,
+    asp_fact,
+    asp_rule,
+    program,
+)
+
+__all__ = [
+    "GeneralRepairProgram",
+    "GroundProgram",
+    "Grounder",
+    "ground_program",
+    "parse_asp_program",
+    "parse_asp_rule",
+    "AnswerSet",
+    "Solver",
+    "solve",
+    "DELETED",
+    "STAYS",
+    "RepairProgram",
+    "denial_constraints_of",
+    "primed",
+    "relevant_relations",
+    "is_stable",
+    "program_clauses",
+    "reduct_clauses",
+    "stable_models",
+    "AspProgram",
+    "AspRule",
+    "WeakConstraint",
+    "asp_fact",
+    "asp_rule",
+    "program",
+]

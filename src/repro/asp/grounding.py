@@ -1,0 +1,245 @@
+"""Grounding: instantiate a program over its Herbrand universe.
+
+Intelligent grounding in the usual sense: a fixpoint of *possible atoms*
+(anything derivable ignoring negation) bounds instantiation, builtins are
+evaluated at ground time, and default-negated literals whose atom can
+never be derived are simplified away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import GroundingError
+from ..logic.formulas import Atom, Comparison, Var, is_var
+from .syntax import AspProgram
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """A ground rule over atom indices."""
+
+    head: FrozenSet[int]
+    positive: FrozenSet[int]
+    negative: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class GroundWeakConstraint:
+    """A ground weak constraint over atom indices."""
+
+    positive: FrozenSet[int]
+    negative: FrozenSet[int]
+    weight: int
+    level: int
+
+
+@dataclass
+class GroundProgram:
+    """The grounder's output: indexed atoms and index-based rules."""
+
+    atoms: List[Atom]
+    index: Dict[Atom, int]
+    rules: List[GroundRule]
+    weak_constraints: List[GroundWeakConstraint]
+
+    def atom_index(self, a: Atom) -> Optional[int]:
+        """Index of a ground atom, or None if it can never be derived."""
+        return self.index.get(a)
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of ground atoms."""
+        return len(self.atoms)
+
+
+def _evaluate_builtin(c: Comparison) -> bool:
+    left, right = c.left, c.right
+    if is_var(left) or is_var(right):
+        raise GroundingError(f"builtin {c!r} not ground at evaluation time")
+    if c.op == "=":
+        return left == right
+    if c.op == "!=":
+        return left != right
+    try:
+        return {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }[c.op]
+    except TypeError:
+        return False
+
+
+def _substitute(a: Atom, binding: Dict[Var, object]) -> Atom:
+    return Atom(
+        a.predicate,
+        tuple(binding.get(t, t) if is_var(t) else t for t in a.terms),
+    )
+
+
+def _match(
+    pattern: Atom, ground: Atom, binding: Dict[Var, object]
+) -> Optional[Dict[Var, object]]:
+    if pattern.predicate != ground.predicate or pattern.arity != ground.arity:
+        return None
+    local = dict(binding)
+    for p, g in zip(pattern.terms, ground.terms):
+        if is_var(p):
+            if p in local:
+                if local[p] != g:
+                    return None
+            else:
+                local[p] = g
+        elif p != g:
+            return None
+    return local
+
+
+class Grounder:
+    """Grounds an :class:`AspProgram`."""
+
+    def __init__(self, prog: AspProgram) -> None:
+        self._program = prog
+
+    def ground(self) -> GroundProgram:
+        """Ground the program: possible-atom fixpoint, then instantiation."""
+        possible = self._possible_atoms()
+        by_pred: Dict[str, List[Atom]] = {}
+        for a in possible:
+            by_pred.setdefault(a.predicate, []).append(a)
+
+        atoms = sorted(possible, key=repr)
+        index = {a: i for i, a in enumerate(atoms)}
+        ground_rules: List[GroundRule] = []
+        seen_rules: Set[Tuple] = set()
+        for rule in self._program.rules:
+            for binding in self._body_matches(rule.positive, by_pred):
+                if not self._builtins_hold(rule.builtins, binding):
+                    continue
+                head = frozenset(
+                    index[g]
+                    for g in (
+                        _substitute(a, binding) for a in rule.head
+                    )
+                    if g in index
+                )
+                if rule.head and not head:
+                    # All head disjuncts fell outside the possible set;
+                    # should not happen because heads seed the fixpoint.
+                    raise GroundingError(
+                        f"head of {rule!r} vanished during grounding"
+                    )
+                positive = frozenset(
+                    index[_substitute(a, binding)] for a in rule.positive
+                )
+                negative = set()
+                for a in rule.negative:
+                    g = _substitute(a, binding)
+                    if g.free_variables():
+                        raise GroundingError(
+                            f"negative literal {g!r} not ground"
+                        )
+                    i = index.get(g)
+                    if i is not None:
+                        negative.add(i)
+                    # else: the atom can never be derived, so ``not g``
+                    # is certainly true — drop the literal.
+                key = (head, positive, frozenset(negative))
+                if key in seen_rules:
+                    continue
+                seen_rules.add(key)
+                ground_rules.append(
+                    GroundRule(head, positive, frozenset(negative))
+                )
+        ground_weak: List[GroundWeakConstraint] = []
+        seen_weak: Set[Tuple] = set()
+        for wc in self._program.weak_constraints:
+            for binding in self._body_matches(wc.positive, by_pred):
+                if not self._builtins_hold(wc.builtins, binding):
+                    continue
+                positive = frozenset(
+                    index[_substitute(a, binding)] for a in wc.positive
+                )
+                negative = set()
+                for a in wc.negative:
+                    g = _substitute(a, binding)
+                    i = index.get(g)
+                    if i is not None:
+                        negative.add(i)
+                key = (positive, frozenset(negative), wc.weight, wc.level)
+                if key in seen_weak:
+                    continue
+                seen_weak.add(key)
+                ground_weak.append(
+                    GroundWeakConstraint(
+                        positive, frozenset(negative), wc.weight, wc.level
+                    )
+                )
+        return GroundProgram(atoms, index, ground_rules, ground_weak)
+
+    # ------------------------------------------------------------------
+
+    def _possible_atoms(self) -> Set[Atom]:
+        """Least fixpoint of head atoms derivable ignoring negation."""
+        possible: Set[Atom] = set()
+        by_pred: Dict[str, List[Atom]] = {}
+
+        def add(a: Atom) -> bool:
+            if a in possible:
+                return False
+            possible.add(a)
+            by_pred.setdefault(a.predicate, []).append(a)
+            return True
+
+        changed = True
+        while changed:
+            changed = False
+            for rule in self._program.rules:
+                if rule.is_constraint:
+                    continue
+                for binding in self._body_matches(rule.positive, by_pred):
+                    if not self._builtins_hold(rule.builtins, binding):
+                        continue
+                    for h in rule.head:
+                        if add(_substitute(h, binding)):
+                            changed = True
+        return possible
+
+    def _body_matches(
+        self,
+        positive: Sequence[Atom],
+        by_pred: Dict[str, List[Atom]],
+    ) -> Iterator[Dict[Var, object]]:
+        def recurse(i: int, binding: Dict[Var, object]):
+            if i == len(positive):
+                yield dict(binding)
+                return
+            pattern = positive[i]
+            for candidate in by_pred.get(pattern.predicate, ()):
+                extended = _match(pattern, candidate, binding)
+                if extended is not None:
+                    yield from recurse(i + 1, extended)
+
+        yield from recurse(0, {})
+
+    @staticmethod
+    def _builtins_hold(
+        builtins: Sequence[Comparison], binding: Dict[Var, object]
+    ) -> bool:
+        for c in builtins:
+            ground = Comparison(
+                c.op,
+                binding.get(c.left, c.left) if is_var(c.left) else c.left,
+                binding.get(c.right, c.right) if is_var(c.right) else c.right,
+            )
+            if not _evaluate_builtin(ground):
+                return False
+        return True
+
+
+def ground_program(prog: AspProgram) -> GroundProgram:
+    """Ground *prog*."""
+    return Grounder(prog).ground()

@@ -1,0 +1,216 @@
+"""Text syntax for answer-set programs (DLV-style).
+
+Lets the paper's repair programs be written the way Section 3.3 prints
+them::
+
+    program = parse_asp_program('''
+        s(t4, a4).  s(t5, a2).  s(t6, a3).
+        sp(T1, X, d) | sp(T3, Y, d) :- s(T1, X), s(T3, Y), X != Y.
+        sp(T, X, keep) :- s(T, X), not sp(T, X, d).
+        :- sp(T, X, d), sp(T, X, keep).
+        :~ sp(T, X, d). [1@1]
+    ''')
+
+Conventions: identifiers starting uppercase (or ``_``) are variables;
+lowercase identifiers, numbers, and quoted strings are constants; ``|``
+separates head disjuncts; ``not`` marks default negation; ``:-`` with an
+empty head is a hard constraint; ``:~ body. [w@l]`` is a weak constraint.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import GroundingError
+from ..logic.formulas import Atom, Comparison, Var
+from .syntax import AspProgram, AspRule, WeakConstraint
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        :-|:~              |
+        !=|>=|<=|<>|=|<|>  |
+        [(),.\[\]|@]       |
+        '[^']*'            |
+        "[^"]*"            |
+        -?\d+\.\d+         |
+        -?\d+              |
+        [A-Za-z_][A-Za-z_0-9]*
+    )
+    """,
+    re.VERBOSE,
+)
+
+_COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def _tokenize(text: str) -> List[str]:
+    # Strip % comments line by line.
+    lines = [line.split("%", 1)[0] for line in text.splitlines()]
+    text = "\n".join(lines)
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise GroundingError(
+                    f"cannot tokenize {text[position:position + 20]!r}"
+                )
+            break
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _AspParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    def peek(self) -> Optional[str]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise GroundingError("unexpected end of program text")
+        if expected is not None and token != expected:
+            raise GroundingError(
+                f"expected {expected!r}, found {token!r}"
+            )
+        self._index += 1
+        return token
+
+    def done(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # ------------------------------------------------------------------
+
+    def term(self) -> object:
+        token = self.take()
+        if token.startswith(("'", '"')):
+            return token[1:-1]
+        if re.fullmatch(r"-?\d+", token):
+            return int(token)
+        if re.fullmatch(r"-?\d+\.\d+", token):
+            return float(token)
+        if token[0].isupper() or token[0] == "_":
+            return Var(token)
+        return token
+
+    def atom(self) -> Atom:
+        name = self.take()
+        if not re.fullmatch(r"[a-zA-Z_][A-Za-z_0-9]*", name):
+            raise GroundingError(f"bad predicate name {name!r}")
+        terms: List[object] = []
+        if self.peek() == "(":
+            self.take("(")
+            if self.peek() != ")":
+                terms.append(self.term())
+                while self.peek() == ",":
+                    self.take(",")
+                    terms.append(self.term())
+            self.take(")")
+        return Atom(name, tuple(terms))
+
+    def body(self) -> Tuple[Tuple[Atom, ...], Tuple[Atom, ...],
+                            Tuple[Comparison, ...]]:
+        positive: List[Atom] = []
+        negative: List[Atom] = []
+        builtins: List[Comparison] = []
+        while True:
+            if self.peek() == "not":
+                self.take("not")
+                negative.append(self.atom())
+            else:
+                saved = self._index
+                first = self.take()
+                nxt = self.peek()
+                self._index = saved
+                is_atom = (
+                    re.fullmatch(r"[a-zA-Z_][A-Za-z_0-9]*", first)
+                    and nxt in ("(", ",", ".", None)
+                    and not (nxt in _COMPARISON_OPS)
+                )
+                if is_atom:
+                    positive.append(self.atom())
+                else:
+                    left = self.term()
+                    op = self.take()
+                    if op not in _COMPARISON_OPS:
+                        raise GroundingError(
+                            f"expected comparison operator, got {op!r}"
+                        )
+                    if op == "<>":
+                        op = "!="
+                    builtins.append(Comparison(op, left, self.term()))
+            if self.peek() == ",":
+                self.take(",")
+                continue
+            break
+        return tuple(positive), tuple(negative), tuple(builtins)
+
+    def statement(self) -> object:
+        if self.peek() == ":~":
+            self.take(":~")
+            positive, negative, builtins = self.body()
+            self.take(".")
+            weight, level = 1, 1
+            if self.peek() == "[":
+                self.take("[")
+                weight = int(self.take())
+                if self.peek() == "@":
+                    self.take("@")
+                    level = int(self.take())
+                self.take("]")
+            return WeakConstraint(
+                positive, negative, builtins, weight=weight, level=level
+            )
+        if self.peek() == ":-":
+            self.take(":-")
+            positive, negative, builtins = self.body()
+            self.take(".")
+            return AspRule((), positive, negative, builtins)
+        # Rule with a (possibly disjunctive) head.
+        head = [self.atom()]
+        while self.peek() == "|":
+            self.take("|")
+            head.append(self.atom())
+        if self.peek() == ".":
+            self.take(".")
+            return AspRule(tuple(head))
+        self.take(":-")
+        positive, negative, builtins = self.body()
+        self.take(".")
+        return AspRule(tuple(head), positive, negative, builtins)
+
+
+def parse_asp_program(text: str) -> AspProgram:
+    """Parse a whole program (rules, constraints, weak constraints)."""
+    parser = _AspParser(text)
+    rules: List[AspRule] = []
+    weak: List[WeakConstraint] = []
+    while not parser.done():
+        statement = parser.statement()
+        if isinstance(statement, WeakConstraint):
+            weak.append(statement)
+        else:
+            rules.append(statement)
+    return AspProgram(tuple(rules), tuple(weak))
+
+
+def parse_asp_rule(text: str) -> AspRule:
+    """Parse a single rule or constraint."""
+    parser = _AspParser(text)
+    statement = parser.statement()
+    if not parser.done():
+        raise GroundingError(f"trailing input after rule in {text!r}")
+    if isinstance(statement, WeakConstraint):
+        raise GroundingError(
+            "use parse_asp_program for weak constraints"
+        )
+    return statement

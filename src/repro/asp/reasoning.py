@@ -1,0 +1,232 @@
+"""Answer sets, brave/cautious reasoning, optimization, aggregation.
+
+Wraps the ground solver with the operations the paper uses: reading
+stable models as sets of ground atoms, ``⊨_brave`` / ``⊨_cautious``
+query answering (Example 7.2), weak-constraint optimization (Example
+4.2), and the ``#count`` aggregation used for responsibilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SolverError
+from ..logic.formulas import Atom, Var, is_var
+from .grounding import GroundProgram, GroundWeakConstraint, ground_program
+from .syntax import AspProgram
+from .solver import stable_models
+
+
+@dataclass(frozen=True)
+class AnswerSet:
+    """One stable model, as a set of ground atoms."""
+
+    atoms: FrozenSet[Atom]
+
+    def with_predicate(self, predicate: str) -> Tuple[Atom, ...]:
+        """Atoms of one predicate, deterministically ordered."""
+        return tuple(sorted(
+            (a for a in self.atoms if a.predicate == predicate),
+            key=repr,
+        ))
+
+    def matches(self, pattern: Atom) -> List[Dict[Var, object]]:
+        """Bindings under which *pattern* matches an atom of the model."""
+        out = []
+        for a in self.with_predicate(pattern.predicate):
+            binding = _match(pattern, a)
+            if binding is not None:
+                out.append(binding)
+        return out
+
+    def __contains__(self, a: Atom) -> bool:
+        return a in self.atoms
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __repr__(self) -> str:
+        return "AnswerSet{" + ", ".join(
+            repr(a) for a in sorted(self.atoms, key=repr)
+        ) + "}"
+
+
+def _match(pattern: Atom, ground: Atom) -> Optional[Dict[Var, object]]:
+    if pattern.predicate != ground.predicate or pattern.arity != ground.arity:
+        return None
+    binding: Dict[Var, object] = {}
+    for p, g in zip(pattern.terms, ground.terms):
+        if is_var(p):
+            if p in binding:
+                if binding[p] != g:
+                    return None
+            else:
+                binding[p] = g
+        elif p != g:
+            return None
+    return binding
+
+
+class Solver:
+    """Grounds and solves a program; caches the answer sets.
+
+    ``blocking_projection`` (optional) is a predicate over ground atoms
+    selecting the *projected blocking* set — see
+    :func:`repro.asp.solver.stable_models` for the soundness conditions
+    it must guarantee.  Repair programs pass their deletion atoms.
+    """
+
+    def __init__(
+        self,
+        prog: AspProgram,
+        blocking_projection=None,
+    ) -> None:
+        self._program = prog
+        self._blocking_projection = blocking_projection
+        self._ground: Optional[GroundProgram] = None
+        self._answer_sets: Optional[List[AnswerSet]] = None
+
+    @property
+    def ground(self) -> GroundProgram:
+        """The ground program (computed lazily, cached)."""
+        if self._ground is None:
+            self._ground = ground_program(self._program)
+        return self._ground
+
+    def answer_sets(self, limit: Optional[int] = None) -> List[AnswerSet]:
+        """All answer sets (optionally capped at *limit*)."""
+        if self._answer_sets is None or limit is not None:
+            ground = self.ground
+            blocking_atoms = None
+            if self._blocking_projection is not None:
+                blocking_atoms = frozenset(
+                    i for i, a in enumerate(ground.atoms)
+                    if self._blocking_projection(a)
+                )
+            models = stable_models(
+                ground, limit=limit, blocking_atoms=blocking_atoms
+            )
+            sets = [
+                AnswerSet(frozenset(ground.atoms[i] for i in m))
+                for m in models
+            ]
+            if limit is None:
+                self._answer_sets = sets
+            return sets
+        return self._answer_sets
+
+    def optimal_answer_sets(self) -> List[AnswerSet]:
+        """Answer sets minimizing weak-constraint violations.
+
+        Costs are compared level-major (higher levels first), then by
+        total weight within a level — the DLV convention.
+        """
+        sets = self.answer_sets()
+        if not sets:
+            return []
+        ground = self.ground
+        if not ground.weak_constraints:
+            return sets
+        scored = [
+            (self._cost(ground.weak_constraints, s), s) for s in sets
+        ]
+        best = min(cost for cost, _ in scored)
+        return [s for cost, s in scored if cost == best]
+
+    def _cost(
+        self,
+        weak: Sequence[GroundWeakConstraint],
+        answer_set: AnswerSet,
+    ) -> Tuple:
+        ground = self.ground
+        true_indices = {
+            ground.index[a] for a in answer_set.atoms if a in ground.index
+        }
+        by_level: Dict[int, int] = {}
+        for wc in weak:
+            if wc.positive <= true_indices and not (
+                wc.negative & true_indices
+            ):
+                by_level[wc.level] = by_level.get(wc.level, 0) + wc.weight
+        levels = sorted(by_level, reverse=True)
+        return tuple((lvl, by_level[lvl]) for lvl in levels)
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+
+    def brave(self, pattern: Atom, optimal_only: bool = False) -> Set[Tuple]:
+        """Bindings of *pattern* true in *some* answer set (``⊨_brave``)."""
+        sets = (
+            self.optimal_answer_sets() if optimal_only else self.answer_sets()
+        )
+        out: Set[Tuple] = set()
+        variables = _pattern_variables(pattern)
+        for s in sets:
+            for binding in s.matches(pattern):
+                out.add(tuple(binding[v] for v in variables))
+        return out
+
+    def cautious(
+        self, pattern: Atom, optimal_only: bool = False
+    ) -> Set[Tuple]:
+        """Bindings of *pattern* true in *every* answer set (``⊨_cautious``)."""
+        sets = (
+            self.optimal_answer_sets() if optimal_only else self.answer_sets()
+        )
+        if not sets:
+            raise SolverError("the program has no answer sets")
+        variables = _pattern_variables(pattern)
+        result: Optional[Set[Tuple]] = None
+        for s in sets:
+            rows = {
+                tuple(binding[v] for v in variables)
+                for binding in s.matches(pattern)
+            }
+            result = rows if result is None else (result & rows)
+            if not result:
+                break
+        return result if result is not None else set()
+
+    def count_per_group(
+        self,
+        pattern: Atom,
+        group_variables: Sequence[Var],
+        optimal_only: bool = False,
+    ) -> List[Dict[Tuple, int]]:
+        """Per-answer-set ``#count`` aggregation.
+
+        For each answer set, count the distinct bindings of *pattern*
+        grouped by *group_variables* — the shape of the paper's
+        ``preresp(t, n) ← #count{t' : CauCon(t, t')} = n`` rule.
+        """
+        sets = (
+            self.optimal_answer_sets() if optimal_only else self.answer_sets()
+        )
+        out: List[Dict[Tuple, int]] = []
+        for s in sets:
+            groups: Dict[Tuple, Set[Tuple]] = {}
+            for binding in s.matches(pattern):
+                key = tuple(binding[v] for v in group_variables)
+                rest = tuple(
+                    binding[v]
+                    for v in _pattern_variables(pattern)
+                    if v not in group_variables
+                )
+                groups.setdefault(key, set()).add(rest)
+            out.append({key: len(vals) for key, vals in groups.items()})
+        return out
+
+
+def _pattern_variables(pattern: Atom) -> Tuple[Var, ...]:
+    seen: List[Var] = []
+    for t in pattern.terms:
+        if is_var(t) and t not in seen:
+            seen.append(t)
+    return tuple(seen)
+
+
+def solve(prog: AspProgram, limit: Optional[int] = None) -> List[AnswerSet]:
+    """All answer sets of *prog*."""
+    return Solver(prog).answer_sets(limit=limit)

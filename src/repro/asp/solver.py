@@ -1,0 +1,304 @@
+"""Stable-model search for ground disjunctive programs.
+
+The solver follows the definition: M is a stable model (answer set) of P
+iff M is a ⊆-minimal model of the Gelfond–Lifschitz reduct P^M [67].
+
+Search strategy:
+
+1. Translate the ground program to clauses (a rule ``H ← B, not C`` is
+   the clause ``⋁¬B ∨ ⋁C ∨ ⋁H``); classical models of the clauses are
+   exactly the classical models of the program.
+2. Enumerate classical models with a small DPLL (false-first branching,
+   unit propagation), greedily shrinking each found model.
+3. Check each candidate for stability by asking — with a second DPLL
+   call — whether the reduct has a model strictly below the candidate.
+4. Block the candidate *and all its supersets* with the clause
+   ``⋁_{a∈M} ¬a`` and continue.  Blocking supersets is sound because a
+   stable model never has a proper classical submodel: any classical
+   model below it would also model the reduct, contradicting minimality.
+
+This is exponential in the worst case — as it must be: deciding stable
+models of disjunctive programs is Σ₂ᵖ-complete, which the paper notes is
+exactly the expressiveness CQA needs (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SolverError
+from .grounding import GroundProgram, GroundRule
+
+Clause = Tuple[int, ...]  # DIMACS-style: +i / -i for atom index i-1
+
+
+def _rule_clause(rule: GroundRule) -> Clause:
+    clause = tuple(sorted(
+        {-(p + 1) for p in rule.positive}
+        | {c + 1 for c in rule.negative}
+        | {h + 1 for h in rule.head}
+    ))
+    return clause
+
+
+def program_clauses(ground: GroundProgram) -> List[Clause]:
+    """Clausal translation of all ground rules."""
+    return [_rule_clause(r) for r in ground.rules]
+
+
+def support_clauses(ground: GroundProgram) -> List[Clause]:
+    """Supportedness pruning clauses (sound for stable-model search).
+
+    Every atom of a stable model has a rule with the atom in its head
+    and a true body.  For an atom with *exactly one* candidate rule, the
+    body must then be true, which yields plain clauses; atoms heading no
+    rule can never be true.  These clauses cut the classical-model space
+    the enumerator wades through by orders of magnitude while keeping
+    every stable model (stable ⊆ supported).
+    """
+    defining: Dict[int, List[int]] = {}
+    for index, rule in enumerate(ground.rules):
+        for h in rule.head:
+            defining.setdefault(h, []).append(index)
+    clauses: List[Clause] = []
+    for atom_index in range(ground.n_atoms):
+        rules = defining.get(atom_index, [])
+        if not rules:
+            clauses.append((-(atom_index + 1),))
+            continue
+        if len(rules) != 1:
+            continue
+        rule = ground.rules[rules[0]]
+        for p in rule.positive:
+            clauses.append(tuple(sorted((-(atom_index + 1), p + 1))))
+        for n in rule.negative:
+            clauses.append(tuple(sorted((-(atom_index + 1), -(n + 1)))))
+    return clauses
+
+
+class _Dpll:
+    """A small DPLL SAT solver over integer literals (1-based).
+
+    Unit propagation is indexed: assigning a variable only rescans the
+    clauses that mention it.
+    """
+
+    def __init__(self, n_vars: int, clauses: Sequence[Clause]) -> None:
+        self._n = n_vars
+        self._clauses = [tuple(c) for c in clauses]
+        self._by_var: Dict[int, List[int]] = {}
+        for index, clause in enumerate(self._clauses):
+            for lit in clause:
+                self._by_var.setdefault(abs(lit), []).append(index)
+
+    def solve(
+        self,
+        fixed: Optional[Dict[int, bool]] = None,
+    ) -> Optional[Set[int]]:
+        """Find a model; returns the set of true variables or None.
+
+        *fixed* pre-assigns variables (1-based).  Branching prefers
+        False, so discovered models tend to be small.
+        """
+        assignment: Dict[int, bool] = dict(fixed or {})
+        if not self._propagate(assignment, None):
+            return None
+        return self._search(assignment)
+
+    # ------------------------------------------------------------------
+
+    def _clause_state(
+        self, clause: Clause, assignment: Dict[int, bool]
+    ) -> Tuple[bool, List[int]]:
+        """(satisfied, unassigned literals)."""
+        unassigned = []
+        for lit in clause:
+            var = abs(lit)
+            want = lit > 0
+            if var in assignment:
+                if assignment[var] == want:
+                    return True, []
+            else:
+                unassigned.append(lit)
+        return False, unassigned
+
+    def _propagate(
+        self,
+        assignment: Dict[int, bool],
+        trigger_vars: Optional[List[int]],
+    ) -> bool:
+        """Unit propagation; False on conflict.
+
+        When *trigger_vars* is None every clause is checked once; after
+        that, only clauses touching newly assigned variables are revisited.
+        """
+        if trigger_vars is None:
+            queue = list(range(len(self._clauses)))
+        else:
+            queue = []
+            seen = set()
+            for var in trigger_vars:
+                for index in self._by_var.get(var, ()):
+                    if index not in seen:
+                        seen.add(index)
+                        queue.append(index)
+        while queue:
+            index = queue.pop()
+            satisfied, unassigned = self._clause_state(
+                self._clauses[index], assignment
+            )
+            if satisfied:
+                continue
+            if not unassigned:
+                return False
+            if len(unassigned) == 1:
+                lit = unassigned[0]
+                var = abs(lit)
+                assignment[var] = lit > 0
+                for affected in self._by_var.get(var, ()):
+                    if affected != index:
+                        queue.append(affected)
+        return True
+
+    def _search(self, assignment: Dict[int, bool]) -> Optional[Set[int]]:
+        # Pick a branching variable from an unsatisfied clause.
+        branch_var = None
+        for clause in self._clauses:
+            satisfied, unassigned = self._clause_state(clause, assignment)
+            if not satisfied:
+                if not unassigned:
+                    return None
+                branch_var = abs(unassigned[0])
+                break
+        if branch_var is None:
+            # Every clause satisfied: complete with False.
+            model = {v for v, value in assignment.items() if value}
+            return model
+        for value in (False, True):
+            trial = dict(assignment)
+            trial[branch_var] = value
+            if self._propagate(trial, [branch_var]):
+                result = self._search(trial)
+                if result is not None:
+                    return result
+        return None
+
+
+def _is_model(clauses: Iterable[Clause], true_vars: Set[int]) -> bool:
+    for clause in clauses:
+        if not any(
+            (lit > 0 and abs(lit) in true_vars)
+            or (lit < 0 and abs(lit) not in true_vars)
+            for lit in clause
+        ):
+            return False
+    return True
+
+
+def _greedy_shrink(
+    model: Set[int], clauses: Sequence[Clause]
+) -> Set[int]:
+    """Remove atoms one at a time while the assignment stays a model."""
+    current = set(model)
+    for var in sorted(model, reverse=True):
+        if var not in current:
+            continue
+        candidate = current - {var}
+        if _is_model(clauses, candidate):
+            current = candidate
+    return current
+
+
+def reduct_clauses(
+    ground: GroundProgram, model_atoms: Set[int]
+) -> List[Clause]:
+    """Clauses of the GL reduct P^M.
+
+    *model_atoms* holds 0-based atom indices; the returned clauses use
+     1-based DPLL variables (variable i+1 for atom i).
+    """
+    clauses: List[Clause] = []
+    for rule in ground.rules:
+        if rule.negative & model_atoms:
+            continue  # rule deleted by the reduct
+        clause = tuple(sorted(
+            {-(p + 1) for p in rule.positive}
+            | {h + 1 for h in rule.head}
+        ))
+        clauses.append(clause)
+    return clauses
+
+
+def is_stable(ground: GroundProgram, model_atoms: Set[int]) -> bool:
+    """Is the set of (0-based) atom indices a stable model?"""
+    reduct = reduct_clauses(ground, model_atoms)
+    model_vars = {i + 1 for i in model_atoms}
+    if not _is_model(reduct, model_vars):
+        return False
+    if not model_vars:
+        return True
+    # Look for a strictly smaller model of the reduct: everything outside
+    # the candidate is false, and at least one candidate atom is false.
+    fixed = {
+        v: False
+        for v in range(1, ground.n_atoms + 1)
+        if v not in model_vars
+    }
+    smaller_clause = tuple(sorted(-v for v in model_vars))
+    solver = _Dpll(ground.n_atoms, reduct + [smaller_clause])
+    return solver.solve(fixed=fixed) is None
+
+
+def stable_models(
+    ground: GroundProgram,
+    limit: Optional[int] = None,
+    max_candidates: int = 100000,
+    blocking_atoms: Optional[FrozenSet[int]] = None,
+) -> List[FrozenSet[int]]:
+    """All stable models of a ground program, as sets of atom indices.
+
+    ``blocking_atoms`` (0-based indices) enables *projected blocking*:
+    after each candidate, only its restriction to those atoms is blocked
+    (with all its supersets).  This is sound only when the caller
+    guarantees that (a) every classical model is determined by its
+    projection and (b) no stable model's projection strictly contains
+    another model's projection — repair programs satisfy both: models
+    are fixed by their deletion atoms, and stable deletions are minimal
+    hitting sets.  Projected blocking collapses the enumeration from all
+    hitting sets to exactly the minimal ones.
+    """
+    base = program_clauses(ground)
+    pruning = support_clauses(ground)
+    blocking: List[Clause] = []
+    models: List[FrozenSet[int]] = []
+    for _ in range(max_candidates):
+        solver = _Dpll(ground.n_atoms, base + pruning + blocking)
+        found = solver.solve()
+        if found is None:
+            break
+        candidate = _greedy_shrink(found, base + pruning + blocking)
+        if is_stable(ground, {v - 1 for v in candidate}):
+            models.append(
+                frozenset(v - 1 for v in candidate)  # back to 0-based
+            )
+            if limit is not None and len(models) >= limit:
+                break
+        if blocking_atoms is not None:
+            projected = [
+                v for v in candidate if (v - 1) in blocking_atoms
+            ]
+            if not projected:
+                # The empty projection's model is unique; nothing else
+                # can follow without being a projection-superset.
+                break
+            blocking.append(tuple(sorted(-v for v in projected)))
+        elif candidate:
+            blocking.append(tuple(sorted(-v for v in candidate)))
+        else:
+            # The empty model blocks everything.
+            break
+    else:
+        raise SolverError(
+            "stable-model search exceeded the candidate budget"
+        )
+    return sorted(models, key=lambda m: (len(m), sorted(m)))

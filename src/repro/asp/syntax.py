@@ -1,0 +1,183 @@
+"""Answer-set program syntax: disjunctive rules with default negation.
+
+The paper's repair programs (Section 3.3) are disjunctive logic programs
+under the stable-model semantics [33, 67], optionally with *weak
+constraints* [82] for C-repairs (Example 4.2).  This module defines the
+program AST; variables and atoms are shared with :mod:`repro.logic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from ..errors import GroundingError
+from ..logic.formulas import Atom, Comparison, Var
+
+
+@dataclass(frozen=True)
+class AspRule:
+    """``h1 ∨ ... ∨ hk ← b1, ..., bn, not c1, ..., not cm, builtins``.
+
+    An empty head makes the rule a *hard constraint* (it eliminates every
+    model whose body holds).  Facts are rules with an empty body and a
+    single ground head atom.
+    """
+
+    head: Tuple[Atom, ...]
+    positive: Tuple[Atom, ...] = field(default_factory=tuple)
+    negative: Tuple[Atom, ...] = field(default_factory=tuple)
+    builtins: Tuple[Comparison, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in ("head", "positive", "negative", "builtins"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        bound = set()
+        for a in self.positive:
+            bound |= a.free_variables()
+        loose = set()
+        for a in self.head + self.negative:
+            loose |= a.free_variables() - bound
+        for c in self.builtins:
+            loose |= c.free_variables() - bound
+        if loose:
+            raise GroundingError(
+                f"unsafe rule: variables "
+                f"{sorted(v.name for v in loose)} are not bound by a "
+                f"positive body atom in {self!r}"
+            )
+
+    @property
+    def is_constraint(self) -> bool:
+        """True for hard constraints (empty head)."""
+        return not self.head
+
+    @property
+    def is_fact(self) -> bool:
+        """True for ground facts."""
+        return (
+            len(self.head) == 1
+            and not self.positive
+            and not self.negative
+            and not self.builtins
+            and not self.head[0].free_variables()
+        )
+
+    def variables(self) -> FrozenSet[Var]:
+        """All variables occurring anywhere in the rule."""
+        out = set()
+        for a in self.head + self.positive + self.negative:
+            out |= a.free_variables()
+        for c in self.builtins:
+            out |= c.free_variables()
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        head = " | ".join(repr(a) for a in self.head) if self.head else ""
+        body = [repr(a) for a in self.positive]
+        body += [f"not {a!r}" for a in self.negative]
+        body += [repr(c) for c in self.builtins]
+        if not body:
+            return f"{head}."
+        return f"{head} :- {', '.join(body)}."
+
+
+@dataclass(frozen=True)
+class WeakConstraint:
+    """``:~ body. [weight@level]`` — violations are minimized, level-major.
+
+    Higher levels dominate: models are compared by total violated weight
+    at the highest level first (DLV convention [82]).
+    """
+
+    positive: Tuple[Atom, ...] = field(default_factory=tuple)
+    negative: Tuple[Atom, ...] = field(default_factory=tuple)
+    builtins: Tuple[Comparison, ...] = field(default_factory=tuple)
+    weight: int = 1
+    level: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("positive", "negative", "builtins"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        bound = set()
+        for a in self.positive:
+            bound |= a.free_variables()
+        loose = set()
+        for a in self.negative:
+            loose |= a.free_variables() - bound
+        for c in self.builtins:
+            loose |= c.free_variables() - bound
+        if loose:
+            raise GroundingError(
+                f"unsafe weak constraint: variables "
+                f"{sorted(v.name for v in loose)} are not bound positively"
+            )
+
+    def __repr__(self) -> str:
+        body = [repr(a) for a in self.positive]
+        body += [f"not {a!r}" for a in self.negative]
+        body += [repr(c) for c in self.builtins]
+        return f":~ {', '.join(body)}. [{self.weight}@{self.level}]"
+
+
+@dataclass(frozen=True)
+class AspProgram:
+    """A program: rules plus weak constraints."""
+
+    rules: Tuple[AspRule, ...]
+    weak_constraints: Tuple[WeakConstraint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+        if not isinstance(self.weak_constraints, tuple):
+            object.__setattr__(
+                self, "weak_constraints", tuple(self.weak_constraints)
+            )
+
+    def extended_with(
+        self,
+        rules: Iterable[AspRule] = (),
+        weak_constraints: Iterable[WeakConstraint] = (),
+    ) -> "AspProgram":
+        """A new program with extra rules / weak constraints appended."""
+        return AspProgram(
+            self.rules + tuple(rules),
+            self.weak_constraints + tuple(weak_constraints),
+        )
+
+    def __repr__(self) -> str:
+        lines = [repr(r) for r in self.rules]
+        lines += [repr(w) for w in self.weak_constraints]
+        return "\n".join(lines)
+
+
+def asp_fact(a: Atom) -> AspRule:
+    """A ground fact as a rule."""
+    return AspRule((a,))
+
+
+def asp_rule(
+    head: Sequence[Atom],
+    positive: Sequence[Atom] = (),
+    negative: Sequence[Atom] = (),
+    builtins: Sequence[Comparison] = (),
+) -> AspRule:
+    """Convenience constructor."""
+    return AspRule(tuple(head), tuple(positive), tuple(negative),
+                   tuple(builtins))
+
+
+def program(
+    rules: Sequence[AspRule],
+    weak_constraints: Sequence[WeakConstraint] = (),
+) -> AspProgram:
+    """Convenience constructor."""
+    return AspProgram(tuple(rules), tuple(weak_constraints))

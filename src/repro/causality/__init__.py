@@ -1,0 +1,43 @@
+"""Causality in databases: causes, responsibility, repair connection."""
+
+from .asp_causality import CausalityProgram, causes_via_asp
+from .attribute_causes import (
+    AttributeCause,
+    attribute_causes,
+    attribute_responsibility,
+)
+from .datalog_causes import (
+    datalog_causes,
+    datalog_responsibility,
+    is_datalog_cause,
+)
+from .causes import (
+    Cause,
+    actual_causes,
+    actual_causes_direct,
+    counterfactual_causes,
+    most_responsible_causes,
+    query_as_denial,
+    responsibility,
+)
+from .under_ics import actual_causes_under_ics, responsibility_under_ics
+
+__all__ = [
+    "datalog_causes",
+    "datalog_responsibility",
+    "is_datalog_cause",
+    "CausalityProgram",
+    "causes_via_asp",
+    "AttributeCause",
+    "attribute_causes",
+    "attribute_responsibility",
+    "Cause",
+    "actual_causes",
+    "actual_causes_direct",
+    "counterfactual_causes",
+    "most_responsible_causes",
+    "query_as_denial",
+    "responsibility",
+    "actual_causes_under_ics",
+    "responsibility_under_ics",
+]

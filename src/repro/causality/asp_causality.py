@@ -1,0 +1,184 @@
+"""Causes and responsibilities via repair programs (Example 7.2).
+
+The extended repair program adds, on top of :class:`RepairProgram`:
+
+* answer rules ``Ans(t) ← P'(t, x̄, d)`` — a tuple is a cause when its
+  deletion participates in some repair of κ(Q), read off bravely;
+* ``CauCon(t, t')`` rules pairing a deleted tuple with the other deleted
+  tuples of the same model (its contingency companions);
+* the responsibility aggregation ``preresp(t, n) ← #count{t' :
+  CauCon(t, t')} = n``, evaluated per answer set, keeping the minimum
+  ``n`` per cause: ρ = 1/(1+min n);
+* optionally the weak constraints of Example 4.2, whose optimal models
+  yield the most responsible actual causes (MRACs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..asp.repair_programs import DELETED, RepairProgram, primed
+from ..asp.reasoning import Solver
+from ..asp.syntax import AspProgram, AspRule
+from ..errors import QueryError
+from ..logic.formulas import Atom, Comparison, Var
+from ..logic.queries import ConjunctiveQuery
+from ..relational.database import Database, Row
+from .causes import query_as_denial
+
+
+class CausalityProgram:
+    """The extended repair program computing causes for a Boolean CQ."""
+
+    def __init__(
+        self,
+        db: Database,
+        query: ConjunctiveQuery,
+        answer: Optional[Row] = None,
+        include_weak_constraints: bool = False,
+    ) -> None:
+        if answer is not None:
+            query = query.instantiate(answer)
+        elif not query.is_boolean:
+            raise QueryError(
+                "non-Boolean query: pass the answer whose causes you want"
+            )
+        self._db = db
+        self._query = query
+        kappa = query_as_denial(query)
+        self._repair_program = RepairProgram(
+            db, (kappa,), include_weak_constraints=include_weak_constraints
+        )
+        self._program = self._repair_program.program.extended_with(
+            self._answer_rules() + self._caucon_rules()
+        )
+        self._solver: Optional[Solver] = None
+
+    # ------------------------------------------------------------------
+
+    def _relations(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted({a.predicate for a in self._query.atoms})
+        )
+
+    def _deleted_atom(self, relation: str, tid_var: Var) -> Atom:
+        arity = self._db.schema.relation(relation).arity
+        values = tuple(Var(f"{tid_var.name}v{i}") for i in range(arity))
+        return Atom(primed(relation), (tid_var,) + values + (DELETED,))
+
+    def _answer_rules(self) -> List[AspRule]:
+        rules = []
+        t = Var("t_ans")
+        for relation in self._relations():
+            rules.append(
+                AspRule(
+                    (Atom("Ans", (t,)),),
+                    (self._deleted_atom(relation, t),),
+                )
+            )
+        return rules
+
+    def _caucon_rules(self) -> List[AspRule]:
+        """``CauCon(t, t') ← Pi'(t,·,d), Pj'(t',·,d) [, t ≠ t']``."""
+        rules = []
+        t, t_prime = Var("t_c"), Var("t_c2")
+        for rel_i in self._relations():
+            for rel_j in self._relations():
+                builtins = ()
+                if rel_i == rel_j:
+                    builtins = (Comparison("!=", t, t_prime),)
+                rules.append(
+                    AspRule(
+                        (Atom("CauCon", (t, t_prime)),),
+                        (
+                            self._deleted_atom(rel_i, t),
+                            self._deleted_atom(rel_j, t_prime),
+                        ),
+                        (),
+                        builtins,
+                    )
+                )
+        return rules
+
+    # ------------------------------------------------------------------
+
+    @property
+    def program(self) -> AspProgram:
+        """The extended ASP program."""
+        return self._program
+
+    @property
+    def solver(self) -> Solver:
+        """The (cached) solver over the extended program."""
+        if self._solver is None:
+            self._solver = Solver(
+                self._program,
+                blocking_projection=RepairProgram._deletion_atom,
+            )
+        return self._solver
+
+    def cause_tids(self, optimal_only: bool = False) -> FrozenSet[str]:
+        """Tids that are actual causes: ``Π ⊨_brave Ans(t)``.
+
+        With ``optimal_only=True`` (and weak constraints compiled in),
+        only tids deleted in C-repairs — the MRACs — are returned.
+        """
+        rows = self.solver.brave(
+            Atom("Ans", (Var("t"),)), optimal_only=optimal_only
+        )
+        return frozenset(tid for (tid,) in rows)
+
+    def responsibilities(self) -> Dict[str, float]:
+        """ρ for every cause tid, via the #count aggregation per model.
+
+        For each answer set where a tuple is deleted, its contingency
+        companion count is ``#count{t' : CauCon(t, t')}``; the minimum
+        over models gives the responsibility 1/(1+min).
+        """
+        t, t_prime = Var("t"), Var("t2")
+        counts_per_model = self.solver.count_per_group(
+            Atom("CauCon", (t, t_prime)), (t,)
+        )
+        answer_rows_per_model = [
+            {binding[t] for binding in s.matches(Atom("Ans", (t,)))}
+            for s in self.solver.answer_sets()
+        ]
+        best: Dict[str, int] = {}
+        for counts, answer_tids in zip(
+            counts_per_model, answer_rows_per_model
+        ):
+            for tid in answer_tids:
+                n = counts.get((tid,), 0)
+                if tid not in best or n < best[tid]:
+                    best[tid] = n
+        return {
+            tid: 1.0 / (1 + n) for tid, n in sorted(best.items())
+        }
+
+    def contingency_pairs(self) -> FrozenSet[Tuple[str, str]]:
+        """All brave ``CauCon(t, t')`` pairs."""
+        t, t_prime = Var("t"), Var("t2")
+        return frozenset(
+            self.solver.brave(Atom("CauCon", (t, t_prime)))
+        )
+
+
+def causes_via_asp(
+    db: Database,
+    query: ConjunctiveQuery,
+    answer: Optional[Row] = None,
+) -> Dict[str, float]:
+    """Cause tids with responsibilities, computed entirely through ASP."""
+    program = CausalityProgram(db, query, answer)
+    if not query_holds(db, query, answer):
+        return {}
+    return program.responsibilities()
+
+
+def query_holds(
+    db: Database, query: ConjunctiveQuery, answer: Optional[Row]
+) -> bool:
+    """Does the (instantiated) query hold in *db*?"""
+    if answer is not None:
+        return query.instantiate(answer).holds(db)
+    return query.holds(db)

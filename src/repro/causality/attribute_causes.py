@@ -1,0 +1,91 @@
+"""Attribute-level causes (Section 7.1, Example 7.3, after [15]).
+
+Causes at the granularity of attribute *positions* rather than whole
+tuples, defined through the attribute-based null repairs of Section 4.3:
+a position π = tid[pos] is an actual cause for Q with contingency set Γ
+iff Γ ∪ {π} is a minimal change set of an attribute repair of D wrt κ(Q);
+it is counterfactual iff {π} alone is one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import QueryError
+from ..logic.queries import ConjunctiveQuery
+from ..relational.database import Database, Row
+from ..repairs.attribute import Position, attribute_repairs
+from .causes import query_as_denial
+
+
+@dataclass(frozen=True)
+class AttributeCause:
+    """An actual cause at the attribute level."""
+
+    position: Position  # (tid, 0-based attribute position)
+    responsibility: float
+    contingencies: Tuple[FrozenSet[Position], ...]
+
+    @property
+    def is_counterfactual(self) -> bool:
+        """True when the empty contingency set works."""
+        return any(not c for c in self.contingencies)
+
+    def label(self) -> str:
+        """The paper's notation, e.g. ``t6[1]`` (positions 1-based)."""
+        tid, pos = self.position
+        return f"{tid}[{pos + 1}]"
+
+    def __repr__(self) -> str:
+        return (
+            f"AttributeCause({self.label()}, "
+            f"rho={self.responsibility:.3g})"
+        )
+
+
+def attribute_causes(
+    db: Database,
+    query: ConjunctiveQuery,
+    answer: Optional[Row] = None,
+) -> List[AttributeCause]:
+    """All attribute-level actual causes for the (instantiated) query."""
+    if answer is not None:
+        query = query.instantiate(answer)
+    elif not query.is_boolean:
+        raise QueryError(
+            "non-Boolean query: pass the answer whose causes you want"
+        )
+    if not query.holds(db):
+        return []
+    kappa = query_as_denial(query)
+    repairs = attribute_repairs(db, (kappa,))
+    by_position: Dict[Position, List[FrozenSet[Position]]] = {}
+    for repair in repairs:
+        for position in repair.changes:
+            by_position.setdefault(position, []).append(
+                frozenset(repair.changes - {position})
+            )
+    causes: List[AttributeCause] = []
+    for position in sorted(by_position):
+        contingencies = tuple(
+            sorted(set(by_position[position]), key=lambda s: (len(s), sorted(s)))
+        )
+        smallest = min(len(c) for c in contingencies)
+        causes.append(
+            AttributeCause(position, 1.0 / (1 + smallest), contingencies)
+        )
+    return causes
+
+
+def attribute_responsibility(
+    db: Database,
+    query: ConjunctiveQuery,
+    position: Position,
+    answer: Optional[Row] = None,
+) -> float:
+    """Responsibility of one attribute position (0 when not a cause)."""
+    for cause in attribute_causes(db, query, answer):
+        if cause.position == position:
+            return cause.responsibility
+    return 0.0

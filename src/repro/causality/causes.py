@@ -1,0 +1,248 @@
+"""Causality for query answers (Section 7, after Meliou et al. [91]).
+
+A tuple τ is a *counterfactual cause* for a Boolean query Q true in D when
+``D ∖ {τ} ⊭ Q``; it is an *actual cause* when some contingency set Γ makes
+it counterfactual in ``D ∖ Γ``.  Its *responsibility* is ``1/(1+|Γ|)`` for
+the smallest such Γ.
+
+Two implementations:
+
+* the **repair connection** of [26]: the causes for Q are read off the
+  S-repairs of D wrt the denial constraint κ(Q) = ¬Q — τ is an actual
+  cause with subset-minimal contingency Γ iff ``D ∖ (Γ ∪ {τ})`` is an
+  S-repair, and C-repairs yield the most responsible causes;
+* a **direct search** over contingency sets, used to cross-validate the
+  connection in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..constraints.denial import DenialConstraint
+from ..errors import QueryError
+from ..logic.queries import ConjunctiveQuery
+from ..relational.database import Database, Fact, Row
+from ..repairs.srepairs import delete_only_repairs
+
+
+@dataclass(frozen=True)
+class Cause:
+    """An actual cause with its minimal contingency sets."""
+
+    fact: Fact
+    responsibility: float
+    contingencies: Tuple[FrozenSet[Fact], ...]
+
+    @property
+    def is_counterfactual(self) -> bool:
+        """True when the empty contingency set works (responsibility 1)."""
+        return any(not c for c in self.contingencies)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cause({self.fact!r}, rho={self.responsibility:.3g}, "
+            f"{len(self.contingencies)} contingency set(s))"
+        )
+
+
+def query_as_denial(query: ConjunctiveQuery) -> DenialConstraint:
+    """κ(Q): the denial constraint associated with a Boolean CQ."""
+    if not query.is_boolean:
+        raise QueryError(
+            "κ(Q) is defined for Boolean queries; instantiate the answer "
+            "first (ConjunctiveQuery.instantiate)"
+        )
+    return DenialConstraint(
+        query.atoms, query.conditions, name=f"kappa({query.name})"
+    )
+
+
+def _boolean(query: ConjunctiveQuery, answer: Optional[Row]) -> ConjunctiveQuery:
+    if answer is not None:
+        return query.instantiate(answer)
+    if not query.is_boolean:
+        raise QueryError(
+            "non-Boolean query: pass the answer whose causes you want"
+        )
+    return query
+
+
+def actual_causes(
+    db: Database,
+    query,
+    answer: Optional[Row] = None,
+) -> List[Cause]:
+    """All actual causes for the (instantiated) query via the repair
+    connection: causes and minimal contingency sets come from the
+    deletion-based S-repairs of D wrt κ(Q).
+
+    *query* may be a :class:`ConjunctiveQuery` or a
+    :class:`~repro.logic.queries.UnionQuery` — for a UCQ, κ(Q) is the
+    *set* of denial constraints negating each disjunct, and the repair
+    connection goes through unchanged ([26] covers UCQs).
+    """
+    from ..logic.queries import UnionQuery
+
+    if isinstance(query, UnionQuery):
+        if answer is not None:
+            disjuncts = tuple(
+                d.instantiate(answer) for d in query.disjuncts
+            )
+        else:
+            if not query.is_boolean:
+                raise QueryError(
+                    "non-Boolean query: pass the answer whose causes "
+                    "you want"
+                )
+            disjuncts = query.disjuncts
+        if not any(d.holds(db) for d in disjuncts):
+            return []
+        kappas = tuple(query_as_denial(d) for d in disjuncts)
+        repairs = delete_only_repairs(db, kappas)
+    else:
+        bq = _boolean(query, answer)
+        if not bq.holds(db):
+            return []
+        kappa = query_as_denial(bq)
+        repairs = delete_only_repairs(db, (kappa,))
+    by_fact: Dict[Fact, List[FrozenSet[Fact]]] = {}
+    for repair in repairs:
+        removed = repair.deleted
+        for tau in removed:
+            by_fact.setdefault(tau, []).append(
+                frozenset(removed - {tau})
+            )
+    causes = []
+    for tau in sorted(by_fact, key=repr):
+        contingencies = _minimal_sets(by_fact[tau])
+        smallest = min(len(c) for c in contingencies)
+        causes.append(
+            Cause(tau, 1.0 / (1 + smallest), tuple(contingencies))
+        )
+    return causes
+
+
+def responsibility(
+    db: Database,
+    query: ConjunctiveQuery,
+    fact: Fact,
+    answer: Optional[Row] = None,
+) -> float:
+    """ρ_D^Q(τ): the responsibility of *fact* (0 when not a cause)."""
+    for cause in actual_causes(db, query, answer):
+        if cause.fact == fact:
+            return cause.responsibility
+    return 0.0
+
+
+def most_responsible_causes(
+    db: Database,
+    query: ConjunctiveQuery,
+    answer: Optional[Row] = None,
+) -> List[Cause]:
+    """The MRACs — via the C-repair side of the connection [26]."""
+    causes = actual_causes(db, query, answer)
+    if not causes:
+        return []
+    best = max(c.responsibility for c in causes)
+    return [c for c in causes if c.responsibility == best]
+
+
+def counterfactual_causes(
+    db: Database,
+    query: ConjunctiveQuery,
+    answer: Optional[Row] = None,
+) -> List[Cause]:
+    """Causes needing no contingency set."""
+    return [
+        c for c in actual_causes(db, query, answer) if c.is_counterfactual
+    ]
+
+
+# ----------------------------------------------------------------------
+# Direct (definition-chasing) implementation for cross-validation
+# ----------------------------------------------------------------------
+
+
+def actual_causes_direct(
+    db: Database,
+    query,
+    answer: Optional[Row] = None,
+    max_contingency: Optional[int] = None,
+) -> List[Cause]:
+    """Causes computed straight from the definition (exponential search).
+
+    Only tuples occurring in some witness of the query can be causes,
+    and contingency sets only ever need witness tuples, so the search
+    space is restricted accordingly.  Accepts CQs and UCQs.
+    """
+    from ..logic.evaluation import witnesses
+    from ..logic.queries import UnionQuery
+
+    if isinstance(query, UnionQuery):
+        if answer is not None:
+            bq = UnionQuery(
+                tuple(d.instantiate(answer) for d in query.disjuncts),
+                name=query.name,
+            )
+        elif not query.is_boolean:
+            raise QueryError(
+                "non-Boolean query: pass the answer whose causes you want"
+            )
+        else:
+            bq = query
+        if not bq.holds(db):
+            return []
+        witness_sources = bq.disjuncts
+    else:
+        bq = _boolean(query, answer)
+        if not bq.holds(db):
+            return []
+        witness_sources = (bq,)
+
+    relevant: set = set()
+    for source in witness_sources:
+        for _, facts in witnesses(db, source.atoms, source.conditions):
+            relevant |= set(facts)
+    relevant = sorted(relevant, key=repr)
+    bound = max_contingency if max_contingency is not None else len(relevant)
+    causes: List[Cause] = []
+    for tau in relevant:
+        minimal: List[FrozenSet[Fact]] = []
+        best_size: Optional[int] = None
+        others = [f for f in relevant if f != tau]
+        for size in range(0, bound + 1):
+            if best_size is not None and size > best_size:
+                # Keep scanning this size only to collect equal-size sets;
+                # larger sizes may still hold inclusion-minimal sets, but
+                # for responsibility we only need the smallest.
+                break
+            for combo in itertools.combinations(others, size):
+                gamma = frozenset(combo)
+                without_gamma = db.delete(gamma)
+                if not bq.holds(without_gamma):
+                    continue
+                if bq.holds(without_gamma.delete([tau])):
+                    continue
+                if best_size is None:
+                    best_size = size
+                minimal.append(gamma)
+        if best_size is not None:
+            causes.append(
+                Cause(tau, 1.0 / (1 + best_size), tuple(minimal))
+            )
+    return causes
+
+
+def _minimal_sets(
+    sets: Sequence[FrozenSet[Fact]],
+) -> List[FrozenSet[Fact]]:
+    unique = sorted(set(sets), key=lambda s: (len(s), sorted(map(repr, s))))
+    minimal: List[FrozenSet[Fact]] = []
+    for s in unique:
+        if not any(m <= s for m in minimal):
+            minimal.append(s)
+    return minimal

@@ -1,0 +1,123 @@
+"""Causes for Datalog queries (Section 7, after [27]).
+
+The counterfactual definition of causality applies to any monotone query;
+the paper notes that for *Datalog* queries cause computation can become
+NP-complete, via the connection to Datalog abduction.  This module
+implements it through why-provenance:
+
+* a ground goal holds iff some minimal EDB support of it survives;
+* τ is an actual cause iff τ belongs to some minimal support;
+* a contingency set Γ for τ must leave the goal true (Γ misses some
+  support) while Γ ∪ {τ} falsifies it (hits every support); every
+  element of a *minimal* hitting set is essential, so
+  ρ(τ) = 1 / min{|H| : H a minimal hitting set of the supports, τ ∈ H}.
+
+The NP-hardness the paper cites lives exactly in that hitting-set
+computation, handled by the same branch-and-bound as the C-repairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..constraints.conflicts import ConflictHypergraph
+from ..datalog.engine import Program
+from ..datalog.provenance import evaluate_with_provenance, supports_of
+from ..errors import QueryError
+from ..logic.formulas import Atom, is_var
+from ..relational.database import Database, Fact
+from .causes import Cause
+
+
+def datalog_causes(
+    db: Database,
+    program: Program,
+    goal: Atom,
+    max_supports: int = 64,
+) -> List[Cause]:
+    """Actual causes (with responsibilities) for a ground Datalog goal.
+
+    *program* must be positive (provenance requirement); *goal* is a
+    ground atom over an EDB or IDB predicate.  Minimal contingency sets
+    reported are the responsibility-witnessing ones.  The provenance cap
+    *max_supports* bounds the support family per fact; raising it trades
+    time for exactness on heavily multi-derivable goals.
+    """
+    if goal.free_variables():
+        raise QueryError(f"goal {goal!r} must be ground")
+    provenance = evaluate_with_provenance(
+        program, db, max_supports=max_supports
+    )
+    family = supports_of(provenance, Fact(goal.predicate, goal.terms))
+    if not family:
+        return []
+    supports = sorted(family, key=lambda s: sorted(map(repr, s)))
+    candidates = sorted(
+        {f for support in supports for f in support}, key=repr
+    )
+    # Hypergraph over facts: edges are the supports; a hitting set kills
+    # the goal.  (Reusing the conflict-hypergraph machinery with facts
+    # as nodes via their repr keys.)
+    key_of = {f: repr(f) for f in candidates}
+    fact_of = {v: k for k, v in key_of.items()}
+    graph = ConflictHypergraph(
+        frozenset(key_of.values()),
+        frozenset(
+            frozenset(key_of[f] for f in support) for support in supports
+        ),
+    )
+    # Every element of a *minimal* hitting set H is essential (dropping
+    # it misses some support), so Γ = H ∖ {τ} is a valid contingency set
+    # for each τ ∈ H, and ρ(τ) = 1 / min{|H| : H minimal, τ ∈ H}.
+    hitting_sets = graph.minimal_hitting_sets()
+    causes: List[Cause] = []
+    for tau in candidates:
+        containing = [h for h in hitting_sets if key_of[tau] in h]
+        if not containing:
+            continue
+        best = min(len(h) for h in containing)
+        gammas = tuple(sorted(
+            {
+                frozenset(
+                    fact_of[v] for v in h if v != key_of[tau]
+                )
+                for h in containing
+                if len(h) == best
+            },
+            key=lambda s: sorted(map(repr, s)),
+        ))
+        causes.append(Cause(tau, 1.0 / best, gammas))
+    return causes
+
+
+def datalog_responsibility(
+    db: Database,
+    program: Program,
+    goal: Atom,
+    fact: Fact,
+    max_supports: int = 64,
+) -> float:
+    """ρ of one EDB fact for a Datalog goal (0 when not a cause)."""
+    for cause in datalog_causes(db, program, goal, max_supports):
+        if cause.fact == fact:
+            return cause.responsibility
+    return 0.0
+
+
+def is_datalog_cause(
+    db: Database,
+    program: Program,
+    goal: Atom,
+    fact: Fact,
+    max_supports: int = 64,
+) -> bool:
+    """Is *fact* an actual cause for the goal?
+
+    Equivalent to membership in some minimal support — the tractable
+    side of the abduction connection.
+    """
+    provenance = evaluate_with_provenance(
+        program, db, max_supports=max_supports
+    )
+    family = supports_of(provenance, Fact(goal.predicate, goal.terms))
+    return any(fact in support for support in family)

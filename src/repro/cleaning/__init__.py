@@ -1,0 +1,26 @@
+"""Data cleaning: CFD repair, quality answers, entity resolution."""
+
+from .cfd_repair import CellChange, CleaningResult, clean
+from .entity_resolution import (
+    MatchingDependency,
+    Merge,
+    ResolutionResult,
+    resolve,
+)
+from .quality import QualityContext, quality_answer_support, quality_answers
+from .similarity import edit_distance, similarity
+
+__all__ = [
+    "CellChange",
+    "CleaningResult",
+    "clean",
+    "MatchingDependency",
+    "Merge",
+    "ResolutionResult",
+    "resolve",
+    "QualityContext",
+    "quality_answer_support",
+    "quality_answers",
+    "edit_distance",
+    "similarity",
+]

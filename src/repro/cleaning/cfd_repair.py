@@ -1,0 +1,193 @@
+"""Cost-based value-modification cleaning for FDs and CFDs (Section 6).
+
+The paper's data-cleaning discussion points at repairing "by value
+modification" ([31], guided repair [111]).  This module implements the
+classic equivalence-class heuristic: tuples violating an (C)FD on the
+same left-hand side form a class; the class is repaired by overwriting
+the divergent right-hand-side cells with the class's plurality value
+(lowest total cell-change cost), iterating to a fixpoint.
+
+The result is *one* reasonable clean instance plus its change log — the
+cleaning counterpart of computing one repair rather than all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..constraints.base import IntegrityConstraint
+from ..constraints.cfd import ConditionalFunctionalDependency, WILDCARD, _matches
+from ..constraints.fd import FunctionalDependency
+from ..errors import ConstraintError
+from ..relational.database import Database, Fact
+from ..relational.nulls import is_null
+
+
+@dataclass(frozen=True)
+class CellChange:
+    """One cell overwritten by the cleaner."""
+
+    tid: str
+    position: int
+    old_value: object
+    new_value: object
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.tid}[{self.position}]: "
+            f"{self.old_value!r} -> {self.new_value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class CleaningResult:
+    """A cleaned instance and the changes that produced it."""
+
+    original: Database
+    cleaned: Database
+    changes: Tuple[CellChange, ...]
+
+    @property
+    def cost(self) -> int:
+        """Number of cells changed."""
+        return len(self.changes)
+
+
+def clean(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    max_rounds: int = 10,
+) -> CleaningResult:
+    """Clean *db* wrt FDs/CFDs by plurality value modification."""
+    for ic in constraints:
+        if not isinstance(
+            ic, (FunctionalDependency, ConditionalFunctionalDependency)
+        ):
+            raise ConstraintError(
+                "value-modification cleaning supports FDs and CFDs; got "
+                f"{type(ic).__name__}"
+            )
+    current = db
+    changes: List[CellChange] = []
+    for _ in range(max_rounds):
+        round_changes = _one_round(current, constraints)
+        if not round_changes:
+            break
+        for change in round_changes:
+            current = current.update_value(
+                change.tid, change.position, change.new_value
+            )
+        changes.extend(round_changes)
+    return CleaningResult(db, current, tuple(changes))
+
+
+def _one_round(
+    db: Database, constraints: Sequence[IntegrityConstraint]
+) -> List[CellChange]:
+    changes: List[CellChange] = []
+    claimed: set = set()  # (tid, position) already scheduled this round
+    for ic in constraints:
+        if isinstance(ic, FunctionalDependency):
+            changes.extend(_repair_fd_classes(db, ic, claimed))
+        else:
+            changes.extend(_repair_cfd(db, ic, claimed))
+    return changes
+
+
+def _repair_fd_classes(
+    db: Database,
+    fd: FunctionalDependency,
+    claimed: set,
+    pattern: Optional[Tuple] = None,
+    cfd_rhs_patterns: Optional[Tuple] = None,
+) -> List[CellChange]:
+    rel = db.schema.relation(fd.relation)
+    lhs_pos = rel.positions(fd.lhs)
+    rhs_pos = rel.positions(fd.rhs)
+    groups: Dict[Tuple, List[Fact]] = {}
+    for values in db.relation(fd.relation):
+        key = tuple(values[p] for p in lhs_pos)
+        if any(is_null(v) for v in key):
+            continue
+        if pattern is not None and not _matches(key, pattern):
+            continue
+        groups.setdefault(key, []).append(Fact(fd.relation, values))
+    changes: List[CellChange] = []
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        for position in rhs_pos:
+            observed = [
+                f.values[position]
+                for f in group
+                if not is_null(f.values[position])
+            ]
+            if len(set(observed)) <= 1:
+                continue
+            target = _plurality(observed)
+            for f in group:
+                value = f.values[position]
+                if is_null(value) or value == target:
+                    continue
+                tid = db.tid_of(f)
+                if (tid, position) in claimed:
+                    continue
+                claimed.add((tid, position))
+                changes.append(CellChange(tid, position, value, target))
+    return changes
+
+
+def _repair_cfd(
+    db: Database,
+    constraint: ConditionalFunctionalDependency,
+    claimed: set,
+) -> List[CellChange]:
+    rel = db.schema.relation(constraint.relation)
+    lhs_pos = rel.positions(constraint.lhs)
+    rhs_pos = rel.positions(constraint.rhs)
+    changes: List[CellChange] = []
+    for pt in constraint.tableau:
+        # Constant rhs entries: overwrite non-matching cells directly.
+        for position, rhs_pattern in zip(rhs_pos, pt.rhs):
+            if rhs_pattern is WILDCARD:
+                continue
+            for values in db.relation(constraint.relation):
+                lhs_vals = tuple(values[p] for p in lhs_pos)
+                if any(is_null(v) for v in lhs_vals):
+                    continue
+                if not _matches(lhs_vals, pt.lhs):
+                    continue
+                value = values[position]
+                if is_null(value) or value == rhs_pattern:
+                    continue
+                tid = db.tid_of(Fact(constraint.relation, values))
+                if (tid, position) in claimed:
+                    continue
+                claimed.add((tid, position))
+                changes.append(
+                    CellChange(tid, position, value, rhs_pattern)
+                )
+        # Wildcard rhs entries behave like an FD restricted to the
+        # pattern's lhs selection.
+        wildcard_rhs = [
+            a for a, p in zip(constraint.rhs, pt.rhs) if p is WILDCARD
+        ]
+        if wildcard_rhs:
+            fd = FunctionalDependency(
+                constraint.relation,
+                constraint.lhs,
+                tuple(wildcard_rhs),
+                name=f"{constraint.name}~fd",
+            )
+            changes.extend(
+                _repair_fd_classes(db, fd, claimed, pattern=pt.lhs)
+            )
+    return changes
+
+
+def _plurality(values: List[object]) -> object:
+    counts: Dict[object, int] = {}
+    for v in values:
+        counts[v] = counts.get(v, 0) + 1
+    return max(sorted(counts, key=repr), key=lambda v: counts[v])

@@ -1,0 +1,156 @@
+"""Entity resolution with matching dependencies (Section 6, [28, 34, 35]).
+
+A matching dependency (MD) says: if two tuples are *similar* on some
+attributes, their values on other attributes should be *identified*
+(merged).  MDs are applied chase-style: each application merges the
+identified attributes to a canonical value, possibly enabling further
+matches, until a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..errors import ConstraintError
+from ..relational.database import Database, Fact
+from ..relational.nulls import is_null
+from .similarity import similarity
+
+
+@dataclass(frozen=True)
+class MatchingDependency:
+    """``relation: similar(match_attrs) → identify(merge_attrs)``."""
+
+    relation: str
+    match_attrs: Tuple[str, ...]
+    merge_attrs: Tuple[str, ...]
+    threshold: float = 0.8
+    name: str = "MD"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.match_attrs, tuple):
+            object.__setattr__(self, "match_attrs", tuple(self.match_attrs))
+        if not isinstance(self.merge_attrs, tuple):
+            object.__setattr__(self, "merge_attrs", tuple(self.merge_attrs))
+        if not (0.0 < self.threshold <= 1.0):
+            raise ConstraintError("threshold must be in (0, 1]")
+        overlap = set(self.match_attrs) & set(self.merge_attrs)
+        if overlap:
+            raise ConstraintError(
+                f"attributes {sorted(overlap)} are both matched and merged"
+            )
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One applied identification step."""
+
+    md: str
+    tids: Tuple[str, str]
+    attribute: str
+    values: Tuple[object, object]
+    canonical: object
+
+
+@dataclass(frozen=True)
+class ResolutionResult:
+    """The resolved instance and the merge log."""
+
+    original: Database
+    resolved: Database
+    merges: Tuple[Merge, ...]
+
+    def duplicate_groups(self) -> List[Set[str]]:
+        """Connected components of tids linked by some merge."""
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for m in self.merges:
+            a, b = (find(t) for t in m.tids)
+            if a != b:
+                parent[a] = b
+        groups: Dict[str, Set[str]] = {}
+        for tid in parent:
+            groups.setdefault(find(tid), set()).add(tid)
+        return [g for g in groups.values() if len(g) > 1]
+
+
+def resolve(
+    db: Database,
+    mds: Sequence[MatchingDependency],
+    max_rounds: int = 10,
+) -> ResolutionResult:
+    """Chase the matching dependencies to a fixpoint."""
+    current = db
+    merges: List[Merge] = []
+    for _ in range(max_rounds):
+        step = _one_round(current, mds)
+        if not step:
+            break
+        for merge, tid, position, value in step:
+            if tid in current.tids():
+                current = current.update_value(tid, position, value)
+            merges.append(merge)
+    return ResolutionResult(db, current, tuple(merges))
+
+
+def _one_round(db: Database, mds: Sequence[MatchingDependency]):
+    applications = []
+    for md in mds:
+        rel = db.schema.relation(md.relation)
+        match_pos = rel.positions(md.match_attrs)
+        merge_pos = rel.positions(md.merge_attrs)
+        rows = db.relation(md.relation)
+        for i, row1 in enumerate(rows):
+            for row2 in rows[i + 1:]:
+                if not _similar(row1, row2, match_pos, md.threshold):
+                    continue
+                tid1 = db.tid_of(Fact(md.relation, row1))
+                tid2 = db.tid_of(Fact(md.relation, row2))
+                for attr, position in zip(md.merge_attrs, merge_pos):
+                    v1, v2 = row1[position], row2[position]
+                    if v1 == v2:
+                        continue
+                    canonical = _canonical(v1, v2)
+                    merge = Merge(
+                        md.name, (tid1, tid2), attr, (v1, v2), canonical
+                    )
+                    if v1 != canonical:
+                        applications.append((merge, tid1, position, canonical))
+                    if v2 != canonical:
+                        applications.append((merge, tid2, position, canonical))
+        if applications:
+            # Apply one MD's matches per round; re-evaluate similarity on
+            # the merged instance before chasing further.
+            break
+    return applications
+
+
+def _similar(row1, row2, positions, threshold: float) -> bool:
+    for p in positions:
+        v1, v2 = row1[p], row2[p]
+        if is_null(v1) or is_null(v2):
+            return False
+        if similarity(v1, v2) < threshold:
+            return False
+    return True
+
+
+def _canonical(v1: object, v2: object) -> object:
+    """Prefer the more informative (longer, then lexicographically
+    smaller) value as the canonical representative."""
+    if is_null(v1):
+        return v2
+    if is_null(v2):
+        return v1
+    s1, s2 = str(v1), str(v2)
+    if len(s1) != len(s2):
+        return v1 if len(s1) > len(s2) else v2
+    return min(v1, v2, key=repr)

@@ -1,0 +1,72 @@
+"""Quality answers under formalized contexts (Section 6, after [22, 23]).
+
+Consistency is one dimension of data quality; a *quality context*
+packages the semantic expectations on an instance (integrity constraints
+and, optionally, quality predicates restricting which tuples count as
+quality data).  Quality answers generalize consistent answers: they are
+the answers persisting across all quality versions (repairs) of the
+instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Optional, Tuple
+
+from ..constraints.base import IntegrityConstraint
+from ..cqa.certain import answer_frequencies, consistent_answers
+from ..relational.database import Database, Fact, Row
+
+
+@dataclass(frozen=True)
+class QualityContext:
+    """Semantic context for quality assessment.
+
+    *constraints* are the quality ICs; *tuple_filter* (optional) marks
+    tuples that fail an external quality predicate (wrong sensor, stale
+    timestamp, ...) and are excluded before repairing — the context
+    "acting as semantic information on the database at hand".
+    """
+
+    constraints: Tuple[IntegrityConstraint, ...]
+    tuple_filter: Optional[Callable[[Fact], bool]] = None
+    name: str = "context"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.constraints, tuple):
+            object.__setattr__(
+                self, "constraints", tuple(self.constraints)
+            )
+
+    def quality_view(self, db: Database) -> Database:
+        """The sub-instance passing the tuple-level quality predicate."""
+        if self.tuple_filter is None:
+            return db
+        rejected = [f for f in db.facts() if not self.tuple_filter(f)]
+        return db.delete(rejected)
+
+
+def quality_answers(
+    db: Database,
+    context: QualityContext,
+    query,
+    semantics: str = "s",
+) -> FrozenSet[Row]:
+    """Answers persisting across all quality repairs under the context."""
+    view = context.quality_view(db)
+    if not context.constraints:
+        return frozenset(query.answers(view))
+    return consistent_answers(
+        view, context.constraints, query, semantics=semantics
+    )
+
+
+def quality_answer_support(
+    db: Database,
+    context: QualityContext,
+    query,
+) -> Tuple[Tuple[Row, float], ...]:
+    """Per-answer support over the quality repairs — the weakened
+    certainty ('true in most repairs') the paper suggests for cleaning."""
+    view = context.quality_view(db)
+    return answer_frequencies(view, context.constraints, query)

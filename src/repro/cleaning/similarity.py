@@ -1,0 +1,35 @@
+"""String similarity for entity resolution (matching dependencies)."""
+
+from __future__ import annotations
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance via the standard two-row DP."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost,  # substitution
+            ))
+        previous = current
+    return previous[-1]
+
+
+def similarity(a: object, b: object) -> float:
+    """Normalized similarity in [0, 1]; non-strings compare by equality."""
+    if not isinstance(a, str) or not isinstance(b, str):
+        return 1.0 if a == b else 0.0
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - edit_distance(a.lower(), b.lower()) / longest

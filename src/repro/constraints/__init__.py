@@ -1,0 +1,45 @@
+"""Integrity constraints: FDs, keys, inclusion dependencies, DCs, CFDs."""
+
+from .base import (
+    IntegrityConstraint,
+    Violation,
+    ViolationSummary,
+    all_satisfied,
+    all_violations,
+    denial_class_only,
+)
+from .cfd import (
+    WILDCARD,
+    ConditionalFunctionalDependency,
+    PatternTuple,
+    cfd,
+)
+from .conflicts import ConflictHypergraph
+from .denial import DenialConstraint, denial
+from .fd import FunctionalDependency, key_constraint
+from .inclusion import (
+    InclusionDependency,
+    TupleGeneratingDependency,
+    inclusion,
+)
+
+__all__ = [
+    "IntegrityConstraint",
+    "Violation",
+    "ViolationSummary",
+    "all_satisfied",
+    "all_violations",
+    "denial_class_only",
+    "WILDCARD",
+    "ConditionalFunctionalDependency",
+    "PatternTuple",
+    "cfd",
+    "ConflictHypergraph",
+    "DenialConstraint",
+    "denial",
+    "FunctionalDependency",
+    "key_constraint",
+    "InclusionDependency",
+    "TupleGeneratingDependency",
+    "inclusion",
+]

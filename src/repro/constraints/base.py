@@ -1,0 +1,101 @@
+"""Integrity constraints: common interface and violation objects.
+
+The paper's repair semantics differ in which update actions they admit,
+and those actions are driven by *violations*.  For denial-class
+constraints (keys, FDs, denial constraints, CFDs) a violation is a set of
+facts that jointly falsify the constraint and any repair must lose (or
+modify) one of them.  For tuple-generating dependencies (inclusion
+dependencies, tgds) a violation is a body witness with no matching head,
+fixable by deleting a body fact or inserting a head fact.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from ..relational.database import Database, Fact
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violation of a constraint in an instance.
+
+    ``facts`` are the witnessing facts in the instance.  For tgd-style
+    constraints, ``missing`` lists head facts whose insertion would fix
+    the violation (possibly containing NULL at existential positions).
+    """
+
+    constraint_name: str
+    facts: FrozenSet[Fact]
+    missing: Tuple[Fact, ...] = field(default_factory=tuple)
+
+    def __repr__(self) -> str:
+        base = f"Violation[{self.constraint_name}]({set(self.facts)}"
+        if self.missing:
+            base += f", missing={list(self.missing)}"
+        return base + ")"
+
+
+class IntegrityConstraint(abc.ABC):
+    """Base class for all integrity constraints."""
+
+    name: str = "IC"
+
+    #: True when the constraint is *denial-class*: monotone under deletion
+    #: (removing tuples can never create a violation), so repairs need only
+    #: tuple deletions and the conflict hypergraph applies.
+    is_denial_class: bool = False
+
+    @abc.abstractmethod
+    def violations(self, db: Database) -> List[Violation]:
+        """All violations of the constraint in *db*."""
+
+    def is_satisfied(self, db: Database) -> bool:
+        """``db ⊨ constraint``."""
+        return not self.violations(db)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+def all_satisfied(db: Database, constraints) -> bool:
+    """``db ⊨ Σ`` for a collection of constraints."""
+    return all(ic.is_satisfied(db) for ic in constraints)
+
+
+def all_violations(db: Database, constraints) -> List[Violation]:
+    """Concatenated violations of several constraints."""
+    out: List[Violation] = []
+    for ic in constraints:
+        out.extend(ic.violations(db))
+    return out
+
+
+def denial_class_only(constraints) -> bool:
+    """True when every constraint in the collection is denial-class."""
+    return all(ic.is_denial_class for ic in constraints)
+
+
+@dataclass(frozen=True)
+class ViolationSummary:
+    """Aggregate view of an instance's inconsistency (used by measures)."""
+
+    total_violations: int
+    violating_facts: FrozenSet[Fact]
+    per_constraint: Tuple[Tuple[str, int], ...]
+
+    @staticmethod
+    def of(db: Database, constraints) -> "ViolationSummary":
+        """Summarize all violations of *constraints* in *db*."""
+        per: List[Tuple[str, int]] = []
+        facts = set()
+        total = 0
+        for ic in constraints:
+            vs = ic.violations(db)
+            per.append((ic.name, len(vs)))
+            total += len(vs)
+            for v in vs:
+                facts |= v.facts
+        return ViolationSummary(total, frozenset(facts), tuple(per))

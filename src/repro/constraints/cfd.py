@@ -1,0 +1,240 @@
+"""Conditional functional dependencies (Section 6, after Fan et al. [58]).
+
+A CFD ``(relation: lhs → rhs, tableau)`` is an FD that only applies to
+tuples matching the pattern tableau, and whose patterns can also constrain
+the right-hand side with constants.  The paper's example is
+``[CC = 44, Zip] → [Street]``: street is determined by zip *when* the
+country code is 44.
+
+Pattern values are constants or the wildcard ``WILDCARD`` (printed ``_``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConstraintError
+from ..relational.database import Database, Fact
+from ..relational.nulls import is_null
+from .base import IntegrityConstraint, Violation
+from .denial import DenialConstraint
+
+
+class _Wildcard:
+    """Singleton wildcard for CFD pattern tableaux."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "_"
+
+
+WILDCARD = _Wildcard()
+
+
+@dataclass(frozen=True)
+class PatternTuple:
+    """One tableau row: patterns for the lhs and rhs attributes."""
+
+    lhs: Tuple[object, ...]
+    rhs: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lhs, tuple):
+            object.__setattr__(self, "lhs", tuple(self.lhs))
+        if not isinstance(self.rhs, tuple):
+            object.__setattr__(self, "rhs", tuple(self.rhs))
+
+    def __repr__(self) -> str:
+        left = ", ".join(repr(p) for p in self.lhs)
+        right = ", ".join(repr(p) for p in self.rhs)
+        return f"({left} || {right})"
+
+
+def _matches(values: Sequence[object], pattern: Sequence[object]) -> bool:
+    for v, p in zip(values, pattern):
+        if p is WILDCARD:
+            continue
+        if is_null(v) or v != p:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class ConditionalFunctionalDependency(IntegrityConstraint):
+    """``relation: (lhs → rhs, tableau)``."""
+
+    relation: str
+    lhs: Tuple[str, ...]
+    rhs: Tuple[str, ...]
+    tableau: Tuple[PatternTuple, ...]
+    name: str = "CFD"
+
+    is_denial_class = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lhs, tuple):
+            object.__setattr__(self, "lhs", tuple(self.lhs))
+        if not isinstance(self.rhs, tuple):
+            object.__setattr__(self, "rhs", tuple(self.rhs))
+        if not isinstance(self.tableau, tuple):
+            object.__setattr__(self, "tableau", tuple(self.tableau))
+        if not self.tableau:
+            raise ConstraintError("a CFD needs at least one pattern tuple")
+        for pt in self.tableau:
+            if len(pt.lhs) != len(self.lhs) or len(pt.rhs) != len(self.rhs):
+                raise ConstraintError(
+                    f"pattern {pt!r} does not match CFD attribute widths"
+                )
+
+    def violations(self, db: Database) -> List[Violation]:
+        """Single-tuple and pair violations of the CFD.
+
+        * Single-tuple: a tuple matches a pattern's lhs (all of whose
+          non-wildcard lhs entries it satisfies) but clashes with a
+          *constant* rhs pattern entry.
+        * Pair: two tuples match the same pattern's lhs, agree on the lhs
+          attributes, but differ on some rhs attribute (both wildcards).
+        """
+        rel = db.schema.relation(self.relation)
+        lhs_pos = rel.positions(self.lhs)
+        rhs_pos = rel.positions(self.rhs)
+        out: List[Violation] = []
+        seen: set = set()
+        rows = db.relation(self.relation)
+        for pt in self.tableau:
+            matching: Dict[Tuple, List[Fact]] = {}
+            for values in rows:
+                lhs_vals = tuple(values[p] for p in lhs_pos)
+                if any(is_null(v) for v in lhs_vals):
+                    continue
+                if not _matches(lhs_vals, pt.lhs):
+                    continue
+                f = Fact(self.relation, values)
+                rhs_vals = tuple(values[p] for p in rhs_pos)
+                # Single-tuple violations against constant rhs patterns.
+                for v, p in zip(rhs_vals, pt.rhs):
+                    if p is WILDCARD or is_null(v):
+                        continue
+                    if v != p:
+                        edge = frozenset((f,))
+                        if edge not in seen:
+                            seen.add(edge)
+                            out.append(Violation(self.name, edge))
+                matching.setdefault(lhs_vals, []).append(f)
+            # Pair violations on wildcard rhs positions.
+            wildcard_rhs = [
+                p for p, pat in zip(rhs_pos, pt.rhs) if pat is WILDCARD
+            ]
+            if not wildcard_rhs:
+                continue
+            for group in matching.values():
+                for f1, f2 in itertools.combinations(group, 2):
+                    if self._pair_conflict(f1, f2, wildcard_rhs):
+                        edge = frozenset((f1, f2))
+                        if edge not in seen:
+                            seen.add(edge)
+                            out.append(Violation(self.name, edge))
+        return out
+
+    @staticmethod
+    def _pair_conflict(f1: Fact, f2: Fact, rhs_pos) -> bool:
+        for p in rhs_pos:
+            v1, v2 = f1.values[p], f2.values[p]
+            if is_null(v1) or is_null(v2):
+                continue
+            if v1 != v2:
+                return True
+        return False
+
+    def to_denial_constraints(self, db) -> list:
+        """Equivalent denial constraints (one family per pattern tuple).
+
+        Pair semantics: two tuples matching the pattern's lhs, agreeing
+        on lhs, differing on a wildcard rhs attribute.  Single-tuple
+        semantics: a tuple matching the lhs clashing with a constant rhs
+        entry.  Enables CFDs everywhere DCs work — conflict hypergraphs,
+        repairs, repair programs.
+        """
+        from ..logic.formulas import Atom, Comparison, Var
+
+        rel = db.schema.relation(self.relation)
+        lhs_pos = rel.positions(self.lhs)
+        rhs_pos = rel.positions(self.rhs)
+        out = []
+        for pattern_index, pt in enumerate(self.tableau):
+            lhs_terms: dict = {}
+            for p, pat in zip(lhs_pos, pt.lhs):
+                lhs_terms[p] = pat if pat is not WILDCARD else Var(f"l{p}")
+            # Single-tuple DCs for constant rhs entries.
+            for p, pat in zip(rhs_pos, pt.rhs):
+                if pat is WILDCARD:
+                    continue
+                terms = []
+                clash = Var("w")
+                for i in range(rel.arity):
+                    if i == p:
+                        terms.append(clash)
+                    elif i in lhs_terms:
+                        terms.append(lhs_terms[i])
+                    else:
+                        terms.append(Var(f"u{i}"))
+                out.append(DenialConstraint(
+                    (Atom(self.relation, tuple(terms)),),
+                    (Comparison("!=", clash, pat),),
+                    name=f"{self.name}[p{pattern_index}={p}]",
+                ))
+            # Pair DCs for wildcard rhs entries (one per attribute).
+            for p, pat in zip(rhs_pos, pt.rhs):
+                if pat is not WILDCARD:
+                    continue
+                terms1, terms2 = [], []
+                y, z = Var("y_cmp"), Var("z_cmp")
+                for i in range(rel.arity):
+                    if i == p:
+                        terms1.append(y)
+                        terms2.append(z)
+                    elif i in lhs_terms:
+                        terms1.append(lhs_terms[i])
+                        terms2.append(lhs_terms[i])
+                    else:
+                        terms1.append(Var(f"u{i}"))
+                        terms2.append(Var(f"v{i}"))
+                out.append(DenialConstraint(
+                    (
+                        Atom(self.relation, tuple(terms1)),
+                        Atom(self.relation, tuple(terms2)),
+                    ),
+                    (Comparison("!=", y, z),),
+                    name=f"{self.name}[p{pattern_index}~{p}]",
+                ))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.name}: {self.relation}: [{','.join(self.lhs)}] -> "
+            f"[{','.join(self.rhs)}] with {len(self.tableau)} pattern(s)"
+        )
+
+
+def cfd(
+    relation: str,
+    lhs: Sequence[str],
+    rhs: Sequence[str],
+    patterns: Sequence[Tuple[Sequence[object], Sequence[object]]],
+    name: str = "CFD",
+) -> ConditionalFunctionalDependency:
+    """Convenience constructor: patterns as (lhs pattern, rhs pattern)."""
+    tableau = tuple(
+        PatternTuple(tuple(l), tuple(r)) for l, r in patterns
+    )
+    return ConditionalFunctionalDependency(
+        relation, tuple(lhs), tuple(rhs), tableau, name
+    )

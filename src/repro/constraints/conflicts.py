@@ -1,0 +1,164 @@
+"""Conflict hypergraphs (Example 4.1, Figure 1).
+
+For denial-class constraints, the tuples of an inconsistent instance form
+a hypergraph: nodes are the database tuples, and each violation is a
+hyperedge connecting the tuples that jointly violate a constraint.
+S-repairs are exactly the maximal independent sets of this hypergraph
+(equivalently, complements of minimal hitting sets of the edge set), and
+C-repairs are the complements of minimum hitting sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from ..errors import ConstraintError
+from ..relational.database import Database
+from .base import IntegrityConstraint, all_violations, denial_class_only
+
+
+@dataclass(frozen=True)
+class ConflictHypergraph:
+    """Nodes are tids; hyperedges are frozensets of tids."""
+
+    nodes: FrozenSet[str]
+    edges: FrozenSet[FrozenSet[str]]
+
+    @staticmethod
+    def build(
+        db: Database, constraints: Sequence[IntegrityConstraint]
+    ) -> "ConflictHypergraph":
+        """Build the conflict hypergraph of *db* under denial-class ICs."""
+        if not denial_class_only(constraints):
+            raise ConstraintError(
+                "conflict hypergraphs require denial-class constraints "
+                "(keys, FDs, DCs, CFDs); tgds admit insertions"
+            )
+        edges: Set[FrozenSet[str]] = set()
+        for violation in all_violations(db, constraints):
+            edges.add(frozenset(db.tid_of(f) for f in violation.facts))
+        return ConflictHypergraph(frozenset(db.tids()), frozenset(edges))
+
+    def is_independent(self, tids: Iterable[str]) -> bool:
+        """True when *tids* contains no complete hyperedge."""
+        chosen = set(tids)
+        return not any(edge <= chosen for edge in self.edges)
+
+    def conflicting_tids(self) -> FrozenSet[str]:
+        """Tids participating in at least one conflict."""
+        out: Set[str] = set()
+        for edge in self.edges:
+            out |= edge
+        return frozenset(out)
+
+    def conflict_free_tids(self) -> FrozenSet[str]:
+        """Tids in no conflict: the 'certain core' of the instance."""
+        return self.nodes - self.conflicting_tids()
+
+    # ------------------------------------------------------------------
+    # Hitting sets / independent sets
+    # ------------------------------------------------------------------
+
+    def minimal_hitting_sets(
+        self, limit: Optional[int] = None
+    ) -> List[FrozenSet[str]]:
+        """All inclusion-minimal hitting sets of the hyperedges.
+
+        These are exactly the deletion sets of S-repairs.  Enumeration
+        branches on the vertices of an uncovered edge; the result is
+        post-filtered to inclusion-minimal sets.  *limit* bounds the
+        number of (minimal) sets returned.
+        """
+        edges = sorted(self.edges, key=lambda e: (len(e), sorted(e)))
+        if not edges:
+            return [frozenset()]
+        candidates: Set[FrozenSet[str]] = set()
+
+        def branch(chosen: Set[str], remaining: List[FrozenSet[str]]) -> None:
+            if limit is not None and len(candidates) >= 4 * limit:
+                return
+            uncovered = [e for e in remaining if not (e & chosen)]
+            if not uncovered:
+                candidates.add(frozenset(chosen))
+                return
+            edge = min(uncovered, key=len)
+            for vertex in sorted(edge):
+                # Skip branches provably yielding supersets of an existing
+                # candidate.
+                chosen.add(vertex)
+                if not any(c <= chosen for c in candidates):
+                    branch(chosen, uncovered)
+                chosen.remove(vertex)
+
+        branch(set(), edges)
+        minimal = _inclusion_minimal(candidates)
+        minimal.sort(key=lambda s: (len(s), sorted(s)))
+        if limit is not None:
+            minimal = minimal[:limit]
+        return minimal
+
+    def minimum_hitting_sets(self) -> List[FrozenSet[str]]:
+        """All hitting sets of minimum cardinality (C-repair deletions)."""
+        minimal = self.minimal_hitting_sets()
+        if not minimal:
+            return []
+        best = min(len(s) for s in minimal)
+        return [s for s in minimal if len(s) == best]
+
+    def maximal_independent_sets(
+        self, limit: Optional[int] = None
+    ) -> List[FrozenSet[str]]:
+        """All maximal independent sets = S-repairs (as tid sets)."""
+        return [
+            self.nodes - hitting
+            for hitting in self.minimal_hitting_sets(limit=limit)
+        ]
+
+    # ------------------------------------------------------------------
+    # Export / rendering
+    # ------------------------------------------------------------------
+
+    def to_networkx(self):
+        """A bipartite networkx graph (tids vs. edge markers) for analysis."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for node in sorted(self.nodes):
+            g.add_node(node, kind="tuple")
+        for i, edge in enumerate(sorted(self.edges, key=sorted)):
+            marker = f"e{i}"
+            g.add_node(marker, kind="conflict")
+            for node in edge:
+                g.add_edge(marker, node)
+        return g
+
+    def render_ascii(self, db: Optional[Database] = None) -> str:
+        """Text rendering of the hypergraph (regenerates Figure 1)."""
+        lines = ["Conflict hypergraph"]
+        label = (
+            (lambda tid: f"{tid}={db.fact_by_tid(tid)!r}")
+            if db is not None
+            else (lambda tid: tid)
+        )
+        for i, edge in enumerate(
+            sorted(self.edges, key=lambda e: (len(e), sorted(e)))
+        ):
+            members = ", ".join(label(t) for t in sorted(edge))
+            lines.append(f"  edge e{i}: {{{members}}}")
+        isolated = sorted(self.conflict_free_tids())
+        if isolated:
+            lines.append(
+                "  conflict-free: " + ", ".join(label(t) for t in isolated)
+            )
+        return "\n".join(lines)
+
+
+def _inclusion_minimal(sets: Iterable[FrozenSet[str]]) -> List[FrozenSet[str]]:
+    """Filter a family of sets to its inclusion-minimal members."""
+    by_size = sorted(set(sets), key=len)
+    minimal: List[FrozenSet[str]] = []
+    for s in by_size:
+        if not any(m <= s for m in minimal):
+            minimal.append(s)
+    return minimal

@@ -1,0 +1,125 @@
+"""Denial constraints: ``¬∃x̄ (A1 ∧ ... ∧ Ak ∧ comparisons)``.
+
+Denial constraints prohibit joins of database atoms (Example 3.5's
+κ: ¬∃x∃y(S(x) ∧ R(x,y) ∧ S(y))).  They subsume functional dependencies and
+keys (which add a disequality comparison), and they are the constraint
+class under which the repair ↔ causality connection of Section 7 operates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..errors import ConstraintError
+from ..logic.evaluation import witnesses
+from ..logic.formulas import Atom, Comparison, Exists, Formula, Not, Var, conj, is_var
+from ..relational.database import Database
+from .base import IntegrityConstraint, Violation
+
+
+@dataclass(frozen=True)
+class DenialConstraint(IntegrityConstraint):
+    """``¬∃x̄ (atoms ∧ conditions)``."""
+
+    atoms: Tuple[Atom, ...]
+    conditions: Tuple[Comparison, ...] = field(default_factory=tuple)
+    name: str = "DC"
+
+    is_denial_class = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atoms, tuple):
+            object.__setattr__(self, "atoms", tuple(self.atoms))
+        if not isinstance(self.conditions, tuple):
+            object.__setattr__(self, "conditions", tuple(self.conditions))
+        if not self.atoms:
+            raise ConstraintError(
+                "a denial constraint needs at least one atom"
+            )
+        atom_vars = set()
+        for a in self.atoms:
+            atom_vars |= a.free_variables()
+        for c in self.conditions:
+            loose = c.free_variables() - atom_vars
+            if loose:
+                raise ConstraintError(
+                    f"comparison {c!r} uses variables {sorted(v.name for v in loose)} "
+                    "that do not occur in any atom"
+                )
+
+    def violations(self, db: Database) -> List[Violation]:
+        """Each violation is the set of facts witnessing the forbidden join.
+
+        Distinct bindings yielding the same *set* of facts are one
+        violation (one hyperedge in the conflict hypergraph).
+        """
+        seen: set = set()
+        out: List[Violation] = []
+        for _, facts in witnesses(db, self.atoms, self.conditions):
+            edge: FrozenSet = frozenset(facts)
+            if edge not in seen:
+                seen.add(edge)
+                out.append(Violation(self.name, edge))
+        return out
+
+    def to_formula(self) -> Formula:
+        """The constraint as a closed FO sentence."""
+        variables = sorted(
+            {v for a in self.atoms for v in a.free_variables()},
+            key=lambda v: v.name,
+        )
+        body = conj(tuple(self.atoms) + tuple(self.conditions))
+        return Not(Exists(tuple(variables), body))
+
+    def variables(self) -> Tuple[Var, ...]:
+        """All variables of the constraint body, sorted by name."""
+        out = set()
+        for a in self.atoms:
+            out |= a.free_variables()
+        return tuple(sorted(out, key=lambda v: v.name))
+
+    def predicates(self) -> Tuple[str, ...]:
+        """The predicates mentioned, in atom order."""
+        return tuple(a.predicate for a in self.atoms)
+
+    def join_positions(self) -> FrozenSet[Tuple[int, int]]:
+        """Positions (atom index, argument position) relevant to the join.
+
+        A position matters for attribute-level repairs (Section 4.3) when
+        it holds a constant, a variable occurring more than once across
+        the atoms, or a variable used in a comparison: setting such a
+        position to NULL falsifies the instantiated body.
+        """
+        counts: dict = {}
+        for a in self.atoms:
+            for t in a.terms:
+                if is_var(t):
+                    counts[t] = counts.get(t, 0) + 1
+        compared = set()
+        for c in self.conditions:
+            for t in (c.left, c.right):
+                if is_var(t):
+                    compared.add(t)
+        relevant = set()
+        for i, a in enumerate(self.atoms):
+            for j, t in enumerate(a.terms):
+                if not is_var(t):
+                    relevant.add((i, j))
+                elif counts.get(t, 0) > 1 or t in compared:
+                    relevant.add((i, j))
+        return frozenset(relevant)
+
+    def __repr__(self) -> str:
+        parts = [repr(a) for a in self.atoms]
+        parts += [repr(c) for c in self.conditions]
+        return f"{self.name}: not exists ({' & '.join(parts)})"
+
+
+def denial(
+    atoms: Sequence[Atom],
+    conditions: Sequence[Comparison] = (),
+    name: str = "DC",
+) -> DenialConstraint:
+    """Convenience constructor."""
+    return DenialConstraint(tuple(atoms), tuple(conditions), name)

@@ -1,0 +1,232 @@
+"""Tuple-generating dependencies and inclusion dependencies.
+
+Covers the paper's constraint (1) — a full inclusion dependency
+``Supply[Item] ⊆ Articles[Item]`` — and (7), its existential variant
+``Supply(x,y,z) → ∃v Articles(z,v)`` (a tgd).  Violations of a tgd can be
+repaired by deleting a body tuple or inserting a head tuple; for
+existential head positions the inserted value is NULL (Section 4.2) or a
+labeled null.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConstraintError
+from ..logic.evaluation import Evaluator, witnesses
+from ..logic.formulas import (
+    Atom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Var,
+    conj,
+    is_var,
+)
+from ..relational.database import Database, Fact
+from ..relational.nulls import NULL, is_null
+from .base import IntegrityConstraint, Violation
+
+
+@dataclass(frozen=True)
+class TupleGeneratingDependency(IntegrityConstraint):
+    """``∀x̄ (body → ∃ȳ head)`` with conjunctive body and head."""
+
+    body: Tuple[Atom, ...]
+    head: Tuple[Atom, ...]
+    name: str = "TGD"
+
+    is_denial_class = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        if not isinstance(self.head, tuple):
+            object.__setattr__(self, "head", tuple(self.head))
+        if not self.body or not self.head:
+            raise ConstraintError("a tgd needs non-empty body and head")
+
+    def body_variables(self) -> frozenset:
+        """All variables of the tgd body."""
+        out = set()
+        for a in self.body:
+            out |= a.free_variables()
+        return frozenset(out)
+
+    def existential_variables(self) -> frozenset:
+        """Head variables not occurring in the body."""
+        head_vars = set()
+        for a in self.head:
+            head_vars |= a.free_variables()
+        return frozenset(head_vars) - self.body_variables()
+
+    def violations(self, db: Database) -> List[Violation]:
+        """Body witnesses with no matching head, with candidate insertions.
+
+        A body witness whose exported (frontier) values contain NULL is
+        treated as satisfied, following the SQL convention for foreign
+        keys with null values.
+        """
+        evaluator = Evaluator(db)
+        frontier = self.body_variables() & self._head_variables()
+        out: List[Violation] = []
+        seen = set()
+        for binding, facts in witnesses(db, self.body):
+            if any(is_null(binding[v]) for v in frontier if v in binding):
+                continue
+            head_formula = self._head_formula()
+            if evaluator.holds(head_formula, dict(binding)):
+                continue
+            edge = frozenset(facts)
+            if edge in seen:
+                continue
+            seen.add(edge)
+            missing = tuple(
+                Fact(
+                    a.predicate,
+                    tuple(
+                        binding.get(t, NULL) if is_var(t) else t
+                        for t in a.terms
+                    ),
+                )
+                for a in self.head
+            )
+            out.append(Violation(self.name, edge, missing=missing))
+        return out
+
+    def _head_variables(self) -> frozenset:
+        out = set()
+        for a in self.head:
+            out |= a.free_variables()
+        return frozenset(out)
+
+    def _head_formula(self) -> Formula:
+        existentials = tuple(
+            sorted(self.existential_variables(), key=lambda v: v.name)
+        )
+        body = conj(self.head)
+        if existentials:
+            return Exists(existentials, body)
+        return body
+
+    def to_formula(self) -> Formula:
+        """The tgd as a closed FO sentence ``∀x̄(¬body ∨ ∃ȳ head)``."""
+        universals = tuple(
+            sorted(self.body_variables(), key=lambda v: v.name)
+        )
+        return Forall(
+            universals,
+            Or((Not(conj(self.body)), self._head_formula())),
+        )
+
+    def __repr__(self) -> str:
+        body = " & ".join(repr(a) for a in self.body)
+        head = " & ".join(repr(a) for a in self.head)
+        return f"{self.name}: {body} -> {head}"
+
+
+@dataclass(frozen=True)
+class InclusionDependency(IntegrityConstraint):
+    """``child[child_attrs] ⊆ parent[parent_attrs]`` over attribute names.
+
+    When the parent relation has attributes beyond *parent_attrs*, the
+    dependency is existential (a proper tgd, like (7) in the paper) and
+    repairs by insertion use NULL for the unconstrained attributes.
+    """
+
+    child: str
+    child_attrs: Tuple[str, ...]
+    parent: str
+    parent_attrs: Tuple[str, ...]
+    name: str = "IND"
+
+    is_denial_class = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.child_attrs, tuple):
+            object.__setattr__(self, "child_attrs", tuple(self.child_attrs))
+        if not isinstance(self.parent_attrs, tuple):
+            object.__setattr__(self, "parent_attrs", tuple(self.parent_attrs))
+        if len(self.child_attrs) != len(self.parent_attrs):
+            raise ConstraintError(
+                "inclusion dependency sides have different widths"
+            )
+        if not self.child_attrs:
+            raise ConstraintError("an inclusion dependency needs attributes")
+
+    def to_tgd(self, db: Database) -> TupleGeneratingDependency:
+        """The equivalent tgd over *db*'s schema."""
+        child_rel = db.schema.relation(self.child)
+        parent_rel = db.schema.relation(self.parent)
+        child_terms = [Var(f"c{i}") for i in range(child_rel.arity)]
+        shared: Dict[str, Var] = {}
+        for c_attr, p_attr in zip(self.child_attrs, self.parent_attrs):
+            shared[p_attr] = child_terms[child_rel.position(c_attr)]
+        parent_terms = []
+        for i, attr in enumerate(parent_rel.attributes):
+            if attr in shared:
+                parent_terms.append(shared[attr])
+            else:
+                parent_terms.append(Var(f"e{i}"))
+        return TupleGeneratingDependency(
+            (Atom(self.child, tuple(child_terms)),),
+            (Atom(self.parent, tuple(parent_terms)),),
+            name=self.name,
+        )
+
+    def violations(self, db: Database) -> List[Violation]:
+        """Child facts whose projection is missing from the parent."""
+        child_rel = db.schema.relation(self.child)
+        parent_rel = db.schema.relation(self.parent)
+        child_pos = child_rel.positions(self.child_attrs)
+        parent_pos = parent_rel.positions(self.parent_attrs)
+        parent_proj = set()
+        for values in db.relation(self.parent):
+            proj = tuple(values[p] for p in parent_pos)
+            if not any(is_null(v) for v in proj):
+                parent_proj.add(proj)
+        out: List[Violation] = []
+        for values in db.relation(self.child):
+            proj = tuple(values[p] for p in child_pos)
+            if any(is_null(v) for v in proj):
+                continue
+            if proj in parent_proj:
+                continue
+            missing_values: List[object] = [NULL] * parent_rel.arity
+            for p, v in zip(parent_pos, proj):
+                missing_values[p] = v
+            out.append(
+                Violation(
+                    self.name,
+                    frozenset((Fact(self.child, values),)),
+                    missing=(Fact(self.parent, tuple(missing_values)),),
+                )
+            )
+        return out
+
+    @property
+    def is_existential(self) -> bool:
+        """Heuristic flag; precise check needs the schema (see to_tgd)."""
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.name}: {self.child}[{','.join(self.child_attrs)}] ⊆ "
+            f"{self.parent}[{','.join(self.parent_attrs)}]"
+        )
+
+
+def inclusion(
+    child: str,
+    child_attrs: Sequence[str],
+    parent: str,
+    parent_attrs: Sequence[str],
+    name: str = "IND",
+) -> InclusionDependency:
+    """Convenience constructor."""
+    return InclusionDependency(
+        child, tuple(child_attrs), parent, tuple(parent_attrs), name
+    )

@@ -1,0 +1,59 @@
+"""Consistent query answering: certain answers, rewritings, approximations."""
+
+from .aggregates import (
+    AggregateQuery,
+    AggregateRange,
+    fd_range_count_star,
+    fd_range_max,
+    fd_range_min,
+    fd_range_sum,
+    range_consistent_answer,
+)
+from .approximation import (
+    approximation_gap,
+    certain_core,
+    overapproximate_answers,
+    underapproximate_answers,
+)
+from .certain import (
+    answer_frequencies,
+    consistent_answers,
+    is_consistently_true,
+    is_possibly_true,
+    repairs_for_semantics,
+)
+from .fuxman_miller import consistent_answers_fm, fuxman_miller_rewrite
+from .rewriting import (
+    atom_residues,
+    consistent_answers_by_rewriting,
+    constraint_clauses,
+    fo_rewrite,
+)
+from .sqlgen import answers_via_sql, query_to_sql
+
+__all__ = [
+    "AggregateQuery",
+    "AggregateRange",
+    "fd_range_count_star",
+    "fd_range_max",
+    "fd_range_min",
+    "fd_range_sum",
+    "range_consistent_answer",
+    "approximation_gap",
+    "certain_core",
+    "overapproximate_answers",
+    "underapproximate_answers",
+    "answer_frequencies",
+    "consistent_answers",
+    "is_consistently_true",
+    "is_possibly_true",
+    "repairs_for_semantics",
+    "consistent_answers_fm",
+    "fuxman_miller_rewrite",
+    "atom_residues",
+    "consistent_answers_by_rewriting",
+    "constraint_clauses",
+    "fo_rewrite",
+    "answers_via_sql",
+    "query_to_sql",
+]

@@ -1,0 +1,244 @@
+"""Consistent answers to aggregate queries (Section 3.2, after [5]).
+
+Arenas, Bertossi, Chomicki, He, Raghavan & Spinrad studied scalar
+aggregation over inconsistent databases under FDs.  A single certain
+value rarely exists — different repairs aggregate differently — so the
+semantics is the *range* of the aggregate over the repair class:
+``[glb, lub]``, the greatest lower and least upper bounds.
+
+``range_consistent_answer`` computes the exact range by enumeration
+(matching the paper's definition); for ``MIN``/``MAX``/``COUNT(*)``
+under one FD there are polynomial shortcuts (``fd_range_*``), mirroring
+the tractable cases identified in [5], and cross-checked against the
+enumeration in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..constraints.base import IntegrityConstraint
+from ..constraints.fd import FunctionalDependency
+from ..errors import QueryError
+from ..relational.database import Database
+from ..relational.nulls import is_null
+from ..repairs.srepairs import s_repairs
+
+AGGREGATES = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """``SELECT agg(attribute) FROM relation`` (attribute None = COUNT(*))."""
+
+    relation: str
+    function: str
+    attribute: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.function not in AGGREGATES:
+            raise QueryError(
+                f"unknown aggregate {self.function!r}; "
+                f"choose from {AGGREGATES}"
+            )
+        if self.function != "count" and self.attribute is None:
+            raise QueryError(
+                f"{self.function} needs an attribute to aggregate"
+            )
+
+    def evaluate(self, db: Database) -> Optional[float]:
+        """The aggregate value on one (consistent) instance."""
+        rows = db.relation(self.relation)
+        if self.attribute is None:
+            return float(len(rows))
+        position = db.schema.relation(self.relation).position(self.attribute)
+        values = [
+            row[position] for row in rows if not is_null(row[position])
+        ]
+        if self.function == "count":
+            return float(len(values))
+        if not values:
+            return None
+        if self.function == "sum":
+            return float(sum(values))
+        if self.function == "min":
+            return float(min(values))
+        if self.function == "max":
+            return float(max(values))
+        return float(sum(values)) / len(values)  # avg
+
+    def __repr__(self) -> str:
+        inner = self.attribute if self.attribute is not None else "*"
+        return f"{self.function}({self.relation}.{inner})"
+
+
+@dataclass(frozen=True)
+class AggregateRange:
+    """The range-consistent answer ``[glb, lub]``."""
+
+    glb: Optional[float]
+    lub: Optional[float]
+
+    @property
+    def is_point(self) -> bool:
+        """True when every repair agrees on the value."""
+        return self.glb == self.lub
+
+    def __contains__(self, value: float) -> bool:
+        if self.glb is None or self.lub is None:
+            return False
+        return self.glb <= value <= self.lub
+
+    def __repr__(self) -> str:
+        return f"[{self.glb}, {self.lub}]"
+
+
+def range_consistent_answer(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query: AggregateQuery,
+    max_steps: Optional[int] = None,
+) -> AggregateRange:
+    """The exact aggregate range over all S-repairs (enumeration)."""
+    repairs = s_repairs(db, constraints, max_steps=max_steps)
+    values = [query.evaluate(r.instance) for r in repairs]
+    concrete = [v for v in values if v is not None]
+    if not concrete:
+        return AggregateRange(None, None)
+    return AggregateRange(min(concrete), max(concrete))
+
+
+# ----------------------------------------------------------------------
+# Polynomial shortcuts for one FD (the tractable cases of [5])
+# ----------------------------------------------------------------------
+
+
+def _fd_groups(
+    db: Database, fd: FunctionalDependency, attribute: Optional[str]
+) -> Tuple[List[List[float]], List[float]]:
+    """Split the aggregated column by repair choice.
+
+    Returns (choice groups, fixed values): each S-repair keeps, per lhs
+    group, exactly one rhs class; *choice groups* lists, per conflicting
+    lhs group, the aggregate-relevant values of each rhs class;
+    *fixed values* come from unconflicted tuples.
+    """
+    rel = db.schema.relation(fd.relation)
+    lhs_pos = rel.positions(fd.lhs)
+    rhs_pos = rel.positions(fd.rhs)
+    target = rel.position(attribute) if attribute is not None else None
+    by_key: Dict[Tuple, Dict[Tuple, List[float]]] = {}
+    fixed: List[float] = []
+
+    def value_of(row) -> Optional[float]:
+        if target is None:
+            return 1.0  # COUNT(*)
+        v = row[target]
+        return None if is_null(v) else float(v)
+
+    for row in db.relation(fd.relation):
+        key = tuple(row[p] for p in lhs_pos)
+        v = value_of(row)
+        if any(is_null(x) for x in key):
+            # NULL keys conflict with nothing; the tuple is in every
+            # repair and contributes a fixed value.
+            if v is not None:
+                fixed.append(v)
+            continue
+        rhs = tuple(row[p] for p in rhs_pos)
+        bucket = by_key.setdefault(key, {})
+        bucket.setdefault(rhs, [])
+        if v is not None:
+            bucket[rhs].append(v)
+    groups: List[List[List[float]]] = []
+    for bucket in by_key.values():
+        if len(bucket) == 1:
+            (only,) = bucket.values()
+            fixed.extend(only)
+        else:
+            groups.append(list(bucket.values()))
+    return groups, fixed
+
+
+def fd_range_count_star(
+    db: Database, fd: FunctionalDependency
+) -> AggregateRange:
+    """COUNT(*) range under one FD, in polynomial time."""
+    groups, fixed = _fd_groups(db, fd, None)
+    base = len(fixed)
+    glb = base + sum(min(len(c) for c in choices) for choices in groups)
+    lub = base + sum(max(len(c) for c in choices) for choices in groups)
+    return AggregateRange(float(glb), float(lub))
+
+
+def fd_range_sum(
+    db: Database, fd: FunctionalDependency, attribute: str
+) -> AggregateRange:
+    """SUM(attribute) range under one FD, in polynomial time.
+
+    Each lhs group contributes independently, so the bounds add up from
+    the per-group extreme choices.
+    """
+    groups, fixed = _fd_groups(db, fd, attribute)
+    base = sum(fixed)
+    glb = base + sum(
+        min(sum(c) for c in choices) for choices in groups
+    )
+    lub = base + sum(
+        max(sum(c) for c in choices) for choices in groups
+    )
+    return AggregateRange(float(glb), float(lub))
+
+
+def fd_range_min(
+    db: Database, fd: FunctionalDependency, attribute: str
+) -> AggregateRange:
+    """MIN(attribute) range under one FD, in polynomial time.
+
+    lub: make the minimum as large as possible — per group pick the
+    choice with the largest class-minimum; glb: the overall smallest
+    achievable value.
+    """
+    groups, fixed = _fd_groups(db, fd, attribute)
+    candidates_lub: List[float] = list(fixed)
+    candidates_glb: List[float] = list(fixed)
+    for choices in groups:
+        nonempty = [c for c in choices if c]
+        if len(nonempty) != len(choices):
+            # Some class has no non-null value: MIN can avoid this group
+            # entirely, so it only constrains the glb via its smallest.
+            if nonempty:
+                candidates_glb.append(min(min(c) for c in nonempty))
+            continue
+        candidates_lub.append(max(min(c) for c in nonempty))
+        candidates_glb.append(min(min(c) for c in nonempty))
+    if not candidates_glb:
+        return AggregateRange(None, None)
+    return AggregateRange(
+        float(min(candidates_glb)), float(min(candidates_lub))
+        if candidates_lub else None,
+    )
+
+
+def fd_range_max(
+    db: Database, fd: FunctionalDependency, attribute: str
+) -> AggregateRange:
+    """MAX(attribute) range under one FD, in polynomial time."""
+    groups, fixed = _fd_groups(db, fd, attribute)
+    candidates_glb: List[float] = list(fixed)
+    candidates_lub: List[float] = list(fixed)
+    for choices in groups:
+        nonempty = [c for c in choices if c]
+        if len(nonempty) != len(choices):
+            if nonempty:
+                candidates_lub.append(max(max(c) for c in nonempty))
+            continue
+        candidates_glb.append(min(max(c) for c in nonempty))
+        candidates_lub.append(max(max(c) for c in nonempty))
+    if not candidates_lub:
+        return AggregateRange(None, None)
+    return AggregateRange(
+        float(max(candidates_glb)) if candidates_glb else None,
+        float(max(candidates_lub)),
+    )

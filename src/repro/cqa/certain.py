@@ -1,0 +1,122 @@
+"""Model-theoretic consistent query answering (Section 3.1).
+
+``Cons(Q, D, Σ)`` is the set of answers obtained from *every* repair of D
+wrt Σ — a form of certain answering over the possible-world class of
+repairs.  This module is the semantics-defining baseline: it enumerates
+repairs and intersects answer sets.  The rewriting modules are validated
+against it, and benchmark B2 contrasts their costs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from ..constraints.base import IntegrityConstraint
+from ..errors import RepairError
+from ..relational.database import Database, Row
+from ..repairs.base import Repair
+from ..repairs.crepairs import c_repairs
+from ..repairs.srepairs import delete_only_repairs, s_repairs
+
+SEMANTICS = ("s", "c", "delete-only")
+
+
+def repairs_for_semantics(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    semantics: str = "s",
+    max_steps: Optional[int] = None,
+) -> Sequence[Repair]:
+    """The repair class underlying a CQA semantics."""
+    if semantics == "s":
+        return s_repairs(db, constraints, max_steps=max_steps)
+    if semantics == "c":
+        return c_repairs(db, constraints, max_steps=max_steps)
+    if semantics == "delete-only":
+        return delete_only_repairs(db, constraints, max_steps=max_steps)
+    raise ValueError(
+        f"unknown repair semantics {semantics!r}; choose from {SEMANTICS}"
+    )
+
+
+def consistent_answers(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query,
+    semantics: str = "s",
+    max_steps: Optional[int] = None,
+) -> FrozenSet[Row]:
+    """``Cons(Q, D, Σ)``: answers true in every repair of *db*.
+
+    *query* is anything with ``answers(db)`` (Query, ConjunctiveQuery,
+    UnionQuery).  *semantics* selects the repair class: ``"s"`` for
+    S-repairs, ``"c"`` for C-repairs, ``"delete-only"`` for subset
+    repairs ([48]).
+    """
+    repairs = repairs_for_semantics(db, constraints, semantics, max_steps)
+    if not repairs:
+        raise RepairError(
+            "no repairs found: cannot intersect over an empty repair class"
+        )
+    result: Optional[FrozenSet[Row]] = None
+    for repair in repairs:
+        answers = frozenset(query.answers(repair.instance))
+        result = answers if result is None else (result & answers)
+        if not result:
+            break
+    return result if result is not None else frozenset()
+
+
+def is_consistently_true(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query,
+    semantics: str = "s",
+    max_steps: Optional[int] = None,
+) -> bool:
+    """Is a Boolean query true in every repair (certain truth)?"""
+    repairs = repairs_for_semantics(db, constraints, semantics, max_steps)
+    if not repairs:
+        raise RepairError("no repairs found")
+    return all(query.holds(r.instance) for r in repairs)
+
+
+def is_possibly_true(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query,
+    semantics: str = "s",
+    max_steps: Optional[int] = None,
+) -> bool:
+    """Is a Boolean query true in some repair (brave/possible truth)?"""
+    repairs = repairs_for_semantics(db, constraints, semantics, max_steps)
+    return any(query.holds(r.instance) for r in repairs)
+
+
+def answer_frequencies(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query,
+    semantics: str = "s",
+    max_steps: Optional[int] = None,
+) -> Tuple[Tuple[Row, float], ...]:
+    """Fraction of repairs supporting each answer.
+
+    The paper's data-cleaning section suggests weakening certain answers
+    to "true in most repairs"; this gives the per-answer support, from
+    which any threshold semantics follows.
+    """
+    repairs = repairs_for_semantics(db, constraints, semantics, max_steps)
+    if not repairs:
+        raise RepairError("no repairs found")
+    counts: dict = {}
+    for repair in repairs:
+        for row in query.answers(repair.instance):
+            counts[row] = counts.get(row, 0) + 1
+    total = len(repairs)
+    return tuple(
+        sorted(
+            ((row, count / total) for row, count in counts.items()),
+            key=lambda item: (-item[1], repr(item[0])),
+        )
+    )

@@ -1,0 +1,330 @@
+"""Fuxman–Miller first-order rewriting for key constraints ([64], ConQuer).
+
+The residue method of :mod:`repro.cqa.rewriting` is complete only for
+quantifier-free queries; Fuxman & Miller identified the class C_forest of
+conjunctive queries — no self-joins, joins going from non-key attributes
+into the *key* of the joined relation, forming a forest — for which CQA
+under primary key constraints is FO-rewritable, and built ConQuer on it.
+This module implements that rewriting; :mod:`repro.cqa.sqlgen` compiles
+its output to SQL (our ConQuer substitute per DESIGN.md).
+
+The key idea: an S-repair of a key-violating instance keeps exactly one
+tuple from every key group, so an answer is *certain* iff it has a witness
+in the instance and, for every key group touched by the witness, **all**
+tuples in the group support the answer.  The rewriting expresses the
+latter with one universally quantified clause per query atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..constraints.base import IntegrityConstraint
+from ..constraints.fd import FunctionalDependency
+from ..errors import RewritingError
+from ..logic.formulas import (
+    And,
+    Atom,
+    Comparison,
+    Exists,
+    Formula,
+    Not,
+    Var,
+    conj,
+    is_var,
+)
+from ..logic.queries import ConjunctiveQuery, Query
+from ..relational.database import Database
+
+
+def key_positions_from_constraints(
+    constraints: Sequence[IntegrityConstraint],
+    db: Database,
+) -> Dict[str, Tuple[int, ...]]:
+    """Map relation -> key positions, validating the ICs are key FDs."""
+    keys: Dict[str, Tuple[int, ...]] = {}
+    for ic in constraints:
+        if not isinstance(ic, FunctionalDependency):
+            raise RewritingError(
+                "the Fuxman–Miller rewriting handles primary key "
+                f"constraints only; got {type(ic).__name__}"
+            )
+        rel = db.schema.relation(ic.relation)
+        covered = set(ic.lhs) | set(ic.rhs)
+        if covered != set(rel.attributes):
+            raise RewritingError(
+                f"constraint {ic.name} is not a key constraint: it does "
+                f"not determine all attributes of {ic.relation!r}"
+            )
+        if ic.relation in keys:
+            raise RewritingError(
+                f"two key constraints given for relation {ic.relation!r}"
+            )
+        keys[ic.relation] = rel.positions(ic.lhs)
+    return keys
+
+
+@dataclass
+class _AtomInfo:
+    index: int
+    atom: Atom
+    key_pos: Tuple[int, ...]
+    nonkey_pos: Tuple[int, ...]
+    parent: Optional[int] = None
+    children_by_var: Dict[Var, List[int]] = None
+
+    def __post_init__(self):
+        if self.children_by_var is None:
+            self.children_by_var = {}
+
+
+def fuxman_miller_rewrite(
+    query: ConjunctiveQuery,
+    constraints: Sequence[IntegrityConstraint],
+    db: Database,
+) -> Query:
+    """Rewrite a C_forest query into an FO query answering ``Cons(Q,D,Σ)``.
+
+    Raises :class:`RewritingError` when the query falls outside the
+    supported class (self-joins, key-to-key joins on existential
+    variables, non-forest join graphs, cross-atom comparisons on
+    existential variables).
+    """
+    keys = key_positions_from_constraints(constraints, db)
+    infos = _analyze(query, keys, db)
+    head_vars = frozenset(query.head)
+
+    parts: List[Formula] = []
+    for info in infos:
+        parts.append(info.atom)
+        clause = _forall_clause(
+            info, infos, query, head_vars, tuple(info.atom.terms), depth=0
+        )
+        if clause is not None:
+            parts.append(clause)
+    parts.extend(query.conditions)
+    return Query(query.head, conj(parts), name=f"{query.name}_fm")
+
+
+def consistent_answers_fm(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query: ConjunctiveQuery,
+):
+    """Certain answers via the Fuxman–Miller rewriting on the original."""
+    return fuxman_miller_rewrite(query, constraints, db).answers(db)
+
+
+# ----------------------------------------------------------------------
+
+
+def _analyze(
+    query: ConjunctiveQuery,
+    keys: Dict[str, Tuple[int, ...]],
+    db: Database,
+) -> List[_AtomInfo]:
+    if query.has_self_join():
+        raise RewritingError(
+            "C_forest excludes self-joins; use certain-answer enumeration"
+        )
+    head_vars = frozenset(query.head)
+    infos: List[_AtomInfo] = []
+    for i, a in enumerate(query.atoms):
+        rel = db.schema.relation(a.predicate)
+        key_pos = keys.get(a.predicate, tuple(range(rel.arity)))
+        nonkey_pos = tuple(
+            p for p in range(rel.arity) if p not in key_pos
+        )
+        infos.append(_AtomInfo(i, a, tuple(key_pos), nonkey_pos))
+
+    # Occurrence map: var -> list of (atom index, 'key'|'nonkey').
+    occurrences: Dict[Var, List[Tuple[int, str]]] = {}
+    for info in infos:
+        for p, t in enumerate(info.atom.terms):
+            if not is_var(t):
+                continue
+            kind = "key" if p in info.key_pos else "nonkey"
+            occurrences.setdefault(t, []).append((info.index, kind))
+
+    for v, occs in occurrences.items():
+        atoms_touched = {i for i, _ in occs}
+        if len(atoms_touched) <= 1:
+            if v not in head_vars and len(
+                [o for o in occs if o[1] == "key"]
+            ) > 1:
+                raise RewritingError(
+                    f"repeated variable {v} in a key is outside C_forest"
+                )
+            continue
+        if v in head_vars:
+            continue  # head variables are bound at the top level
+        key_atoms = {i for i, kind in occs if kind == "key"}
+        nonkey_atoms = {i for i, kind in occs if kind == "nonkey"}
+        if not key_atoms or not nonkey_atoms:
+            raise RewritingError(
+                f"join on {v} is not a nonkey-to-key join; "
+                "outside C_forest"
+            )
+        if len(nonkey_atoms) > 1:
+            raise RewritingError(
+                f"variable {v} joins from several non-key positions; "
+                "outside C_forest"
+            )
+        (parent,) = nonkey_atoms
+        for child in key_atoms:
+            if child == parent:
+                raise RewritingError(
+                    f"variable {v} occurs in key and non-key of the same "
+                    "atom; outside C_forest"
+                )
+            if infos[child].parent is not None and infos[child].parent != parent:
+                raise RewritingError(
+                    f"atom {infos[child].atom!r} has two parents; the "
+                    "join graph is not a forest"
+                )
+            infos[child].parent = parent
+            infos[parent].children_by_var.setdefault(v, []).append(child)
+
+    _check_forest(infos)
+    _check_conditions(query, head_vars)
+    return infos
+
+
+def _check_forest(infos: List[_AtomInfo]) -> None:
+    for start in infos:
+        seen = set()
+        node = start
+        while node.parent is not None:
+            if node.index in seen:
+                raise RewritingError("join graph has a cycle")
+            seen.add(node.index)
+            node = infos[node.parent]
+
+
+def _check_conditions(
+    query: ConjunctiveQuery, head_vars: FrozenSet[Var]
+) -> None:
+    # Map each existential variable to its (unique) atom.
+    var_atom: Dict[Var, int] = {}
+    for i, a in enumerate(query.atoms):
+        for t in a.terms:
+            if is_var(t) and t not in head_vars:
+                var_atom.setdefault(t, i)
+    for c in query.conditions:
+        atoms_involved = {
+            var_atom[t]
+            for t in (c.left, c.right)
+            if is_var(t) and t not in head_vars and t in var_atom
+        }
+        if len(atoms_involved) > 1:
+            raise RewritingError(
+                f"comparison {c!r} spans existential variables of two "
+                "atoms; outside C_forest"
+            )
+
+
+def _forall_clause(
+    info: _AtomInfo,
+    infos: List[_AtomInfo],
+    query: ConjunctiveQuery,
+    head_vars: FrozenSet[Var],
+    terms: Tuple[object, ...],
+    depth: int,
+) -> Optional[Formula]:
+    """The universal clause for one atom, with its key taken from *terms*.
+
+    Returns None when every tuple of the key group trivially supports the
+    answer (free existential non-key values, no conditions, no children).
+    """
+    primed: Dict[int, Var] = {
+        p: Var(f"fm{depth}_{info.index}_{p}") for p in info.nonkey_pos
+    }
+    requirements: List[Formula] = []
+    # First occurrence position of each local existential variable.
+    local: Dict[Var, int] = {}
+    for p in info.nonkey_pos:
+        t = terms[p]
+        if not is_var(t):
+            requirements.append(Comparison("=", primed[p], t))
+        elif t in head_vars:
+            requirements.append(Comparison("=", primed[p], t))
+        elif t in local:
+            requirements.append(
+                Comparison("=", primed[local[t]], primed[p])
+            )
+        else:
+            local[t] = p
+    # Comparisons mentioning local existential variables hold for every
+    # group member (all their local variables primed at once).
+    rename = {t: primed[p] for t, p in local.items()}
+    for c in query.conditions:
+        involved = {
+            v for v in c.free_variables() if v in rename
+        }
+        if involved:
+            requirements.append(_rename_comparison(c, rename))
+    # Children joined through a local variable must be certain for the
+    # group member's value of that variable.
+    for t, p in local.items():
+        for child_index in info.children_by_var.get(t, ()):  # type: ignore[union-attr]
+            child = infos[child_index]
+            child_terms = tuple(
+                primed[p] if (is_var(ct) and ct == t) else ct
+                for ct in child.atom.terms
+            )
+            requirements.append(
+                _certainty_formula(
+                    child, infos, query, head_vars, child_terms, depth + 1
+                )
+            )
+    if not requirements:
+        return None
+    primed_vars = tuple(primed[p] for p in info.nonkey_pos)
+    group_atom = Atom(
+        info.atom.predicate,
+        tuple(
+            primed[p] if p in primed else terms[p]
+            for p in range(len(terms))
+        ),
+    )
+    return Not(
+        Exists(
+            primed_vars,
+            And((group_atom, Not(conj(requirements)))),
+        )
+    )
+
+
+def _certainty_formula(
+    info: _AtomInfo,
+    infos: List[_AtomInfo],
+    query: ConjunctiveQuery,
+    head_vars: FrozenSet[Var],
+    terms: Tuple[object, ...],
+    depth: int,
+) -> Formula:
+    """``certain(atom with given key terms)``: a witness exists and the
+    whole key group supports it."""
+    fresh: Dict[int, Var] = {
+        p: Var(f"fw{depth}_{info.index}_{p}") for p in info.nonkey_pos
+    }
+    witness_terms = tuple(
+        fresh[p] if p in fresh else terms[p] for p in range(len(terms))
+    )
+    witness = Atom(info.atom.predicate, witness_terms)
+    parts: List[Formula] = [
+        Exists(tuple(fresh[p] for p in info.nonkey_pos), witness)
+        if fresh
+        else witness
+    ]
+    clause = _forall_clause(info, infos, query, head_vars, terms, depth)
+    if clause is not None:
+        parts.append(clause)
+    return conj(parts)
+
+
+def _rename_comparison(c: Comparison, rename: Dict[Var, Var]) -> Comparison:
+    left = rename.get(c.left, c.left) if is_var(c.left) else c.left
+    right = rename.get(c.right, c.right) if is_var(c.right) else c.right
+    return Comparison(c.op, left, right)

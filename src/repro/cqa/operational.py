@@ -1,0 +1,138 @@
+"""An operational approach to consistent query answering ([36]).
+
+Calautti, Libkin & Pieris (PODS 2018) replace the possible-world view of
+repairs with a *process* view: repairing is a sequence of update
+operations, each fixing one violation, and query answers are graded by
+the probability that a random repairing sequence makes them true.
+
+For denial-class constraints the operations are tuple deletions: at each
+step a *current* violation is picked uniformly at random, then one of its
+facts is deleted uniformly at random.  Every S-repair is reachable, but —
+deliberately, as in [36] — so are some non-minimal consistent instances:
+a deletion justified at the time can be subsumed by a later one.  The
+outcomes ("operational repairs") therefore include every S-repair plus
+possibly some of their consistent subinstances, and the operationally
+certain answers are a sound subset of the classical consistent answers
+for monotone queries.  Both the exact distribution (exhaustive
+exploration with state merging) and a sampling estimator are provided.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..constraints.base import IntegrityConstraint, all_violations, denial_class_only
+from ..errors import RepairError
+from ..relational.database import Database, Fact, Row
+
+
+def operational_repair_distribution(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+) -> List[Tuple[Database, float]]:
+    """The exact distribution over repairs under the random process.
+
+    States reached along different deletion orders are merged, so the
+    exploration is over distinct subinstances rather than sequences.
+    """
+    if not denial_class_only(constraints):
+        raise RepairError(
+            "the operational semantics implemented here uses deletions; "
+            "denial-class constraints required"
+        )
+    level: Dict[FrozenSet[Fact], float] = {db.facts(): 1.0}
+    leaves: Dict[FrozenSet[Fact], float] = {}
+    while level:
+        next_level: Dict[FrozenSet[Fact], float] = {}
+        for facts, probability in level.items():
+            instance = db.delete(
+                [f for f in db.facts() if f not in facts]
+            )
+            violations = all_violations(instance, constraints)
+            if not violations:
+                leaves[facts] = leaves.get(facts, 0.0) + probability
+                continue
+            violation_share = probability / len(violations)
+            for violation in violations:
+                victims = sorted(violation.facts, key=repr)
+                victim_share = violation_share / len(victims)
+                for victim in victims:
+                    child = facts - {victim}
+                    next_level[child] = (
+                        next_level.get(child, 0.0) + victim_share
+                    )
+        level = next_level
+    out = []
+    for facts, probability in leaves.items():
+        instance = db.delete([f for f in db.facts() if f not in facts])
+        out.append((instance, probability))
+    out.sort(key=lambda item: (-item[1], repr(sorted(map(repr, item[0].facts())))))
+    return out
+
+
+def operational_answer_probabilities(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query,
+) -> List[Tuple[Row, float]]:
+    """Each answer with the probability a random repair sequence keeps it."""
+    distribution = operational_repair_distribution(db, constraints)
+    probabilities: Dict[Row, float] = {}
+    for instance, p in distribution:
+        for row in query.answers(instance):
+            probabilities[row] = probabilities.get(row, 0.0) + p
+    out = [(row, min(p, 1.0)) for row, p in probabilities.items()]
+    out.sort(key=lambda item: (-item[1], repr(item[0])))
+    return out
+
+
+def operational_certain_answers(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query,
+    threshold: float = 1.0,
+) -> FrozenSet[Row]:
+    """Answers reached with probability ≥ *threshold* (1.0 = certain)."""
+    return frozenset(
+        row
+        for row, p in operational_answer_probabilities(
+            db, constraints, query
+        )
+        if p >= threshold - 1e-9
+    )
+
+
+def sample_operational_repair(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    seed: Optional[int] = None,
+) -> Database:
+    """One repair drawn from the operational process (for large inputs)."""
+    if not denial_class_only(constraints):
+        raise RepairError("denial-class constraints required")
+    rng = random.Random(seed)
+    current = db
+    while True:
+        violations = all_violations(current, constraints)
+        if not violations:
+            return current
+        violation = rng.choice(violations)
+        victim = rng.choice(sorted(violation.facts, key=repr))
+        current = current.delete([victim])
+
+
+def estimate_answer_probabilities(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query,
+    samples: int = 200,
+    seed: int = 0,
+) -> Dict[Row, float]:
+    """Monte-Carlo estimate of the operational answer probabilities."""
+    counts: Dict[Row, int] = {}
+    for i in range(samples):
+        repair = sample_operational_repair(db, constraints, seed=seed + i)
+        for row in query.answers(repair):
+            counts[row] = counts.get(row, 0) + 1
+    return {row: count / samples for row, count in counts.items()}

@@ -1,0 +1,305 @@
+"""Residue-based first-order rewriting (Sections 2 and 3, after [3, 46]).
+
+The original PODS'99 mechanism: write each integrity constraint in clausal
+form, resolve query atoms against complementary constraint literals, and
+append the surviving *residues* to the query.  Example 2.2 turns
+``Q(z): ∃x∃y Supply(x,y,z)`` into ``Q'(z): ∃x∃y (Supply(x,y,z) ∧
+Articles(z))``; Example 3.4 turns ``Employee(x,y)`` under the key
+constraint into query (6) with its ``¬∃z(Employee(x,z) ∧ z ≠ y)`` residue.
+
+Scope (as in the paper): the method is sound and complete for
+quantifier-free queries under universal binary constraints, and for the
+paper's example queries; it iterates residues (an atom introduced by a
+residue may itself carry residues) with a termination bound, raising
+:class:`RewritingError` when interacting constraints cycle.  For
+existentially quantified CQs under key constraints, the complete method
+is :mod:`repro.cqa.fuxman_miller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..constraints.base import IntegrityConstraint
+from ..constraints.denial import DenialConstraint
+from ..constraints.fd import FunctionalDependency
+from ..constraints.inclusion import (
+    InclusionDependency,
+    TupleGeneratingDependency,
+)
+from ..errors import RewritingError
+from ..logic.formulas import (
+    And,
+    Atom,
+    Comparison,
+    Exists,
+    Formula,
+    Not,
+    conj,
+    disj,
+    is_var,
+)
+from ..logic.queries import ConjunctiveQuery, Query
+from ..logic.substitution import apply_to_atom, rename_apart, unify_atoms
+from ..relational.database import Database
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A universal clause: disjunction of atom literals and comparisons."""
+
+    positive: Tuple[Atom, ...]
+    negative: Tuple[Atom, ...]
+    comparisons: Tuple[Comparison, ...]
+
+    def variables(self):
+        """All variables of the clause."""
+        out = set()
+        for a in self.positive + self.negative:
+            out |= a.free_variables()
+        for c in self.comparisons:
+            out |= c.free_variables()
+        return out
+
+    def __repr__(self) -> str:
+        parts = [f"~{a!r}" for a in self.negative]
+        parts += [repr(a) for a in self.positive]
+        parts += [repr(c) for c in self.comparisons]
+        return " | ".join(parts)
+
+
+def constraint_clauses(
+    ic: IntegrityConstraint, db: Database
+) -> List[Clause]:
+    """Translate a constraint into universal clauses.
+
+    * FD ``lhs → A``: ``¬R(x̄,y) ∨ ¬R(x̄,z) ∨ y = z`` (one per rhs attr);
+    * denial constraint: all atoms negated, comparisons negated into the
+      clause (``¬∃(A ∧ t≠t')`` ≡ ``¬A ∨ t = t'``);
+    * full inclusion dependency / tgd without existentials:
+      ``¬body ∨ head``.
+
+    Existential tgds have no universal clausal form and are rejected.
+    """
+    if isinstance(ic, FunctionalDependency):
+        clauses = []
+        for dc in ic.to_denial_constraints(db):
+            clauses.extend(constraint_clauses(dc, db))
+        return clauses
+    if isinstance(ic, DenialConstraint):
+        negated_comparisons = tuple(
+            _negate_comparison(c) for c in ic.conditions
+        )
+        return [Clause((), tuple(ic.atoms), negated_comparisons)]
+    if isinstance(ic, InclusionDependency):
+        return constraint_clauses(ic.to_tgd(db), db)
+    if isinstance(ic, TupleGeneratingDependency):
+        if ic.existential_variables():
+            raise RewritingError(
+                f"constraint {ic.name} has existential head variables; "
+                "it admits no universal clausal form for residue rewriting"
+            )
+        return [Clause(tuple(ic.head), tuple(ic.body), ())]
+    raise RewritingError(
+        f"cannot build clauses for constraint type {type(ic).__name__}"
+    )
+
+
+_NEGATION = {"=": "!=", "!=": "=", "<": ">=", ">=": "<", ">": "<=", "<=": ">"}
+
+
+def _negate_comparison(c: Comparison) -> Comparison:
+    return Comparison(_NEGATION[c.op], c.left, c.right)
+
+
+def atom_residues(
+    a: Atom, clauses: Sequence[Clause]
+) -> List[Formula]:
+    """Residues of atom *a* against the constraint clauses.
+
+    For every clause containing a negative literal unifiable with *a*,
+    the residue is the rest of the clause under the mgu, with leftover
+    clause variables existentially quantified *inside the negation*:
+    ``¬R(x,z) ∨ y = z`` becomes ``¬∃z(R(x,z) ∧ z ≠ y)`` — the shape of
+    query (6).
+    """
+    residues: List[Formula] = []
+    for clause in clauses:
+        for i, neg in enumerate(clause.negative):
+            renamed_clause, renaming = _rename_clause(clause, a)
+            target = renamed_clause.negative[i]
+            # Unify with the clause literal first so clause variables bind
+            # to query terms (not the other way around); query variables
+            # only get bound when the clause literal carries a constant or
+            # a repeated variable.
+            mgu = unify_atoms(target, a)
+            if mgu is None:
+                continue
+            # When unification binds a *query* variable (the constraint
+            # literal had a constant or a repeated variable there), the
+            # residue only applies under that binding; guard with the
+            # complementary disequality.
+            guards = tuple(
+                Comparison("!=", v, _subst_term(v, mgu))
+                for v in sorted(a.free_variables(), key=lambda w: w.name)
+                if _subst_term(v, mgu) != v
+            )
+            rest_negative = tuple(
+                apply_to_atom(other, mgu)
+                for j, other in enumerate(renamed_clause.negative)
+                if j != i
+            )
+            rest_positive = tuple(
+                apply_to_atom(p, mgu) for p in renamed_clause.positive
+            )
+            rest_comparisons = tuple(
+                Comparison(
+                    c.op,
+                    _subst_term(c.left, mgu),
+                    _subst_term(c.right, mgu),
+                )
+                for c in renamed_clause.comparisons
+            )
+            residue = _residue_formula(
+                rest_positive, rest_negative, rest_comparisons, a
+            )
+            if guards:
+                residue = disj(guards + (residue,))
+            residues.append(residue)
+    return residues
+
+
+def _rename_clause(clause: Clause, query_atom: Atom) -> Tuple[Clause, dict]:
+    taken = query_atom.free_variables()
+    formula = And(
+        clause.positive + clause.negative + clause.comparisons
+    )
+    _, renaming = rename_apart(formula, taken)
+
+    def rn_atom(a: Atom) -> Atom:
+        return apply_to_atom(a, renaming)
+
+    renamed = Clause(
+        tuple(rn_atom(a) for a in clause.positive),
+        tuple(rn_atom(a) for a in clause.negative),
+        tuple(
+            Comparison(
+                c.op,
+                renaming.get(c.left, c.left) if is_var(c.left) else c.left,
+                renaming.get(c.right, c.right) if is_var(c.right) else c.right,
+            )
+            for c in clause.comparisons
+        ),
+    )
+    return renamed, renaming
+
+
+def _subst_term(term, mgu):
+    from ..logic.substitution import apply_to_term
+
+    return apply_to_term(term, mgu)
+
+
+def _residue_formula(
+    positive: Tuple[Atom, ...],
+    negative: Tuple[Atom, ...],
+    comparisons: Tuple[Comparison, ...],
+    query_atom: Atom,
+) -> Formula:
+    """Build the residue: positives/comparisons stay disjunctive, each
+    negative literal ``¬B`` becomes ``¬∃v̄ B`` over its fresh variables."""
+    query_vars = query_atom.free_variables()
+    disjuncts: List[Formula] = []
+    for p in positive:
+        fresh = tuple(
+            sorted(p.free_variables() - query_vars, key=lambda v: v.name)
+        )
+        disjuncts.append(Exists(fresh, p) if fresh else p)
+    for c in comparisons:
+        disjuncts.append(c)
+    for n in negative:
+        fresh = tuple(
+            sorted(n.free_variables() - query_vars, key=lambda v: v.name)
+        )
+        inner: Formula = n
+        # Attach comparisons that share the fresh variables inside the
+        # negated existential: ¬R(x,z) ∨ y = z  ≡  ¬∃z(R(x,z) ∧ z ≠ y).
+        if fresh:
+            related = [
+                _negate_comparison(c)
+                for c in comparisons
+                if c.free_variables() & set(fresh)
+            ]
+            if related:
+                inner = And((n,) + tuple(related))
+                disjuncts = [
+                    d for d in disjuncts
+                    if not (
+                        isinstance(d, Comparison)
+                        and d.free_variables() & set(fresh)
+                    )
+                ]
+            disjuncts.append(Not(Exists(fresh, inner)))
+        else:
+            disjuncts.append(Not(n))
+    return disj(disjuncts)
+
+
+def fo_rewrite(
+    query: ConjunctiveQuery,
+    constraints: Sequence[IntegrityConstraint],
+    db: Database,
+    max_depth: int = 8,
+) -> Query:
+    """The residue-rewritten query T(Q), as a generic FO :class:`Query`.
+
+    Residues are attached to each query atom; positive atoms introduced
+    by residues are expanded recursively up to *max_depth*, raising
+    :class:`RewritingError` if expansion has not stabilized by then
+    (cyclically interacting constraints).
+    """
+    clauses: List[Clause] = []
+    for ic in constraints:
+        clauses.extend(constraint_clauses(ic, db))
+
+    def expand_atom(a: Atom, depth: int) -> Formula:
+        residues = atom_residues(a, clauses)
+        if not residues:
+            return a
+        if depth >= max_depth:
+            raise RewritingError(
+                "residue expansion did not terminate within "
+                f"{max_depth} rounds; constraints interact cyclically"
+            )
+        expanded: List[Formula] = [a]
+        for r in residues:
+            expanded.append(_expand_formula(r, depth + 1))
+        return conj(expanded)
+
+    def _expand_formula(f: Formula, depth: int) -> Formula:
+        if isinstance(f, Atom):
+            return expand_atom(f, depth)
+        if isinstance(f, And):
+            return And(tuple(_expand_formula(p, depth) for p in f.parts))
+        if isinstance(f, Exists):
+            return Exists(f.variables, _expand_formula(f.inner, depth))
+        # Negated subformulas and comparisons are left as-is: residues
+        # apply to positive query literals.
+        return f
+
+    parts: List[Formula] = []
+    for a in query.atoms:
+        parts.append(expand_atom(a, 0))
+    parts.extend(query.conditions)
+    return Query(query.head, conj(parts), name=f"{query.name}_rewritten")
+
+
+def consistent_answers_by_rewriting(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query: ConjunctiveQuery,
+    max_depth: int = 8,
+):
+    """Answers of the residue-rewritten query on the *original* instance."""
+    return fo_rewrite(query, constraints, db, max_depth=max_depth).answers(db)

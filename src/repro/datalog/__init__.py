@@ -1,0 +1,23 @@
+"""Stratified Datalog engine substrate."""
+
+from .engine import (
+    BodyLiteral,
+    DatalogEvaluator,
+    Program,
+    Rule,
+    evaluate_program,
+    materialize,
+    negated,
+    rule,
+)
+
+__all__ = [
+    "BodyLiteral",
+    "DatalogEvaluator",
+    "Program",
+    "Rule",
+    "evaluate_program",
+    "materialize",
+    "negated",
+    "rule",
+]

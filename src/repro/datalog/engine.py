@@ -1,0 +1,307 @@
+"""A stratified Datalog engine with negation and comparisons.
+
+Used as a substrate in three places the paper touches:
+
+* GAV virtual data integration (Section 5): global predicates are Datalog
+  views over sources, answered by evaluating the view rules (Example 5.1);
+* LAV integration via inverse rules;
+* auxiliary view definitions in the cleaning and harness code.
+
+Evaluation is semi-naive within each stratum; negation must be stratified
+(a rule may negate only predicates fully computed in earlier strata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import QueryError
+from ..logic.formulas import Atom, Comparison, Var, is_var
+from ..relational.database import Database, Fact
+from ..relational.nulls import is_null
+from ..relational.schema import Schema, positional_schema
+
+
+@dataclass(frozen=True)
+class BodyLiteral:
+    """A body literal: a (possibly negated) atom."""
+
+    atom: Atom
+    positive: bool = True
+
+    def __repr__(self) -> str:
+        return repr(self.atom) if self.positive else f"not {self.atom!r}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Datalog rule ``head :- body literals, comparisons``."""
+
+    head: Atom
+    body: Tuple[BodyLiteral, ...]
+    conditions: Tuple[Comparison, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        if not isinstance(self.conditions, tuple):
+            object.__setattr__(self, "conditions", tuple(self.conditions))
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        positive_vars: Set[Var] = set()
+        for lit in self.body:
+            if lit.positive:
+                positive_vars |= lit.atom.free_variables()
+        head_vars = self.head.free_variables()
+        unsafe = head_vars - positive_vars
+        if unsafe:
+            raise QueryError(
+                f"unsafe rule: head variables {sorted(v.name for v in unsafe)} "
+                f"not bound by a positive body literal in {self!r}"
+            )
+        for lit in self.body:
+            if not lit.positive:
+                loose = lit.atom.free_variables() - positive_vars
+                if loose:
+                    raise QueryError(
+                        f"unsafe negation: variables "
+                        f"{sorted(v.name for v in loose)} in {lit!r} are not "
+                        "bound positively"
+                    )
+
+    def __repr__(self) -> str:
+        parts = [repr(lit) for lit in self.body]
+        parts += [repr(c) for c in self.conditions]
+        return f"{self.head!r} :- {', '.join(parts)}"
+
+
+def rule(
+    head: Atom,
+    body: Sequence[object],
+    conditions: Sequence[Comparison] = (),
+) -> Rule:
+    """Build a rule; plain atoms in *body* are positive literals."""
+    literals = []
+    for item in body:
+        if isinstance(item, BodyLiteral):
+            literals.append(item)
+        elif isinstance(item, Atom):
+            literals.append(BodyLiteral(item, positive=True))
+        else:
+            raise QueryError(f"not a body literal: {item!r}")
+    return Rule(head, tuple(literals), tuple(conditions))
+
+
+def negated(a: Atom) -> BodyLiteral:
+    """A negated body literal."""
+    return BodyLiteral(a, positive=False)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A Datalog program: a set of rules over EDB and IDB predicates."""
+
+    rules: Tuple[Rule, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by some rule head."""
+        return frozenset(r.head.predicate for r in self.rules)
+
+    def stratification(self) -> List[FrozenSet[str]]:
+        """Partition IDB predicates into strata; raise if not stratifiable.
+
+        Predicate q depends on p when p occurs in a body of a rule for q;
+        the dependency is *negative* when the occurrence is negated.  A
+        negative edge inside a dependency cycle makes the program
+        non-stratifiable.
+        """
+        idb = self.idb_predicates()
+        positive_deps: Dict[str, Set[str]] = {p: set() for p in idb}
+        negative_deps: Dict[str, Set[str]] = {p: set() for p in idb}
+        for r in self.rules:
+            for lit in r.body:
+                dep = lit.atom.predicate
+                if dep not in idb:
+                    continue
+                target = positive_deps if lit.positive else negative_deps
+                target[r.head.predicate].add(dep)
+
+        # Iteratively assign stratum numbers (standard fixpoint algorithm).
+        stratum = {p: 0 for p in idb}
+        for _ in range(len(idb) * len(idb) + 1):
+            changed = False
+            for p in idb:
+                for q in positive_deps[p]:
+                    if stratum[p] < stratum[q]:
+                        stratum[p] = stratum[q]
+                        changed = True
+                for q in negative_deps[p]:
+                    if stratum[p] < stratum[q] + 1:
+                        stratum[p] = stratum[q] + 1
+                        changed = True
+                if stratum[p] >= len(idb) + 1:
+                    raise QueryError(
+                        "program is not stratifiable (negation in a cycle)"
+                    )
+            if not changed:
+                break
+        levels: Dict[int, Set[str]] = {}
+        for p, s in stratum.items():
+            levels.setdefault(s, set()).add(p)
+        return [frozenset(levels[s]) for s in sorted(levels)]
+
+
+def _match(
+    pattern: Atom, values: Tuple[object, ...], binding: Dict[Var, object]
+) -> Optional[Dict[Var, object]]:
+    """Match an atom pattern against fact values (Datalog: nulls join as
+    ordinary constants here; Datalog views are used over clean data)."""
+    local = dict(binding)
+    for term, value in zip(pattern.terms, values):
+        if is_var(term):
+            if term in local:
+                if local[term] != value:
+                    return None
+            else:
+                local[term] = value
+        elif term != value:
+            return None
+    return local
+
+
+def _check_condition(c: Comparison, binding: Dict[Var, object]) -> bool:
+    left = binding[c.left] if is_var(c.left) else c.left
+    right = binding[c.right] if is_var(c.right) else c.right
+    if is_null(left) or is_null(right):
+        return False
+    if c.op == "=":
+        return left == right
+    if c.op == "!=":
+        return left != right
+    try:
+        return {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }[c.op]
+    except TypeError:
+        return False
+
+
+class DatalogEvaluator:
+    """Evaluates a stratified program over an EDB instance."""
+
+    def __init__(self, program: Program, edb: Database) -> None:
+        self._program = program
+        self._edb = edb
+        self._derived: Dict[str, Set[Tuple[object, ...]]] = {}
+
+    def evaluate(self) -> Dict[str, FrozenSet[Tuple[object, ...]]]:
+        """Compute all IDB relations; returns predicate -> set of rows."""
+        idb = self._program.idb_predicates()
+        for p in idb:
+            self._derived[p] = set()
+        for stratum in self._program.stratification():
+            stratum_rules = [
+                r for r in self._program.rules
+                if r.head.predicate in stratum
+            ]
+            self._fixpoint(stratum_rules)
+        return {p: frozenset(rows) for p, rows in self._derived.items()}
+
+    def _rows(self, predicate: str) -> Iterable[Tuple[object, ...]]:
+        # A predicate can be both stored (EDB) and derived (IDB) — the
+        # OBDA saturation rules derive new facts for ABox predicates.
+        derived = self._derived.get(predicate, ())
+        if predicate in self._edb.schema:
+            stored = self._edb.relation(predicate)
+            if not derived:
+                return stored
+            return list(stored) + [
+                row for row in derived if row not in set(stored)
+            ]
+        return derived
+
+    def _fixpoint(self, rules: List[Rule]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            additions: List[Tuple[str, Tuple[object, ...]]] = []
+            for r in rules:
+                for binding in self._body_bindings(r, {}, 0):
+                    head_values = tuple(
+                        binding[t] if is_var(t) else t for t in r.head.terms
+                    )
+                    if head_values not in self._derived[r.head.predicate]:
+                        additions.append((r.head.predicate, head_values))
+            for predicate, values in additions:
+                if values not in self._derived[predicate]:
+                    self._derived[predicate].add(values)
+                    changed = True
+
+    def _body_bindings(
+        self, r: Rule, binding: Dict[Var, object], index: int
+    ) -> Iterable[Dict[Var, object]]:
+        if index == len(r.body):
+            if all(_check_condition(c, binding) for c in r.conditions):
+                yield binding
+            return
+        lit = r.body[index]
+        if lit.positive:
+            for values in self._rows(lit.atom.predicate):
+                extended = _match(lit.atom, values, binding)
+                if extended is not None:
+                    yield from self._body_bindings(r, extended, index + 1)
+        else:
+            # Safety guarantees all variables of a negated literal are bound.
+            values = tuple(
+                binding[t] if is_var(t) else t for t in lit.atom.terms
+            )
+            present = any(
+                values == row for row in self._rows(lit.atom.predicate)
+            )
+            if not present:
+                yield from self._body_bindings(r, binding, index + 1)
+
+
+def evaluate_program(
+    program: Program, edb: Database
+) -> Dict[str, FrozenSet[Tuple[object, ...]]]:
+    """Evaluate *program* over *edb*; return all IDB relations."""
+    return DatalogEvaluator(program, edb).evaluate()
+
+
+def materialize(
+    program: Program, edb: Database, predicates: Optional[Iterable[str]] = None
+) -> Database:
+    """Evaluate the program and return IDB relations as a new instance.
+
+    When *predicates* is given, only those IDB predicates are materialized
+    (e.g. the global relations of a GAV mediator).
+    """
+    derived = evaluate_program(program, edb)
+    wanted = set(predicates) if predicates is not None else set(derived)
+    facts = []
+    rel_schemas = []
+    for p in sorted(wanted):
+        rows = derived.get(p, frozenset())
+        arity = None
+        for r in program.rules:
+            if r.head.predicate == p:
+                arity = r.head.arity
+                break
+        if arity is None:
+            raise QueryError(f"predicate {p!r} is not defined by the program")
+        rel_schemas.append(positional_schema(p, arity))
+        for row in rows:
+            facts.append(Fact(p, row))
+    schema = Schema.of(*rel_schemas)
+    db = Database.empty(schema)
+    return db.insert(facts)

@@ -1,0 +1,129 @@
+"""Why-provenance for positive Datalog programs.
+
+For every derived row, track the inclusion-minimal sets of EDB facts that
+support some derivation of it.  The OBDA layer uses this to translate a
+violation of a negative constraint on the *saturated* ABox back into the
+ABox facts responsible for it — the hyperedges of the ABox-level conflict
+hypergraph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..errors import QueryError
+from ..logic.formulas import is_var
+from ..relational.database import Database, Fact
+from .engine import Program, Rule, _check_condition, _match
+
+Support = FrozenSet[Fact]
+SupportFamily = FrozenSet[Support]
+ProvenanceMap = Dict[str, Dict[Tuple[object, ...], SupportFamily]]
+
+
+def _minimal(supports: Set[Support], cap: int) -> FrozenSet[Support]:
+    ordered = sorted(supports, key=lambda s: (len(s), sorted(map(repr, s))))
+    kept: List[Support] = []
+    for s in ordered:
+        if not any(k <= s for k in kept):
+            kept.append(s)
+        if len(kept) >= cap:
+            break
+    return frozenset(kept)
+
+
+def evaluate_with_provenance(
+    program: Program,
+    edb: Database,
+    max_supports: int = 32,
+) -> ProvenanceMap:
+    """Evaluate a *positive* program, returning rows with why-provenance.
+
+    The result maps each predicate (EDB and IDB alike) to its rows, each
+    row carrying the family of minimal EDB-fact supports (capped at
+    *max_supports* per row; the cap is a soundness-preserving truncation:
+    repairs computed from truncated provenance may be slightly
+    conservative but never inconsistent).
+    """
+    for rule in program.rules:
+        for lit in rule.body:
+            if not lit.positive:
+                raise QueryError(
+                    "provenance evaluation handles positive programs; "
+                    f"rule {rule!r} uses negation"
+                )
+
+    provenance: ProvenanceMap = {}
+    for name in edb.schema.names():
+        rows: Dict[Tuple[object, ...], SupportFamily] = {}
+        for values in edb.relation(name):
+            fact = Fact(name, values)
+            rows[values] = frozenset({frozenset({fact})})
+        provenance[name] = rows
+    for p in program.idb_predicates():
+        provenance.setdefault(p, {})
+
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            for binding, support_family in _body_supports(
+                rule, provenance, max_supports
+            ):
+                head_values = tuple(
+                    binding[t] if is_var(t) else t
+                    for t in rule.head.terms
+                )
+                bucket = provenance[rule.head.predicate]
+                existing = bucket.get(head_values, frozenset())
+                merged = _minimal(
+                    set(existing) | set(support_family), max_supports
+                )
+                if merged != existing:
+                    bucket[head_values] = merged
+                    changed = True
+    return provenance
+
+
+def _body_supports(
+    rule: Rule,
+    provenance: ProvenanceMap,
+    max_supports: int,
+):
+    """Bindings of the rule body with combined support families."""
+
+    def recurse(index: int, binding, supports: Set[Support]):
+        if index == len(rule.body):
+            if all(
+                _check_condition(c, binding) for c in rule.conditions
+            ):
+                yield dict(binding), frozenset(supports)
+            return
+        literal = rule.body[index]
+        # Snapshot: the caller mutates the provenance map while iterating
+        # over the bindings this generator produces.
+        rows = list(provenance.get(literal.atom.predicate, {}).items())
+        for values, family in rows:
+            extended = _match(literal.atom, values, binding)
+            if extended is None:
+                continue
+            combined: Set[Support] = set()
+            for left in supports:
+                for right in family:
+                    combined.add(left | right)
+                    if len(combined) >= max_supports:
+                        break
+                if len(combined) >= max_supports:
+                    break
+            yield from recurse(index + 1, extended, combined)
+
+    yield from recurse(0, {}, {frozenset()})
+
+
+def supports_of(
+    provenance: ProvenanceMap, fact: Fact
+) -> SupportFamily:
+    """The support family of one fact (empty when the fact is absent)."""
+    return provenance.get(fact.relation, {}).get(
+        fact.values, frozenset()
+    )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation, attribute, or arity does not match the declared schema."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (unsafe, unknown predicate, arity mismatch...)."""
+
+
+class ConstraintError(ReproError):
+    """An integrity constraint is malformed or unsupported by an operation."""
+
+
+class RepairError(ReproError):
+    """A repair computation cannot proceed (e.g. cyclic tgds without bound)."""
+
+
+class RewritingError(ReproError):
+    """A query falls outside the fragment supported by a rewriting method."""
+
+
+class GroundingError(ReproError):
+    """An ASP rule cannot be safely grounded."""
+
+
+class SolverError(ReproError):
+    """The ASP solver was given an inconsistent or unsupported program."""
+
+
+class IntegrationError(ReproError):
+    """A mediator, mapping, or source specification is invalid."""

@@ -1,0 +1,5 @@
+"""Data exchange with exchange repairs."""
+
+from .setting import ExchangeSetting
+
+__all__ = ["ExchangeSetting"]

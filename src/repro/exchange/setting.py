@@ -1,0 +1,118 @@
+"""Data exchange with exchange repairs (Section 8, after [105, 106]).
+
+A data-exchange setting moves data from a source schema to a target
+schema through source-to-target tgds.  The *chase* produces a universal
+solution — a target instance with labeled nulls for existential values.
+When the materialized data collides with the target's own constraints,
+ten Cate, Halpert & Kolaitis propose *exchange repairs*: repair the
+universal solution wrt the target constraints, and answer target queries
+certainly across those repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..constraints.base import IntegrityConstraint, all_satisfied
+from ..constraints.inclusion import TupleGeneratingDependency
+from ..errors import IntegrationError
+from ..logic.evaluation import witnesses
+from ..logic.formulas import is_var
+from ..logic.queries import ConjunctiveQuery
+from ..relational.database import Database, Fact, Row
+from ..relational.nulls import LabeledNull
+from ..relational.schema import Schema
+from ..repairs.base import Repair
+from ..repairs.srepairs import delete_only_repairs
+
+
+@dataclass(frozen=True)
+class ExchangeSetting:
+    """Schemas plus source-to-target tgds and target constraints."""
+
+    source_schema: Schema
+    target_schema: Schema
+    st_tgds: Tuple[TupleGeneratingDependency, ...]
+    target_constraints: Tuple[IntegrityConstraint, ...] = field(
+        default_factory=tuple
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.st_tgds, tuple):
+            object.__setattr__(self, "st_tgds", tuple(self.st_tgds))
+        if not isinstance(self.target_constraints, tuple):
+            object.__setattr__(
+                self, "target_constraints", tuple(self.target_constraints)
+            )
+        for tgd in self.st_tgds:
+            for a in tgd.body:
+                if a.predicate not in self.source_schema:
+                    raise IntegrationError(
+                        f"tgd body atom {a!r} is not over the source schema"
+                    )
+            for a in tgd.head:
+                if a.predicate not in self.target_schema:
+                    raise IntegrationError(
+                        f"tgd head atom {a!r} is not over the target schema"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def chase(self, source: Database) -> Database:
+        """The canonical universal solution.
+
+        Source-to-target tgds never feed back into their own bodies, so
+        one pass over each tgd's body witnesses suffices; existential
+        head variables become fresh labeled nulls, one per (witness,
+        variable) pair.
+        """
+        facts: List[Fact] = []
+        null_counter = 0
+        for tgd in self.st_tgds:
+            existentials = tgd.existential_variables()
+            for binding, _ in witnesses(source, tgd.body):
+                local = dict(binding)
+                for v in sorted(existentials, key=lambda w: w.name):
+                    null_counter += 1
+                    local[v] = LabeledNull(f"x{null_counter}")
+                for head_atom in tgd.head:
+                    facts.append(Fact(
+                        head_atom.predicate,
+                        tuple(
+                            local[t] if is_var(t) else t
+                            for t in head_atom.terms
+                        ),
+                    ))
+        target = Database.empty(self.target_schema)
+        return target.insert(facts)
+
+    def solution_is_consistent(self, source: Database) -> bool:
+        """Does the universal solution satisfy the target constraints?"""
+        return all_satisfied(self.chase(source), self.target_constraints)
+
+    def exchange_repairs(self, source: Database) -> List[Repair]:
+        """Deletion-based repairs of the universal solution ([106]).
+
+        Exchange repairs stay *source-justified*: they only remove
+        exchanged facts, never invent new ones, matching the
+        subset-repair semantics of exchange-repair solutions.
+        """
+        solution = self.chase(source)
+        return delete_only_repairs(solution, self.target_constraints)
+
+    def certain_answers(
+        self, source: Database, query: ConjunctiveQuery
+    ) -> FrozenSet[Row]:
+        """Exchange-repair certain answers to a target query.
+
+        Intersects answers over the exchange repairs and drops rows with
+        labeled nulls (which denote unknown exchanged values).
+        """
+        result: Optional[FrozenSet[Row]] = None
+        for repair in self.exchange_repairs(source):
+            answers = query.to_query().certain_rows(repair.instance)
+            result = answers if result is None else (result & answers)
+            if not result:
+                break
+        return result if result is not None else frozenset()

@@ -1,0 +1,5 @@
+"""Experiment harness reproducing every paper example and claim."""
+
+from .experiments import ExperimentResult, main, registry, run, run_all
+
+__all__ = ["ExperimentResult", "main", "registry", "run", "run_all"]

@@ -1,0 +1,8 @@
+"""``python -m repro.harness`` — run all paper experiments."""
+
+import sys
+
+from .experiments import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,845 @@
+"""Experiment registry: every paper example and claim, executable.
+
+Each experiment reproduces one artifact of the paper (a worked example,
+Figure 1, or a complexity-shape claim) and reports what the paper says
+next to what this implementation measures, plus a match verdict.  Run
+``python -m repro.harness`` to regenerate the full table backing
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..asp import RepairProgram
+from ..causality import (
+    CausalityProgram,
+    actual_causes,
+    actual_causes_under_ics,
+    attribute_causes,
+    causes_via_asp,
+)
+from ..cleaning import clean
+from ..constraints import ConflictHypergraph, FunctionalDependency
+from ..cqa import (
+    consistent_answers,
+    consistent_answers_by_rewriting,
+    consistent_answers_fm,
+    fuxman_miller_rewrite,
+    query_to_sql,
+)
+from ..integration import (
+    consistent_global_answers,
+    numbers_names_query,
+    university_gav_mediator,
+)
+from ..measures import cardinality_repair_measure
+from ..relational import NULL, fact
+from ..relational.sqlbridge import run_sql
+from ..repairs import (
+    attribute_repairs,
+    c_attribute_repairs,
+    c_repairs,
+    count_fd_repairs,
+    null_tuple_repairs,
+    s_repairs,
+)
+from ..workloads import (
+    abcde_instance,
+    customer_cfd,
+    dep_course,
+    employee,
+    employee_key_violations,
+    rs_instance,
+    supply_articles,
+    supply_articles_cost,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Paper-vs-measured record for one experiment."""
+
+    id: str
+    title: str
+    paper: str
+    measured: str
+    match: bool
+    details: str = ""
+
+    def render(self) -> str:
+        verdict = "MATCH" if self.match else "MISMATCH"
+        lines = [
+            f"[{self.id}] {self.title} — {verdict}",
+            f"  paper:    {self.paper}",
+            f"  measured: {self.measured}",
+        ]
+        if self.details:
+            lines.append(f"  note:     {self.details}")
+        return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def experiment(exp_id: str):
+    """Decorator registering an experiment under *exp_id*."""
+    def register(fn: Callable[[], ExperimentResult]):
+        _REGISTRY[exp_id] = fn
+        return fn
+    return register
+
+
+def registry() -> Dict[str, Callable[[], ExperimentResult]]:
+    """The experiment registry (id -> runner)."""
+    return dict(_REGISTRY)
+
+
+def run(exp_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    return _REGISTRY[exp_id]()
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every experiment, in id order."""
+    return [_REGISTRY[k]() for k in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Worked examples
+# ----------------------------------------------------------------------
+
+
+@experiment("EX2.1")
+def ex21_residue_rewriting() -> ExperimentResult:
+    scenario = supply_articles()
+    got = consistent_answers_by_rewriting(
+        scenario.db, scenario.constraints, scenario.queries["Q"]
+    )
+    expected = frozenset({("I1",), ("I2",)})
+    return ExperimentResult(
+        "EX2.1",
+        "Residue rewriting returns the intuitively consistent items",
+        "Q'(z) on the inconsistent instance returns I1, I2",
+        f"rewriting answers = {sorted(v[0] for v in got)}",
+        got == expected,
+    )
+
+
+@experiment("EX3.1")
+def ex31_srepairs() -> ExperimentResult:
+    scenario = supply_articles()
+    repairs = s_repairs(scenario.db, scenario.constraints)
+    diffs = {r.diff for r in repairs}
+    expected = {
+        frozenset({fact("Supply", "C2", "R1", "I3")}),
+        frozenset({fact("Articles", "I3")}),
+    }
+    return ExperimentResult(
+        "EX3.1",
+        "Two S-repairs: delete Supply(C2,R1,I3) or insert Articles(I3)",
+        "D1 deletes the Supply tuple; D2 inserts Articles(I3); D3 is not minimal",
+        f"{len(repairs)} repairs, diffs = "
+        + "; ".join(sorted(str(sorted(map(repr, d))) for d in diffs)),
+        diffs == expected,
+    )
+
+
+@experiment("EX3.2")
+def ex32_certain_answers() -> ExperimentResult:
+    scenario = supply_articles()
+    got = consistent_answers(
+        scenario.db, scenario.constraints, scenario.queries["Q"]
+    )
+    return ExperimentResult(
+        "EX3.2",
+        "Cons(Q, D, {ID}) = {I1, I2}",
+        "Q(D1) = {I1, I2}, Q(D2) = {I1, I2, I3}; intersection {I1, I2}",
+        f"certain answers = {sorted(v[0] for v in got)}",
+        got == frozenset({("I1",), ("I2",)}),
+    )
+
+
+@experiment("EX3.3")
+def ex33_key_repairs() -> ExperimentResult:
+    scenario = employee()
+    repairs = s_repairs(scenario.db, scenario.constraints)
+    q1 = consistent_answers(
+        scenario.db, scenario.constraints, scenario.queries["Q1"]
+    )
+    q2 = consistent_answers(
+        scenario.db, scenario.constraints, scenario.queries["Q2"]
+    )
+    ok = (
+        len(repairs) == 2
+        and q1 == frozenset({("smith", "3K"), ("stowe", "7K")})
+        and q2 == frozenset({("smith",), ("stowe",), ("page",)})
+    )
+    return ExperimentResult(
+        "EX3.3",
+        "Employee under Name→Salary: 2 repairs; CQA for Q1 and Q2",
+        "Cons(Q1) = {(smith,3K),(stowe,7K)}; Cons(Q2) adds (page)",
+        f"{len(repairs)} repairs; Cons(Q1) = {sorted(q1)}; "
+        f"Cons(Q2) = {sorted(v[0] for v in q2)}",
+        ok,
+    )
+
+
+@experiment("EX3.4")
+def ex34_sql_rewriting() -> ExperimentResult:
+    scenario = employee()
+    rewritten = fuxman_miller_rewrite(
+        scenario.queries["Q1"], scenario.constraints, scenario.db
+    )
+    sql = query_to_sql(rewritten, scenario.db.schema)
+    rows = run_sql(scenario.db, sql)
+    got = frozenset(rows)
+    return ExperimentResult(
+        "EX3.4",
+        "Rewritten SQL with NOT EXISTS on the original instance",
+        "SELECT ... WHERE NOT EXISTS (...) returns the consistent answers",
+        f"SQL answers = {sorted(got)}",
+        got == frozenset({("smith", "3K"), ("stowe", "7K")}),
+        details="generated SQL: " + sql[:120] + "...",
+    )
+
+
+@experiment("EX3.5")
+def ex35_repair_program() -> ExperimentResult:
+    scenario = rs_instance()
+    rp = RepairProgram(scenario.db, scenario.constraints)
+    sets = rp.answer_sets()
+    direct = s_repairs(scenario.db, scenario.constraints)
+    via_asp = {r.instance.facts() for r in rp.repairs()}
+    via_direct = {r.instance.facts() for r in direct}
+    return ExperimentResult(
+        "EX3.5",
+        "Repair program for κ has exactly the 3 stable models ≙ S-repairs",
+        "three stable models, one-to-one with D1, D2, D3",
+        f"{len(sets)} stable models; ASP repairs == direct repairs: "
+        f"{via_asp == via_direct}",
+        len(sets) == 3 and via_asp == via_direct,
+    )
+
+
+@experiment("EX4.1")
+def ex41_crepairs() -> ExperimentResult:
+    scenario = abcde_instance()
+    s = s_repairs(scenario.db, scenario.constraints)
+    c = c_repairs(scenario.db, scenario.constraints)
+    s_rels = {
+        frozenset(f.relation for f in r.instance) for r in s
+    }
+    c_rels = {
+        frozenset(f.relation for f in r.instance) for r in c
+    }
+    ok = (
+        len(s) == 4
+        and len(c) == 3
+        and frozenset({"B", "C"}) in s_rels
+        and frozenset({"B", "C"}) not in c_rels
+    )
+    return ExperimentResult(
+        "EX4.1",
+        "Figure-1 instance: 4 S-repairs, of which 3 are C-repairs",
+        "S-repairs {B,C}, {C,D,E}, {A,B,D}, {E,D,A}; only the last three are C-repairs",
+        f"{len(s)} S-repairs, {len(c)} C-repairs; {{B,C}} excluded from "
+        f"C-repairs: {frozenset({'B', 'C'}) not in c_rels}",
+        ok,
+    )
+
+
+@experiment("EX4.2")
+def ex42_weak_constraints() -> ExperimentResult:
+    scenario = abcde_instance()
+    rp = RepairProgram(
+        scenario.db, scenario.constraints, include_weak_constraints=True
+    )
+    via_asp = {r.instance.facts() for r in rp.c_repairs()}
+    direct = {
+        r.instance.facts()
+        for r in c_repairs(scenario.db, scenario.constraints)
+    }
+    return ExperimentResult(
+        "EX4.2",
+        "Weak constraints select exactly the C-repairs",
+        "non-minimally violating models are discarded",
+        f"optimal stable models = {len(via_asp)}; equal to C-repairs: "
+        f"{via_asp == direct}",
+        via_asp == direct and len(via_asp) == 3,
+    )
+
+
+@experiment("EX4.3")
+def ex43_null_tuple_repairs() -> ExperimentResult:
+    scenario = supply_articles_cost()
+    repairs = null_tuple_repairs(scenario.db, scenario.constraints)
+    diffs = {r.diff for r in repairs}
+    expected = {
+        frozenset({fact("Supply", "C2", "R1", "I3")}),
+        frozenset({fact("Articles", "I3", NULL)}),
+    }
+    return ExperimentResult(
+        "EX4.3",
+        "tgd ID': delete the Supply tuple or insert Articles(I3, NULL)",
+        "two repairs, one inserting ⟨I3, NULL⟩ into Articles",
+        f"{len(repairs)} repairs, diffs = "
+        + "; ".join(sorted(str(sorted(map(repr, d))) for d in diffs)),
+        diffs == expected,
+    )
+
+
+@experiment("EX4.4")
+def ex44_attribute_repairs() -> ExperimentResult:
+    scenario = rs_instance()
+    repairs = attribute_repairs(scenario.db, scenario.constraints)
+    labels = {r.change_labels() for r in repairs}
+    paper_sets = {("t6[1]",), ("t1[2]", "t3[2]")}
+    found_paper = paper_sets <= labels
+    c_labels = {
+        r.change_labels()
+        for r in c_attribute_repairs(scenario.db, scenario.constraints)
+    }
+    return ExperimentResult(
+        "EX4.4",
+        "Attribute-level null repairs: the paper's change sets {ι6[1]}, {ι1[2], ι3[2]}",
+        "two displayed repairs with those minimal change sets",
+        f"{len(repairs)} minimal change sets found; paper's two present: "
+        f"{found_paper}; minimum-cardinality set: {sorted(c_labels)}",
+        found_paper and c_labels == {("t6[1]",)},
+        details=(
+            "the literal set-inclusion-minimal semantics admits "
+            f"{len(repairs)} incomparable change sets; the paper displays "
+            "two representatives (see EXPERIMENTS.md)"
+        ),
+    )
+
+
+@experiment("EX5.1")
+def ex51_gav() -> ExperimentResult:
+    mediator = university_gav_mediator()
+    instance = mediator.retrieved_global_instance()
+    rows = set(instance.relation("Stds"))
+    expected = {
+        (101, "john", "cu", "alg"),
+        (102, "mary", "cu", "ai"),
+        (103, "claire", "ou", "db"),
+    }
+    return ExperimentResult(
+        "EX5.1",
+        "GAV mediator materializes Stds via rules (8)-(9); unfolding answers",
+        "global Stds contains the joined student/speciality rows",
+        f"retrieved instance rows = {sorted(rows)}",
+        rows == expected,
+    )
+
+
+@experiment("EX5.2")
+def ex52_global_cqa() -> ExperimentResult:
+    mediator = university_gav_mediator(conflicting=True)
+    key = FunctionalDependency("Stds", ("Number",), ("Name",), name="gFD")
+    answers = consistent_global_answers(
+        mediator, (key,), numbers_names_query()
+    )
+    ok = (
+        (101, "john") not in answers
+        and (101, "sue") not in answers
+        and (102, "mary") in answers
+    )
+    return ExperimentResult(
+        "EX5.2",
+        "Global FD Number→Name violated through student 101; CQA at the mediator",
+        "no certain name for number 101; other students unaffected",
+        f"consistent global answers = {sorted(answers)}",
+        ok,
+        details=(
+            "SpecOU(101, hist) added so the conflicting student reaches "
+            "the global level through mappings (8)-(9); see EXPERIMENTS.md"
+        ),
+    )
+
+
+@experiment("EX6")
+def ex6_cfd() -> ExperimentResult:
+    scenario = customer_cfd()
+    fd1, fd2, phi = scenario.constraints
+    fds_hold = fd1.is_satisfied(scenario.db) and fd2.is_satisfied(scenario.db)
+    violations = phi.violations(scenario.db)
+    cleaned = clean(scenario.db, (phi,))
+    return ExperimentResult(
+        "EX6",
+        "Section 6: both FDs hold, the CFD [CC=44, Zip]→[Street] is violated",
+        "the two FDs are satisfied; the CFD is not, and cleaning is needed",
+        f"FDs hold: {fds_hold}; CFD violations: {len(violations)}; "
+        f"cleaning cost: {cleaned.cost} cell(s)",
+        fds_hold and len(violations) == 1 and cleaned.cost >= 1,
+    )
+
+
+@experiment("EX7.1")
+def ex71_causes() -> ExperimentResult:
+    scenario = rs_instance()
+    causes = {
+        c.fact: c.responsibility
+        for c in actual_causes(scenario.db, scenario.queries["Q"])
+    }
+    expected = {
+        fact("S", "a3"): 1.0,
+        fact("R", "a4", "a3"): 0.5,
+        fact("R", "a3", "a3"): 0.5,
+        fact("S", "a4"): 0.5,
+    }
+    return ExperimentResult(
+        "EX7.1",
+        "Causes for Q: S(a3) counterfactual (ρ=1); three causes with ρ=1/2",
+        "ρ(S(a3))=1, ρ(R(a4,a3))=ρ(R(a3,a3))=ρ(S(a4))=1/2",
+        "; ".join(
+            f"rho({f!r})={r:g}" for f, r in sorted(causes.items(), key=repr)
+        ),
+        causes == expected,
+    )
+
+
+@experiment("EX7.2")
+def ex72_asp_causes() -> ExperimentResult:
+    scenario = rs_instance()
+    rho = causes_via_asp(scenario.db, scenario.queries["Q"])
+    program = CausalityProgram(scenario.db, scenario.queries["Q"])
+    pairs = program.contingency_pairs()
+    expected = {"t1": 0.5, "t3": 0.5, "t4": 0.5, "t6": 1.0}
+    return ExperimentResult(
+        "EX7.2",
+        "Causes and responsibilities via the extended repair program",
+        "Π ⊨_brave Ans(ι); CauCon(ι1,ι3) and CauCon(ι3,ι1) from model M2; "
+        "ρ = 1/(1+min #count)",
+        f"rho = {rho}; CauCon pairs include (t1,t3),(t3,t1): "
+        f"{('t1', 't3') in pairs and ('t3', 't1') in pairs}",
+        rho == expected and ("t1", "t3") in pairs,
+    )
+
+
+@experiment("EX7.3")
+def ex73_attribute_causes() -> ExperimentResult:
+    scenario = rs_instance()
+    causes = {
+        c.label(): c
+        for c in attribute_causes(scenario.db, scenario.queries["Q"])
+    }
+    t6 = causes.get("t6[1]")
+    t1 = causes.get("t1[2]")
+    ok = (
+        t6 is not None and t6.is_counterfactual
+        and t1 is not None and t1.responsibility == 0.5
+        and frozenset({("t3", 1)}) in t1.contingencies
+    )
+    return ExperimentResult(
+        "EX7.3",
+        "Attribute-level causes: ι6[1] counterfactual; ι1[2] actual with Γ={ι3[2]}",
+        "ι6[1] is a counterfactual cause; ι1[2] and ι3[2] are mutual contingencies",
+        f"t6[1] counterfactual: {t6.is_counterfactual if t6 else None}; "
+        f"rho(t1[2]) = {t1.responsibility if t1 else None}",
+        ok,
+    )
+
+
+@experiment("EX7.4")
+def ex74_causality_under_ics() -> ExperimentResult:
+    scenario = dep_course()
+    db, (psi,) = scenario.db, scenario.constraints
+    q = scenario.queries["Q"]
+    q2 = scenario.queries["Q2"]
+    plain = {
+        c.fact: c.responsibility
+        for c in actual_causes(db, q, answer=("John",))
+    }
+    under_a = {
+        c.fact: c.responsibility
+        for c in actual_causes_under_ics(db, (psi,), q, answer=("John",))
+    }
+    under_c = {
+        c.fact: c.responsibility
+        for c in actual_causes_under_ics(db, (psi,), q2, answer=("John",))
+    }
+    i1 = fact("Dep", "Computing", "John")
+    i4 = fact("Course", "COM08", "John", "Computing")
+    i8 = fact("Course", "COM01", "John", "Computing")
+    ok = (
+        plain == {i1: 1.0, i4: 0.5, i8: 0.5}
+        and under_a == {i1: 1.0}
+        and abs(under_c[i4] - 1 / 3) < 1e-9
+        and abs(under_c[i8] - 1 / 3) < 1e-9
+        and i1 not in under_c
+    )
+    return ExperimentResult(
+        "EX7.4",
+        "Causality under ψ: causes disqualified; responsibilities 1/2 → 1/3",
+        "under ψ only ι1 causes Q(John); for Q2, ρ(ι4)=ρ(ι8)=1/3",
+        f"plain = {{ρ(ι1)={plain.get(i1)}, ρ(ι4)={plain.get(i4)}}}; "
+        f"under ψ (Q): {len(under_a)} cause(s); "
+        f"under ψ (Q2): ρ(ι4)={under_c.get(i4):.3g}",
+        ok,
+    )
+
+
+@experiment("FIG1")
+def fig1_conflict_hypergraph() -> ExperimentResult:
+    scenario = abcde_instance()
+    graph = ConflictHypergraph.build(scenario.db, scenario.constraints)
+    rendering = graph.render_ascii(scenario.db)
+    sizes = sorted(len(e) for e in graph.edges)
+    return ExperimentResult(
+        "FIG1",
+        "Conflict hypergraph regenerated from the instance and DCs",
+        "three hyperedges: {B,E}, {A,C}, and the ternary {B,C,D}",
+        f"edges by size = {sizes}; rendering has {len(rendering.splitlines())} lines",
+        sizes == [2, 2, 3],
+        details=rendering.replace("\n", " | "),
+    )
+
+
+# ----------------------------------------------------------------------
+# Complexity-shape claims
+# ----------------------------------------------------------------------
+
+
+@experiment("B1")
+def b1_exponential_repairs() -> ExperimentResult:
+    counts = []
+    for k in (2, 4, 6, 8):
+        scenario = employee_key_violations(4, k, 2, seed=7)
+        (kc,) = scenario.constraints
+        counts.append((k, count_fd_repairs(scenario.db, kc)))
+    ok = all(count == 2 ** k for k, count in counts)
+    return ExperimentResult(
+        "B1",
+        "Repair count grows exponentially with the number of violations",
+        "databases can have exponentially many repairs in their size",
+        "; ".join(f"k={k}: {c} repairs" for k, c in counts),
+        ok,
+    )
+
+
+@experiment("B2")
+def b2_rewriting_vs_enumeration() -> ExperimentResult:
+    from repro.logic import atom as _atom
+    from repro.logic import cq as _cq
+    from repro.logic import vars_ as _vars
+
+    x, y = _vars("x y")
+    q = _cq([x], [_atom("Employee", x, y)], name="names")
+    timings = []
+    for k in (4, 8, 12):
+        scenario = employee_key_violations(10, k, 2, seed=5)
+        t0 = time.perf_counter()
+        exact = consistent_answers(scenario.db, scenario.constraints, q)
+        t_enum = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        via_fm = consistent_answers_fm(
+            scenario.db, scenario.constraints, q
+        )
+        t_rw = time.perf_counter() - t0
+        assert via_fm == exact
+        timings.append((k, t_enum, t_rw))
+    growth_enum = timings[-1][1] / max(timings[0][1], 1e-9)
+    growth_rw = timings[-1][2] / max(timings[0][2], 1e-9)
+    return ExperimentResult(
+        "B2",
+        "FO rewriting stays flat while repair enumeration blows up",
+        "CQA is coNP-hard in general but FO-rewritable cases are PTIME",
+        "; ".join(
+            f"k={k}: enum {te*1000:.1f}ms, rewrite {tr*1000:.1f}ms"
+            for k, te, tr in timings
+        ),
+        growth_enum > growth_rw,
+    )
+
+
+@experiment("B3")
+def b3_crepair_branch_and_bound() -> ExperimentResult:
+    from repro.workloads import random_rs_instance
+
+    scenario = random_rs_instance(10, 8, 5, seed=11)
+    t0 = time.perf_counter()
+    via_filter = c_repairs(
+        scenario.db, scenario.constraints, engine="filter"
+    )
+    t_filter = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    via_bb = c_repairs(scenario.db, scenario.constraints)
+    t_bb = time.perf_counter() - t0
+    same = {r.diff for r in via_filter} == {r.diff for r in via_bb}
+    return ExperimentResult(
+        "B3",
+        "C-repairs: branch-and-bound vs filter-all-S-repairs (ablation)",
+        "C-repair problems tend to be harder; dedicated pruning pays off",
+        f"agree: {same}; filter {t_filter*1000:.1f}ms, "
+        f"branch-and-bound {t_bb*1000:.1f}ms",
+        same,
+    )
+
+
+@experiment("B4")
+def b4_asp_equivalence() -> ExperimentResult:
+    from repro.workloads import random_rs_instance
+
+    agreements = 0
+    trials = 5
+    for seed in range(trials):
+        scenario = random_rs_instance(4, 3, 3, seed=seed)
+        rp = RepairProgram(scenario.db, scenario.constraints)
+        via_asp = {r.instance.facts() for r in rp.repairs()}
+        direct = {
+            r.instance.facts()
+            for r in s_repairs(scenario.db, scenario.constraints)
+        }
+        if via_asp == direct:
+            agreements += 1
+    return ExperimentResult(
+        "B4",
+        "Stable models of repair programs ≙ S-repairs on random instances",
+        "one-to-one correspondence between S-repairs and stable models",
+        f"{agreements}/{trials} random instances agree exactly",
+        agreements == trials,
+    )
+
+
+@experiment("B5")
+def b5_responsibility() -> ExperimentResult:
+    from repro.causality import actual_causes_direct
+    from repro.logic import atom as _atom
+    from repro.logic import cq as _cq
+    from repro.logic import vars_ as _vars
+    from repro.workloads import random_rs_instance
+
+    x, y = _vars("x y")
+    q = _cq([], [_atom("S", x), _atom("R", x, y), _atom("S", y)])
+    agreements = 0
+    trials = 4
+    for seed in range(trials):
+        scenario = random_rs_instance(4, 3, 3, seed=seed)
+        via_repairs = {
+            c.fact: c.responsibility
+            for c in actual_causes(scenario.db, q)
+        }
+        direct = {
+            c.fact: c.responsibility
+            for c in actual_causes_direct(scenario.db, q)
+        }
+        if via_repairs == direct:
+            agreements += 1
+    return ExperimentResult(
+        "B5",
+        "Responsibilities from C-/S-repairs match the direct definition",
+        "causes ↔ repairs: minimal contingency sets from S-repairs, "
+        "responsibilities from C-repairs",
+        f"{agreements}/{trials} random instances agree exactly",
+        agreements == trials,
+    )
+
+
+@experiment("B6")
+def b6_sql_vs_inmemory() -> ExperimentResult:
+    from repro.cqa import answers_via_sql
+    from repro.logic import atom as _atom
+    from repro.logic import cq as _cq
+    from repro.logic import vars_ as _vars
+    from repro.workloads import random_fd_instance
+
+    x, y = _vars("x y")
+    q = _cq([x, y], [_atom("R", x, y)], name="full")
+    agreements = 0
+    trials = 4
+    for seed in range(trials):
+        scenario = random_fd_instance(12, 6, 3, seed=seed)
+        rewritten = fuxman_miller_rewrite(
+            q, scenario.constraints, scenario.db
+        )
+        in_memory = rewritten.answers(scenario.db)
+        via_sql = answers_via_sql(scenario.db, rewritten)
+        if via_sql == in_memory:
+            agreements += 1
+    return ExperimentResult(
+        "B6",
+        "ConQuer substitute: rewritten SQL on SQLite ≙ in-memory evaluation",
+        "FO-rewritten queries are plain SQL answered by any engine",
+        f"{agreements}/{trials} random instances agree exactly",
+        agreements == trials,
+    )
+
+
+@experiment("B7")
+def b7_inconsistency_measure() -> ExperimentResult:
+    points = []
+    for k in (0, 1, 2, 3):
+        scenario = employee_key_violations(6, k, 2, seed=9)
+        points.append(
+            (k, cardinality_repair_measure(
+                scenario.db, scenario.constraints
+            ))
+        )
+    monotone = all(
+        points[i][1] <= points[i + 1][1] for i in range(len(points) - 1)
+    )
+    return ExperimentResult(
+        "B7",
+        "Repair-based inconsistency degree grows with injected violations",
+        "repairs can be used as a basis for measuring inconsistency",
+        "; ".join(f"k={k}: {m:.3f}" for k, m in points),
+        monotone and points[0][1] == 0.0,
+    )
+
+
+@experiment("B8")
+def b8_incremental_updates() -> ExperimentResult:
+    import random
+
+    from repro.constraints import ConflictHypergraph
+    from repro.repairs import IncrementalRepairer
+    from repro.workloads import random_rs_instance
+
+    agreements = 0
+    trials = 4
+    for seed in range(trials):
+        rng = random.Random(seed)
+        scenario = random_rs_instance(6, 4, 5, seed=seed)
+        repairer = IncrementalRepairer(scenario.db, scenario.constraints)
+        for _ in range(4):
+            f = (
+                fact("S", f"a{rng.randrange(5)}")
+                if rng.random() < 0.5
+                else fact(
+                    "R", f"a{rng.randrange(5)}", f"a{rng.randrange(5)}"
+                )
+            )
+            if f in repairer.database and rng.random() < 0.5:
+                repairer.delete([f])
+            else:
+                repairer.insert([f])
+        expected = ConflictHypergraph.build(
+            repairer.database, scenario.constraints
+        )
+        if repairer.graph.edges == expected.edges:
+            agreements += 1
+    return ExperimentResult(
+        "B8",
+        "Incremental conflict maintenance matches from-scratch rebuilding",
+        "repairs and CQA under updates — [87] 'scratched the surface'",
+        f"{agreements}/{trials} random update sequences agree exactly",
+        agreements == trials,
+    )
+
+
+@experiment("B9")
+def b9_extensions() -> ExperimentResult:
+    from repro.cqa import AggregateQuery, fd_range_sum, range_consistent_answer
+    from repro.logic import atom as _atom
+    from repro.logic import cq as _cq
+    from repro.logic import vars_ as _vars
+    from repro.probabilistic import (
+        DirtyDatabase,
+        clean_answers,
+        clean_answers_single_atom,
+    )
+    from repro.repairs import PriorityRelation, globally_optimal_repairs
+
+    scenario = employee_key_violations(6, 3, 2, seed=21)
+    (kc,) = scenario.constraints
+    # Aggregates: closed form equals enumeration.
+    fast = fd_range_sum(scenario.db, kc, "Salary")
+    exact = range_consistent_answer(
+        scenario.db, scenario.constraints,
+        AggregateQuery("Employee", "sum", "Salary"),
+    )
+    aggregates_ok = (fast.glb, fast.lub) == (exact.glb, exact.lub)
+    # Priorities: preferring the highest salary leaves one repair.
+    priority = PriorityRelation.from_score(
+        scenario.db, lambda f: float(f.values[1])
+    )
+    preferred = globally_optimal_repairs(
+        scenario.db, scenario.constraints, priority
+    )
+    priorities_ok = len(preferred) == 1
+    # Probabilistic: polynomial path equals world enumeration.
+    x, y = _vars("x y")
+    q = _cq([x, y], [_atom("Employee", x, y)], name="rows")
+    dirty = DirtyDatabase(scenario.db, kc)
+    exact_probs = dict(clean_answers(dirty, q))
+    fast_probs = dict(clean_answers_single_atom(dirty, q))
+    prob_ok = set(exact_probs) == set(fast_probs) and all(
+        abs(exact_probs[r] - fast_probs[r]) < 1e-9 for r in exact_probs
+    )
+    return ExperimentResult(
+        "B9",
+        "Extensions: aggregate ranges, prioritized repairs, clean answers",
+        "scalar aggregation [5]; prioritized repairing [103]; "
+        "probabilistic clean answers [2]",
+        f"aggregate closed form == enumeration: {aggregates_ok}; "
+        f"priority selects 1 repair: {priorities_ok}; "
+        f"probabilities match: {prob_ok}",
+        aggregates_ok and priorities_ok and prob_ok,
+    )
+
+
+@experiment("B10")
+def b10_further_directions() -> ExperimentResult:
+    from repro.asp import GeneralRepairProgram
+    from repro.constraints import DenialConstraint as DC
+    from repro.datalog import rule as datalog_rule
+    from repro.logic import atom as _atom
+    from repro.logic import cq as _cq
+    from repro.logic import vars_ as _vars
+    from repro.obda import Ontology
+    from repro.relational import Database
+    from repro.workloads import supply_articles as _supply
+
+    x = _vars("x")[0]
+    # Interacting ICs: the annotated transition program recovers the
+    # insertion repair of Example 3.1 through ASP.
+    scenario = _supply()
+    grp = GeneralRepairProgram(scenario.db, scenario.constraints)
+    via_asp = {r.instance.facts() for r in grp.repairs()}
+    direct = {
+        r.instance.facts()
+        for r in s_repairs(scenario.db, scenario.constraints)
+    }
+    interacting_ok = via_asp == direct and grp.stable_model_count() == 2
+    # OBDA: IAR ⊆ AR on an inconsistent ontology.
+    ontology = Ontology(
+        tbox=(
+            datalog_rule(_atom("Person", x), [_atom("Prof", x)]),
+            datalog_rule(_atom("Person", x), [_atom("Student", x)]),
+        ),
+        negative_constraints=(
+            DC((_atom("Prof", x), _atom("Student", x)), name="disjoint"),
+        ),
+    )
+    abox = Database.from_dict({
+        "Prof": [("ann",), ("bob",)],
+        "Student": [("ann",), ("eve",)],
+    })
+    q = _cq([x], [_atom("Person", x)], name="persons")
+    ar = ontology.ar_answers(abox, q)
+    iar = ontology.iar_answers(abox, q)
+    obda_ok = iar < ar and ("ann",) in ar and ("ann",) not in iar
+    return ExperimentResult(
+        "B10",
+        "Section-8 directions: interacting-IC programs and OBDA semantics",
+        "extra annotations capture interacting ICs (3.3); AR/IAR "
+        "inconsistency-tolerant semantics for ontologies (8)",
+        f"annotated program ≙ repairs incl. insertion: {interacting_ok}; "
+        f"IAR ⊊ AR with ann certain only under AR: {obda_ok}",
+        interacting_ok and obda_ok,
+    )
+
+
+def main() -> int:
+    """Run the whole registry and print paper-vs-measured rows."""
+    results = run_all()
+    for r in results:
+        print(r.render())
+        print()
+    matched = sum(1 for r in results if r.match)
+    print(f"{matched}/{len(results)} experiments match the paper")
+    return 0 if matched == len(results) else 1

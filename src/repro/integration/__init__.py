@@ -1,0 +1,35 @@
+"""Virtual data integration: GAV/LAV mediators and global CQA."""
+
+from .cqa_integration import (
+    consistent_global_answers,
+    is_globally_consistent,
+)
+from .mediator import (
+    GavMediator,
+    LavMapping,
+    LavMediator,
+    Source,
+)
+from .university import (
+    GLOBAL_SCHEMA,
+    gav_mappings,
+    numbers_names_query,
+    same_field_query,
+    university_gav_mediator,
+    university_lav_mediator,
+)
+
+__all__ = [
+    "consistent_global_answers",
+    "is_globally_consistent",
+    "GavMediator",
+    "LavMapping",
+    "LavMediator",
+    "Source",
+    "GLOBAL_SCHEMA",
+    "gav_mappings",
+    "numbers_names_query",
+    "same_field_query",
+    "university_gav_mediator",
+    "university_lav_mediator",
+]

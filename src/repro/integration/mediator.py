@@ -1,0 +1,195 @@
+"""Virtual data integration: mediators, GAV and LAV mappings (Section 5).
+
+A mediator offers a database-like interface over independent sources
+without materializing global data.  Mappings connect the global schema to
+the sources:
+
+* **GAV** (global-as-view): each global predicate is defined by Datalog
+  rules over source relations — Example 5.1's rules (8) and (9);
+* **LAV** (local-as-view): each source relation is a conjunctive view
+  over the global schema, answered through inverse rules with labeled
+  nulls.
+
+Query answering computes the *retrieved global instance* (GAV: view
+materialization, equivalent to unfolding; LAV: the canonical instance of
+the inverse rules) and evaluates there; answers containing labeled nulls
+are not certain and are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..datalog.engine import Program as DatalogProgram
+from ..datalog.engine import Rule as DatalogRule
+from ..datalog.engine import materialize
+from ..errors import IntegrationError
+from ..logic.formulas import Atom, Var, is_var
+from ..logic.queries import ConjunctiveQuery
+from ..relational.database import Database, Fact
+from ..relational.nulls import LabeledNull
+from ..relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class Source:
+    """A named data source with its own instance (and schema)."""
+
+    name: str
+    database: Database
+
+
+def _merge_sources(sources: Sequence[Source]) -> Database:
+    """Union of the source instances under the merged schema."""
+    if not sources:
+        raise IntegrationError("a mediator needs at least one source")
+    schema = sources[0].database.schema
+    for s in sources[1:]:
+        schema = schema.merged_with(s.database.schema)
+    merged = Database.empty(schema)
+    for s in sources:
+        merged = merged.insert(s.database.facts())
+    return merged
+
+
+@dataclass(frozen=True)
+class GavMediator:
+    """A mediator whose global predicates are Datalog views over sources."""
+
+    global_schema: Schema
+    sources: Tuple[Source, ...]
+    mappings: Tuple[DatalogRule, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sources, tuple):
+            object.__setattr__(self, "sources", tuple(self.sources))
+        if not isinstance(self.mappings, tuple):
+            object.__setattr__(self, "mappings", tuple(self.mappings))
+        for rule in self.mappings:
+            if rule.head.predicate not in self.global_schema:
+                raise IntegrationError(
+                    f"mapping head {rule.head!r} is not a global predicate"
+                )
+
+    def retrieved_global_instance(self) -> Database:
+        """Materialize the global views over the current sources.
+
+        This is the instance a user would see if the mediator were a
+        database; the mediator never stores it.
+        """
+        edb = _merge_sources(self.sources)
+        program = DatalogProgram(self.mappings)
+        derived = materialize(
+            program, edb, predicates=self.global_schema.names()
+        )
+        # Rebuild under the declared global schema (attribute names).
+        instance = Database.empty(self.global_schema)
+        return instance.insert(derived.facts())
+
+    def answer(self, query: ConjunctiveQuery):
+        """Answer a global query by unfolding (via view materialization)."""
+        return query.answers(self.retrieved_global_instance())
+
+
+@dataclass(frozen=True)
+class LavMapping:
+    """A LAV view: ``source_atom ← global atoms`` (a CQ over the mediator).
+
+    Variables of the head are the *exported* variables; body variables
+    absent from the head are existential and become labeled nulls in the
+    inverse rules.
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        head_vars = self.head.free_variables()
+        body_vars = set()
+        for a in self.body:
+            body_vars |= a.free_variables()
+        loose = head_vars - body_vars
+        if loose:
+            raise IntegrationError(
+                f"head variables {sorted(v.name for v in loose)} do not "
+                "occur in the view body"
+            )
+
+    def existential_variables(self) -> Tuple[Var, ...]:
+        head_vars = self.head.free_variables()
+        out = []
+        for a in self.body:
+            for v in sorted(a.free_variables(), key=lambda w: w.name):
+                if v not in head_vars and v not in out:
+                    out.append(v)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class LavMediator:
+    """A mediator whose sources are conjunctive views over the globals."""
+
+    global_schema: Schema
+    sources: Tuple[Source, ...]
+    mappings: Tuple[LavMapping, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sources, tuple):
+            object.__setattr__(self, "sources", tuple(self.sources))
+        if not isinstance(self.mappings, tuple):
+            object.__setattr__(self, "mappings", tuple(self.mappings))
+        for m in self.mappings:
+            for a in m.body:
+                if a.predicate not in self.global_schema:
+                    raise IntegrationError(
+                        f"view body atom {a!r} is not over the global schema"
+                    )
+
+    def canonical_global_instance(self) -> Database:
+        """The inverse-rules canonical instance.
+
+        Each source fact V(ā) asserts the existence of global tuples
+        matching the view body, with fresh labeled nulls for the view's
+        existential variables — one null per (source fact, variable).
+        """
+        edb = _merge_sources(self.sources)
+        facts: List[Fact] = []
+        null_counter = 0
+        for m in self.mappings:
+            pattern = m.head
+            for values in edb.relation(pattern.predicate):
+                binding: Dict[Var, object] = {}
+                matched = True
+                for term, value in zip(pattern.terms, values):
+                    if is_var(term):
+                        if term in binding and binding[term] != value:
+                            matched = False
+                            break
+                        binding[term] = value
+                    elif term != value:
+                        matched = False
+                        break
+                if not matched:
+                    continue
+                local = dict(binding)
+                for v in m.existential_variables():
+                    null_counter += 1
+                    local[v] = LabeledNull(f"n{null_counter}")
+                for a in m.body:
+                    facts.append(Fact(
+                        a.predicate,
+                        tuple(
+                            local[t] if is_var(t) else t for t in a.terms
+                        ),
+                    ))
+        instance = Database.empty(self.global_schema)
+        return instance.insert(facts)
+
+    def certain_answers(self, query: ConjunctiveQuery):
+        """Certain answers: evaluate on the canonical instance, drop rows
+        containing labeled nulls."""
+        instance = self.canonical_global_instance()
+        return query.to_query().certain_rows(instance)

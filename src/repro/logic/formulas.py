@@ -1,0 +1,283 @@
+"""First-order terms and formulas over relational vocabularies.
+
+The paper states queries and integrity constraints in first-order predicate
+logic (conjunctive queries like (2), rewritten queries with negation like
+(6), denial constraints like κ in Example 3.5).  This module provides the
+abstract syntax; evaluation lives in :mod:`repro.logic.evaluation`.
+
+Terms are either :class:`Var` or plain Python constants (strings, numbers,
+the NULL marker, labeled nulls).  Formulas are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple, Union
+
+Term = Union["Var", object]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A first-order variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def vars_(names: str) -> Tuple[Var, ...]:
+    """Build several variables at once: ``x, y = vars_('x y')``."""
+    return tuple(Var(n) for n in names.split())
+
+
+def is_var(term: Term) -> bool:
+    """True when *term* is a variable."""
+    return isinstance(term, Var)
+
+
+class Formula:
+    """Base class for first-order formulas."""
+
+    def free_variables(self) -> FrozenSet[Var]:
+        """The free variables of the formula."""
+        raise NotImplementedError
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        """All relational atoms occurring in the formula, in syntax order."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relational atom ``R(t1, ..., tk)``."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.predicate}({inner})"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset(t for t in self.terms if is_var(t))
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        return (self,)
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+
+def atom(predicate: str, *terms: Term) -> Atom:
+    """Convenience constructor for atoms."""
+    return Atom(predicate, tuple(terms))
+
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison(Formula):
+    """A comparison atom ``t1 op t2`` with SQL null semantics.
+
+    Any comparison involving NULL is false — including ``NULL = NULL`` and
+    ``NULL != NULL`` — mirroring SQL's unknown-collapses-to-false behaviour
+    in the paper's attribute-repair semantics (Section 4.3).
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        out = set()
+        if is_var(self.left):
+            out.add(self.left)
+        if is_var(self.right):
+            out.add(self.right)
+        return frozenset(out)
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return ()
+
+
+def eq(left: Term, right: Term) -> Comparison:
+    """``left = right``."""
+    return Comparison("=", left, right)
+
+
+def neq(left: Term, right: Term) -> Comparison:
+    """``left != right``."""
+    return Comparison("!=", left, right)
+
+
+@dataclass(frozen=True)
+class IsNull(Formula):
+    """``term IS NULL`` — the only way to observe NULL positively."""
+
+    term: Term
+
+    def __repr__(self) -> str:
+        return f"IsNull({self.term!r})"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset([self.term]) if is_var(self.term) else frozenset()
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of sub-formulas."""
+
+    parts: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.parts, tuple):
+            object.__setattr__(self, "parts", tuple(self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(p) for p in self.parts) + ")"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        out: FrozenSet[Var] = frozenset()
+        for p in self.parts:
+            out |= p.free_variables()
+        return out
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        out: Tuple[Atom, ...] = ()
+        for p in self.parts:
+            out += p.atoms()
+        return out
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of sub-formulas."""
+
+    parts: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.parts, tuple):
+            object.__setattr__(self, "parts", tuple(self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(p) for p in self.parts) + ")"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        out: FrozenSet[Var] = frozenset()
+        for p in self.parts:
+            out |= p.free_variables()
+        return out
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        out: Tuple[Atom, ...] = ()
+        for p in self.parts:
+            out += p.atoms()
+        return out
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation of a sub-formula."""
+
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"~{self.inner!r}"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return self.inner.free_variables()
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self.inner.atoms()
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one or more variables."""
+
+    variables: Tuple[Var, ...]
+    inner: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, "variables", tuple(self.variables))
+
+    def __repr__(self) -> str:
+        quantified = " ".join(v.name for v in self.variables)
+        return f"(exists {quantified}: {self.inner!r})"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return self.inner.free_variables() - frozenset(self.variables)
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self.inner.atoms()
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification; evaluated as ``¬∃x¬φ``."""
+
+    variables: Tuple[Var, ...]
+    inner: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, "variables", tuple(self.variables))
+
+    def __repr__(self) -> str:
+        quantified = " ".join(v.name for v in self.variables)
+        return f"(forall {quantified}: {self.inner!r})"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return self.inner.free_variables() - frozenset(self.variables)
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self.inner.atoms()
+
+
+TRUE = And(())
+FALSE = Or(())
+
+
+def conj(parts: Iterable[Formula]) -> Formula:
+    """Conjunction, flattening nested Ands and simplifying singletons."""
+    flat = []
+    for p in parts:
+        if isinstance(p, And):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(parts: Iterable[Formula]) -> Formula:
+    """Disjunction, flattening nested Ors and simplifying singletons."""
+    flat = []
+    for p in parts:
+        if isinstance(p, Or):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))

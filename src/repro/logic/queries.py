@@ -1,0 +1,237 @@
+"""Query objects: generic FO queries, conjunctive queries, and unions.
+
+A :class:`Query` pairs a tuple of head (answer) variables with a body
+formula; body variables not in the head are implicitly existentially
+quantified, exactly as in the paper's notation ``Q(z): ∃x∃y Supply(x,y,z)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from ..errors import QueryError
+from ..relational.database import Database, Row
+from ..relational.nulls import is_labeled_null
+from .evaluation import Evaluator
+from .formulas import Atom, Comparison, Formula, Var, conj, is_var
+
+
+@dataclass(frozen=True)
+class Query:
+    """A first-order query ``Q(head_vars): body``.
+
+    ``answers(db)`` returns the set of head-variable tuples for which the
+    body holds; a query with no head variables is Boolean and ``holds(db)``
+    reports its truth value.
+    """
+
+    head: Tuple[Var, ...]
+    body: Formula
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.head, tuple):
+            object.__setattr__(self, "head", tuple(self.head))
+        missing = [
+            v for v in self.head if v not in self.body.free_variables()
+        ]
+        if missing:
+            raise QueryError(
+                f"head variables {missing} do not occur free in the body"
+            )
+
+    @property
+    def is_boolean(self) -> bool:
+        """True for Boolean (closed) queries."""
+        return not self.head
+
+    def answers(self, db: Database) -> FrozenSet[Row]:
+        """The set of answers ``Q(db)``."""
+        evaluator = Evaluator(db)
+        out = set()
+        for binding in evaluator.bindings(self.body):
+            try:
+                row = tuple(binding[v] for v in self.head)
+            except KeyError:
+                raise QueryError(
+                    f"unsafe query {self.name}: a satisfying binding does "
+                    f"not bind all head variables {self.head}"
+                ) from None
+            out.add(row)
+        return frozenset(out)
+
+    def certain_rows(self, db: Database) -> FrozenSet[Row]:
+        """Answers without labeled nulls (certain-answer filtering)."""
+        return frozenset(
+            row
+            for row in self.answers(db)
+            if not any(is_labeled_null(v) for v in row)
+        )
+
+    def holds(self, db: Database) -> bool:
+        """Truth value for Boolean queries (any-answer check otherwise)."""
+        evaluator = Evaluator(db)
+        return evaluator.holds(self.body)
+
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        return f"{self.name}({head}): {self.body!r}"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query: head variables, relational atoms, comparisons.
+
+    This is the fragment most of the paper's machinery targets (CQA
+    complexity, FO rewriting, causality for BCQs).  It exposes its atoms
+    structurally — needed by rewriting and by the repair/causality
+    connection — and converts to a generic :class:`Query` for evaluation.
+    """
+
+    head: Tuple[Var, ...]
+    atoms: Tuple[Atom, ...]
+    conditions: Tuple[Comparison, ...] = field(default_factory=tuple)
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.head, tuple):
+            object.__setattr__(self, "head", tuple(self.head))
+        if not isinstance(self.atoms, tuple):
+            object.__setattr__(self, "atoms", tuple(self.atoms))
+        if not isinstance(self.conditions, tuple):
+            object.__setattr__(self, "conditions", tuple(self.conditions))
+        if not self.atoms:
+            raise QueryError("a conjunctive query needs at least one atom")
+        body_vars = self.variables()
+        for v in self.head:
+            if v not in body_vars:
+                raise QueryError(
+                    f"head variable {v} does not occur in the body"
+                )
+
+    def variables(self) -> FrozenSet[Var]:
+        """All variables of the query body."""
+        out = set()
+        for a in self.atoms:
+            out |= a.free_variables()
+        for c in self.conditions:
+            out |= c.free_variables()
+        return frozenset(out)
+
+    def existential_variables(self) -> FrozenSet[Var]:
+        """Body variables not exported in the head."""
+        return self.variables() - frozenset(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        """True for Boolean conjunctive queries (BCQs)."""
+        return not self.head
+
+    def has_self_join(self) -> bool:
+        """True when some predicate occurs in two atoms."""
+        predicates = [a.predicate for a in self.atoms]
+        return len(predicates) != len(set(predicates))
+
+    def body(self) -> Formula:
+        """The body as a conjunction formula."""
+        return conj(tuple(self.atoms) + tuple(self.conditions))
+
+    def to_query(self) -> Query:
+        """The equivalent generic :class:`Query`."""
+        return Query(self.head, self.body(), name=self.name)
+
+    def answers(self, db: Database) -> FrozenSet[Row]:
+        """Evaluate the query on an instance."""
+        return self.to_query().answers(db)
+
+    def holds(self, db: Database) -> bool:
+        """Truth value on an instance (any-answer for non-Boolean)."""
+        return self.to_query().holds(db)
+
+    def instantiate(self, answer: Row) -> "ConjunctiveQuery":
+        """The Boolean query asking whether *answer* is an answer.
+
+        Used by causality: causes for answer ā to Q(x̄) are causes for the
+        BCQ Q[x̄ := ā].
+        """
+        if len(answer) != len(self.head):
+            raise QueryError(
+                f"answer arity {len(answer)} != head arity {len(self.head)}"
+            )
+        subst = dict(zip(self.head, answer))
+
+        def instantiate_terms(terms: Iterable[object]) -> Tuple[object, ...]:
+            return tuple(
+                subst.get(t, t) if is_var(t) else t for t in terms
+            )
+
+        new_atoms = tuple(
+            Atom(a.predicate, instantiate_terms(a.terms)) for a in self.atoms
+        )
+        new_conditions = tuple(
+            Comparison(
+                c.op,
+                subst.get(c.left, c.left) if is_var(c.left) else c.left,
+                subst.get(c.right, c.right) if is_var(c.right) else c.right,
+            )
+            for c in self.conditions
+        )
+        return ConjunctiveQuery(
+            (), new_atoms, new_conditions, name=f"{self.name}[{answer}]"
+        )
+
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        parts = [repr(a) for a in self.atoms] + [repr(c) for c in self.conditions]
+        return f"{self.name}({head}) :- {', '.join(parts)}"
+
+
+def cq(
+    head: Sequence[Var],
+    atoms: Sequence[Atom],
+    conditions: Sequence[Comparison] = (),
+    name: str = "Q",
+) -> ConjunctiveQuery:
+    """Convenience constructor for conjunctive queries."""
+    return ConjunctiveQuery(tuple(head), tuple(atoms), tuple(conditions), name)
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A union of conjunctive queries (UCQ) with a common head arity."""
+
+    disjuncts: Tuple[ConjunctiveQuery, ...]
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.disjuncts, tuple):
+            object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+        if not self.disjuncts:
+            raise QueryError("a UCQ needs at least one disjunct")
+        arities = {len(d.head) for d in self.disjuncts}
+        if len(arities) != 1:
+            raise QueryError(f"UCQ disjuncts disagree on head arity: {arities}")
+
+    @property
+    def is_boolean(self) -> bool:
+        """True for Boolean UCQs."""
+        return not self.disjuncts[0].head
+
+    def answers(self, db: Database) -> FrozenSet[Row]:
+        """Union of the disjuncts' answers."""
+        out: FrozenSet[Row] = frozenset()
+        for d in self.disjuncts:
+            out |= d.answers(db)
+        return out
+
+    def holds(self, db: Database) -> bool:
+        """Truth on an instance."""
+        return any(d.holds(db) for d in self.disjuncts)
+
+
+def boolean_query(atoms: Sequence[Atom],
+                  conditions: Sequence[Comparison] = (),
+                  name: str = "Q") -> ConjunctiveQuery:
+    """A Boolean conjunctive query over the given atoms."""
+    return ConjunctiveQuery((), tuple(atoms), tuple(conditions), name)

@@ -1,0 +1,142 @@
+"""Substitutions, renaming, and unification for atoms and formulas.
+
+Used by the residue-based rewriting of Section 2 (resolving a query atom
+with a constraint clause leaves a residue under the most general unifier),
+by the Datalog engine, and by the ASP grounder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .formulas import (
+    And,
+    Atom,
+    Comparison,
+    Exists,
+    Forall,
+    Formula,
+    IsNull,
+    Not,
+    Or,
+    Term,
+    Var,
+    is_var,
+)
+
+Substitution = Mapping[Var, Term]
+
+
+def apply_to_term(term: Term, subst: Substitution) -> Term:
+    """Apply a substitution to one term (identity on constants)."""
+    while is_var(term) and term in subst:
+        replacement = subst[term]
+        if replacement == term:
+            break
+        term = replacement
+    return term
+
+
+def apply_to_atom(a: Atom, subst: Substitution) -> Atom:
+    """Apply a substitution to an atom."""
+    return Atom(a.predicate, tuple(apply_to_term(t, subst) for t in a.terms))
+
+
+def apply_to_formula(f: Formula, subst: Substitution) -> Formula:
+    """Apply a substitution to a formula (capture-avoiding for our use:
+    quantified variables are never substituted)."""
+    if isinstance(f, Atom):
+        return apply_to_atom(f, subst)
+    if isinstance(f, Comparison):
+        return Comparison(
+            f.op, apply_to_term(f.left, subst), apply_to_term(f.right, subst)
+        )
+    if isinstance(f, IsNull):
+        return IsNull(apply_to_term(f.term, subst))
+    if isinstance(f, And):
+        return And(tuple(apply_to_formula(p, subst) for p in f.parts))
+    if isinstance(f, Or):
+        return Or(tuple(apply_to_formula(p, subst) for p in f.parts))
+    if isinstance(f, Not):
+        return Not(apply_to_formula(f.inner, subst))
+    if isinstance(f, (Exists, Forall)):
+        shielded = {
+            v: t for v, t in subst.items() if v not in f.variables
+        }
+        inner = apply_to_formula(f.inner, shielded)
+        cls = type(f)
+        return cls(f.variables, inner)
+    raise TypeError(f"unknown formula node {type(f).__name__}")
+
+
+def rename_apart(
+    f: Formula, taken: Iterable[Var], suffix: str = "_r"
+) -> Tuple[Formula, Dict[Var, Var]]:
+    """Rename the free variables of *f* away from *taken*.
+
+    Returns the renamed formula and the renaming used.  Needed before
+    unifying a query atom with a constraint clause so their variable
+    spaces do not collide.
+    """
+    taken_names = {v.name for v in taken}
+    renaming: Dict[Var, Var] = {}
+    for v in sorted(f.free_variables(), key=lambda w: w.name):
+        if v.name in taken_names:
+            candidate = v.name + suffix
+            counter = 0
+            while candidate in taken_names:
+                counter += 1
+                candidate = f"{v.name}{suffix}{counter}"
+            renaming[v] = Var(candidate)
+            taken_names.add(candidate)
+    return apply_to_formula(f, renaming), renaming
+
+
+def unify_atoms(a: Atom, b: Atom) -> Optional[Dict[Var, Term]]:
+    """Most general unifier of two atoms, or None.
+
+    Constants unify only when equal; variables may bind to constants or
+    other variables.  The atoms are assumed to have disjoint variable
+    spaces when that matters (use :func:`rename_apart` first).
+    """
+    if a.predicate != b.predicate or a.arity != b.arity:
+        return None
+    subst: Dict[Var, Term] = {}
+
+    def resolve(term: Term) -> Term:
+        while is_var(term) and term in subst:
+            term = subst[term]
+        return term
+
+    for left, right in zip(a.terms, b.terms):
+        left, right = resolve(left), resolve(right)
+        if left == right:
+            continue
+        if is_var(left):
+            subst[left] = right
+        elif is_var(right):
+            subst[right] = left
+        else:
+            return None
+    return subst
+
+
+def match_atom(pattern: Atom, ground: Atom) -> Optional[Dict[Var, Term]]:
+    """One-way matching: a substitution θ with pattern·θ == ground, or None.
+
+    Unlike unification, the ground atom may not contain variables and the
+    pattern's variables bind to the ground atom's constants.
+    """
+    if pattern.predicate != ground.predicate or pattern.arity != ground.arity:
+        return None
+    subst: Dict[Var, Term] = {}
+    for p_term, g_term in zip(pattern.terms, ground.terms):
+        if is_var(p_term):
+            if p_term in subst:
+                if subst[p_term] != g_term:
+                    return None
+            else:
+                subst[p_term] = g_term
+        elif p_term != g_term:
+            return None
+    return subst

@@ -1,0 +1,11 @@
+"""Multidimensional (data warehouse) dimensions and their repairs."""
+
+from .dimension import Dimension
+from .repairs import DimensionRepair, c_dimension_repairs, dimension_repairs
+
+__all__ = [
+    "Dimension",
+    "DimensionRepair",
+    "c_dimension_repairs",
+    "dimension_repairs",
+]

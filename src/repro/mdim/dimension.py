@@ -1,0 +1,168 @@
+"""Multidimensional dimensions and their repairs (Section 8, [8, 21, 44, 45]).
+
+Data-warehouse dimensions (Hurtado–Mendelzon style) arrange members in
+categories connected by a hierarchy; pre-computed aggregates are reusable
+only when the dimension is *strict* (every member reaches at most one
+ancestor per category) and *covering* (every member has a parent in each
+parent category).  Dirty rollups break both, and — as the paper notes for
+the multidimensional setting — repairs restore them by minimally editing
+the rollup edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..errors import ConstraintError
+
+Edge = Tuple[str, str]  # (child member, parent member)
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A dimension schema + instance.
+
+    * ``categories``: category name → frozenset of member names
+      (member names must be globally unique);
+    * ``hierarchy``: (child category, parent category) pairs, acyclic;
+    * ``rollup``: (child member, parent member) edges; each edge must
+      connect members of hierarchy-adjacent categories.
+    """
+
+    categories: Dict[str, FrozenSet[str]]
+    hierarchy: FrozenSet[Tuple[str, str]]
+    rollup: FrozenSet[Edge]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "categories",
+            {c: frozenset(ms) for c, ms in self.categories.items()},
+        )
+        object.__setattr__(self, "hierarchy", frozenset(self.hierarchy))
+        object.__setattr__(self, "rollup", frozenset(self.rollup))
+        self._validate()
+
+    def _validate(self) -> None:
+        seen: Dict[str, str] = {}
+        for category, members in self.categories.items():
+            for m in members:
+                if m in seen:
+                    raise ConstraintError(
+                        f"member {m!r} appears in categories "
+                        f"{seen[m]!r} and {category!r}"
+                    )
+                seen[m] = category
+        for child_cat, parent_cat in self.hierarchy:
+            if child_cat not in self.categories:
+                raise ConstraintError(f"unknown category {child_cat!r}")
+            if parent_cat not in self.categories:
+                raise ConstraintError(f"unknown category {parent_cat!r}")
+        self._check_acyclic()
+        for child, parent in self.rollup:
+            child_cat = self.category_of(child)
+            parent_cat = self.category_of(parent)
+            if (child_cat, parent_cat) not in self.hierarchy:
+                raise ConstraintError(
+                    f"rollup edge {child!r} -> {parent!r} does not follow "
+                    f"the hierarchy ({child_cat!r} -> {parent_cat!r})"
+                )
+
+    def _check_acyclic(self) -> None:
+        adjacency: Dict[str, Set[str]] = {}
+        for child, parent in self.hierarchy:
+            adjacency.setdefault(child, set()).add(parent)
+        visited: Set[str] = set()
+        stack: Set[str] = set()
+
+        def visit(node: str) -> None:
+            if node in stack:
+                raise ConstraintError("the category hierarchy has a cycle")
+            if node in visited:
+                return
+            stack.add(node)
+            for nxt in adjacency.get(node, ()):
+                visit(nxt)
+            stack.remove(node)
+            visited.add(node)
+
+        for node in list(adjacency):
+            visit(node)
+
+    # ------------------------------------------------------------------
+
+    def category_of(self, member: str) -> str:
+        """The category of *member* (error if unknown)."""
+        for category, members in self.categories.items():
+            if member in members:
+                return category
+        raise ConstraintError(f"unknown member {member!r}")
+
+    def parent_categories(self, category: str) -> Tuple[str, ...]:
+        return tuple(sorted(
+            p for c, p in self.hierarchy if c == category
+        ))
+
+    def ancestors(self, member: str) -> Dict[str, Set[str]]:
+        """Reachable ancestors of *member*, grouped by category."""
+        out: Dict[str, Set[str]] = {}
+        frontier = [member]
+        seen = {member}
+        while frontier:
+            current = frontier.pop()
+            for child, parent in self.rollup:
+                if child != current or parent in seen:
+                    continue
+                seen.add(parent)
+                out.setdefault(self.category_of(parent), set()).add(parent)
+                frontier.append(parent)
+        return out
+
+    def with_rollup(self, rollup: FrozenSet[Edge]) -> "Dimension":
+        """A copy with a different rollup relation."""
+        return Dimension(dict(self.categories), self.hierarchy, rollup)
+
+    # ------------------------------------------------------------------
+    # Summarizability constraints
+    # ------------------------------------------------------------------
+
+    def strictness_violations(self) -> List[Tuple[str, str, FrozenSet[str]]]:
+        """(member, category, distinct ancestors) with ≥2 ancestors."""
+        out = []
+        for members in self.categories.values():
+            for m in sorted(members):
+                for category, ancestors in sorted(
+                    self.ancestors(m).items()
+                ):
+                    if len(ancestors) > 1:
+                        out.append((m, category, frozenset(ancestors)))
+        return out
+
+    def covering_violations(self) -> List[Tuple[str, str]]:
+        """(member, parent category) pairs lacking a direct parent."""
+        out = []
+        for category, members in sorted(self.categories.items()):
+            parents = self.parent_categories(category)
+            for m in sorted(members):
+                direct = {
+                    self.category_of(p)
+                    for c, p in self.rollup
+                    if c == m
+                }
+                for parent_cat in parents:
+                    if parent_cat not in direct:
+                        out.append((m, parent_cat))
+        return out
+
+    def is_strict(self) -> bool:
+        """Every member reaches at most one ancestor per category."""
+        return not self.strictness_violations()
+
+    def is_covering(self) -> bool:
+        """Every member has a parent in each parent category."""
+        return not self.covering_violations()
+
+    def is_summarizable(self) -> bool:
+        """Strict and covering."""
+        return self.is_strict() and self.is_covering()

@@ -1,0 +1,175 @@
+"""Dimension repairs: minimal rollup edits restoring summarizability.
+
+Following the dimension-repair line ([44, 45]): admissible operations
+are deleting a rollup edge and inserting a rollup edge consistent with
+the hierarchy; a repair is a summarizable dimension whose edge-set
+symmetric difference with the original is minimal (set-inclusion for the
+S-flavour, cardinality for the C-flavour) — the direct transplant of
+Section 3.1's repair notions to the multidimensional model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set
+
+from ..errors import RepairError
+from .dimension import Dimension, Edge
+
+
+@dataclass(frozen=True)
+class DimensionRepair:
+    """A repaired dimension with its edge-level difference."""
+
+    original: Dimension
+    repaired: Dimension
+
+    @property
+    def deleted_edges(self) -> FrozenSet[Edge]:
+        return self.original.rollup - self.repaired.rollup
+
+    @property
+    def inserted_edges(self) -> FrozenSet[Edge]:
+        return self.repaired.rollup - self.original.rollup
+
+    @property
+    def diff(self) -> FrozenSet[Edge]:
+        return self.original.rollup ^ self.repaired.rollup
+
+    @property
+    def size(self) -> int:
+        return len(self.diff)
+
+    def __repr__(self) -> str:
+        return (
+            f"DimensionRepair(-{sorted(self.deleted_edges)}, "
+            f"+{sorted(self.inserted_edges)})"
+        )
+
+
+def dimension_repairs(
+    dimension: Dimension,
+    max_changes: Optional[int] = None,
+) -> List[DimensionRepair]:
+    """All minimal-edit repairs of *dimension*.
+
+    Breadth-first search over edge sets: each step fixes one violation —
+    a strictness violation by deleting an edge on one of the offending
+    paths, a covering violation by inserting an edge to some member of
+    the missing parent category.  Leaves are summarizable; the collection
+    is filtered to inclusion-minimal symmetric differences.
+    """
+    if max_changes is None:
+        max_changes = len(dimension.rollup) + sum(
+            len(ms) for ms in dimension.categories.values()
+        )
+    start = dimension.rollup
+    visited: Set[FrozenSet[Edge]] = {start}
+    frontier: List[FrozenSet[Edge]] = [start]
+    solutions: List[FrozenSet[Edge]] = []
+    while frontier:
+        current = frontier.pop()
+        candidate = dimension.with_rollup(current)
+        strict_violations = candidate.strictness_violations()
+        covering_violations = candidate.covering_violations()
+        if not strict_violations and not covering_violations:
+            solutions.append(current)
+            continue
+        if len(current ^ start) >= max_changes:
+            continue
+        successors: List[FrozenSet[Edge]] = []
+        if strict_violations:
+            member, category, ancestors = strict_violations[0]
+            for edge in _edges_towards(
+                candidate, member, category, ancestors
+            ):
+                successors.append(current - {edge})
+        else:
+            member, parent_cat = covering_violations[0]
+            for parent in sorted(dimension.categories[parent_cat]):
+                successors.append(current | {(member, parent)})
+        for nxt in successors:
+            if nxt not in visited:
+                visited.add(nxt)
+                frontier.append(nxt)
+    if not solutions:
+        raise RepairError(
+            "no summarizable repair within the change bound; a covering "
+            "violation may have an empty parent category"
+        )
+    minimal = _minimal_diffs(start, solutions)
+    return [
+        DimensionRepair(dimension, dimension.with_rollup(rollup))
+        for rollup in minimal
+    ]
+
+
+def c_dimension_repairs(
+    dimension: Dimension,
+    max_changes: Optional[int] = None,
+) -> List[DimensionRepair]:
+    """Repairs with minimum edit cardinality."""
+    repairs = dimension_repairs(dimension, max_changes=max_changes)
+    best = min(r.size for r in repairs)
+    return [r for r in repairs if r.size == best]
+
+
+def _edges_towards(
+    dimension: Dimension,
+    member: str,
+    category: str,
+    ancestors: FrozenSet[str],
+) -> List[Edge]:
+    """Edges on the rollup paths from *member* to the clashing ancestors.
+
+    Deleting any one of them can break the multiple-ancestor situation;
+    non-helpful deletions lead to non-minimal leaves pruned later.
+    """
+    on_path: Set[Edge] = set()
+    for target in ancestors:
+        # Backward reachability: edges that lie on some member→target path.
+        reaches_target = {target}
+        changed = True
+        while changed:
+            changed = False
+            for child, parent in dimension.rollup:
+                if parent in reaches_target and child not in reaches_target:
+                    reaches_target.add(child)
+                    changed = True
+        reachable_from_member = {member}
+        changed = True
+        while changed:
+            changed = False
+            for child, parent in dimension.rollup:
+                if (
+                    child in reachable_from_member
+                    and parent not in reachable_from_member
+                ):
+                    reachable_from_member.add(parent)
+                    changed = True
+        for child, parent in dimension.rollup:
+            if (
+                child in reachable_from_member
+                and parent in reaches_target
+                and child in reaches_target | reachable_from_member
+            ):
+                if child in reachable_from_member and (
+                    parent in reaches_target
+                ):
+                    on_path.add((child, parent))
+    return sorted(on_path)
+
+
+def _minimal_diffs(
+    start: FrozenSet[Edge], solutions: List[FrozenSet[Edge]]
+) -> List[FrozenSet[Edge]]:
+    by_diff = {}
+    for rollup in solutions:
+        by_diff.setdefault(frozenset(rollup ^ start), rollup)
+    kept: List[FrozenSet[Edge]] = []
+    out: List[FrozenSet[Edge]] = []
+    for diff in sorted(by_diff, key=lambda d: (len(d), sorted(d))):
+        if not any(k <= diff for k in kept):
+            kept.append(diff)
+            out.append(by_diff[diff])
+    return out

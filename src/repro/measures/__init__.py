@@ -1,0 +1,17 @@
+"""Repair-based inconsistency measures."""
+
+from .inconsistency import (
+    InconsistencyReport,
+    more_consistent_than,
+    cardinality_repair_measure,
+    g3_measure,
+    violation_ratio,
+)
+
+__all__ = [
+    "InconsistencyReport",
+    "more_consistent_than",
+    "cardinality_repair_measure",
+    "g3_measure",
+    "violation_ratio",
+]

@@ -1,0 +1,5 @@
+"""Inconsistency-tolerant ontology-based data access (AR/IAR/brave)."""
+
+from .ontology import Ontology
+
+__all__ = ["Ontology"]

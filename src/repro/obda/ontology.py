@@ -1,0 +1,192 @@
+"""Inconsistency-tolerant ontology-based data access (Section 8).
+
+In OBDA, a TBox (here: positive Datalog rules, the core of DL-Lite /
+Datalog± class axioms) derives implicit facts over an ABox; *negative
+constraints* (denial constraints) can make the combination inconsistent.
+The inconsistency-tolerant semantics surveyed by the paper ([29, 30, 79,
+89, 100]) answer queries anyway:
+
+* **AR** (ABox Repair): certain answers over all ⊆-maximal consistent
+  ABox subsets — CQA transplanted to ontologies;
+* **IAR** (Intersection of ABox Repairs): answers from the single
+  instance ∩repairs — a sound, tractable under-approximation of AR;
+* **brave**: answers holding in at least one repair.
+
+Repairs are computed by tracing constraint violations on the *saturated*
+ABox back to the ABox facts supporting them (why-provenance), which
+yields an ABox-level conflict hypergraph whose maximal independent sets
+are exactly the ABox repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..constraints.denial import DenialConstraint
+from ..datalog.engine import Program, Rule
+from ..datalog.provenance import evaluate_with_provenance, supports_of
+from ..errors import ConstraintError
+from ..logic.evaluation import witnesses
+from ..logic.queries import ConjunctiveQuery
+from ..relational.database import Database, Fact, Row
+from ..relational.schema import Schema, positional_schema
+
+
+@dataclass(frozen=True)
+class Ontology:
+    """A TBox of positive Datalog rules plus negative constraints."""
+
+    tbox: Tuple[Rule, ...]
+    negative_constraints: Tuple[DenialConstraint, ...]
+    name: str = "ontology"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tbox, tuple):
+            object.__setattr__(self, "tbox", tuple(self.tbox))
+        if not isinstance(self.negative_constraints, tuple):
+            object.__setattr__(
+                self,
+                "negative_constraints",
+                tuple(self.negative_constraints),
+            )
+        for rule in self.tbox:
+            for literal in rule.body:
+                if not literal.positive:
+                    raise ConstraintError(
+                        "TBox rules must be positive (DL-Lite/Datalog± "
+                        "class and role inclusions)"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _saturation_schema(self, abox: Database) -> Schema:
+        schema = abox.schema
+        extra = []
+        for rule in self.tbox:
+            p = rule.head.predicate
+            if p not in schema and all(r.name != p for r in extra):
+                extra.append(positional_schema(p, rule.head.arity))
+        if extra:
+            schema = schema.merged_with(Schema.of(*extra))
+        return schema
+
+    def saturate(self, abox: Database) -> Database:
+        """The ABox closed under the TBox rules."""
+        provenance = evaluate_with_provenance(Program(self.tbox), abox)
+        schema = self._saturation_schema(abox)
+        saturated = Database.empty(schema)
+        facts = []
+        for predicate, rows in provenance.items():
+            for values in rows:
+                facts.append(Fact(predicate, values))
+        return saturated.insert(facts)
+
+    def is_consistent(self, abox: Database) -> bool:
+        """Is the saturated ABox free of NC violations?"""
+        saturated = self.saturate(abox)
+        return all(
+            nc.is_satisfied(saturated) for nc in self.negative_constraints
+        )
+
+    # ------------------------------------------------------------------
+
+    def abox_conflicts(self, abox: Database) -> FrozenSet[FrozenSet[str]]:
+        """ABox-level conflict hyperedges (tids of *abox*).
+
+        Every NC violation on the saturation, combined with every choice
+        of minimal supports for its facts, denounces one set of ABox
+        facts that cannot coexist.
+        """
+        provenance = evaluate_with_provenance(Program(self.tbox), abox)
+        saturated = self.saturate(abox)
+        edges: Set[FrozenSet[str]] = set()
+        for nc in self.negative_constraints:
+            for _, facts in witnesses(saturated, nc.atoms, nc.conditions):
+                support_families = []
+                for f in set(facts):
+                    family = supports_of(provenance, f)
+                    if not family:
+                        family = frozenset({frozenset({f})})
+                    support_families.append(sorted(
+                        family, key=lambda s: sorted(map(repr, s))
+                    ))
+                for combo in _product(support_families):
+                    edge = set()
+                    for support in combo:
+                        for f in support:
+                            edge.add(abox.tid_of(f))
+                    edges.add(frozenset(edge))
+        # Keep only inclusion-minimal edges: hitting a subset edge
+        # automatically hits its supersets.
+        minimal: List[FrozenSet[str]] = []
+        for e in sorted(edges, key=len):
+            if not any(m <= e for m in minimal):
+                minimal.append(e)
+        return frozenset(minimal)
+
+    def abox_repairs(self, abox: Database) -> List[Database]:
+        """All ⊆-maximal consistent sub-ABoxes."""
+        from ..constraints.conflicts import ConflictHypergraph
+
+        graph = ConflictHypergraph(
+            frozenset(abox.tids()), self.abox_conflicts(abox)
+        )
+        return [
+            abox.restricted_to(tids)
+            for tids in graph.maximal_independent_sets()
+        ]
+
+    # ------------------------------------------------------------------
+    # Inconsistency-tolerant query answering
+    # ------------------------------------------------------------------
+
+    def certain_answers(
+        self, abox: Database, query: ConjunctiveQuery
+    ) -> FrozenSet[Row]:
+        """Classical certain answers (requires a consistent ABox)."""
+        return frozenset(query.answers(self.saturate(abox)))
+
+    def ar_answers(
+        self, abox: Database, query: ConjunctiveQuery
+    ) -> FrozenSet[Row]:
+        """AR semantics: true over the saturation of every ABox repair."""
+        result: Optional[FrozenSet[Row]] = None
+        for repair in self.abox_repairs(abox):
+            answers = frozenset(query.answers(self.saturate(repair)))
+            result = answers if result is None else (result & answers)
+            if not result:
+                break
+        return result if result is not None else frozenset()
+
+    def iar_answers(
+        self, abox: Database, query: ConjunctiveQuery
+    ) -> FrozenSet[Row]:
+        """IAR semantics: query the saturated intersection of repairs."""
+        repairs = self.abox_repairs(abox)
+        if not repairs:
+            return frozenset()
+        shared = repairs[0].facts()
+        for repair in repairs[1:]:
+            shared &= repair.facts()
+        core = abox.delete([f for f in abox.facts() if f not in shared])
+        return frozenset(query.answers(self.saturate(core)))
+
+    def brave_answers(
+        self, abox: Database, query: ConjunctiveQuery
+    ) -> FrozenSet[Row]:
+        """Brave semantics: true over the saturation of some repair."""
+        out: FrozenSet[Row] = frozenset()
+        for repair in self.abox_repairs(abox):
+            out |= frozenset(query.answers(self.saturate(repair)))
+        return out
+
+
+def _product(families: List[List[FrozenSet[Fact]]]):
+    if not families:
+        yield ()
+        return
+    head, *tail = families
+    for choice in head:
+        for rest in _product(tail):
+            yield (choice,) + rest

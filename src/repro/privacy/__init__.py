@@ -1,0 +1,15 @@
+"""Privacy via secrecy views and null-based virtual updates."""
+
+from .secrecy import (
+    SecrecyView,
+    secrecy_preserving_answers,
+    view_is_hidden,
+    virtual_secrecy_instances,
+)
+
+__all__ = [
+    "SecrecyView",
+    "secrecy_preserving_answers",
+    "view_is_hidden",
+    "virtual_secrecy_instances",
+]

@@ -1,0 +1,103 @@
+"""Data privacy through secrecy views (Section 4.3's application, [24]).
+
+Bertossi & Li hide sensitive data by declaring *secrecy views* — CQs
+whose contents must appear empty to a class of users.  The database is
+*virtually* repaired wrt the constraint "the view is empty" (a denial
+constraint) using attribute-level NULL updates: in every virtual
+repair, the view evaluates to nothing (NULL never satisfies the view's
+joins), and user queries are answered certainly — true in every virtual
+repair — so no secret can be reconstructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..constraints.denial import DenialConstraint
+from ..errors import QueryError
+from ..logic.queries import ConjunctiveQuery
+from ..relational.database import Database, Row
+from ..repairs.attribute import AttributeRepair, attribute_repairs
+
+
+@dataclass(frozen=True)
+class SecrecyView:
+    """A conjunctive view whose extension must look empty."""
+
+    query: ConjunctiveQuery
+    name: str = "V"
+
+    def to_emptiness_constraint(self) -> DenialConstraint:
+        """The denial constraint stating the view is empty."""
+        return DenialConstraint(
+            self.query.atoms,
+            self.query.conditions,
+            name=f"empty({self.name})",
+        )
+
+    def leaks(self, db: Database) -> bool:
+        """Does the view currently expose any tuple?"""
+        return self.query.holds(db)
+
+
+def virtual_secrecy_instances(
+    db: Database,
+    views: Sequence[SecrecyView],
+) -> List[AttributeRepair]:
+    """The minimal null-update versions hiding every view.
+
+    These are exactly the attribute-level repairs of the instance wrt
+    the emptiness constraints; each one keeps every tuple (no deletions
+    — the database "does not lose tuples, only precision").
+    """
+    constraints = [v.to_emptiness_constraint() for v in views]
+    return attribute_repairs(db, constraints)
+
+
+def secrecy_preserving_answers(
+    db: Database,
+    views: Sequence[SecrecyView],
+    query,
+) -> FrozenSet[Row]:
+    """Answers certain across all virtual secrecy instances.
+
+    Raises :class:`QueryError` when no virtual instance exists (some
+    view violation has no nullable position — it must then be protected
+    by deletion-based means instead).
+    """
+    instances = virtual_secrecy_instances(db, views)
+    if not instances:
+        if any(v.leaks(db) for v in views):
+            raise QueryError(
+                "no null-based virtual instance can hide the views; "
+                "a view body has no join/constant position to null"
+            )
+        return frozenset(query.answers(db))
+    result: Optional[FrozenSet[Row]] = None
+    for virtual in instances:
+        answers = frozenset(query.answers(virtual.instance))
+        result = answers if result is None else (result & answers)
+        if not result:
+            break
+    return result if result is not None else frozenset()
+
+
+def view_is_hidden(
+    db: Database,
+    views: Sequence[SecrecyView],
+) -> Tuple[bool, List[str]]:
+    """Check that every virtual instance shows every view as empty.
+
+    Returns (all hidden, labels of the offending virtual instances) —
+    the verification step of [24], which holds by construction here.
+    """
+    offenders: List[str] = []
+    for virtual in virtual_secrecy_instances(db, views):
+        for view in views:
+            if view.query.holds(virtual.instance):
+                offenders.append(
+                    f"{view.name} visible under "
+                    f"{{{', '.join(virtual.change_labels())}}}"
+                )
+    return (not offenders, offenders)

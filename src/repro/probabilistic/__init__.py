@@ -1,0 +1,15 @@
+"""Probabilistic repairs and clean answers."""
+
+from .clean_answers import (
+    DirtyDatabase,
+    clean_answers,
+    clean_answers_single_atom,
+    world_probabilities,
+)
+
+__all__ = [
+    "DirtyDatabase",
+    "clean_answers",
+    "clean_answers_single_atom",
+    "world_probabilities",
+]

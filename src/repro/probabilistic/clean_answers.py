@@ -1,0 +1,183 @@
+"""Probabilistic clean answers over dirty databases (Section 6, after [2]).
+
+Andritsos, Fuxman & Miller weaken certain answers probabilistically: a
+key-violating instance induces a distribution over its repairs (worlds),
+each world keeping one tuple per key group; tuples may carry weights
+(source reliability), defaulting to uniform within their group.  The
+*clean answer* probability of a row is the total probability of the
+worlds where it is an answer — certain answers are exactly the rows with
+probability 1, and "true in most repairs" (the paper's suggested
+weakening) is a threshold query on the same distribution.
+
+Two evaluation paths:
+
+* ``world_probabilities`` / ``clean_answers`` enumerate the repair
+  worlds exactly (the defining semantics; exponential);
+* ``clean_answers_single_atom`` computes the same probabilities in
+  polynomial time for single-atom projection queries, exploiting the
+  independence of key groups.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..constraints.fd import FunctionalDependency
+from ..errors import QueryError
+from ..logic.formulas import is_var
+from ..logic.queries import ConjunctiveQuery
+from ..relational.database import Database, Fact, Row
+from ..relational.nulls import is_null
+
+
+@dataclass(frozen=True)
+class DirtyDatabase:
+    """A key-violating instance with per-tuple weights.
+
+    Weights are positive reals; within each key group they normalize to
+    the group's choice distribution.  Missing weights default to 1
+    (uniform within the group).
+    """
+
+    db: Database
+    key: FunctionalDependency
+    weights: Mapping[Fact, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for f, w in self.weights.items():
+            if w <= 0:
+                raise QueryError(f"weight of {f!r} must be positive")
+            if f not in self.db:
+                raise QueryError(f"weighted fact {f!r} not in instance")
+
+    def weight(self, f: Fact) -> float:
+        return float(self.weights.get(f, 1.0))
+
+    def groups(self) -> List[List[Tuple[Fact, float]]]:
+        """Key groups with normalized per-tuple choice probabilities.
+
+        Tuples whose key contains NULL never conflict; they form
+        singleton groups with probability 1.
+        """
+        rel = self.db.schema.relation(self.key.relation)
+        lhs_pos = rel.positions(self.key.lhs)
+        buckets: Dict[Tuple, List[Fact]] = {}
+        singletons: List[List[Tuple[Fact, float]]] = []
+        for f in sorted(self.db.facts(), key=repr):
+            if f.relation != self.key.relation:
+                singletons.append([(f, 1.0)])
+                continue
+            key_vals = tuple(f.values[p] for p in lhs_pos)
+            if any(is_null(v) for v in key_vals):
+                singletons.append([(f, 1.0)])
+                continue
+            buckets.setdefault(key_vals, []).append(f)
+        groups: List[List[Tuple[Fact, float]]] = list(singletons)
+        for facts in buckets.values():
+            total = sum(self.weight(f) for f in facts)
+            groups.append([(f, self.weight(f) / total) for f in facts])
+        return groups
+
+
+def world_probabilities(
+    dirty: DirtyDatabase,
+) -> List[Tuple[Database, float]]:
+    """All repair worlds with their probabilities (sums to 1)."""
+    groups = dirty.groups()
+    choice_groups = [g for g in groups if len(g) > 1]
+    fixed = [f for g in groups if len(g) == 1 for f, _ in g]
+    worlds: List[Tuple[Database, float]] = []
+    for combo in itertools.product(*choice_groups) if choice_groups else [()]:
+        probability = 1.0
+        kept = list(fixed)
+        for f, p in combo:
+            probability *= p
+            kept.append(f)
+        world = dirty.db.delete(
+            [f for f in dirty.db.facts() if f not in set(kept)]
+        )
+        worlds.append((world, probability))
+    return worlds
+
+
+def clean_answers(
+    dirty: DirtyDatabase,
+    query,
+    threshold: float = 0.0,
+) -> List[Tuple[Row, float]]:
+    """Rows with their answer probabilities, most probable first.
+
+    ``threshold=1.0`` recovers the certain answers; intermediate values
+    implement "true in most repairs".
+    """
+    probabilities: Dict[Row, float] = {}
+    for world, p in world_probabilities(dirty):
+        for row in query.answers(world):
+            probabilities[row] = probabilities.get(row, 0.0) + p
+    out = [
+        (row, min(p, 1.0)) for row, p in probabilities.items()
+        if p >= threshold - 1e-12
+    ]
+    out.sort(key=lambda item: (-item[1], repr(item[0])))
+    return out
+
+
+def clean_answers_single_atom(
+    dirty: DirtyDatabase,
+    query: ConjunctiveQuery,
+    threshold: float = 0.0,
+) -> List[Tuple[Row, float]]:
+    """Polynomial clean answers for single-atom projection queries.
+
+    Key groups choose independently, so for an answer row supported by
+    tuple sets S_g per group g: P(row) = 1 − Π_g (1 − P(choice ∈ S_g)).
+    """
+    if len(query.atoms) != 1 or query.conditions:
+        raise QueryError(
+            "the polynomial path handles single-atom queries without "
+            "comparisons; use clean_answers for the general case"
+        )
+    (atom_,) = query.atoms
+    if atom_.predicate != dirty.key.relation:
+        raise QueryError(
+            "the query atom must range over the keyed relation"
+        )
+    groups = dirty.groups()
+    support: Dict[Row, Dict[int, float]] = {}
+    for g_index, group in enumerate(groups):
+        for f, p in group:
+            if f.relation != atom_.predicate:
+                continue
+            row = _project(atom_, f, query)
+            if row is None:
+                continue
+            bucket = support.setdefault(row, {})
+            bucket[g_index] = bucket.get(g_index, 0.0) + p
+    out: List[Tuple[Row, float]] = []
+    for row, per_group in support.items():
+        miss = 1.0
+        for p in per_group.values():
+            miss *= 1.0 - min(p, 1.0)
+        probability = 1.0 - miss
+        if probability >= threshold - 1e-12:
+            out.append((row, probability))
+    out.sort(key=lambda item: (-item[1], repr(item[0])))
+    return out
+
+
+def _project(atom_, f: Fact, query: ConjunctiveQuery) -> Optional[Row]:
+    """Head projection of fact *f* under the atom pattern, or None."""
+    binding = {}
+    for term, value in zip(atom_.terms, f.values):
+        if is_var(term):
+            if term in binding and binding[term] != value:
+                return None
+            binding[term] = value
+        elif term != value:
+            return None
+    try:
+        return tuple(binding[v] for v in query.head)
+    except KeyError:
+        return None

@@ -1,0 +1,19 @@
+"""Relational engine substrate: schemas, facts, instances, NULL semantics."""
+
+from .database import Database, Fact, fact
+from .nulls import NULL, LabeledNull, has_nulls, is_labeled_null, is_null
+from .schema import RelationSchema, Schema, positional_schema
+
+__all__ = [
+    "Database",
+    "Fact",
+    "fact",
+    "NULL",
+    "LabeledNull",
+    "has_nulls",
+    "is_labeled_null",
+    "is_null",
+    "RelationSchema",
+    "Schema",
+    "positional_schema",
+]

@@ -1,0 +1,121 @@
+"""Relational schemas: attributes, relation schemas, database schemas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Tuple
+
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: a name, ordered attributes, an optional key.
+
+    Attributes are identified by name; positions are derived from the order
+    in *attributes*.  The optional *key* lists the attribute names forming
+    the primary key (used by key constraints and by SQL generation).
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    key: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"duplicate attribute names in relation {self.name!r}: "
+                f"{self.attributes}"
+            )
+        if self.key is not None:
+            missing = [a for a in self.key if a not in self.attributes]
+            if missing:
+                raise SchemaError(
+                    f"key attributes {missing} not in relation {self.name!r}"
+                )
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def position(self, attribute: str) -> int:
+        """Return the 0-based position of *attribute*.
+
+        Raises :class:`SchemaError` for unknown attribute names.
+        """
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {self.attributes}"
+            ) from None
+
+    def positions(self, attributes: Iterable[str]) -> Tuple[int, ...]:
+        """Return the positions of several attributes, in the given order."""
+        return tuple(self.position(a) for a in attributes)
+
+    def key_positions(self) -> Tuple[int, ...]:
+        """Return positions of the primary key, or all positions if no key."""
+        if self.key is None:
+            return tuple(range(self.arity))
+        return self.positions(self.key)
+
+    def nonkey_attributes(self) -> Tuple[str, ...]:
+        """Attributes not in the primary key (all, if no key declared)."""
+        if self.key is None:
+            return ()
+        return tuple(a for a in self.attributes if a not in self.key)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A database schema: a collection of relation schemas by name."""
+
+    relations: Mapping[str, RelationSchema] = field(default_factory=dict)
+
+    @staticmethod
+    def of(*relation_schemas: RelationSchema) -> "Schema":
+        """Build a schema from relation schemas, checking name uniqueness."""
+        by_name = {}
+        for rel in relation_schemas:
+            if rel.name in by_name:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            by_name[rel.name] = rel
+        return Schema(relations=by_name)
+
+    def relation(self, name: str) -> RelationSchema:
+        """Return the schema of relation *name*, raising if unknown."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r}; known relations: "
+                f"{sorted(self.relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def names(self) -> Tuple[str, ...]:
+        """Relation names in sorted order."""
+        return tuple(sorted(self.relations))
+
+    def merged_with(self, other: "Schema") -> "Schema":
+        """Union of two schemas; shared names must agree exactly."""
+        merged = dict(self.relations)
+        for name, rel in other.relations.items():
+            if name in merged and merged[name] != rel:
+                raise SchemaError(
+                    f"conflicting schemas for relation {name!r}"
+                )
+            merged[name] = rel
+        return Schema(relations=merged)
+
+
+def positional_schema(name: str, arity: int) -> RelationSchema:
+    """A relation schema with anonymous attributes a0..a{arity-1}."""
+    return RelationSchema(name, tuple(f"a{i}" for i in range(arity)))

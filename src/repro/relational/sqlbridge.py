@@ -1,0 +1,100 @@
+"""Bridge between :class:`~repro.relational.database.Database` and SQLite.
+
+Used by the ConQuer-style rewriting path (our substitute for running
+consistent-query rewritings on a commercial SQL engine, Section 3.1 of the
+paper): a database instance is materialized into an in-memory SQLite
+database, generated SQL is executed there, and results are read back as
+Python tuples.  NULL markers map to SQL NULL, so SQLite enforces the same
+"null never joins" semantics the library uses internally.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, List, Tuple
+
+from .database import Database, Row
+from .nulls import NULL, is_labeled_null, is_null
+
+
+def _quote_identifier(name: str) -> str:
+    """Quote an SQL identifier (relation or attribute name)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def to_sqlite(db: Database) -> sqlite3.Connection:
+    """Materialize *db* into a fresh in-memory SQLite connection.
+
+    Every relation becomes a table with the schema's attribute names.
+    NULL markers become SQL NULLs; labeled nulls are rejected because
+    SQLite cannot reproduce their naive-table join semantics.
+    """
+    conn = sqlite3.connect(":memory:")
+    cursor = conn.cursor()
+    for name in db.schema.names():
+        rel = db.schema.relation(name)
+        columns = ", ".join(_quote_identifier(a) for a in rel.attributes)
+        cursor.execute(f"CREATE TABLE {_quote_identifier(name)} ({columns})")
+        rows = db.relation(name)
+        if not rows:
+            continue
+        placeholders = ", ".join("?" * rel.arity)
+        prepared = []
+        for row in rows:
+            converted = []
+            for value in row:
+                if is_labeled_null(value):
+                    raise ValueError(
+                        "labeled nulls cannot be materialized into SQLite"
+                    )
+                converted.append(None if is_null(value) else value)
+            prepared.append(tuple(converted))
+        cursor.executemany(
+            f"INSERT INTO {_quote_identifier(name)} VALUES ({placeholders})",
+            prepared,
+        )
+    conn.commit()
+    return conn
+
+
+def run_sql(db: Database, sql: str) -> List[Row]:
+    """Run *sql* against a materialization of *db*; return rows.
+
+    SQL NULLs in the result are mapped back to the NULL marker.  Rows are
+    returned in sorted order for deterministic comparison with the
+    in-memory evaluator.
+    """
+    conn = to_sqlite(db)
+    try:
+        cursor = conn.execute(sql)
+        raw = cursor.fetchall()
+    finally:
+        conn.close()
+    rows = [
+        tuple(NULL if v is None else v for v in row)
+        for row in raw
+    ]
+    return sorted(set(rows), key=repr)
+
+
+def run_sql_on_connection(
+    conn: sqlite3.Connection, sql: str
+) -> List[Row]:
+    """Run *sql* on an existing connection (for benchmark reuse)."""
+    cursor = conn.execute(sql)
+    rows = [
+        tuple(NULL if v is None else v for v in row)
+        for row in cursor.fetchall()
+    ]
+    return sorted(set(rows), key=repr)
+
+
+def table_counts(conn: sqlite3.Connection, names: Iterable[str]) -> Tuple[int, ...]:
+    """Row counts for the given tables (sanity checks in tests)."""
+    counts = []
+    for name in names:
+        cursor = conn.execute(
+            f"SELECT COUNT(*) FROM {_quote_identifier(name)}"
+        )
+        counts.append(cursor.fetchone()[0])
+    return tuple(counts)

@@ -1,0 +1,99 @@
+"""Repair checking (Afrati & Kolaitis [1], Chomicki & Marcinkowski [48]).
+
+Given instances D and D', decide whether D' is an S-repair (or C-repair)
+of D — without enumerating all repairs when possible.  For denial-class
+constraints S-repair checking is polynomial: D' must be a consistent
+subinstance of D that is *maximal* (returning any deleted tuple breaks
+consistency).  For general constraints the check falls back to testing
+the proper "sub-differences" of D Δ D'.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..constraints.base import (
+    IntegrityConstraint,
+    all_satisfied,
+    denial_class_only,
+)
+from ..relational.database import Database
+from .crepairs import repair_distance
+
+
+def is_s_repair(
+    original: Database,
+    candidate: Database,
+    constraints: Sequence[IntegrityConstraint],
+) -> bool:
+    """Is *candidate* an S-repair of *original* under *constraints*?"""
+    if not all_satisfied(candidate, constraints):
+        return False
+    diff = original.symmetric_difference(candidate)
+    if not diff:
+        return True  # the original was already consistent
+    if denial_class_only(constraints):
+        # Deletion-only world: candidate must be a subinstance...
+        if not candidate.issubset(original):
+            return False
+        # ...that is maximal: re-adding any deleted tuple breaks consistency.
+        for fact in sorted(diff, key=repr):
+            grown = candidate.insert([fact])
+            if all_satisfied(grown, constraints):
+                return False
+        return True
+    # General case: no consistent instance with a strictly smaller diff.
+    return not _smaller_diff_consistent(original, diff, constraints)
+
+
+def _smaller_diff_consistent(
+    original: Database,
+    diff,
+    constraints: Sequence[IntegrityConstraint],
+) -> bool:
+    """Is some proper subset of *diff* already a consistency-restoring
+    update set?  Exponential in |diff| (repair checking is coNP-hard in
+    general, Section 3.2); diffs are small in practice."""
+    deleted = sorted(
+        (f for f in diff if f in original), key=repr
+    )
+    inserted = sorted(
+        (f for f in diff if f not in original), key=repr
+    )
+    items = [("del", f) for f in deleted] + [("ins", f) for f in inserted]
+    for size in range(len(items)):
+        for subset in itertools.combinations(items, size):
+            instance = original
+            to_delete = [f for kind, f in subset if kind == "del"]
+            to_insert = [f for kind, f in subset if kind == "ins"]
+            if to_delete:
+                instance = instance.delete(to_delete)
+            if to_insert:
+                instance = instance.insert(to_insert)
+            if all_satisfied(instance, constraints):
+                return True
+    return False
+
+
+def is_c_repair(
+    original: Database,
+    candidate: Database,
+    constraints: Sequence[IntegrityConstraint],
+) -> bool:
+    """Is *candidate* a C-repair of *original* under *constraints*?
+
+    A C-repair is consistent and achieves the minimum symmetric-difference
+    cardinality; every C-repair is an S-repair (Section 4.1).
+    """
+    if not all_satisfied(candidate, constraints):
+        return False
+    distance = len(original.symmetric_difference(candidate))
+    if distance == 0:
+        return True
+    if not denial_class_only(constraints):
+        if not is_s_repair(original, candidate, constraints):
+            return False
+    elif not candidate.issubset(original):
+        return False
+    return distance == repair_distance(original, constraints)

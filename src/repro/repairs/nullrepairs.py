@@ -1,0 +1,65 @@
+"""Null-based repairs at the tuple level (Section 4.2, Example 4.3).
+
+For tgds like ``ID': Supply(x,y,z) → ∃v Articles(z,v)``, a violation can
+be fixed by deleting the Supply tuple or by inserting ``Articles(I3,
+NULL)``, the head instantiated with NULL at existential positions.  The
+general S-repair search already implements exactly this insertion policy;
+this module names the semantics and validates its preconditions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..constraints.base import IntegrityConstraint
+from ..constraints.inclusion import (
+    InclusionDependency,
+    TupleGeneratingDependency,
+)
+from ..errors import RepairError
+from ..relational.database import Database
+from .base import Repair
+from .srepairs import s_repairs
+
+
+def null_tuple_repairs(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    max_steps: Optional[int] = None,
+) -> List[Repair]:
+    """S-repairs where tgd violations may insert null-padded head tuples.
+
+    Heads with a *repeated* existential variable cannot be satisfied by a
+    null-padded tuple (NULL never joins, not even with itself), so such
+    tgds are rejected rather than silently repaired by deletion only.
+    """
+    for ic in constraints:
+        tgd = _as_tgd(ic, db)
+        if tgd is None:
+            continue
+        existential = tgd.existential_variables()
+        for head_atom in tgd.head:
+            seen = set()
+            for term in head_atom.terms:
+                if term in existential:
+                    if term in seen:
+                        raise RepairError(
+                            f"tgd {ic.name}: repeated existential variable "
+                            f"{term!r} cannot be satisfied by a NULL "
+                            "insertion"
+                        )
+                    seen.add(term)
+    return s_repairs(
+        db, constraints, max_steps=max_steps, allow_insertions=True,
+        engine="search",
+    )
+
+
+def _as_tgd(
+    ic: IntegrityConstraint, db: Database
+) -> Optional[TupleGeneratingDependency]:
+    if isinstance(ic, TupleGeneratingDependency):
+        return ic
+    if isinstance(ic, InclusionDependency):
+        return ic.to_tgd(db)
+    return None

@@ -1,0 +1,182 @@
+"""Prioritized repairs (Section 4, after Staworko et al. [103]).
+
+When some data is known to be more reliable — fresher, from a better
+source — a *priority relation* ≻ on facts refines the repair semantics.
+Following [103], for denial-class constraints (where S-repairs are the
+maximal consistent subinstances):
+
+* D' is a **globally optimal** repair if no consistent D'' *globally
+  improves* it: D'' ≠ D' and every fact of D'' ∖ D' dominates some fact
+  of D' ∖ D'';
+* D' is a **Pareto optimal** repair if no consistent D'' *Pareto
+  improves* it: some fact of D'' ∖ D' dominates every fact of D' ∖ D''
+  that conflicts with it — here checked with the standard witness form:
+  there is a fact τ'' ∈ D'' ∖ D' such that τ'' ≻ τ for every
+  τ ∈ D' ∖ D'';
+* D' is a **completion optimal** repair when it is globally optimal for
+  some total extension of ≻; [103] show global ⊆ Pareto ⊆ S-repairs and
+  completion ⊇ global.
+
+The implementation checks improvements against candidate repairs drawn
+from the S-repair class, which is sound and complete for these
+definitions on denial-class constraints (any improving consistent D''
+extends to a maximal one that still improves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..constraints.base import IntegrityConstraint
+from ..errors import RepairError
+from ..relational.database import Database, Fact
+from .base import Repair
+from .srepairs import s_repairs
+
+
+@dataclass(frozen=True)
+class PriorityRelation:
+    """An acyclic strict priority relation ≻ on facts.
+
+    Built from explicit pairs or from a scoring function (higher score
+    dominates).  ≻ is only consulted on *conflicting* facts by the
+    optimality checks, matching [103]'s priorities over conflicts.
+    """
+
+    pairs: FrozenSet[Tuple[Fact, Fact]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pairs, frozenset):
+            object.__setattr__(self, "pairs", frozenset(self.pairs))
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        adjacency: dict = {}
+        for a, b in self.pairs:
+            if a == b:
+                raise RepairError(f"priority {a!r} ≻ {a!r} is reflexive")
+            adjacency.setdefault(a, set()).add(b)
+        visited: Set[Fact] = set()
+        stack: Set[Fact] = set()
+
+        def visit(node: Fact) -> None:
+            if node in stack:
+                raise RepairError("the priority relation has a cycle")
+            if node in visited:
+                return
+            stack.add(node)
+            for nxt in adjacency.get(node, ()):
+                visit(nxt)
+            stack.remove(node)
+            visited.add(node)
+
+        for node in list(adjacency):
+            visit(node)
+
+    @staticmethod
+    def from_pairs(
+        pairs: Iterable[Tuple[Fact, Fact]]
+    ) -> "PriorityRelation":
+        """``(better, worse)`` pairs."""
+        return PriorityRelation(frozenset(pairs))
+
+    @staticmethod
+    def from_score(
+        db: Database, score: Callable[[Fact], float]
+    ) -> "PriorityRelation":
+        """Higher score dominates lower score (ties incomparable)."""
+        facts = sorted(db.facts(), key=repr)
+        pairs = set()
+        for a in facts:
+            for b in facts:
+                if a != b and score(a) > score(b):
+                    pairs.add((a, b))
+        return PriorityRelation(frozenset(pairs))
+
+    def dominates(self, better: Fact, worse: Fact) -> bool:
+        """``better ≻ worse``."""
+        return (better, worse) in self.pairs
+
+
+def _global_improvement(
+    candidate: Repair, other: Repair, priority: PriorityRelation
+) -> bool:
+    """Does *other* globally improve *candidate*?"""
+    gained = other.instance.facts() - candidate.instance.facts()
+    lost = candidate.instance.facts() - other.instance.facts()
+    if not gained:
+        return False
+    return all(
+        any(priority.dominates(g, l) for l in lost) for g in gained
+    )
+
+
+def _pareto_improvement(
+    candidate: Repair, other: Repair, priority: PriorityRelation
+) -> bool:
+    """Does *other* Pareto improve *candidate*?"""
+    gained = other.instance.facts() - candidate.instance.facts()
+    lost = candidate.instance.facts() - other.instance.facts()
+    if not gained or not lost:
+        return False
+    return any(
+        all(priority.dominates(g, l) for l in lost) for g in gained
+    )
+
+
+def globally_optimal_repairs(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    priority: PriorityRelation,
+) -> List[Repair]:
+    """S-repairs not globally improved by any other S-repair."""
+    repairs = s_repairs(db, constraints)
+    return [
+        r for r in repairs
+        if not any(
+            other is not r and _global_improvement(r, other, priority)
+            for other in repairs
+        )
+    ]
+
+
+def pareto_optimal_repairs(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    priority: PriorityRelation,
+) -> List[Repair]:
+    """S-repairs not Pareto improved by any other S-repair."""
+    repairs = s_repairs(db, constraints)
+    return [
+        r for r in repairs
+        if not any(
+            other is not r and _pareto_improvement(r, other, priority)
+            for other in repairs
+        )
+    ]
+
+
+def prioritized_consistent_answers(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    priority: PriorityRelation,
+    query,
+    optimality: str = "global",
+):
+    """Certain answers over the preferred-repair class ([103]'s CQA)."""
+    if optimality == "global":
+        repairs = globally_optimal_repairs(db, constraints, priority)
+    elif optimality == "pareto":
+        repairs = pareto_optimal_repairs(db, constraints, priority)
+    else:
+        raise ValueError(
+            f"unknown optimality {optimality!r}; use 'global' or 'pareto'"
+        )
+    if not repairs:
+        raise RepairError("no preferred repairs found")
+    result = None
+    for r in repairs:
+        answers = frozenset(query.answers(r.instance))
+        result = answers if result is None else (result & answers)
+    return result

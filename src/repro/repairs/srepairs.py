@@ -1,0 +1,146 @@
+"""S-repair enumeration (Section 3.1).
+
+Two engines:
+
+* **Conflict-hypergraph engine** — when every constraint is denial-class,
+  S-repairs are exactly the maximal independent sets of the conflict
+  hypergraph (Example 4.1), obtained as complements of minimal hitting
+  sets of the violation hyperedges.  Deletion-only, polynomially checkable,
+  and much faster than state search.
+
+* **State-search engine** — for constraint sets including tgds/inclusion
+  dependencies, where repairs may insert tuples (Example 3.1's repair D2
+  inserts Articles(I3)).  Explores the update space breadth-first, fixing
+  one violation per step by deleting a witnessing fact or inserting the
+  missing head facts (with NULL at existential positions, Section 4.2),
+  then keeps the inclusion-minimal consistent leaves.  Terminates for
+  weakly-acyclic tgds; a step bound guards cyclic inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..constraints.base import (
+    IntegrityConstraint,
+    all_violations,
+    denial_class_only,
+)
+from ..constraints.conflicts import ConflictHypergraph
+from ..errors import RepairError
+from ..relational.database import Database
+from .base import Repair, minimal_repairs, sort_repairs
+
+
+def s_repairs(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    limit: Optional[int] = None,
+    max_steps: Optional[int] = None,
+    allow_insertions: bool = True,
+    engine: str = "auto",
+) -> List[Repair]:
+    """All S-repairs of *db* under *constraints*.
+
+    ``engine`` selects the implementation: ``"auto"`` uses the conflict
+    hypergraph when possible, ``"hypergraph"`` forces it (raising for
+    non-denial constraints), ``"search"`` forces the state search (the
+    ablation baseline of DESIGN.md).  ``allow_insertions=False`` restricts
+    to the deletion-only semantics of Chomicki & Marcinkowski [48].
+    """
+    if engine not in ("auto", "hypergraph", "search"):
+        raise ValueError(f"unknown engine {engine!r}")
+    use_hypergraph = (
+        engine == "hypergraph"
+        or (engine == "auto" and denial_class_only(constraints))
+    )
+    if use_hypergraph:
+        return _hypergraph_repairs(db, constraints, limit)
+    return _search_repairs(
+        db, constraints, limit, max_steps, allow_insertions
+    )
+
+
+def delete_only_repairs(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    limit: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> List[Repair]:
+    """Subset-repairs: only tuple deletions are admissible ([48])."""
+    return s_repairs(
+        db, constraints, limit=limit, max_steps=max_steps,
+        allow_insertions=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Conflict-hypergraph engine
+# ----------------------------------------------------------------------
+
+
+def _hypergraph_repairs(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    limit: Optional[int],
+) -> List[Repair]:
+    graph = ConflictHypergraph.build(db, constraints)
+    repairs = []
+    for hitting in graph.minimal_hitting_sets(limit=limit):
+        repaired = db.delete_tids(hitting)
+        repairs.append(Repair(db, repaired))
+    return sort_repairs(repairs)
+
+
+# ----------------------------------------------------------------------
+# State-search engine
+# ----------------------------------------------------------------------
+
+
+def _search_repairs(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    limit: Optional[int],
+    max_steps: Optional[int],
+    allow_insertions: bool,
+) -> List[Repair]:
+    if max_steps is None:
+        max_steps = 2 * len(db) + 10
+    start = db.facts()
+    visited: Set[frozenset] = {start}
+    frontier: List[Database] = [db]
+    consistent: List[Repair] = []
+    exhausted_bound = False
+    while frontier:
+        current = frontier.pop()
+        violations = all_violations(current, constraints)
+        if not violations:
+            consistent.append(Repair(db, current))
+            continue
+        if len(current.symmetric_difference(db)) >= max_steps:
+            exhausted_bound = True
+            continue
+        violation = min(
+            violations, key=lambda v: sorted(map(repr, v.facts))
+        )
+        successors: List[Database] = []
+        for f in sorted(violation.facts, key=repr):
+            successors.append(current.delete([f]))
+        if allow_insertions and violation.missing:
+            successors.append(current.insert(violation.missing))
+        for nxt in successors:
+            key = nxt.facts()
+            if key not in visited:
+                visited.add(key)
+                frontier.append(nxt)
+    if not consistent and exhausted_bound:
+        raise RepairError(
+            "repair search exhausted its step bound without finding a "
+            "consistent instance; the tgd set may be cyclic — raise "
+            "max_steps or restrict to deletions"
+        )
+    repairs = minimal_repairs(consistent)
+    repairs = sort_repairs(repairs)
+    if limit is not None:
+        repairs = repairs[:limit]
+    return repairs

@@ -1,0 +1,19 @@
+"""Spatial repairs under semantic (disjointness) constraints."""
+
+from .intervals import (
+    SpatialDisjointness,
+    SpatialRepair,
+    c_spatial_repairs,
+    is_interval,
+    overlap_length,
+    spatial_repairs,
+)
+
+__all__ = [
+    "SpatialDisjointness",
+    "SpatialRepair",
+    "c_spatial_repairs",
+    "is_interval",
+    "overlap_length",
+    "spatial_repairs",
+]

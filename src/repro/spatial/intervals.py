@@ -1,0 +1,247 @@
+"""Spatial repairs under semantic constraints (Section 8, [93, 99]).
+
+Rodriguez, Bertossi & Caniupán repair spatial databases violating spatial
+semantic constraints (disjointness, containment of geometries) by
+*shrinking* geometries — removing the offending region from one of the
+participants — with repairs minimizing the removed area.  This module
+implements the one-dimensional core of that semantics: geometries are
+closed intervals ``(lo, hi)`` stored as attribute values, the constraint
+is pairwise disjointness (within an optional grouping attribute), and a
+violation between two intervals is fixed by shrinking either one back to
+the other's boundary (deleting the tuple when it would shrink away).
+
+Analogous to the tuple world: S-flavoured repairs minimize the *set* of
+changed tuples under inclusion; C-flavoured repairs minimize the total
+removed length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import ConstraintError, RepairError
+from ..relational.database import Database, Fact
+
+Interval = Tuple[float, float]
+
+
+def is_interval(value: object) -> bool:
+    """Is *value* a well-formed non-empty interval?"""
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and all(isinstance(v, (int, float)) for v in value)
+        and value[0] < value[1]
+    )
+
+
+def overlap_length(a: Interval, b: Interval) -> float:
+    """Length of the (open) overlap of two intervals; 0 when disjoint."""
+    return max(0.0, min(a[1], b[1]) - max(a[0], b[0]))
+
+
+@dataclass(frozen=True)
+class SpatialDisjointness:
+    """Intervals of *relation.attribute* must be pairwise disjoint.
+
+    With *group_by*, disjointness is only required among tuples agreeing
+    on that attribute (e.g. parcels within the same cadastral zone).
+    Touching at endpoints is allowed.
+    """
+
+    relation: str
+    attribute: str
+    group_by: Optional[str] = None
+    name: str = "Disjoint"
+
+    def _positions(self, db: Database) -> Tuple[int, Optional[int]]:
+        rel = db.schema.relation(self.relation)
+        interval_pos = rel.position(self.attribute)
+        group_pos = (
+            rel.position(self.group_by) if self.group_by else None
+        )
+        return interval_pos, group_pos
+
+    def violations(self, db: Database) -> List[Tuple[Fact, Fact, float]]:
+        """Overlapping pairs with their overlap lengths."""
+        interval_pos, group_pos = self._positions(db)
+        facts = list(db.relation_facts(self.relation))
+        for f in facts:
+            if not is_interval(f.values[interval_pos]):
+                raise ConstraintError(
+                    f"{f!r}: attribute {self.attribute!r} does not hold "
+                    "a non-empty (lo, hi) interval"
+                )
+        out = []
+        for i, f1 in enumerate(facts):
+            for f2 in facts[i + 1:]:
+                if group_pos is not None and (
+                    f1.values[group_pos] != f2.values[group_pos]
+                ):
+                    continue
+                length = overlap_length(
+                    f1.values[interval_pos], f2.values[interval_pos]
+                )
+                if length > 0:
+                    out.append((f1, f2, length))
+        return out
+
+    def is_satisfied(self, db: Database) -> bool:
+        """No overlapping pair."""
+        return not self.violations(db)
+
+
+@dataclass(frozen=True)
+class SpatialRepair:
+    """A repaired instance with its geometric change summary."""
+
+    original: Database
+    instance: Database
+    shrunk: Tuple[Tuple[str, Interval, Interval], ...]  # tid, old, new
+    deleted: FrozenSet[Fact]
+
+    @property
+    def removed_length(self) -> float:
+        """Total geometry length removed (shrinks + deletions)."""
+        total = 0.0
+        for _, old, new in self.shrunk:
+            total += (old[1] - old[0]) - (new[1] - new[0])
+        for f, old in self._deleted_intervals():
+            total += old[1] - old[0]
+        return total
+
+    def _deleted_intervals(self):
+        out = []
+        for f in self.deleted:
+            for v in f.values:
+                if is_interval(v):
+                    out.append((f, v))
+                    break
+        return out
+
+    @property
+    def changed_tids(self) -> FrozenSet[str]:
+        """Tids whose geometry was shrunk or deleted."""
+        out = {tid for tid, _, _ in self.shrunk}
+        out |= {self.original.tid_of(f) for f in self.deleted}
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialRepair(shrunk={len(self.shrunk)}, "
+            f"deleted={len(self.deleted)}, "
+            f"removed={self.removed_length:g})"
+        )
+
+
+def spatial_repairs(
+    db: Database,
+    constraint: SpatialDisjointness,
+    max_steps: Optional[int] = None,
+) -> List[SpatialRepair]:
+    """All minimal shrink-repairs wrt one disjointness constraint.
+
+    Search over shrink actions: an overlapping pair (a left of b) is
+    fixed by pulling a's upper bound down to b's lower bound, or pushing
+    b's lower bound up to a's upper bound; a shrink to emptiness deletes
+    the tuple (the containment case).  Leaves are disjoint; results are
+    filtered to inclusion-minimal changed-tuple sets, with ties kept.
+    """
+    interval_pos, _ = constraint._positions(db)
+    if max_steps is None:
+        max_steps = 4 * len(db.relation(constraint.relation)) + 8
+    start = db
+    seen: Set[FrozenSet[Fact]] = {db.facts()}
+    frontier: List[Tuple[Database, int]] = [(db, 0)]
+    leaves: List[Database] = []
+    exhausted = False
+    while frontier:
+        current, depth = frontier.pop()
+        violations = constraint.violations(current)
+        if not violations:
+            leaves.append(current)
+            continue
+        if depth >= max_steps:
+            exhausted = True
+            continue
+        f1, f2, _ = min(
+            violations, key=lambda v: (repr(v[0]), repr(v[1]))
+        )
+        a, b = sorted(
+            (f1, f2), key=lambda f: f.values[interval_pos]
+        )
+        ia, ib = a.values[interval_pos], b.values[interval_pos]
+        for victim, other, side in ((a, ib, "hi"), (b, ia, "lo")):
+            iv = victim.values[interval_pos]
+            if side == "hi":
+                new = (iv[0], other[0])
+            else:
+                new = (other[1], iv[1])
+            tid = current.tid_of(victim)
+            if new[0] < new[1]:
+                nxt = current.update_value(tid, interval_pos, new)
+            else:
+                nxt = current.delete([victim])  # shrank away entirely
+            key = nxt.facts()
+            if key not in seen:
+                seen.add(key)
+                frontier.append((nxt, depth + 1))
+    if not leaves and exhausted:
+        raise RepairError(
+            "spatial repair search exhausted its step bound before "
+            "finding a disjoint instance; raise max_steps"
+        )
+    repairs = [_summarize(start, leaf, interval_pos) for leaf in leaves]
+    return _minimal_by_changed_tids(repairs)
+
+
+def c_spatial_repairs(
+    db: Database,
+    constraint: SpatialDisjointness,
+) -> List[SpatialRepair]:
+    """Repairs minimizing the total removed geometry length ([99])."""
+    repairs = spatial_repairs(db, constraint)
+    if not repairs:
+        return []
+    best = min(r.removed_length for r in repairs)
+    return [
+        r for r in repairs
+        if abs(r.removed_length - best) < 1e-9
+    ]
+
+
+def _summarize(
+    original: Database, repaired: Database, interval_pos: int
+) -> SpatialRepair:
+    shrunk = []
+    deleted = []
+    repaired_facts = repaired.facts_with_tids()
+    for tid, f in original.facts_with_tids().items():
+        new = repaired_facts.get(tid)
+        if new is None:
+            deleted.append(f)
+        elif new != f:
+            shrunk.append((
+                tid, f.values[interval_pos], new.values[interval_pos]
+            ))
+    return SpatialRepair(
+        original, repaired, tuple(sorted(shrunk)), frozenset(deleted)
+    )
+
+
+def _minimal_by_changed_tids(
+    repairs: List[SpatialRepair],
+) -> List[SpatialRepair]:
+    unique: Dict[FrozenSet[Fact], SpatialRepair] = {}
+    for r in repairs:
+        unique.setdefault(r.instance.facts(), r)
+    ordered = sorted(
+        unique.values(),
+        key=lambda r: (len(r.changed_tids), sorted(r.changed_tids)),
+    )
+    kept: List[SpatialRepair] = []
+    for r in ordered:
+        if not any(k.changed_tids < r.changed_tids for k in kept):
+            kept.append(r)
+    return kept

@@ -1,0 +1,5 @@
+"""Temporal databases under atemporal constraints."""
+
+from .temporal import TemporalCQA, TemporalDatabase
+
+__all__ = ["TemporalCQA", "TemporalDatabase"]

@@ -1,0 +1,152 @@
+"""CQA for atemporal constraints over temporal databases (Section 8, [50]).
+
+Chomicki & Wijsen consider temporal databases — every fact carries a time
+point — under *atemporal* constraints: ordinary ICs that each snapshot
+must satisfy on its own.  Because the constraints never join across time,
+the repairs of the temporal instance factor into independent per-snapshot
+repairs, and temporal consistent answers compose from snapshot CQA:
+
+* ``consistent_answers_at(t, q)`` — certain answers at one time point;
+* ``always_answers(q)`` — certain at *every* time point where the query
+  relations exist (the temporal "always" operator over certainty);
+* ``sometime_answers(q)`` — certain at *some* time point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..constraints.base import IntegrityConstraint, all_satisfied
+from ..cqa.certain import consistent_answers
+from ..errors import QueryError
+from ..relational.database import Database, Fact, Row
+from ..relational.schema import Schema
+from ..repairs.base import Repair
+from ..repairs.srepairs import s_repairs
+
+TimePoint = int
+
+
+@dataclass(frozen=True)
+class TemporalDatabase:
+    """A sequence of snapshots over a shared schema."""
+
+    schema: Schema
+    snapshots: Dict[TimePoint, Database]
+
+    def __post_init__(self) -> None:
+        for t, snapshot in self.snapshots.items():
+            if snapshot.schema.names() != self.schema.names():
+                raise QueryError(
+                    f"snapshot at {t} uses a different schema"
+                )
+
+    @staticmethod
+    def from_timed_facts(
+        schema: Schema,
+        timed_facts: Iterable[Tuple[TimePoint, Fact]],
+    ) -> "TemporalDatabase":
+        """Build from (time, fact) pairs."""
+        per_time: Dict[TimePoint, List[Fact]] = {}
+        for t, f in timed_facts:
+            per_time.setdefault(t, []).append(f)
+        snapshots = {
+            t: Database.empty(schema).insert(facts)
+            for t, facts in per_time.items()
+        }
+        return TemporalDatabase(schema, snapshots)
+
+    def times(self) -> Tuple[TimePoint, ...]:
+        """All time points, ascending."""
+        return tuple(sorted(self.snapshots))
+
+    def snapshot(self, t: TimePoint) -> Database:
+        """The snapshot at *t* (empty instance if nothing recorded)."""
+        if t in self.snapshots:
+            return self.snapshots[t]
+        return Database.empty(self.schema)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.snapshots.values())
+
+
+@dataclass(frozen=True)
+class TemporalCQA:
+    """Snapshot-wise CQA over a temporal database."""
+
+    db: TemporalDatabase
+    constraints: Tuple[IntegrityConstraint, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "constraints", tuple(self.constraints)
+        )
+
+    def violating_times(self) -> Tuple[TimePoint, ...]:
+        """Time points whose snapshot violates the atemporal ICs."""
+        return tuple(
+            t for t in self.db.times()
+            if not all_satisfied(self.db.snapshot(t), self.constraints)
+        )
+
+    def is_consistent(self) -> bool:
+        """Every snapshot satisfies the constraints."""
+        return not self.violating_times()
+
+    def snapshot_repairs(self, t: TimePoint) -> List[Repair]:
+        """S-repairs of the snapshot at *t*."""
+        return s_repairs(self.db.snapshot(t), self.constraints)
+
+    def repair_count(self) -> int:
+        """Number of repairs of the whole temporal instance.
+
+        Snapshots repair independently, so the count is the product of
+        the per-snapshot counts — the temporal version of the
+        exponential blow-up.
+        """
+        count = 1
+        for t in self.db.times():
+            count *= max(1, len(self.snapshot_repairs(t)))
+        return count
+
+    # ------------------------------------------------------------------
+
+    def consistent_answers_at(
+        self, t: TimePoint, query
+    ) -> FrozenSet[Row]:
+        """Certain answers in the snapshot at *t*."""
+        snapshot = self.db.snapshot(t)
+        if all_satisfied(snapshot, self.constraints):
+            return frozenset(query.answers(snapshot))
+        return consistent_answers(snapshot, self.constraints, query)
+
+    def always_answers(self, query) -> FrozenSet[Row]:
+        """Rows certain at every time point (temporal □ over certainty)."""
+        times = self.db.times()
+        if not times:
+            return frozenset()
+        result: Optional[FrozenSet[Row]] = None
+        for t in times:
+            answers = self.consistent_answers_at(t, query)
+            result = answers if result is None else (result & answers)
+            if not result:
+                break
+        return result if result is not None else frozenset()
+
+    def sometime_answers(self, query) -> FrozenSet[Row]:
+        """Rows certain at some time point (temporal ◇ over certainty)."""
+        out: FrozenSet[Row] = frozenset()
+        for t in self.db.times():
+            out |= self.consistent_answers_at(t, query)
+        return out
+
+    def answer_timeline(
+        self, query
+    ) -> Dict[Row, Tuple[TimePoint, ...]]:
+        """For each row, the time points where it is a certain answer."""
+        timeline: Dict[Row, List[TimePoint]] = {}
+        for t in self.db.times():
+            for row in self.consistent_answers_at(t, query):
+                timeline.setdefault(row, []).append(t)
+        return {row: tuple(ts) for row, ts in timeline.items()}

@@ -1,0 +1,39 @@
+"""Workloads: canonical paper instances and synthetic generators."""
+
+from .generators import (
+    employee_key_violations,
+    random_fd_instance,
+    random_rs_instance,
+    supply_chain,
+)
+from .scenarios import (
+    ALL_SCENARIOS,
+    Scenario,
+    abcde_instance,
+    customer_cfd,
+    dep_course,
+    employee,
+    rs_instance,
+    supply_articles,
+    supply_articles_cost,
+    university_sources,
+    university_sources_conflicting,
+)
+
+__all__ = [
+    "employee_key_violations",
+    "random_fd_instance",
+    "random_rs_instance",
+    "supply_chain",
+    "ALL_SCENARIOS",
+    "Scenario",
+    "abcde_instance",
+    "customer_cfd",
+    "dep_course",
+    "employee",
+    "rs_instance",
+    "supply_articles",
+    "supply_articles_cost",
+    "university_sources",
+    "university_sources_conflicting",
+]

@@ -1,0 +1,170 @@
+"""Seeded synthetic workload generators.
+
+The paper's complexity claims (Section 3.2) concern how repair counts and
+CQA costs scale with the amount and shape of inconsistency; these
+generators control exactly those knobs.  All generators are deterministic
+given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..constraints import (
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from ..logic import atom, vars_
+from ..relational import Database, RelationSchema, Schema
+from .scenarios import Scenario
+
+
+def employee_key_violations(
+    clean: int,
+    violating_groups: int,
+    group_size: int = 2,
+    seed: int = 0,
+) -> Scenario:
+    """An Employee(Name, Salary) table violating its key.
+
+    *clean* employees have one salary; *violating_groups* employees have
+    *group_size* distinct salaries each.  The number of S-repairs is
+    exactly ``group_size ** violating_groups`` — the exponential blow-up
+    of Section 3.1.
+    """
+    rng = random.Random(seed)
+    rows: List[Tuple[str, int]] = []
+    for i in range(clean):
+        rows.append((f"emp{i}", rng.randrange(1000, 9000)))
+    for g in range(violating_groups):
+        name = f"dup{g}"
+        salaries = rng.sample(range(1000, 9000), group_size)
+        for s in salaries:
+            rows.append((name, s))
+    schema = Schema.of(
+        RelationSchema("Employee", ("Name", "Salary"), key=("Name",))
+    )
+    db = Database.from_dict({"Employee": rows}, schema=schema)
+    kc = FunctionalDependency("Employee", ("Name",), ("Salary",), name="KC")
+    x, y = vars_("x y")
+    from ..logic import cq
+
+    queries = {
+        "all": cq([x, y], [atom("Employee", x, y)], name="all"),
+        "names": cq([x], [atom("Employee", x, y)], name="names"),
+    }
+    return Scenario(
+        f"employee_keyviol({clean},{violating_groups},{group_size})",
+        db,
+        (kc,),
+        queries,
+        description="synthetic key-violation workload",
+    )
+
+
+def supply_chain(
+    n_supply: int,
+    missing_rate: float = 0.3,
+    seed: int = 0,
+) -> Scenario:
+    """A Supply/Articles instance violating the inclusion dependency.
+
+    A fraction *missing_rate* of supplied items is absent from Articles.
+    """
+    rng = random.Random(seed)
+    supply = []
+    articles = set()
+    for i in range(n_supply):
+        item = f"I{i}"
+        supply.append((f"C{rng.randrange(10)}", f"R{rng.randrange(10)}", item))
+        if rng.random() >= missing_rate:
+            articles.add((item,))
+    if not articles:
+        articles.add(("I_base",))
+    schema = Schema.of(
+        RelationSchema("Supply", ("Company", "Receiver", "Item")),
+        RelationSchema("Articles", ("Item",)),
+    )
+    db = Database.from_dict(
+        {"Supply": supply, "Articles": sorted(articles)}, schema=schema
+    )
+    ind = InclusionDependency(
+        "Supply", ("Item",), "Articles", ("Item",), name="ID"
+    )
+    return Scenario(
+        f"supply_chain({n_supply},{missing_rate})",
+        db,
+        (ind,),
+        {},
+        description="synthetic inclusion-dependency workload",
+    )
+
+
+def random_rs_instance(
+    n_r: int,
+    n_s: int,
+    domain_size: int,
+    seed: int = 0,
+) -> Scenario:
+    """A random R(A,B)/S(A) instance under κ: ¬∃x∃y(S(x) ∧ R(x,y) ∧ S(y)).
+
+    Smaller domains produce denser conflicts.  Used for cross-validating
+    the ASP path against direct repair enumeration (B4) and for causality
+    scaling (B5).
+    """
+    rng = random.Random(seed)
+    n_r = min(n_r, domain_size * domain_size)  # distinct pairs available
+    n_s = min(n_s, domain_size)                # distinct unary values
+    r_rows = set()
+    while len(r_rows) < n_r:
+        r_rows.add((
+            f"a{rng.randrange(domain_size)}",
+            f"a{rng.randrange(domain_size)}",
+        ))
+    s_rows = set()
+    while len(s_rows) < n_s:
+        s_rows.add((f"a{rng.randrange(domain_size)}",))
+    schema = Schema.of(
+        RelationSchema("R", ("A", "B")),
+        RelationSchema("S", ("A",)),
+    )
+    db = Database.from_dict(
+        {"R": sorted(r_rows), "S": sorted(s_rows)}, schema=schema
+    )
+    x, y = vars_("x y")
+    kappa = DenialConstraint(
+        (atom("S", x), atom("R", x, y), atom("S", y)), name="kappa"
+    )
+    return Scenario(
+        f"random_rs({n_r},{n_s},{domain_size})",
+        db,
+        (kappa,),
+        {},
+        description="random denial-constraint workload",
+    )
+
+
+def random_fd_instance(
+    n_rows: int,
+    n_keys: int,
+    n_values: int,
+    seed: int = 0,
+) -> Scenario:
+    """A random binary R(K, V) instance under the FD K → V."""
+    rng = random.Random(seed)
+    n_rows = min(n_rows, n_keys * n_values)  # distinct pairs available
+    rows = set()
+    while len(rows) < n_rows:
+        rows.add((f"k{rng.randrange(n_keys)}", f"v{rng.randrange(n_values)}"))
+    schema = Schema.of(RelationSchema("R", ("K", "V"), key=("K",)))
+    db = Database.from_dict({"R": sorted(rows)}, schema=schema)
+    fd = FunctionalDependency("R", ("K",), ("V",), name="FD")
+    return Scenario(
+        f"random_fd({n_rows},{n_keys},{n_values})",
+        db,
+        (fd,),
+        {},
+        description="random FD-violation workload",
+    )

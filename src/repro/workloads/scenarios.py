@@ -1,0 +1,334 @@
+"""The paper's worked examples as ready-made fixtures.
+
+Each function returns a :class:`Scenario` with the instance (tids assigned
+in the paper's order, so ``t1`` is the paper's ι1, etc.), the constraints,
+and the queries the corresponding example poses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..constraints import (
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    IntegrityConstraint,
+    TupleGeneratingDependency,
+    WILDCARD,
+    cfd,
+)
+from ..logic import ConjunctiveQuery, atom, cq, vars_
+from ..relational import Database, RelationSchema, Schema, fact
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A paper example: instance, constraints, and named queries."""
+
+    name: str
+    db: Database
+    constraints: Tuple[IntegrityConstraint, ...]
+    queries: Dict[str, ConjunctiveQuery] = field(default_factory=dict)
+    description: str = ""
+
+
+def supply_articles() -> Scenario:
+    """Examples 2.1/3.1: Supply/Articles with an inclusion dependency.
+
+    ``ID: ∀x∀y∀z (Supply(x,y,z) → Articles(z))``; the instance violates it
+    through Supply(C2, R1, I3).
+    """
+    schema = Schema.of(
+        RelationSchema("Supply", ("Company", "Receiver", "Item")),
+        RelationSchema("Articles", ("Item",)),
+    )
+    db = Database.from_dict(
+        {
+            "Supply": [
+                ("C1", "R1", "I1"),
+                ("C2", "R2", "I2"),
+                ("C2", "R1", "I3"),
+            ],
+            "Articles": [("I1",), ("I2",)],
+        },
+        schema=schema,
+    )
+    ind = InclusionDependency(
+        "Supply", ("Item",), "Articles", ("Item",), name="ID"
+    )
+    x, y, z = vars_("x y z")
+    queries = {
+        # Q(z): ∃x∃y Supply(x,y,z) — query (2).
+        "Q": cq([z], [atom("Supply", x, y, z)], name="Q"),
+        # Q'(z): ∃x∃y (Supply(x,y,z) ∧ Articles(z)) — rewriting (4).
+        "Q_rewritten": cq(
+            [z], [atom("Supply", x, y, z), atom("Articles", z)], name="Q'"
+        ),
+    }
+    return Scenario(
+        "supply_articles", db, (ind,), queries,
+        description="Examples 2.1, 2.2, 3.1, 3.2",
+    )
+
+
+def supply_articles_cost() -> Scenario:
+    """Example 4.3: Articles gains a Cost column; the ID becomes a tgd.
+
+    ``ID': ∀x∀y∀z (Supply(x,y,z) → ∃v Articles(z,v))``.
+    """
+    schema = Schema.of(
+        RelationSchema("Supply", ("Company", "Receiver", "Item")),
+        RelationSchema("Articles", ("Item", "Cost")),
+    )
+    db = Database.from_dict(
+        {
+            "Supply": [
+                ("C1", "R1", "I1"),
+                ("C2", "R2", "I2"),
+                ("C2", "R1", "I3"),
+            ],
+            "Articles": [("I1", 50), ("I2", 30)],
+        },
+        schema=schema,
+    )
+    x, y, z, v = vars_("x y z v")
+    tgd = TupleGeneratingDependency(
+        (atom("Supply", x, y, z),),
+        (atom("Articles", z, v),),
+        name="ID'",
+    )
+    return Scenario(
+        "supply_articles_cost", db, (tgd,), {},
+        description="Example 4.3 (null-based tuple-level repairs)",
+    )
+
+
+def employee() -> Scenario:
+    """Examples 3.3/3.4: Employee with key constraint Name → Salary."""
+    schema = Schema.of(
+        RelationSchema("Employee", ("Name", "Salary"), key=("Name",)),
+    )
+    db = Database.from_dict(
+        {
+            "Employee": [
+                ("page", "5K"),
+                ("page", "8K"),
+                ("smith", "3K"),
+                ("stowe", "7K"),
+            ],
+        },
+        schema=schema,
+    )
+    kc = FunctionalDependency(
+        "Employee", ("Name",), ("Salary",), name="KC"
+    )
+    x, y = vars_("x y")
+    queries = {
+        # Q1(x, y): Employee(x, y)
+        "Q1": cq([x, y], [atom("Employee", x, y)], name="Q1"),
+        # Q2(x): ∃y Employee(x, y)
+        "Q2": cq([x], [atom("Employee", x, y)], name="Q2"),
+    }
+    return Scenario(
+        "employee", db, (kc,), queries,
+        description="Examples 3.3, 3.4 (key constraint, FO/SQL rewriting)",
+    )
+
+
+def rs_instance() -> Scenario:
+    """Examples 3.5/4.4/7.1–7.3: R/S under κ: ¬∃x∃y(S(x) ∧ R(x,y) ∧ S(y)).
+
+    Tids follow the paper: t1..t3 are ι1..ι3 in R, t4..t6 are ι4..ι6 in S.
+    """
+    schema = Schema.of(
+        RelationSchema("R", ("A", "B")),
+        RelationSchema("S", ("A",)),
+    )
+    db = Database.from_dict(
+        {
+            "R": [("a4", "a3"), ("a2", "a1"), ("a3", "a3")],
+            "S": [("a4",), ("a2",), ("a3",)],
+        },
+        schema=schema,
+    )
+    x, y = vars_("x y")
+    kappa = DenialConstraint(
+        (atom("S", x), atom("R", x, y), atom("S", y)),
+        name="kappa",
+    )
+    queries = {
+        # Q: ∃x∃y(S(x) ∧ R(x,y) ∧ S(y)) — the BCQ associated with κ.
+        "Q": cq(
+            [], [atom("S", x), atom("R", x, y), atom("S", y)], name="Q"
+        ),
+    }
+    return Scenario(
+        "rs_instance", db, (kappa,), queries,
+        description="Examples 3.5, 4.2, 4.4, 7.1, 7.2, 7.3",
+    )
+
+
+def abcde_instance() -> Scenario:
+    """Example 4.1/Figure 1: unary relations A..E and three DCs."""
+    schema = Schema.of(
+        RelationSchema("A", ("v",)),
+        RelationSchema("B", ("v",)),
+        RelationSchema("C", ("v",)),
+        RelationSchema("D", ("v",)),
+        RelationSchema("E", ("v",)),
+    )
+    db = Database.from_dict(
+        {
+            "A": [("a",)],
+            "B": [("a",)],
+            "C": [("a",)],
+            "D": [("a",)],
+            "E": [("a",)],
+        },
+        schema=schema,
+    )
+    (x,) = vars_("x")
+    dcs = (
+        DenialConstraint((atom("B", x), atom("E", x)), name="DC1"),
+        DenialConstraint(
+            (atom("B", x), atom("C", x), atom("D", x)), name="DC2"
+        ),
+        DenialConstraint((atom("A", x), atom("C", x)), name="DC3"),
+    )
+    return Scenario(
+        "abcde_instance", db, dcs, {},
+        description="Example 4.1, Figure 1 (conflict hypergraph, C-repairs)",
+    )
+
+
+def customer_cfd() -> Scenario:
+    """Section 6's customer table: both FDs hold, the CFD is violated."""
+    schema = Schema.of(
+        RelationSchema(
+            "Customer",
+            ("CC", "AC", "Phone", "Name", "Street", "City", "Zip"),
+        ),
+    )
+    db = Database.from_dict(
+        {
+            "Customer": [
+                ("44", "131", "1234567", "mike", "mayfield", "NYC", "EH4 8LE"),
+                ("44", "131", "3456789", "rick", "crichton", "NYC", "EH4 8LE"),
+                ("01", "908", "3456789", "joe", "mtn ave", "NYC", "07974"),
+            ],
+        },
+        schema=schema,
+    )
+    fd1 = FunctionalDependency(
+        "Customer",
+        ("CC", "AC", "Phone"),
+        ("Street", "City", "Zip"),
+        name="FD1",
+    )
+    fd2 = FunctionalDependency(
+        "Customer", ("CC", "AC"), ("City",), name="FD2"
+    )
+    phi = cfd(
+        "Customer",
+        ("CC", "Zip"),
+        ("Street",),
+        [(("44", WILDCARD), (WILDCARD,))],
+        name="phi",
+    )
+    return Scenario(
+        "customer_cfd", db, (fd1, fd2, phi), {},
+        description="Section 6 (conditional functional dependencies)",
+    )
+
+
+def dep_course() -> Scenario:
+    """Example 7.4: Dep/Course, query causes under an inclusion dependency.
+
+    Tids follow the paper: t1..t3 for Dep, t4..t8 for Course.
+    """
+    schema = Schema.of(
+        RelationSchema("Dep", ("DName", "TStaff")),
+        RelationSchema("Course", ("CName", "TStaff", "DName")),
+    )
+    db = Database.from_dict(
+        {
+            "Dep": [
+                ("Computing", "John"),
+                ("Philosophy", "Patrick"),
+                ("Math", "Kevin"),
+            ],
+            "Course": [
+                ("COM08", "John", "Computing"),
+                ("Math01", "Kevin", "Math"),
+                ("HIST02", "Patrick", "Philosophy"),
+                ("Math08", "Eli", "Math"),
+                ("COM01", "John", "Computing"),
+            ],
+        },
+        schema=schema,
+    )
+    x, y, z, u = vars_("x y z u")
+    psi = TupleGeneratingDependency(
+        (atom("Dep", x, y),),
+        (atom("Course", u, y, x),),
+        name="psi",
+    )
+    queries = {
+        # (A) Q(x): ∃y∃z (Dep(y,x) ∧ Course(z,x,y))
+        "Q": cq(
+            [x], [atom("Dep", y, x), atom("Course", z, x, y)], name="Q"
+        ),
+        # (B) Q1(x): ∃y Dep(y,x)
+        "Q1": cq([x], [atom("Dep", y, x)], name="Q1"),
+        # (C) Q2(x): ∃y∃z Course(z,x,y)
+        "Q2": cq([x], [atom("Course", z, x, y)], name="Q2"),
+    }
+    return Scenario(
+        "dep_course", db, (psi,), queries,
+        description="Example 7.4 (causality under integrity constraints)",
+    )
+
+
+def university_sources() -> Dict[str, Database]:
+    """Example 5.1's source instances for the two Ottawa universities."""
+    carleton = Database.from_dict(
+        {
+            "CUstds": [(101, "john"), (102, "mary")],
+            "SpecCU": [(101, "alg"), (102, "ai")],
+        },
+        schema=Schema.of(
+            RelationSchema("CUstds", ("Number", "Name"), key=("Number",)),
+            RelationSchema("SpecCU", ("Number", "Field")),
+        ),
+    )
+    ottawa = Database.from_dict(
+        {
+            "OUstds": [(103, "claire"), (104, "peter")],
+            "SpecOU": [(103, "db")],
+        },
+        schema=Schema.of(
+            RelationSchema("OUstds", ("Number", "Name"), key=("Number",)),
+            RelationSchema("SpecOU", ("Number", "Field")),
+        ),
+    )
+    return {"carleton": carleton, "ottawa": ottawa}
+
+
+def university_sources_conflicting() -> Dict[str, Database]:
+    """Example 5.2's sources: OUstds gains (101, sue), clashing globally."""
+    sources = university_sources()
+    sources["ottawa"] = sources["ottawa"].insert([fact("OUstds", 101, "sue")])
+    return sources
+
+
+ALL_SCENARIOS = (
+    supply_articles,
+    supply_articles_cost,
+    employee,
+    rs_instance,
+    abcde_instance,
+    customer_cfd,
+    dep_course,
+)

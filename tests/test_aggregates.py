@@ -1,0 +1,154 @@
+"""Tests for aggregate CQA under the range semantics (Section 3.2, [5])."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.cqa import (
+    AggregateQuery,
+    fd_range_count_star,
+    fd_range_max,
+    fd_range_min,
+    fd_range_sum,
+    range_consistent_answer,
+)
+from repro.errors import QueryError
+from repro.relational import Database, RelationSchema, Schema
+from repro.workloads import random_fd_instance
+
+SCHEMA = Schema.of(
+    RelationSchema("Salaries", ("Name", "Amount"), key=("Name",)),
+)
+FD = FunctionalDependency("Salaries", ("Name",), ("Amount",), name="key")
+
+
+def _db(rows):
+    return Database.from_dict({"Salaries": rows}, schema=SCHEMA)
+
+
+class TestAggregateQuery:
+    def test_evaluate_on_consistent(self):
+        db = _db([("a", 10), ("b", 20)])
+        assert AggregateQuery("Salaries", "sum", "Amount").evaluate(db) == 30
+        assert AggregateQuery("Salaries", "count").evaluate(db) == 2
+        assert AggregateQuery("Salaries", "min", "Amount").evaluate(db) == 10
+        assert AggregateQuery("Salaries", "max", "Amount").evaluate(db) == 20
+        assert AggregateQuery("Salaries", "avg", "Amount").evaluate(db) == 15
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("Salaries", "median", "Amount")
+        with pytest.raises(QueryError):
+            AggregateQuery("Salaries", "sum")
+
+    def test_empty_relation(self):
+        db = _db([])
+        assert AggregateQuery("Salaries", "sum", "Amount").evaluate(db) is None
+        assert AggregateQuery("Salaries", "count").evaluate(db) == 0.0
+
+
+class TestRangeSemantics:
+    def setup_method(self):
+        # 'a' has two candidate salaries, 'b' one.
+        self.db = _db([("a", 10), ("a", 50), ("b", 20)])
+
+    def test_sum_range(self):
+        r = range_consistent_answer(
+            self.db, (FD,), AggregateQuery("Salaries", "sum", "Amount")
+        )
+        assert (r.glb, r.lub) == (30.0, 70.0)
+        assert 50 in r and 80 not in r
+        assert not r.is_point
+
+    def test_count_star_point(self):
+        r = range_consistent_answer(
+            self.db, (FD,), AggregateQuery("Salaries", "count")
+        )
+        assert r.is_point and r.glb == 2.0
+
+    def test_min_max_ranges(self):
+        r_min = range_consistent_answer(
+            self.db, (FD,), AggregateQuery("Salaries", "min", "Amount")
+        )
+        assert (r_min.glb, r_min.lub) == (10.0, 20.0)
+        r_max = range_consistent_answer(
+            self.db, (FD,), AggregateQuery("Salaries", "max", "Amount")
+        )
+        assert (r_max.glb, r_max.lub) == (20.0, 50.0)
+
+    def test_consistent_instance_point_range(self):
+        db = _db([("a", 10), ("b", 20)])
+        r = range_consistent_answer(
+            db, (FD,), AggregateQuery("Salaries", "sum", "Amount")
+        )
+        assert r.is_point and r.glb == 30.0
+
+
+class TestClosedForms:
+    def _check_all(self, db):
+        sum_fast = fd_range_sum(db, FD, "Amount")
+        sum_exact = range_consistent_answer(
+            db, (FD,), AggregateQuery("Salaries", "sum", "Amount")
+        )
+        assert (sum_fast.glb, sum_fast.lub) == (sum_exact.glb, sum_exact.lub)
+
+        cnt_fast = fd_range_count_star(db, FD)
+        cnt_exact = range_consistent_answer(
+            db, (FD,), AggregateQuery("Salaries", "count")
+        )
+        assert (cnt_fast.glb, cnt_fast.lub) == (cnt_exact.glb, cnt_exact.lub)
+
+        min_fast = fd_range_min(db, FD, "Amount")
+        min_exact = range_consistent_answer(
+            db, (FD,), AggregateQuery("Salaries", "min", "Amount")
+        )
+        assert (min_fast.glb, min_fast.lub) == (min_exact.glb, min_exact.lub)
+
+        max_fast = fd_range_max(db, FD, "Amount")
+        max_exact = range_consistent_answer(
+            db, (FD,), AggregateQuery("Salaries", "max", "Amount")
+        )
+        assert (max_fast.glb, max_fast.lub) == (max_exact.glb, max_exact.lub)
+
+    def test_paper_style_instance(self):
+        self._check_all(_db([("a", 10), ("a", 50), ("b", 20), ("c", 5)]))
+
+    def test_multiple_conflicting_groups(self):
+        self._check_all(_db([
+            ("a", 10), ("a", 50),
+            ("b", 20), ("b", 1), ("b", 7),
+            ("c", 5),
+        ]))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_differential(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        rows = set()
+        for _ in range(8):
+            rows.add((f"k{rng.randrange(4)}", rng.randrange(1, 40)))
+        self._check_all(_db(sorted(rows)))
+
+    def test_count_star_formula(self):
+        # group 'a': classes of size 1 and 1 -> count contributes 1
+        # group 'b': one class of size 1.
+        db = _db([("a", 10), ("a", 50), ("b", 20)])
+        r = fd_range_count_star(db, FD)
+        assert (r.glb, r.lub) == (2.0, 2.0)
+
+    def test_count_star_with_wide_schema(self):
+        schema = Schema.of(
+            RelationSchema("R", ("K", "V", "W"), key=("K",)),
+        )
+        db = Database.from_dict(
+            {"R": [("a", 1, "x"), ("a", 1, "y"), ("b", 2, "z")]},
+            schema=schema,
+        )
+        fd = FunctionalDependency("R", ("K",), ("V",), name="fd")
+        # Group 'a' has one rhs class {1} holding two tuples: repairs keep
+        # both, so the count is constant 3.
+        r = fd_range_count_star(db, fd)
+        exact = range_consistent_answer(
+            db, (fd,), AggregateQuery("R", "count")
+        )
+        assert (r.glb, r.lub) == (exact.glb, exact.lub) == (3.0, 3.0)

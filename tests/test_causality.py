@@ -1,0 +1,290 @@
+"""Tests for causality: Examples 7.1-7.4 and the repair connection."""
+
+import pytest
+
+from repro.causality import (
+    CausalityProgram,
+    actual_causes,
+    actual_causes_direct,
+    actual_causes_under_ics,
+    attribute_causes,
+    attribute_responsibility,
+    causes_via_asp,
+    counterfactual_causes,
+    most_responsible_causes,
+    query_as_denial,
+    responsibility,
+    responsibility_under_ics,
+)
+from repro.errors import QueryError
+from repro.logic import atom, cq, vars_
+from repro.relational import fact
+from repro.workloads import dep_course, random_rs_instance, rs_instance
+
+X, Y = vars_("x y")
+
+
+class TestExample71:
+    """Example 7.1: causes and responsibilities for Q on the R/S instance."""
+
+    def setup_method(self):
+        scenario = rs_instance()
+        self.db = scenario.db
+        self.query = scenario.queries["Q"]
+
+    def test_counterfactual_cause(self):
+        cf = counterfactual_causes(self.db, self.query)
+        assert [c.fact for c in cf] == [fact("S", "a3")]
+        assert cf[0].responsibility == 1.0
+
+    def test_actual_causes_and_responsibilities(self):
+        causes = {
+            c.fact: c.responsibility
+            for c in actual_causes(self.db, self.query)
+        }
+        assert causes == {
+            fact("S", "a3"): 1.0,
+            fact("R", "a4", "a3"): 0.5,
+            fact("R", "a3", "a3"): 0.5,
+            fact("S", "a4"): 0.5,
+        }
+
+    def test_contingency_of_r43(self):
+        causes = actual_causes(self.db, self.query)
+        r43 = next(c for c in causes if c.fact == fact("R", "a4", "a3"))
+        assert frozenset({fact("R", "a3", "a3")}) in r43.contingencies
+
+    def test_responsibility_function(self):
+        assert responsibility(self.db, self.query, fact("S", "a3")) == 1.0
+        assert responsibility(self.db, self.query, fact("S", "a2")) == 0.0
+
+    def test_most_responsible(self):
+        mrac = most_responsible_causes(self.db, self.query)
+        assert [c.fact for c in mrac] == [fact("S", "a3")]
+
+    def test_direct_agrees_with_repair_connection(self):
+        via_repairs = {
+            c.fact: c.responsibility
+            for c in actual_causes(self.db, self.query)
+        }
+        direct = {
+            c.fact: c.responsibility
+            for c in actual_causes_direct(self.db, self.query)
+        }
+        assert direct == via_repairs
+
+    def test_false_query_no_causes(self):
+        q = cq([], [atom("S", "zzz")])
+        assert actual_causes(self.db, q) == []
+
+    def test_non_boolean_requires_answer(self):
+        q = cq([X], [atom("S", X)])
+        with pytest.raises(QueryError):
+            actual_causes(self.db, q)
+        with pytest.raises(QueryError):
+            query_as_denial(q)
+
+
+class TestExample72:
+    """Example 7.2: the same causes via the extended repair program."""
+
+    def setup_method(self):
+        scenario = rs_instance()
+        self.db = scenario.db
+        self.query = scenario.queries["Q"]
+
+    def test_cause_tids_brave(self):
+        program = CausalityProgram(self.db, self.query)
+        # t6=S(a3), t1=R(a4,a3), t3=R(a3,a3), t4=S(a4).
+        assert program.cause_tids() == {"t1", "t3", "t4", "t6"}
+
+    def test_caucon_pairs_from_d2(self):
+        program = CausalityProgram(self.db, self.query)
+        pairs = program.contingency_pairs()
+        # From model M2 (repair D2): CauCon(ι1, ι3) and CauCon(ι3, ι1).
+        assert ("t1", "t3") in pairs
+        assert ("t3", "t1") in pairs
+
+    def test_responsibilities_via_count(self):
+        rho = causes_via_asp(self.db, self.query)
+        assert rho == {"t1": 0.5, "t3": 0.5, "t4": 0.5, "t6": 1.0}
+
+    def test_mrac_via_weak_constraints(self):
+        program = CausalityProgram(
+            self.db, self.query, include_weak_constraints=True
+        )
+        assert program.cause_tids(optimal_only=True) == {"t6"}
+
+    def test_agrees_with_repair_based(self):
+        rho_asp = causes_via_asp(self.db, self.query)
+        rho_direct = {
+            self.db.tid_of(c.fact): c.responsibility
+            for c in actual_causes(self.db, self.query)
+        }
+        assert rho_asp == rho_direct
+
+
+class TestExample73:
+    """Example 7.3: attribute-level causes."""
+
+    def setup_method(self):
+        scenario = rs_instance()
+        self.db = scenario.db
+        self.query = scenario.queries["Q"]
+
+    def test_t6_1_counterfactual(self):
+        causes = attribute_causes(self.db, self.query)
+        by_label = {c.label(): c for c in causes}
+        assert by_label["t6[1]"].is_counterfactual
+        assert by_label["t6[1]"].responsibility == 1.0
+
+    def test_t1_2_actual_with_t3_2_contingency(self):
+        causes = attribute_causes(self.db, self.query)
+        by_label = {c.label(): c for c in causes}
+        c = by_label["t1[2]"]
+        assert c.responsibility == 0.5
+        assert frozenset({("t3", 1)}) in c.contingencies
+        # ...and the other way around, as the paper says.
+        c2 = by_label["t3[2]"]
+        assert frozenset({("t1", 1)}) in c2.contingencies
+
+    def test_responsibility_lookup(self):
+        assert attribute_responsibility(
+            self.db, self.query, ("t6", 0)
+        ) == 1.0
+        assert attribute_responsibility(
+            self.db, self.query, ("t2", 0)
+        ) == 0.0
+
+    def test_false_query_no_causes(self):
+        q = cq([], [atom("S", "zzz")])
+        assert attribute_causes(self.db, q) == []
+
+
+class TestExample74:
+    """Example 7.4: causality under an inclusion dependency."""
+
+    def setup_method(self):
+        scenario = dep_course()
+        self.db = scenario.db
+        self.psi = scenario.constraints
+        self.Q = scenario.queries["Q"]
+        self.Q1 = scenario.queries["Q1"]
+        self.Q2 = scenario.queries["Q2"]
+        self.dep_john = fact("Dep", "Computing", "John")       # ι1
+        self.com08 = fact("Course", "COM08", "John", "Computing")   # ι4
+        self.com01 = fact("Course", "COM01", "John", "Computing")   # ι8
+
+    def test_causes_without_ics(self):
+        causes = {
+            c.fact: c.responsibility
+            for c in actual_causes(self.db, self.Q, answer=("John",))
+        }
+        assert causes == {
+            self.dep_john: 1.0,
+            self.com08: 0.5,
+            self.com01: 0.5,
+        }
+
+    def test_query_a_under_psi(self):
+        causes = {
+            c.fact: c.responsibility
+            for c in actual_causes_under_ics(
+                self.db, self.psi, self.Q, answer=("John",)
+            )
+        }
+        # ι4 and ι8 are no longer causes; ι1 stays counterfactual.
+        assert causes == {self.dep_john: 1.0}
+
+    def test_query_b_under_psi_same_as_a(self):
+        causes_a = {
+            c.fact: c.responsibility
+            for c in actual_causes_under_ics(
+                self.db, self.psi, self.Q, answer=("John",)
+            )
+        }
+        causes_b = {
+            c.fact: c.responsibility
+            for c in actual_causes_under_ics(
+                self.db, self.psi, self.Q1, answer=("John",)
+            )
+        }
+        assert causes_a == causes_b
+
+    def test_query_c_without_ics(self):
+        causes = {
+            c.fact: c.responsibility
+            for c in actual_causes(self.db, self.Q2, answer=("John",))
+        }
+        assert causes == {self.com08: 0.5, self.com01: 0.5}
+
+    def test_query_c_under_psi_responsibility_drops(self):
+        causes = {
+            c.fact: c.responsibility
+            for c in actual_causes_under_ics(
+                self.db, self.psi, self.Q2, answer=("John",)
+            )
+        }
+        assert causes[self.com08] == pytest.approx(1 / 3)
+        assert causes[self.com01] == pytest.approx(1 / 3)
+        assert self.dep_john not in causes
+
+    def test_contingency_includes_dep_tuple(self):
+        causes = actual_causes_under_ics(
+            self.db, self.psi, self.Q2, answer=("John",)
+        )
+        c4 = next(c for c in causes if c.fact == self.com08)
+        assert frozenset({self.com01, self.dep_john}) in c4.contingencies
+
+    def test_inconsistent_instance_rejected(self):
+        bad = self.db.delete([self.com08, self.com01])
+        with pytest.raises(QueryError):
+            actual_causes_under_ics(
+                bad, self.psi, self.Q2, answer=("John",)
+            )
+
+    def test_responsibility_under_ics_lookup(self):
+        assert responsibility_under_ics(
+            self.db, self.psi, self.Q, self.dep_john, answer=("John",)
+        ) == 1.0
+        assert responsibility_under_ics(
+            self.db, self.psi, self.Q, self.com08, answer=("John",)
+        ) == 0.0
+
+
+class TestCausalityProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_direct_vs_repair_connection_random(self, seed):
+        scenario = random_rs_instance(4, 3, 3, seed=seed)
+        query = cq(
+            [], [atom("S", X), atom("R", X, Y), atom("S", Y)], name="Q"
+        )
+        via_repairs = {
+            c.fact: c.responsibility
+            for c in actual_causes(scenario.db, query)
+        }
+        direct = {
+            c.fact: c.responsibility
+            for c in actual_causes_direct(scenario.db, query)
+        }
+        assert via_repairs == direct
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_asp_vs_repair_connection_random(self, seed):
+        scenario = random_rs_instance(5, 4, 4, seed=seed)
+        query = cq(
+            [], [atom("S", X), atom("R", X, Y), atom("S", Y)], name="Q"
+        )
+        if not query.holds(scenario.db):
+            pytest.skip("query false on this instance")
+        rho_asp = causes_via_asp(scenario.db, query)
+        rho_repairs = {
+            scenario.db.tid_of(c.fact): c.responsibility
+            for c in actual_causes(scenario.db, query)
+        }
+        assert rho_asp == rho_repairs
+
+    def test_responsibility_bounds(self):
+        scenario = rs_instance()
+        for c in actual_causes(scenario.db, scenario.queries["Q"]):
+            assert 0 < c.responsibility <= 1

@@ -1,0 +1,206 @@
+"""Tests for data cleaning: CFD repair, quality answers, entity resolution."""
+
+import pytest
+
+from repro.cleaning import (
+    MatchingDependency,
+    QualityContext,
+    clean,
+    edit_distance,
+    quality_answer_support,
+    quality_answers,
+    resolve,
+    similarity,
+)
+from repro.constraints import FunctionalDependency, WILDCARD, cfd
+from repro.errors import ConstraintError
+from repro.logic import atom, cq, vars_
+from repro.relational import Database, RelationSchema, Schema, fact
+from repro.workloads import customer_cfd, employee
+
+X, Y = vars_("x y")
+
+
+class TestSimilarity:
+    def test_edit_distance(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "abc") == 0
+
+    def test_similarity_range(self):
+        assert similarity("smith", "smith") == 1.0
+        assert similarity("smith", "smyth") == pytest.approx(0.8)
+        assert 0.0 <= similarity("a", "xyz") <= 1.0
+
+    def test_similarity_case_insensitive(self):
+        assert similarity("Smith", "smith") == 1.0
+
+    def test_non_strings_by_equality(self):
+        assert similarity(5, 5) == 1.0
+        assert similarity(5, 6) == 0.0
+
+
+class TestCFDCleaning:
+    def test_paper_cfd_cleaned(self):
+        scenario = customer_cfd()
+        fd1, fd2, phi = scenario.constraints
+        result = clean(scenario.db, (phi,))
+        assert result.cost >= 1
+        assert phi.is_satisfied(result.cleaned)
+        # The plain FDs were satisfied and must remain so.
+        assert fd1.is_satisfied(result.cleaned)
+
+    def test_plain_fd_plurality(self):
+        db = Database.from_dict({
+            "R": [("k", 1, "x"), ("k", 1, "y"), ("k", 2, "z")],
+        })
+        fd = FunctionalDependency("R", ("a0",), ("a1",))
+        result = clean(db, (fd,))
+        assert fd.is_satisfied(result.cleaned)
+        values = {row[1] for row in result.cleaned.relation("R")}
+        assert values == {1}  # plurality value kept
+
+    def test_constant_rhs_pattern_overwrite(self):
+        db = Database.from_dict({
+            "R": [("44", "york"), ("44", "leeds"), ("01", "nyc")],
+        })
+        constraint = cfd(
+            "R", ("a0",), ("a1",), [(("44",), ("york",))]
+        )
+        result = clean(db, (constraint,))
+        assert constraint.is_satisfied(result.cleaned)
+        changed = {c.old_value for c in result.changes}
+        assert changed == {"leeds"}
+
+    def test_clean_consistent_is_noop(self):
+        scenario = employee()
+        db = scenario.db.delete([fact("Employee", "page", "8K")])
+        result = clean(db, scenario.constraints)
+        assert result.cost == 0
+        assert result.cleaned == db
+
+    def test_unsupported_constraint_rejected(self):
+        from repro.constraints import DenialConstraint
+
+        db = Database.from_dict({"R": [(1,)]})
+        dc = DenialConstraint((atom("R", X),))
+        with pytest.raises(ConstraintError):
+            clean(db, (dc,))
+
+    def test_change_log_consistent_with_instances(self):
+        scenario = employee()
+        result = clean(scenario.db, scenario.constraints)
+        assert scenario.constraints[0].is_satisfied(result.cleaned)
+        for change in result.changes:
+            assert change.old_value != change.new_value
+
+
+class TestQualityAnswers:
+    def test_quality_answers_are_consistent_answers(self):
+        scenario = employee()
+        context = QualityContext(scenario.constraints)
+        q = scenario.queries["Q1"]
+        assert quality_answers(scenario.db, context, q) == {
+            ("smith", "3K"), ("stowe", "7K"),
+        }
+
+    def test_tuple_filter_removes_low_quality(self):
+        scenario = employee()
+
+        def not_page(f):
+            return f.values[0] != "page"
+
+        context = QualityContext(
+            scenario.constraints, tuple_filter=not_page
+        )
+        q = scenario.queries["Q2"]
+        assert quality_answers(scenario.db, context, q) == {
+            ("smith",), ("stowe",),
+        }
+
+    def test_no_constraints_passthrough(self):
+        scenario = employee()
+        context = QualityContext(())
+        q = scenario.queries["Q2"]
+        assert quality_answers(scenario.db, context, q) == {
+            ("smith",), ("stowe",), ("page",),
+        }
+
+    def test_support(self):
+        scenario = employee()
+        context = QualityContext(scenario.constraints)
+        support = dict(
+            quality_answer_support(
+                scenario.db, context, scenario.queries["Q1"]
+            )
+        )
+        assert support[("page", "5K")] == 0.5
+
+
+class TestEntityResolution:
+    def setup_method(self):
+        self.schema = Schema.of(
+            RelationSchema("P", ("Name", "Phone", "Address")),
+        )
+
+    def test_similar_names_merge_address(self):
+        db = Database.from_dict(
+            {
+                "P": [
+                    ("John Smith", "555", "10 Main St."),
+                    ("Jon Smith", "555", "10 Main Street"),
+                    ("Alice Wu", "111", "2 Elm St."),
+                ],
+            },
+            schema=self.schema,
+        )
+        md = MatchingDependency(
+            "P", ("Name", "Phone"), ("Address",), threshold=0.75
+        )
+        result = resolve(db, (md,))
+        assert result.merges
+        addresses = {
+            row[2] for row in result.resolved.relation("P")
+            if "Smith" in row[0]
+        }
+        assert len(addresses) == 1
+        assert addresses == {"10 Main Street"}  # longer value wins
+
+    def test_duplicate_groups(self):
+        db = Database.from_dict(
+            {
+                "P": [
+                    ("John Smith", "555", "10 Main St."),
+                    ("Jon Smith", "555", "10 Main Street"),
+                ],
+            },
+            schema=self.schema,
+        )
+        md = MatchingDependency(
+            "P", ("Name",), ("Address",), threshold=0.75
+        )
+        result = resolve(db, (md,))
+        groups = result.duplicate_groups()
+        assert len(groups) == 1
+        assert len(groups[0]) == 2
+
+    def test_dissimilar_untouched(self):
+        db = Database.from_dict(
+            {
+                "P": [
+                    ("John Smith", "555", "10 Main St."),
+                    ("Alice Wu", "111", "2 Elm St."),
+                ],
+            },
+            schema=self.schema,
+        )
+        md = MatchingDependency("P", ("Name",), ("Address",))
+        result = resolve(db, (md,))
+        assert not result.merges
+        assert result.resolved == db
+
+    def test_md_validation(self):
+        with pytest.raises(ConstraintError):
+            MatchingDependency("P", ("Name",), ("Name",))
+        with pytest.raises(ConstraintError):
+            MatchingDependency("P", ("Name",), ("Phone",), threshold=0.0)

@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def employee_csv(tmp_path):
+    path = tmp_path / "emp.csv"
+    path.write_text(
+        "Name,Salary\npage,5K\npage,8K\nsmith,3K\nstowe,7K\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def supply_csvs(tmp_path):
+    supply = tmp_path / "supply.csv"
+    supply.write_text(
+        "Company,Receiver,Item\nC1,R1,I1\nC2,R2,I2\nC2,R1,I3\n"
+    )
+    articles = tmp_path / "articles.csv"
+    articles.write_text("Item\nI1\nI2\n")
+    return str(supply), str(articles)
+
+
+class TestCheck:
+    def test_inconsistent_exit_code(self, employee_csv, capsys):
+        rc = main([
+            "check", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "1 violation(s)" in out
+        assert "consistent: False" in out
+
+    def test_consistent_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "clean.csv"
+        path.write_text("Name,Salary\nsmith,3K\n")
+        rc = main([
+            "check", "--csv", f"Employee={path}",
+            "--fd", "Employee: Name -> Salary",
+        ])
+        assert rc == 0
+        assert "consistent: True" in capsys.readouterr().out
+
+    def test_inclusion_dependency(self, supply_csvs, capsys):
+        supply, articles = supply_csvs
+        rc = main([
+            "check",
+            "--csv", f"Supply={supply}",
+            "--csv", f"Articles={articles}",
+            "--ind", "Supply[Item] <= Articles[Item]",
+        ])
+        assert rc == 1
+        assert "1 violation(s)" in capsys.readouterr().out
+
+
+class TestRepairs:
+    def test_s_repairs(self, employee_csv, capsys):
+        rc = main([
+            "repairs", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 S-repair(s)" in out
+        assert "5K" in out and "8K" in out
+
+    def test_c_repairs_with_insertions(self, supply_csvs, capsys):
+        supply, articles = supply_csvs
+        rc = main([
+            "repairs", "--cardinality",
+            "--csv", f"Supply={supply}",
+            "--csv", f"Articles={articles}",
+            "--ind", "Supply[Item] <= Articles[Item]",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 C-repair(s)" in out
+
+
+class TestCQA:
+    @pytest.mark.parametrize("method", ["enumerate", "rewrite", "sql"])
+    def test_all_methods_agree(self, employee_csv, capsys, method):
+        rc = main([
+            "cqa", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--query", "Q(X, Y) :- Employee(X, Y)",
+            "--method", method,
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "smith,3K" in out
+        assert "stowe,7K" in out
+        assert "page" not in out
+
+    def test_projection_query(self, employee_csv, capsys):
+        rc = main([
+            "cqa", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--query", "Q(X) :- Employee(X, Y)",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "page" in out
+
+
+class TestMeasure:
+    def test_report(self, employee_csv, capsys):
+        rc = main([
+            "measure", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "C-repair distance" in out
+        assert "0.25" in out
+
+
+class TestErrors:
+    def test_missing_constraints(self, employee_csv):
+        with pytest.raises(SystemExit):
+            main(["check", "--csv", f"Employee={employee_csv}"])
+
+    def test_missing_csv(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--fd", "R: a -> b"])
+
+    def test_bad_csv_spec(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--csv", "nodelimiter", "--fd", "R: a -> b"])
+
+    def test_numeric_coercion(self, tmp_path, capsys):
+        path = tmp_path / "r.csv"
+        path.write_text("K,V\n1,2.5\n1,3.5\n")
+        rc = main([
+            "repairs", "--csv", f"R={path}", "--fd", "R: K -> V",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 S-repair(s)" in out
+        assert "2.5" in out

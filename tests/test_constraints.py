@@ -1,0 +1,416 @@
+"""Tests for constraint types and the conflict hypergraph."""
+
+import pytest
+
+from repro.constraints import (
+    ConflictHypergraph,
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    TupleGeneratingDependency,
+    ViolationSummary,
+    WILDCARD,
+    all_satisfied,
+    cfd,
+    denial,
+    key_constraint,
+)
+from repro.errors import ConstraintError
+from repro.logic import atom, neq, vars_
+from repro.relational import NULL, Database, RelationSchema, Schema, fact
+from repro.workloads import (
+    abcde_instance,
+    customer_cfd,
+    employee,
+    rs_instance,
+    supply_articles,
+    supply_articles_cost,
+)
+
+X, Y, Z = vars_("x y z")
+
+
+class TestInclusionDependency:
+    def test_paper_example_21_violation(self):
+        scenario = supply_articles()
+        (ind,) = scenario.constraints
+        assert not ind.is_satisfied(scenario.db)
+        violations = ind.violations(scenario.db)
+        assert len(violations) == 1
+        (v,) = violations
+        assert v.facts == frozenset({fact("Supply", "C2", "R1", "I3")})
+        assert v.missing == (fact("Articles", "I3"),)
+
+    def test_satisfied_after_fix(self):
+        scenario = supply_articles()
+        (ind,) = scenario.constraints
+        fixed = scenario.db.insert([fact("Articles", "I3")])
+        assert ind.is_satisfied(fixed)
+        fixed2 = scenario.db.delete([fact("Supply", "C2", "R1", "I3")])
+        assert ind.is_satisfied(fixed2)
+
+    def test_tgd_missing_padded_with_null(self):
+        scenario = supply_articles_cost()
+        (tgd,) = scenario.constraints
+        violations = tgd.violations(scenario.db)
+        assert len(violations) == 1
+        (v,) = violations
+        assert v.missing == (fact("Articles", "I3", NULL),)
+
+    def test_null_child_values_satisfy(self):
+        schema = Schema.of(
+            RelationSchema("Child", ("a",)),
+            RelationSchema("Parent", ("a",)),
+        )
+        db = Database.from_dict(
+            {"Child": [(NULL,)], "Parent": [("x",)]}, schema=schema
+        )
+        ind = InclusionDependency("Child", ("a",), "Parent", ("a",))
+        assert ind.is_satisfied(db)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConstraintError):
+            InclusionDependency("C", ("a", "b"), "P", ("a",))
+
+    def test_to_tgd_round_trip(self):
+        scenario = supply_articles()
+        (ind,) = scenario.constraints
+        tgd = ind.to_tgd(scenario.db)
+        assert len(tgd.violations(scenario.db)) == 1
+        assert not tgd.existential_variables()
+
+    def test_existential_tgd(self):
+        scenario = supply_articles_cost()
+        (tgd,) = scenario.constraints
+        assert len(tgd.existential_variables()) == 1
+
+    def test_tgd_formula_evaluates(self):
+        from repro.logic import evaluate
+
+        scenario = supply_articles()
+        (ind,) = scenario.constraints
+        tgd = ind.to_tgd(scenario.db)
+        assert not evaluate(scenario.db, tgd.to_formula())
+        fixed = scenario.db.insert([fact("Articles", "I3")])
+        assert evaluate(fixed, tgd.to_formula())
+
+
+class TestFunctionalDependency:
+    def test_paper_example_33(self):
+        scenario = employee()
+        (kc,) = scenario.constraints
+        violations = kc.violations(scenario.db)
+        assert len(violations) == 1
+        (v,) = violations
+        assert v.facts == frozenset({
+            fact("Employee", "page", "5K"),
+            fact("Employee", "page", "8K"),
+        })
+
+    def test_null_lhs_never_conflicts(self):
+        schema = Schema.of(RelationSchema("R", ("K", "V")))
+        db = Database.from_dict(
+            {"R": [(NULL, 1), (NULL, 2)]}, schema=schema
+        )
+        fd = FunctionalDependency("R", ("K",), ("V",))
+        assert fd.is_satisfied(db)
+
+    def test_null_rhs_never_conflicts(self):
+        db = Database.from_dict({"R": [("k", NULL), ("k", 2)]})
+        fd = FunctionalDependency("R", ("a0",), ("a1",))
+        assert fd.is_satisfied(db)
+
+    def test_multi_attribute_rhs(self):
+        db = Database.from_dict({"R": [("k", 1, 2), ("k", 1, 3)]})
+        fd = FunctionalDependency("R", ("a0",), ("a1", "a2"))
+        assert len(fd.violations(db)) == 1
+
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(ConstraintError):
+            FunctionalDependency("R", ("a",), ("a", "b"))
+
+    def test_key_constraint_from_schema(self):
+        scenario = employee()
+        kc = key_constraint(scenario.db, "Employee")
+        assert kc.lhs == ("Name",)
+        assert kc.rhs == ("Salary",)
+
+    def test_key_constraint_requires_declared_key(self):
+        db = Database.from_dict({"R": [(1, 2)]})
+        with pytest.raises(ConstraintError):
+            key_constraint(db, "R")
+
+    def test_to_denial_constraints(self):
+        scenario = employee()
+        (kc,) = scenario.constraints
+        dcs = kc.to_denial_constraints(scenario.db)
+        assert len(dcs) == 1
+        dc_violations = dcs[0].violations(scenario.db)
+        assert len(dc_violations) == 1
+        assert dc_violations[0].facts == kc.violations(scenario.db)[0].facts
+
+
+class TestDenialConstraint:
+    def test_paper_kappa_violations(self):
+        scenario = rs_instance()
+        (kappa,) = scenario.constraints
+        violations = kappa.violations(scenario.db)
+        # Two forbidden joins: (S(a4), R(a4,a3), S(a3)) and
+        # (S(a3), R(a3,a3), S(a3)).
+        assert len(violations) == 2
+        edges = {v.facts for v in violations}
+        assert frozenset({
+            fact("S", "a4"), fact("R", "a4", "a3"), fact("S", "a3"),
+        }) in edges
+        assert frozenset({
+            fact("S", "a3"), fact("R", "a3", "a3"),
+        }) in edges
+
+    def test_null_disables_join(self):
+        scenario = rs_instance()
+        (kappa,) = scenario.constraints
+        db = scenario.db
+        tid = db.tid_of(fact("S", "a3"))
+        nulled = db.update_value(tid, 0, NULL)
+        assert kappa.is_satisfied(nulled)
+
+    def test_empty_atoms_rejected(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint((), name="bad")
+
+    def test_loose_comparison_variable_rejected(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint((atom("R", X),), (neq(X, Y),))
+
+    def test_join_positions(self):
+        scenario = rs_instance()
+        (kappa,) = scenario.constraints
+        relevant = kappa.join_positions()
+        # S(x), R(x,y), S(y): every position holds a join variable.
+        assert relevant == {(0, 0), (1, 0), (1, 1), (2, 0)}
+
+    def test_join_positions_with_constant_and_comparison(self):
+        dc = DenialConstraint(
+            (atom("R", X, Y, "c", Z),),
+            (neq(X, 5),),
+            name="dc",
+        )
+        # x compared, 'c' constant; y and z occur once, uncompared.
+        assert dc.join_positions() == {(0, 0), (0, 2)}
+
+    def test_to_formula(self):
+        from repro.logic import evaluate
+
+        scenario = rs_instance()
+        (kappa,) = scenario.constraints
+        assert not evaluate(scenario.db, kappa.to_formula())
+        repaired = scenario.db.delete([fact("S", "a3")])
+        assert evaluate(repaired, kappa.to_formula())
+
+
+class TestCFD:
+    def test_paper_section6(self):
+        scenario = customer_cfd()
+        fd1, fd2, phi = scenario.constraints
+        # The two plain FDs hold; the CFD is violated.
+        assert fd1.is_satisfied(scenario.db)
+        assert fd2.is_satisfied(scenario.db)
+        violations = phi.violations(scenario.db)
+        assert len(violations) == 1
+        (v,) = violations
+        names = {f.values[3] for f in v.facts}
+        assert names == {"mike", "rick"}
+
+    def test_constant_rhs_pattern(self):
+        db = Database.from_dict({
+            "R": [("44", "york"), ("44", "leeds"), ("01", "nyc")],
+        })
+        constraint = cfd(
+            "R", ("a0",), ("a1",),
+            [(("44",), ("york",))],
+        )
+        violations = constraint.violations(db)
+        assert len(violations) == 1
+        (v,) = violations
+        assert v.facts == frozenset({fact("R", "44", "leeds")})
+
+    def test_wildcard_pattern_is_plain_fd(self):
+        db = Database.from_dict({"R": [("a", 1), ("a", 2), ("b", 1)]})
+        constraint = cfd(
+            "R", ("a0",), ("a1",),
+            [((WILDCARD,), (WILDCARD,))],
+        )
+        assert len(constraint.violations(db)) == 1
+
+    def test_pattern_width_checked(self):
+        with pytest.raises(ConstraintError):
+            cfd("R", ("a", "b"), ("c",), [(("44",), (WILDCARD,))])
+
+    def test_null_never_matches_pattern(self):
+        db = Database.from_dict({"R": [(NULL, 1), ("44", 2), ("44", 3)]})
+        constraint = cfd(
+            "R", ("a0",), ("a1",),
+            [(("44",), (WILDCARD,))],
+        )
+        assert len(constraint.violations(db)) == 1
+
+
+class TestConflictHypergraph:
+    def test_figure1(self):
+        scenario = abcde_instance()
+        graph = ConflictHypergraph.build(scenario.db, scenario.constraints)
+        db = scenario.db
+        tid = {
+            name: db.tid_of(fact(name, "a"))
+            for name in ("A", "B", "C", "D", "E")
+        }
+        expected_edges = {
+            frozenset({tid["B"], tid["E"]}),
+            frozenset({tid["B"], tid["C"], tid["D"]}),
+            frozenset({tid["A"], tid["C"]}),
+        }
+        assert graph.edges == expected_edges
+
+    def test_example_41_s_and_c_repairs(self):
+        scenario = abcde_instance()
+        db = scenario.db
+        graph = ConflictHypergraph.build(db, scenario.constraints)
+        mis = graph.maximal_independent_sets()
+        repaired = {
+            frozenset(db.fact_by_tid(t).relation for t in s) for s in mis
+        }
+        assert repaired == {
+            frozenset({"B", "C"}),
+            frozenset({"C", "D", "E"}),
+            frozenset({"A", "B", "D"}),
+            frozenset({"E", "D", "A"}),
+        }
+        minimum = graph.minimum_hitting_sets()
+        c_repaired = {
+            frozenset(db.fact_by_tid(t).relation
+                      for t in graph.nodes - h)
+            for h in minimum
+        }
+        # D1 = {B, C} deletes three tuples and is not a C-repair.
+        assert c_repaired == {
+            frozenset({"C", "D", "E"}),
+            frozenset({"A", "B", "D"}),
+            frozenset({"E", "D", "A"}),
+        }
+
+    def test_rejects_tgds(self):
+        scenario = supply_articles()
+        with pytest.raises(ConstraintError):
+            ConflictHypergraph.build(scenario.db, scenario.constraints)
+
+    def test_conflict_free_core(self):
+        scenario = rs_instance()
+        graph = ConflictHypergraph.build(scenario.db, scenario.constraints)
+        core = {
+            scenario.db.fact_by_tid(t) for t in graph.conflict_free_tids()
+        }
+        assert fact("R", "a2", "a1") in core
+        assert fact("S", "a2") in core
+
+    def test_is_independent(self):
+        scenario = abcde_instance()
+        db = scenario.db
+        graph = ConflictHypergraph.build(db, scenario.constraints)
+        b, c = db.tid_of(fact("B", "a")), db.tid_of(fact("C", "a"))
+        e = db.tid_of(fact("E", "a"))
+        assert graph.is_independent({b, c})
+        assert not graph.is_independent({b, e})
+
+    def test_empty_graph_single_trivial_repair(self):
+        db = Database.from_dict({"R": [(1,)]})
+        graph = ConflictHypergraph.build(db, ())
+        assert graph.minimal_hitting_sets() == [frozenset()]
+        assert graph.maximal_independent_sets() == [db.tids()]
+
+    def test_render_ascii(self):
+        scenario = abcde_instance()
+        graph = ConflictHypergraph.build(scenario.db, scenario.constraints)
+        text = graph.render_ascii(scenario.db)
+        assert "edge e0" in text
+        assert "B(" in text
+
+    def test_to_networkx(self):
+        scenario = abcde_instance()
+        graph = ConflictHypergraph.build(scenario.db, scenario.constraints)
+        g = graph.to_networkx()
+        conflict_nodes = [
+            n for n, d in g.nodes(data=True) if d["kind"] == "conflict"
+        ]
+        assert len(conflict_nodes) == 3
+
+    def test_violation_summary(self):
+        scenario = abcde_instance()
+        summary = ViolationSummary.of(scenario.db, scenario.constraints)
+        assert summary.total_violations == 3
+        assert len(summary.violating_facts) == 5
+
+
+class TestCFDAsDenialConstraints:
+    def test_paper_cfd_violations_match(self):
+        scenario = customer_cfd()
+        _, _, phi = scenario.constraints
+        dcs = phi.to_denial_constraints(scenario.db)
+        native = {v.facts for v in phi.violations(scenario.db)}
+        via_dc = {
+            v.facts for dc in dcs for v in dc.violations(scenario.db)
+        }
+        assert native == via_dc
+
+    def test_constant_rhs_pattern_as_dc(self):
+        db = Database.from_dict({
+            "R": [("44", "york"), ("44", "leeds"), ("01", "nyc")],
+        })
+        constraint = cfd(
+            "R", ("a0",), ("a1",), [(("44",), ("york",))]
+        )
+        dcs = constraint.to_denial_constraints(db)
+        assert len(dcs) == 1
+        native = {v.facts for v in constraint.violations(db)}
+        via_dc = {v.facts for v in dcs[0].violations(db)}
+        assert native == via_dc
+
+    def test_cfd_repairs_via_asp(self):
+        from repro.asp import RepairProgram
+        from repro.repairs import s_repairs
+
+        scenario = customer_cfd()
+        _, _, phi = scenario.constraints
+        rp = RepairProgram(scenario.db, (phi,))
+        via_asp = {r.instance.facts() for r in rp.repairs()}
+        direct = {
+            r.instance.facts() for r in s_repairs(scenario.db, (phi,))
+        }
+        assert via_asp == direct
+        assert len(via_asp) == 2
+
+    def test_cfd_attribute_repairs_through_dcs(self):
+        from repro.repairs import attribute_repairs
+
+        scenario = customer_cfd()
+        _, _, phi = scenario.constraints
+        dcs = phi.to_denial_constraints(scenario.db)
+        repairs = attribute_repairs(scenario.db, dcs)
+        assert repairs
+        for r in repairs:
+            assert phi.is_satisfied(r.instance)
+
+    def test_mixed_pattern_as_dcs(self):
+        db = Database.from_dict({
+            "R": [("44", "a", "x"), ("44", "a", "y"), ("44", "b", "x")],
+        })
+        constraint = cfd(
+            "R", ("a0", "a1"), ("a2",),
+            [(("44", WILDCARD), (WILDCARD,))],
+        )
+        dcs = constraint.to_denial_constraints(db)
+        native = {v.facts for v in constraint.violations(db)}
+        via_dc = {
+            v.facts for dc in dcs for v in dc.violations(db)
+        }
+        assert native == via_dc
+        assert len(native) == 1

@@ -1,0 +1,96 @@
+"""Tests for the stratified Datalog engine."""
+
+import pytest
+
+from repro.datalog import Program, evaluate_program, materialize, negated, rule
+from repro.errors import QueryError
+from repro.logic import Comparison, atom, vars_
+from repro.relational import Database
+
+X, Y, Z = vars_("x y z")
+
+
+@pytest.fixture
+def graph_db():
+    return Database.from_dict({
+        "edge": [(1, 2), (2, 3), (3, 4)],
+    })
+
+
+class TestEvaluation:
+    def test_transitive_closure(self, graph_db):
+        program = Program((
+            rule(atom("path", X, Y), [atom("edge", X, Y)]),
+            rule(atom("path", X, Z), [atom("edge", X, Y), atom("path", Y, Z)]),
+        ))
+        derived = evaluate_program(program, graph_db)
+        assert (1, 4) in derived["path"]
+        assert len(derived["path"]) == 6
+
+    def test_conditions(self, graph_db):
+        program = Program((
+            rule(
+                atom("big", X, Y), [atom("edge", X, Y)],
+                conditions=[Comparison(">", Y, 2)],
+            ),
+        ))
+        derived = evaluate_program(program, graph_db)
+        assert derived["big"] == {(2, 3), (3, 4)}
+
+    def test_stratified_negation(self, graph_db):
+        # unreachable-from-1: nodes with no path from 1.
+        program = Program((
+            rule(atom("node", X), [atom("edge", X, Y)]),
+            rule(atom("node", Y), [atom("edge", X, Y)]),
+            rule(atom("path", X, Y), [atom("edge", X, Y)]),
+            rule(atom("path", X, Z), [atom("edge", X, Y), atom("path", Y, Z)]),
+            rule(
+                atom("unreachable", X),
+                [atom("node", X), negated(atom("path", 1, X))],
+            ),
+        ))
+        derived = evaluate_program(program, graph_db)
+        assert derived["unreachable"] == {(1,)}
+
+    def test_non_stratifiable_rejected(self, graph_db):
+        program = Program((
+            rule(atom("p", X), [atom("edge", X, Y), negated(atom("q", X))]),
+            rule(atom("q", X), [atom("edge", X, Y), negated(atom("p", X))]),
+        ))
+        with pytest.raises(QueryError):
+            evaluate_program(program, graph_db)
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(QueryError):
+            rule(atom("p", X, Z), [atom("edge", X, Y)])
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(QueryError):
+            rule(atom("p", X), [atom("edge", X, Y), negated(atom("q", Z))])
+
+    def test_materialize(self, graph_db):
+        program = Program((
+            rule(atom("path", X, Y), [atom("edge", X, Y)]),
+            rule(atom("path", X, Z), [atom("edge", X, Y), atom("path", Y, Z)]),
+        ))
+        db = materialize(program, graph_db, predicates=["path"])
+        assert len(db.relation("path")) == 6
+        with pytest.raises(QueryError):
+            materialize(program, graph_db, predicates=["nope"])
+
+    def test_constants_in_rules(self, graph_db):
+        program = Program((
+            rule(atom("from1", Y), [atom("edge", 1, Y)]),
+        ))
+        derived = evaluate_program(program, graph_db)
+        assert derived["from1"] == {(2,)}
+
+    def test_stratification_levels(self):
+        program = Program((
+            rule(atom("a", X), [atom("e", X)]),
+            rule(atom("b", X), [atom("e", X), negated(atom("a", X))]),
+            rule(atom("c", X), [atom("e", X), negated(atom("b", X))]),
+        ))
+        strata = program.stratification()
+        level = {p: i for i, s in enumerate(strata) for p in s}
+        assert level["a"] < level["b"] < level["c"]

@@ -1,0 +1,104 @@
+"""Tests for causality over Datalog queries (the abduction connection)."""
+
+import pytest
+
+from repro.causality import (
+    actual_causes,
+    datalog_causes,
+    datalog_responsibility,
+    is_datalog_cause,
+)
+from repro.datalog import Program, rule
+from repro.errors import QueryError
+from repro.logic import atom, boolean_query, vars_
+from repro.relational import Database, fact
+
+X, Y, Z = vars_("x y z")
+
+TC = Program((
+    rule(atom("path", X, Y), [atom("edge", X, Y)]),
+    rule(atom("path", X, Z), [atom("edge", X, Y), atom("path", Y, Z)]),
+))
+
+
+class TestDatalogCauses:
+    def test_single_path_all_counterfactual(self):
+        db = Database.from_dict({"edge": [(1, 2), (2, 3)]})
+        causes = datalog_causes(db, TC, atom("path", 1, 3))
+        assert {c.fact for c in causes} == {
+            fact("edge", 1, 2), fact("edge", 2, 3),
+        }
+        for c in causes:
+            assert c.responsibility == 1.0
+            assert c.is_counterfactual
+
+    def test_two_disjoint_paths_halve_responsibility(self):
+        db = Database.from_dict({
+            "edge": [(1, 2), (2, 4), (1, 3), (3, 4)],
+        })
+        causes = {
+            c.fact: c for c in datalog_causes(db, TC, atom("path", 1, 4))
+        }
+        # Killing the goal needs one edge from each path: every edge is
+        # an actual cause with responsibility 1/2.
+        assert len(causes) == 4
+        for c in causes.values():
+            assert c.responsibility == 0.5
+        c12 = causes[fact("edge", 1, 2)]
+        assert any(
+            gamma in (
+                frozenset({fact("edge", 1, 3)}),
+                frozenset({fact("edge", 3, 4)}),
+            )
+            for gamma in c12.contingencies
+        )
+
+    def test_shared_edge_counterfactual(self):
+        # Both paths 1->2->4 and 1->2->5->4 go through edge (1,2).
+        db = Database.from_dict({
+            "edge": [(1, 2), (2, 4), (2, 5), (5, 4)],
+        })
+        causes = {
+            c.fact: c.responsibility
+            for c in datalog_causes(db, TC, atom("path", 1, 4))
+        }
+        assert causes[fact("edge", 1, 2)] == 1.0
+        assert causes[fact("edge", 2, 4)] == 0.5
+
+    def test_false_goal_no_causes(self):
+        db = Database.from_dict({"edge": [(1, 2)]})
+        assert datalog_causes(db, TC, atom("path", 2, 1)) == []
+
+    def test_ground_goal_required(self):
+        db = Database.from_dict({"edge": [(1, 2)]})
+        with pytest.raises(QueryError):
+            datalog_causes(db, TC, atom("path", X, 2))
+
+    def test_is_cause_and_responsibility(self):
+        db = Database.from_dict({"edge": [(1, 2), (2, 3), (9, 9)]})
+        goal = atom("path", 1, 3)
+        assert is_datalog_cause(db, TC, goal, fact("edge", 1, 2))
+        assert not is_datalog_cause(db, TC, goal, fact("edge", 9, 9))
+        assert datalog_responsibility(
+            db, TC, goal, fact("edge", 1, 2)
+        ) == 1.0
+        assert datalog_responsibility(
+            db, TC, goal, fact("edge", 9, 9)
+        ) == 0.0
+
+    def test_agrees_with_cq_causes_on_nonrecursive_goal(self):
+        # For a single-atom goal the Datalog machinery must agree with
+        # the CQ repair connection.
+        db = Database.from_dict({"edge": [(1, 2), (1, 3)]})
+        single = Program((
+            rule(atom("hop", X), [atom("edge", 1, X)]),
+        ))
+        dl = {
+            c.fact: c.responsibility
+            for c in datalog_causes(db, single, atom("hop", 2))
+        }
+        q = boolean_query([atom("edge", 1, 2)], name="g")
+        cq_based = {
+            c.fact: c.responsibility for c in actual_causes(db, q)
+        }
+        assert dl == cq_based

@@ -1,0 +1,53 @@
+"""End-to-end smoke tests: every example script runs and prints sense."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CHECKS = {
+    "quickstart.py": ["2 S-repairs", "NOT", "smith"],
+    "supply_chain_integration.py": [
+        "Consistently supplied items", "ord1",
+    ],
+    "causality_explanations.py": [
+        "Most responsible causes", "Three computation paths agree? True",
+    ],
+    "data_cleaning_pipeline.py": [
+        "Cleaning changed", "Entity resolution", "support",
+    ],
+    "inconsistency_audit.py": [
+        "Conflict hypergraph", "C-repairs", "card-measure",
+    ],
+    "ontology_access.py": ["ABox repairs", "IAR", "brave"],
+    "warehouse_dimensions.py": [
+        "Strictness violations", "minimal repairs",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CHECKS))
+def test_example_runs(script):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    for needle in CHECKS[script]:
+        assert needle in result.stdout, (
+            f"{script} output lacks {needle!r}:\n{result.stdout}"
+        )
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CHECKS), (
+        "examples and smoke checks out of sync"
+    )

@@ -1,0 +1,264 @@
+"""Tests for data exchange (exchange repairs) and OBDA (AR/IAR/brave)."""
+
+import pytest
+
+from repro.constraints import (
+    DenialConstraint,
+    FunctionalDependency,
+    TupleGeneratingDependency,
+)
+from repro.datalog import rule
+from repro.datalog.provenance import evaluate_with_provenance, supports_of
+from repro.datalog.engine import Program
+from repro.errors import ConstraintError, IntegrationError, QueryError
+from repro.exchange import ExchangeSetting
+from repro.logic import atom, cq, vars_
+from repro.obda import Ontology
+from repro.relational import (
+    Database,
+    Fact,
+    RelationSchema,
+    Schema,
+    fact,
+    is_labeled_null,
+)
+
+X, Y, Z = vars_("x y z")
+
+SOURCE = Schema.of(
+    RelationSchema("Emp", ("Name", "Dept")),
+)
+TARGET = Schema.of(
+    RelationSchema("Worker", ("Name", "Dept", "Office")),
+)
+
+
+def _setting(target_constraints=()):
+    st = TupleGeneratingDependency(
+        (atom("Emp", X, Y),),
+        (atom("Worker", X, Y, Z),),
+        name="emp2worker",
+    )
+    return ExchangeSetting(SOURCE, TARGET, (st,), tuple(target_constraints))
+
+
+class TestChase:
+    def test_universal_solution_has_labeled_nulls(self):
+        source = Database.from_dict(
+            {"Emp": [("ann", "sales"), ("bob", "hr")]}, schema=SOURCE
+        )
+        solution = _setting().chase(source)
+        rows = solution.relation("Worker")
+        assert len(rows) == 2
+        for row in rows:
+            assert is_labeled_null(row[2])
+        # Distinct witnesses get distinct nulls.
+        assert rows[0][2] != rows[1][2]
+
+    def test_schema_validation(self):
+        bad = TupleGeneratingDependency(
+            (atom("Nope", X),), (atom("Worker", X, X, X),)
+        )
+        with pytest.raises(IntegrationError):
+            ExchangeSetting(SOURCE, TARGET, (bad,))
+
+    def test_certain_answers_without_conflicts(self):
+        source = Database.from_dict(
+            {"Emp": [("ann", "sales")]}, schema=SOURCE
+        )
+        setting = _setting()
+        q = cq([X, Y], [atom("Worker", X, Y, Z)], name="who")
+        assert setting.certain_answers(source, q) == {("ann", "sales")}
+        # The office value is a labeled null: not certain.
+        q_office = cq([Z], [atom("Worker", X, Y, Z)], name="office")
+        assert setting.certain_answers(source, q_office) == frozenset()
+
+
+class TestExchangeRepairs:
+    def test_target_fd_violation_repaired(self):
+        # Target constraint: a worker has one department.
+        source = Database.from_dict(
+            {"Emp": [("ann", "sales"), ("ann", "hr"), ("bob", "hr")]},
+            schema=SOURCE,
+        )
+        fd = FunctionalDependency("Worker", ("Name",), ("Dept",))
+        setting = _setting((fd,))
+        assert not setting.solution_is_consistent(source)
+        repairs = setting.exchange_repairs(source)
+        assert len(repairs) == 2
+        q = cq([X, Y], [atom("Worker", X, Y, Z)], name="who")
+        certain = setting.certain_answers(source, q)
+        assert certain == {("bob", "hr")}
+
+    def test_consistent_solution_single_repair(self):
+        source = Database.from_dict(
+            {"Emp": [("ann", "sales")]}, schema=SOURCE
+        )
+        fd = FunctionalDependency("Worker", ("Name",), ("Dept",))
+        setting = _setting((fd,))
+        assert setting.solution_is_consistent(source)
+        assert len(setting.exchange_repairs(source)) == 1
+
+
+class TestProvenance:
+    def setup_method(self):
+        self.db = Database.from_dict({
+            "edge": [(1, 2), (2, 3)],
+        })
+        self.program = Program((
+            rule(atom("path", X, Y), [atom("edge", X, Y)]),
+            rule(
+                atom("path", X, Z),
+                [atom("edge", X, Y), atom("path", Y, Z)],
+            ),
+        ))
+
+    def test_edb_supports_itself(self):
+        prov = evaluate_with_provenance(self.program, self.db)
+        family = supports_of(prov, fact("edge", 1, 2))
+        assert family == frozenset({frozenset({fact("edge", 1, 2)})})
+
+    def test_derived_support_is_leaf_set(self):
+        prov = evaluate_with_provenance(self.program, self.db)
+        family = supports_of(prov, fact("path", 1, 3))
+        assert family == frozenset({
+            frozenset({fact("edge", 1, 2), fact("edge", 2, 3)}),
+        })
+
+    def test_multiple_derivations_keep_minimal(self):
+        db = Database.from_dict({
+            "a": [(1,)], "b": [(1,)],
+        })
+        program = Program((
+            rule(atom("p", X), [atom("a", X)]),
+            rule(atom("p", X), [atom("b", X)]),
+        ))
+        prov = evaluate_with_provenance(program, db)
+        family = supports_of(prov, fact("p", 1))
+        assert family == frozenset({
+            frozenset({fact("a", 1)}),
+            frozenset({fact("b", 1)}),
+        })
+
+    def test_negation_rejected(self):
+        from repro.datalog import negated
+
+        program = Program((
+            rule(atom("p", X), [atom("a", X), negated(atom("b", X))]),
+        ))
+        db = Database.from_dict({"a": [(1,)], "b": [(2,)]})
+        with pytest.raises(QueryError):
+            evaluate_with_provenance(program, db)
+
+    def test_missing_fact_empty_family(self):
+        prov = evaluate_with_provenance(self.program, self.db)
+        assert supports_of(prov, fact("path", 3, 1)) == frozenset()
+
+
+class TestOBDA:
+    def setup_method(self):
+        # TBox: professors and students are persons; professors teach.
+        self.ontology = Ontology(
+            tbox=(
+                rule(atom("Person", X), [atom("Prof", X)]),
+                rule(atom("Person", X), [atom("Student", X)]),
+                rule(atom("Teaches", X), [atom("Prof", X)]),
+            ),
+            negative_constraints=(
+                # Nobody is both professor and student.
+                DenialConstraint(
+                    (atom("Prof", X), atom("Student", X)), name="disjoint"
+                ),
+            ),
+        )
+        self.abox = Database.from_dict({
+            "Prof": [("ann",), ("bob",)],
+            "Student": [("ann",), ("eve",)],
+        })
+
+    def test_saturation(self):
+        consistent = self.abox.delete([fact("Student", "ann")])
+        saturated = self.ontology.saturate(consistent)
+        assert fact("Person", "ann") in saturated
+        assert fact("Teaches", "ann") in saturated
+        assert fact("Person", "eve") in saturated
+
+    def test_consistency_check(self):
+        assert not self.ontology.is_consistent(self.abox)
+        consistent = self.abox.delete([fact("Student", "ann")])
+        assert self.ontology.is_consistent(consistent)
+
+    def test_abox_repairs(self):
+        repairs = self.ontology.abox_repairs(self.abox)
+        assert len(repairs) == 2
+        for repair in repairs:
+            assert self.ontology.is_consistent(repair)
+        kept = {frozenset(r.facts()) for r in repairs}
+        assert frozenset(self.abox.facts() - {fact("Prof", "ann")}) in kept
+        assert frozenset(
+            self.abox.facts() - {fact("Student", "ann")}
+        ) in kept
+
+    def test_ar_iar_brave(self):
+        q_person = cq([X], [atom("Person", X)], name="persons")
+        ar = self.ontology.ar_answers(self.abox, q_person)
+        # ann is a Person in *every* repair (as Prof or as Student).
+        assert ar == {("ann",), ("bob",), ("eve",)}
+
+        iar = self.ontology.iar_answers(self.abox, q_person)
+        # In the intersection, ann is neither Prof nor Student.
+        assert iar == {("bob",), ("eve",)}
+        assert iar <= ar
+
+        q_teaches = cq([X], [atom("Teaches", X)], name="teachers")
+        assert self.ontology.ar_answers(self.abox, q_teaches) == {("bob",)}
+        brave = self.ontology.brave_answers(self.abox, q_teaches)
+        # In the repair keeping Prof(ann), ann teaches.
+        assert brave == {("ann",), ("bob",)}
+
+    def test_derived_violations_traced_to_abox(self):
+        # NC over *derived* predicates: the conflict must be traced back
+        # to the ABox facts that support them.
+        ontology = Ontology(
+            tbox=(
+                rule(atom("A", X), [atom("BaseA", X)]),
+                rule(atom("B", X), [atom("BaseB", X)]),
+            ),
+            negative_constraints=(
+                DenialConstraint((atom("A", X), atom("B", X)), name="ab"),
+            ),
+        )
+        abox = Database.from_dict({
+            "BaseA": [(1,)], "BaseB": [(1,), (2,)],
+        })
+        assert not ontology.is_consistent(abox)
+        conflicts = ontology.abox_conflicts(abox)
+        assert conflicts == frozenset({
+            frozenset({
+                abox.tid_of(fact("BaseA", 1)),
+                abox.tid_of(fact("BaseB", 1)),
+            }),
+        })
+        repairs = ontology.abox_repairs(abox)
+        assert len(repairs) == 2
+
+    def test_negative_tbox_rejected(self):
+        from repro.datalog import negated
+
+        with pytest.raises(ConstraintError):
+            Ontology(
+                tbox=(
+                    rule(atom("p", X), [atom("a", X), negated(atom("b", X))]),
+                ),
+                negative_constraints=(),
+            )
+
+    def test_consistent_abox_classical_answers(self):
+        consistent = self.abox.delete([fact("Student", "ann")])
+        q = cq([X], [atom("Person", X)], name="persons")
+        assert self.ontology.certain_answers(consistent, q) == {
+            ("ann",), ("bob",), ("eve",),
+        }
+        assert self.ontology.ar_answers(consistent, q) == {
+            ("ann",), ("bob",), ("eve",),
+        }

@@ -1,0 +1,346 @@
+"""Tests for the extension modules: prioritized repairs, probabilistic
+clean answers, secrecy views, incremental repairs, consistency comparison."""
+
+import pytest
+
+from repro.constraints import DenialConstraint, FunctionalDependency
+from repro.errors import QueryError, RepairError
+from repro.logic import atom, cq, vars_
+from repro.measures import more_consistent_than
+from repro.privacy import (
+    SecrecyView,
+    secrecy_preserving_answers,
+    view_is_hidden,
+    virtual_secrecy_instances,
+)
+from repro.probabilistic import (
+    DirtyDatabase,
+    clean_answers,
+    clean_answers_single_atom,
+    world_probabilities,
+)
+from repro.relational import Database, RelationSchema, Schema, fact
+from repro.repairs import (
+    IncrementalRepairer,
+    PriorityRelation,
+    globally_optimal_repairs,
+    pareto_optimal_repairs,
+    prioritized_consistent_answers,
+    s_repairs,
+)
+from repro.workloads import employee, random_rs_instance, rs_instance
+
+X, Y = vars_("x y")
+
+
+class TestPrioritizedRepairs:
+    def setup_method(self):
+        self.scenario = employee()
+        self.fresh = fact("Employee", "page", "8K")
+        self.stale = fact("Employee", "page", "5K")
+
+    def test_priority_selects_one_repair(self):
+        priority = PriorityRelation.from_pairs([(self.fresh, self.stale)])
+        preferred = globally_optimal_repairs(
+            self.scenario.db, self.scenario.constraints, priority
+        )
+        assert len(preferred) == 1
+        assert self.fresh in preferred[0].instance
+        assert self.stale not in preferred[0].instance
+
+    def test_pareto_agrees_here(self):
+        priority = PriorityRelation.from_pairs([(self.fresh, self.stale)])
+        pareto = pareto_optimal_repairs(
+            self.scenario.db, self.scenario.constraints, priority
+        )
+        assert len(pareto) == 1
+        assert self.fresh in pareto[0].instance
+
+    def test_empty_priority_keeps_all_srepairs(self):
+        priority = PriorityRelation()
+        assert len(globally_optimal_repairs(
+            self.scenario.db, self.scenario.constraints, priority
+        )) == 2
+        assert len(pareto_optimal_repairs(
+            self.scenario.db, self.scenario.constraints, priority
+        )) == 2
+
+    def test_prioritized_cqa(self):
+        priority = PriorityRelation.from_pairs([(self.fresh, self.stale)])
+        q = self.scenario.queries["Q1"]
+        answers = prioritized_consistent_answers(
+            self.scenario.db, self.scenario.constraints, priority, q
+        )
+        assert ("page", "8K") in answers
+        assert ("page", "5K") not in answers
+
+    def test_global_implies_pareto(self):
+        # [103]: globally optimal repairs are Pareto optimal.
+        for seed in range(4):
+            scenario = random_rs_instance(5, 4, 4, seed=seed)
+            facts = sorted(scenario.db.facts(), key=repr)
+            priority = PriorityRelation.from_score(
+                scenario.db, lambda f: len(repr(f)) % 3
+            )
+            global_diffs = {
+                r.diff for r in globally_optimal_repairs(
+                    scenario.db, scenario.constraints, priority
+                )
+            }
+            pareto_diffs = {
+                r.diff for r in pareto_optimal_repairs(
+                    scenario.db, scenario.constraints, priority
+                )
+            }
+            assert global_diffs <= pareto_diffs
+
+    def test_cycle_rejected(self):
+        a, b = fact("R", 1), fact("R", 2)
+        with pytest.raises(RepairError):
+            PriorityRelation.from_pairs([(a, b), (b, a)])
+        with pytest.raises(RepairError):
+            PriorityRelation.from_pairs([(a, a)])
+
+    def test_from_score(self):
+        scenario = employee()
+        priority = PriorityRelation.from_score(
+            scenario.db,
+            lambda f: 1.0 if f.values[1] == "8K" else 0.0,
+        )
+        assert priority.dominates(self.fresh, self.stale)
+        assert not priority.dominates(self.stale, self.fresh)
+
+    def test_unknown_optimality(self):
+        scenario = employee()
+        with pytest.raises(ValueError):
+            prioritized_consistent_answers(
+                scenario.db, scenario.constraints, PriorityRelation(),
+                scenario.queries["Q1"], optimality="best",
+            )
+
+
+class TestProbabilisticCleanAnswers:
+    def setup_method(self):
+        schema = Schema.of(
+            RelationSchema("Emp", ("Name", "Salary"), key=("Name",)),
+        )
+        self.db = Database.from_dict(
+            {
+                "Emp": [
+                    ("page", "5K"), ("page", "8K"),
+                    ("smith", "3K"),
+                ],
+            },
+            schema=schema,
+        )
+        self.key = FunctionalDependency("Emp", ("Name",), ("Salary",))
+
+    def test_world_probabilities_sum_to_one(self):
+        dirty = DirtyDatabase(self.db, self.key)
+        worlds = world_probabilities(dirty)
+        assert len(worlds) == 2
+        assert sum(p for _, p in worlds) == pytest.approx(1.0)
+        # Worlds are exactly the S-repairs.
+        expected = {
+            r.instance.facts() for r in s_repairs(self.db, (self.key,))
+        }
+        assert {w.facts() for w, _ in worlds} == expected
+
+    def test_uniform_clean_answers(self):
+        dirty = DirtyDatabase(self.db, self.key)
+        q = cq([X, Y], [atom("Emp", X, Y)], name="all")
+        probs = dict(clean_answers(dirty, q))
+        assert probs[("smith", "3K")] == pytest.approx(1.0)
+        assert probs[("page", "5K")] == pytest.approx(0.5)
+        assert probs[("page", "8K")] == pytest.approx(0.5)
+
+    def test_weights_shift_probabilities(self):
+        dirty = DirtyDatabase(
+            self.db, self.key,
+            weights={fact("Emp", "page", "8K"): 3.0},
+        )
+        q = cq([X, Y], [atom("Emp", X, Y)], name="all")
+        probs = dict(clean_answers(dirty, q))
+        assert probs[("page", "8K")] == pytest.approx(0.75)
+        assert probs[("page", "5K")] == pytest.approx(0.25)
+
+    def test_threshold_recovers_certain(self):
+        dirty = DirtyDatabase(self.db, self.key)
+        q = cq([X], [atom("Emp", X, Y)], name="names")
+        certain = {row for row, _ in clean_answers(dirty, q, threshold=1.0)}
+        assert certain == {("page",), ("smith",)}
+
+    def test_single_atom_shortcut_matches(self):
+        dirty = DirtyDatabase(
+            self.db, self.key,
+            weights={fact("Emp", "page", "8K"): 3.0},
+        )
+        for head in ([X], [X, Y]):
+            q = cq(head, [atom("Emp", X, Y)], name="q")
+            exact = dict(clean_answers(dirty, q))
+            fast = dict(clean_answers_single_atom(dirty, q))
+            assert set(exact) == set(fast)
+            for row in exact:
+                assert exact[row] == pytest.approx(fast[row])
+
+    def test_single_atom_rejects_joins(self):
+        dirty = DirtyDatabase(self.db, self.key)
+        q = cq([X], [atom("Emp", X, Y), atom("Emp", Y, X)], name="j")
+        with pytest.raises(QueryError):
+            clean_answers_single_atom(dirty, q)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(QueryError):
+            DirtyDatabase(
+                self.db, self.key,
+                weights={fact("Emp", "page", "5K"): 0.0},
+            )
+        with pytest.raises(QueryError):
+            DirtyDatabase(
+                self.db, self.key,
+                weights={fact("Emp", "ghost", "1K"): 1.0},
+            )
+
+
+class TestSecrecyViews:
+    def setup_method(self):
+        self.scenario = rs_instance()
+        # Hide the join S(x), R(x,y), S(y) — the κ body as a secret.
+        self.view = SecrecyView(self.scenario.queries["Q"], name="V")
+
+    def test_view_leaks_initially(self):
+        assert self.view.leaks(self.scenario.db)
+
+    def test_virtual_instances_hide_view(self):
+        hidden, offenders = view_is_hidden(self.scenario.db, (self.view,))
+        assert hidden, offenders
+
+    def test_only_changed_tuples_affected(self):
+        # Updates never delete: every original tuple survives, except
+        # that two tuples nulled into the same values merge (set
+        # semantics).  Untouched facts must all be present verbatim.
+        for virtual in virtual_secrecy_instances(
+            self.scenario.db, (self.view,)
+        ):
+            changed_tids = {tid for tid, _ in virtual.changes}
+            for tid, f in self.scenario.db.facts_with_tids().items():
+                if tid not in changed_tids:
+                    assert f in virtual.instance
+            assert len(virtual.instance) >= (
+                len(self.scenario.db) - len(virtual.changes)
+            )
+
+    def test_secrecy_preserving_answers(self):
+        q = cq([X], [atom("S", X)], name="s_values")
+        answers = secrecy_preserving_answers(
+            self.scenario.db, (self.view,), q
+        )
+        # S(a2) is never involved in the secret join; it survives.
+        assert ("a2",) in answers
+        assert answers < q.answers(self.scenario.db)
+
+    def test_unhideable_view_raises(self):
+        db = Database.from_dict({"A": [(1,)]})
+        (x,) = vars_("x")
+        view = SecrecyView(cq([], [atom("A", x)]), name="all_of_A")
+        with pytest.raises(QueryError):
+            secrecy_preserving_answers(db, (view,), cq([x], [atom("A", x)]))
+
+    def test_consistent_when_nothing_leaks(self):
+        db = self.scenario.db.delete([fact("S", "a3"), fact("S", "a4")])
+        q = cq([X], [atom("S", X)], name="s_values")
+        answers = secrecy_preserving_answers(db, (self.view,), q)
+        assert answers == q.answers(db)
+
+
+class TestIncrementalRepairs:
+    def setup_method(self):
+        self.scenario = rs_instance()
+        self.repairer = IncrementalRepairer(
+            self.scenario.db, self.scenario.constraints
+        )
+
+    def test_initial_state_matches_batch(self):
+        expected = {
+            r.instance.facts()
+            for r in s_repairs(self.scenario.db, self.scenario.constraints)
+        }
+        assert {
+            r.instance.facts() for r in self.repairer.s_repairs()
+        } == expected
+
+    def test_delete_resolves_conflicts(self):
+        self.repairer.delete([fact("S", "a3")])
+        assert self.repairer.is_consistent()
+        assert len(self.repairer.s_repairs()) == 1
+
+    def test_insert_creates_conflicts(self):
+        self.repairer.delete([fact("S", "a3")])
+        self.repairer.insert([fact("S", "a1")])
+        # S(a1) joins R(a2,a1) and S(a2): a new violation.
+        assert not self.repairer.is_consistent()
+        from repro.constraints import all_violations
+
+        expected = {
+            r.instance.facts()
+            for r in s_repairs(
+                self.repairer.database, self.scenario.constraints
+            )
+        }
+        assert {
+            r.instance.facts() for r in self.repairer.s_repairs()
+        } == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_update_sequences_match_batch(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        scenario = random_rs_instance(4, 3, 3, seed=seed)
+        repairer = IncrementalRepairer(scenario.db, scenario.constraints)
+        pool = [
+            fact("R", f"a{rng.randrange(3)}", f"a{rng.randrange(3)}")
+            for _ in range(3)
+        ] + [fact("S", f"a{rng.randrange(3)}") for _ in range(2)]
+        for f in pool:
+            if rng.random() < 0.5 and f in repairer.database:
+                repairer.delete([f])
+            else:
+                repairer.insert([f])
+        expected = {
+            r.instance.facts()
+            for r in s_repairs(repairer.database, scenario.constraints)
+        }
+        assert {
+            r.instance.facts() for r in repairer.s_repairs()
+        } == expected
+        c_expected = {
+            r.instance.facts()
+            for r in __import__("repro.repairs", fromlist=["c_repairs"])
+            .c_repairs(repairer.database, scenario.constraints)
+        }
+        assert {
+            r.instance.facts() for r in repairer.c_repairs()
+        } == c_expected
+
+    def test_tgds_rejected(self):
+        from repro.workloads import supply_articles
+
+        scenario = supply_articles()
+        with pytest.raises(RepairError):
+            IncrementalRepairer(scenario.db, scenario.constraints)
+
+
+class TestConsistencyComparison:
+    def test_more_consistent_than(self):
+        scenario = employee()
+        repaired = scenario.db.delete([fact("Employee", "page", "8K")])
+        assert more_consistent_than(
+            repaired, scenario.db, scenario.constraints
+        )
+        assert not more_consistent_than(
+            scenario.db, repaired, scenario.constraints
+        )
+        assert not more_consistent_than(
+            scenario.db, scenario.db, scenario.constraints
+        )

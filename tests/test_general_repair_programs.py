@@ -1,0 +1,251 @@
+"""Tests for the general (interacting-IC) repair programs.
+
+These are the programs with the "couple of extra annotations" the paper
+mentions for ICs whose repair actions interact — deletions cascading into
+inclusion dependencies, insertions triggering denial constraints.
+"""
+
+import pytest
+
+from repro.asp import GeneralRepairProgram
+from repro.constraints import (
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    TupleGeneratingDependency,
+)
+from repro.errors import SolverError
+from repro.logic import atom, cq, vars_
+from repro.relational import NULL, Database, RelationSchema, Schema, fact
+from repro.repairs import null_tuple_repairs, s_repairs
+from repro.workloads import (
+    abcde_instance,
+    employee,
+    rs_instance,
+    supply_articles,
+    supply_articles_cost,
+)
+
+X, Y, Z = vars_("x y z")
+
+
+def _diffs(repairs):
+    return {r.instance.facts() for r in repairs}
+
+
+class TestPaperExamplesViaGeneralProgram:
+    def test_example_31_including_insertion_repair(self):
+        scenario = supply_articles()
+        grp = GeneralRepairProgram(scenario.db, scenario.constraints)
+        assert grp.stable_model_count() == 2
+        assert _diffs(grp.repairs()) == _diffs(
+            s_repairs(scenario.db, scenario.constraints)
+        )
+        inserted = {
+            f for r in grp.repairs() for f in r.inserted
+        }
+        assert fact("Articles", "I3") in inserted
+
+    def test_example_43_null_insertion(self):
+        scenario = supply_articles_cost()
+        grp = GeneralRepairProgram(scenario.db, scenario.constraints)
+        assert _diffs(grp.repairs()) == _diffs(
+            null_tuple_repairs(scenario.db, scenario.constraints)
+        )
+        inserted = {
+            f for r in grp.repairs() for f in r.inserted
+        }
+        assert fact("Articles", "I3", NULL) in inserted
+
+    def test_denial_only_matches_simple_program(self):
+        for scenario in (rs_instance(), abcde_instance(), employee()):
+            grp = GeneralRepairProgram(scenario.db, scenario.constraints)
+            assert _diffs(grp.repairs()) == _diffs(
+                s_repairs(scenario.db, scenario.constraints)
+            ), scenario.name
+
+    def test_cqa_via_general_program(self):
+        scenario = supply_articles()
+        grp = GeneralRepairProgram(scenario.db, scenario.constraints)
+        answers = grp.consistent_answers(scenario.queries["Q"])
+        assert answers == {("I1",), ("I2",)}
+
+
+class TestInteractingConstraints:
+    def test_dc_deletion_cascades_into_ind(self):
+        # DC forbids Bad items in Articles; ID requires supplied items in
+        # Articles.  Repairing the DC (delete Articles(I1)) re-violates
+        # the ID — the interacting case needing the extra annotations.
+        schema = Schema.of(
+            RelationSchema("Supply", ("Item",)),
+            RelationSchema("Articles", ("Item",)),
+            RelationSchema("Bad", ("Item",)),
+        )
+        db = Database.from_dict(
+            {
+                "Supply": [("I1",)],
+                "Articles": [("I1",)],
+                "Bad": [("I1",)],
+            },
+            schema=schema,
+        )
+        constraints = (
+            DenialConstraint(
+                (atom("Articles", X), atom("Bad", X)), name="no_bad"
+            ),
+            InclusionDependency(
+                "Supply", ("Item",), "Articles", ("Item",), name="ID"
+            ),
+        )
+        grp = GeneralRepairProgram(db, constraints)
+        via_asp = _diffs(grp.repairs())
+        direct = _diffs(s_repairs(db, constraints))
+        assert via_asp == direct
+        # Exactly two repairs: delete Bad(I1), or cascade — deleting
+        # Articles(I1) for the DC forces deleting Supply(I1) for the ID.
+        assert via_asp == {
+            frozenset({fact("Supply", "I1"), fact("Articles", "I1")}),
+            frozenset({fact("Bad", "I1")}),
+        }
+
+    def test_insertion_triggers_second_ind(self):
+        # A ⊆ B and B ⊆ C: inserting into B must trigger insertion into C.
+        schema = Schema.of(
+            RelationSchema("A", ("v",)),
+            RelationSchema("B", ("v",)),
+            RelationSchema("C", ("v",)),
+        )
+        db = Database.from_dict(
+            {"A": [("x",)], "B": [], "C": []}, schema=schema
+        )
+        constraints = (
+            InclusionDependency("A", ("v",), "B", ("v",), name="ab"),
+            InclusionDependency("B", ("v",), "C", ("v",), name="bc"),
+        )
+        grp = GeneralRepairProgram(db, constraints)
+        via_asp = _diffs(grp.repairs())
+        direct = _diffs(s_repairs(db, constraints))
+        assert via_asp == direct
+        chained = frozenset({fact("A", "x"), fact("B", "x"), fact("C", "x")})
+        assert chained in via_asp
+
+    def test_inserted_fact_violating_dc_forces_deletion_path(self):
+        # The only insertion that could fix the IND violates a DC, so
+        # every repair must go through deletion of the Supply tuple.
+        schema = Schema.of(
+            RelationSchema("Supply", ("Item",)),
+            RelationSchema("Articles", ("Item",)),
+        )
+        db = Database.from_dict(
+            {"Supply": [("I9",)], "Articles": []}, schema=schema
+        )
+        constraints = (
+            InclusionDependency(
+                "Supply", ("Item",), "Articles", ("Item",), name="ID"
+            ),
+            DenialConstraint((atom("Articles", "I9"),), name="no_I9"),
+        )
+        grp = GeneralRepairProgram(db, constraints)
+        repairs = grp.repairs()
+        assert _diffs(repairs) == _diffs(s_repairs(db, constraints))
+        assert len(repairs) == 1
+        assert repairs[0].deleted == frozenset({fact("Supply", "I9")})
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_differential_dc_only(self, seed):
+        from repro.workloads import random_rs_instance
+
+        scenario = random_rs_instance(4, 3, 3, seed=seed)
+        grp = GeneralRepairProgram(scenario.db, scenario.constraints)
+        assert _diffs(grp.repairs()) == _diffs(
+            s_repairs(scenario.db, scenario.constraints)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_differential_with_ind(self, seed):
+        from repro.workloads import supply_chain
+
+        scenario = supply_chain(4, 0.5, seed=seed)
+        grp = GeneralRepairProgram(scenario.db, scenario.constraints)
+        assert _diffs(grp.repairs()) == _diffs(
+            s_repairs(scenario.db, scenario.constraints)
+        )
+
+
+class TestValidation:
+    def test_multi_atom_tgd_rejected(self):
+        db = Database.from_dict({"P": [(1,)], "Q": [(1,)], "R": [(1,)]})
+        tgd = TupleGeneratingDependency(
+            (atom("P", X), atom("Q", X)), (atom("R", X),), name="multi"
+        )
+        with pytest.raises(SolverError):
+            GeneralRepairProgram(db, (tgd,))
+
+    def test_repeated_existential_rejected(self):
+        db = Database.from_dict({"P": [(1,)], "Q": [(1, 1)]})
+        v = vars_("v")[0]
+        tgd = TupleGeneratingDependency(
+            (atom("P", X),), (atom("Q", v, v),), name="rep"
+        )
+        with pytest.raises(SolverError):
+            GeneralRepairProgram(db, (tgd,))
+
+    def test_null_frontier_vacuously_satisfied(self):
+        schema = Schema.of(
+            RelationSchema("Child", ("a",)),
+            RelationSchema("Parent", ("a",)),
+        )
+        db = Database.from_dict(
+            {"Child": [(NULL,)], "Parent": []}, schema=schema
+        )
+        ind = InclusionDependency("Child", ("a",), "Parent", ("a",))
+        grp = GeneralRepairProgram(db, (ind,))
+        repairs = grp.repairs()
+        assert len(repairs) == 1
+        assert repairs[0].size == 0
+
+
+class TestGeneralProgramCRepairs:
+    def test_c_repairs_with_insertions(self):
+        scenario = supply_articles()
+        grp = GeneralRepairProgram(
+            scenario.db, scenario.constraints,
+            include_weak_constraints=True,
+        )
+        from repro.repairs import c_repairs
+
+        via = {r.instance.facts() for r in grp.c_repairs()}
+        direct = {
+            r.instance.facts()
+            for r in c_repairs(scenario.db, scenario.constraints)
+        }
+        assert via == direct
+        assert len(via) == 2  # deletion and insertion both cost 1
+
+    def test_insertion_cheaper_than_cascade(self):
+        # Two supplies of a missing item: inserting Articles(I9) once
+        # (cost 1) beats deleting both Supply tuples (cost 2).
+        schema = Schema.of(
+            RelationSchema("Supply", ("Company", "Item")),
+            RelationSchema("Articles", ("Item",)),
+        )
+        db = Database.from_dict(
+            {"Supply": [("C1", "I9"), ("C2", "I9")], "Articles": []},
+            schema=schema,
+        )
+        ind = InclusionDependency(
+            "Supply", ("Item",), "Articles", ("Item",), name="ID"
+        )
+        grp = GeneralRepairProgram(
+            db, (ind,), include_weak_constraints=True
+        )
+        repairs = grp.c_repairs()
+        assert len(repairs) == 1
+        assert repairs[0].inserted == frozenset({fact("Articles", "I9")})
+        assert not repairs[0].deleted
+
+    def test_flag_required(self):
+        scenario = supply_articles()
+        grp = GeneralRepairProgram(scenario.db, scenario.constraints)
+        with pytest.raises(SolverError):
+            grp.c_repairs()

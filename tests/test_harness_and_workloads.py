@@ -1,0 +1,120 @@
+"""Tests for the experiment harness and the workload generators."""
+
+import pytest
+
+from repro.harness import ExperimentResult, registry, run
+from repro.workloads import (
+    ALL_SCENARIOS,
+    employee_key_violations,
+    random_fd_instance,
+    random_rs_instance,
+    supply_chain,
+)
+
+
+class TestHarness:
+    def test_registry_covers_all_experiment_ids(self):
+        ids = set(registry())
+        expected_examples = {
+            "EX2.1", "EX3.1", "EX3.2", "EX3.3", "EX3.4", "EX3.5",
+            "EX4.1", "EX4.2", "EX4.3", "EX4.4", "EX5.1", "EX5.2",
+            "EX6", "EX7.1", "EX7.2", "EX7.3", "EX7.4", "FIG1",
+        }
+        expected_claims = {f"B{i}" for i in range(1, 11)}
+        assert expected_examples <= ids
+        assert expected_claims <= ids
+
+    @pytest.mark.parametrize(
+        "exp_id",
+        ["EX2.1", "EX3.1", "EX3.2", "EX3.3", "EX4.1", "EX4.3",
+         "EX5.1", "EX6", "EX7.1", "FIG1"],
+    )
+    def test_fast_experiments_match(self, exp_id):
+        result = run(exp_id)
+        assert isinstance(result, ExperimentResult)
+        assert result.match, result.render()
+
+    def test_result_rendering(self):
+        result = run("EX3.2")
+        text = result.render()
+        assert "[EX3.2]" in text
+        assert "MATCH" in text
+        assert "paper:" in text and "measured:" in text
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run("EX99")
+
+
+class TestScenarios:
+    def test_all_scenarios_build(self):
+        for build in ALL_SCENARIOS:
+            scenario = build()
+            assert len(scenario.db) > 0
+            assert scenario.constraints
+            assert scenario.description
+
+    def test_paper_scenarios_are_inconsistent(self):
+        from repro.constraints import all_satisfied
+        from repro.workloads import customer_cfd, dep_course
+
+        for build in ALL_SCENARIOS:
+            scenario = build()
+            if scenario.name == "dep_course":
+                # Example 7.4 *satisfies* its IC by design.
+                assert all_satisfied(scenario.db, scenario.constraints)
+            else:
+                assert not all_satisfied(
+                    scenario.db, scenario.constraints
+                ), scenario.name
+
+    def test_rs_instance_tids_follow_paper(self):
+        from repro.relational import fact
+        from repro.workloads import rs_instance
+
+        db = rs_instance().db
+        assert db.fact_by_tid("t1") == fact("R", "a4", "a3")
+        assert db.fact_by_tid("t6") == fact("S", "a3")
+
+
+class TestGenerators:
+    def test_deterministic_given_seed(self):
+        a = employee_key_violations(5, 3, 2, seed=7)
+        b = employee_key_violations(5, 3, 2, seed=7)
+        assert a.db == b.db
+        c = employee_key_violations(5, 3, 2, seed=8)
+        assert a.db != c.db
+
+    def test_violation_count_is_exact(self):
+        scenario = employee_key_violations(5, 3, 2, seed=7)
+        (kc,) = scenario.constraints
+        # 3 groups of 2 conflicting tuples: one pair violation each.
+        assert len(kc.violations(scenario.db)) == 3
+
+    def test_group_size(self):
+        scenario = employee_key_violations(0, 1, 4, seed=7)
+        (kc,) = scenario.constraints
+        # One group of 4: C(4,2) = 6 pair violations.
+        assert len(kc.violations(scenario.db)) == 6
+
+    def test_rs_generator_clamps_to_domain(self):
+        scenario = random_rs_instance(100, 100, 3, seed=0)
+        assert len(scenario.db.relation("S")) <= 3
+        assert len(scenario.db.relation("R")) <= 9
+
+    def test_fd_generator_clamps(self):
+        scenario = random_fd_instance(100, 2, 2, seed=0)
+        assert len(scenario.db.relation("R")) <= 4
+
+    def test_supply_chain_missing_rate(self):
+        none_missing = supply_chain(10, 0.0, seed=1)
+        (ind,) = none_missing.constraints
+        assert ind.is_satisfied(none_missing.db)
+        all_missing = supply_chain(10, 1.0, seed=1)
+        (ind2,) = all_missing.constraints
+        assert len(ind2.violations(all_missing.db)) == 10
+
+    def test_rs_generator_deterministic(self):
+        a = random_rs_instance(5, 4, 4, seed=3)
+        b = random_rs_instance(5, 4, 4, seed=3)
+        assert a.db == b.db

@@ -1,0 +1,169 @@
+"""Tests for virtual data integration (Examples 5.1 and 5.2)."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.errors import IntegrationError
+from repro.integration import (
+    GLOBAL_SCHEMA,
+    GavMediator,
+    LavMapping,
+    Source,
+    consistent_global_answers,
+    is_globally_consistent,
+    numbers_names_query,
+    same_field_query,
+    university_gav_mediator,
+    university_lav_mediator,
+)
+from repro.logic import atom, cq, vars_
+from repro.relational import Database, fact
+
+X, Y, Z = vars_("x y z")
+
+
+class TestExample51:
+    def setup_method(self):
+        self.mediator = university_gav_mediator()
+
+    def test_retrieved_global_instance(self):
+        instance = self.mediator.retrieved_global_instance()
+        rows = set(instance.relation("Stds"))
+        assert rows == {
+            (101, "john", "cu", "alg"),
+            (102, "mary", "cu", "ai"),
+            (103, "claire", "ou", "db"),
+        }
+
+    def test_same_field_query_empty(self):
+        # Nobody studies the same field at both universities.
+        assert self.mediator.answer(same_field_query()) == frozenset()
+
+    def test_same_field_query_nonempty_after_overlap(self):
+        sources = list(self.mediator.sources)
+        ottawa = sources[1].database.insert([
+            fact("OUstds", 105, "john"),
+            fact("SpecOU", 105, "alg"),
+        ])
+        mediator = GavMediator(
+            self.mediator.global_schema,
+            (sources[0], Source("ottawa", ottawa)),
+            self.mediator.mappings,
+        )
+        assert mediator.answer(same_field_query()) == {("john",)}
+
+    def test_global_consistency_holds(self):
+        key = FunctionalDependency(
+            "Stds", ("Number",), ("Name",), name="globalFD"
+        )
+        assert is_globally_consistent(self.mediator, (key,))
+
+
+class TestExample52:
+    def setup_method(self):
+        self.mediator = university_gav_mediator(conflicting=True)
+        self.key = FunctionalDependency(
+            "Stds", ("Number",), ("Name",), name="globalFD"
+        )
+
+    def test_global_violation_detected(self):
+        assert not is_globally_consistent(self.mediator, (self.key,))
+        instance = self.mediator.retrieved_global_instance()
+        numbers = [row[0] for row in instance.relation("Stds")]
+        assert numbers.count(101) == 2
+
+    def test_consistent_global_answers(self):
+        answers = consistent_global_answers(
+            self.mediator, (self.key,), numbers_names_query()
+        )
+        # 101 has two names globally; no name for it is certain.
+        assert (101, "john") not in answers
+        assert (101, "sue") not in answers
+        assert (102, "mary") in answers
+        assert (103, "claire") in answers
+
+    def test_numbers_remain_certain(self):
+        u, z = vars_("u z")
+        numbers_query = cq([X], [atom("Stds", X, Y, u, z)], name="numbers")
+        answers = consistent_global_answers(
+            self.mediator, (self.key,), numbers_query
+        )
+        assert (101,) in answers
+
+    def test_rewrite_method_agrees(self):
+        q = numbers_names_query()
+        enumerated = consistent_global_answers(
+            self.mediator, (self.key,), q, method="enumerate"
+        )
+        key_constraint = FunctionalDependency(
+            "Stds", ("Number",), ("Name", "Univ", "Field"), name="key"
+        )
+        rewritten = consistent_global_answers(
+            self.mediator, (key_constraint,), q, method="rewrite"
+        )
+        # Different constraint strength: Number -> Name vs full key; with
+        # the full key the same 101-answers are excluded.
+        assert (101, "john") not in rewritten
+        assert (102, "mary") in rewritten
+        assert enumerated <= rewritten | enumerated
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            consistent_global_answers(
+                self.mediator, (self.key,), numbers_names_query(),
+                method="magic",
+            )
+
+
+class TestLav:
+    def test_canonical_instance_has_labeled_nulls(self):
+        mediator = university_lav_mediator()
+        instance = mediator.canonical_global_instance()
+        rows = instance.relation("Stds")
+        assert len(rows) == 2
+        from repro.relational import is_labeled_null
+
+        for row in rows:
+            assert row[2] == "cu"
+            assert is_labeled_null(row[3])
+
+    def test_certain_answers_drop_nulls(self):
+        mediator = university_lav_mediator()
+        u, z = vars_("u z")
+        q = cq([X, Y], [atom("Stds", X, Y, u, z)], name="q")
+        assert mediator.certain_answers(q) == {
+            (101, "john"), (102, "mary"),
+        }
+        q_fields = cq([Z], [atom("Stds", X, Y, u, Z)], name="fields")
+        assert mediator.certain_answers(q_fields) == frozenset()
+
+    def test_lav_mapping_validation(self):
+        with pytest.raises(IntegrationError):
+            LavMapping(atom("V", X, Y), (atom("G", X),))
+
+    def test_lav_body_must_be_global(self):
+        mapping = LavMapping(atom("CUstds", X, Y), (atom("Nope", X, Y),))
+        sources = (
+            Source("s", Database.from_dict({"CUstds": [(1, "a")]})),
+        )
+        from repro.integration import LavMediator
+
+        with pytest.raises(IntegrationError):
+            LavMediator(GLOBAL_SCHEMA, sources, (mapping,))
+
+
+class TestMediatorValidation:
+    def test_empty_sources_rejected(self):
+        with pytest.raises(IntegrationError):
+            GavMediator(GLOBAL_SCHEMA, (), ()).retrieved_global_instance()
+
+    def test_mapping_head_must_be_global(self):
+        from repro.datalog import rule
+
+        bad = rule(atom("NotGlobal", X), [atom("CUstds", X, Y)])
+        with pytest.raises(IntegrationError):
+            GavMediator(
+                GLOBAL_SCHEMA,
+                (Source("s", Database.from_dict({"CUstds": [(1, "a")]})),),
+                (bad,),
+            )

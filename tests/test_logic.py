@@ -1,0 +1,255 @@
+"""Tests for the FO logic substrate: formulas, evaluation, queries."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.logic import (
+    And,
+    Atom,
+    Comparison,
+    Exists,
+    Forall,
+    IsNull,
+    Not,
+    Or,
+    Query,
+    atom,
+    boolean_query,
+    cq,
+    eq,
+    evaluate,
+    neq,
+    satisfying_bindings,
+    unify_atoms,
+    vars_,
+    witnesses,
+)
+from repro.logic.substitution import apply_to_formula, match_atom, rename_apart
+from repro.relational import NULL, Database, LabeledNull
+
+X, Y, Z = vars_("x y z")
+
+
+@pytest.fixture
+def supply_db():
+    return Database.from_dict({
+        "Supply": [("C1", "R1", "I1"), ("C2", "R2", "I2"), ("C2", "R1", "I3")],
+        "Articles": [("I1",), ("I2",)],
+    })
+
+
+class TestConjunctiveQueries:
+    def test_projection_query(self, supply_db):
+        # Q(z): exists x exists y Supply(x, y, z)  — query (2) in the paper.
+        q = cq([Z], [atom("Supply", X, Y, Z)])
+        assert q.answers(supply_db) == {("I1",), ("I2",), ("I3",)}
+
+    def test_rewritten_query(self, supply_db):
+        # Q'(z): exists x exists y (Supply(x,y,z) & Articles(z)) — query (4).
+        q = cq([Z], [atom("Supply", X, Y, Z), atom("Articles", Z)])
+        assert q.answers(supply_db) == {("I1",), ("I2",)}
+
+    def test_boolean_query(self, supply_db):
+        q = boolean_query([atom("Articles", "I1")])
+        assert q.holds(supply_db)
+        q2 = boolean_query([atom("Articles", "I9")])
+        assert not q2.holds(supply_db)
+
+    def test_join_query(self):
+        db = Database.from_dict({
+            "R": [(1, 2), (2, 3)],
+            "S": [(2,), (3,)],
+        })
+        q = cq([X, Y], [atom("R", X, Y), atom("S", Y)])
+        assert q.answers(db) == {(1, 2), (2, 3)}
+
+    def test_comparison_filter(self):
+        db = Database.from_dict({"R": [(1, 2), (2, 2)]})
+        q = cq([X, Y], [atom("R", X, Y)], [neq(X, Y)])
+        assert q.answers(db) == {(1, 2)}
+
+    def test_constants_in_atoms(self, supply_db):
+        q = cq([Z], [atom("Supply", "C2", Y, Z)])
+        assert q.answers(supply_db) == {("I2",), ("I3",)}
+
+    def test_self_join_detection(self):
+        q = cq([X], [atom("R", X, Y), atom("R", Y, X)])
+        assert q.has_self_join()
+        q2 = cq([X], [atom("R", X, Y), atom("S", Y)])
+        assert not q2.has_self_join()
+
+    def test_instantiate(self):
+        q = cq([X], [atom("R", X, Y)])
+        b = q.instantiate((1,))
+        assert b.is_boolean
+        assert b.atoms[0] == atom("R", 1, Y)
+
+    def test_instantiate_arity_check(self):
+        q = cq([X], [atom("R", X, Y)])
+        with pytest.raises(QueryError):
+            q.instantiate((1, 2))
+
+    def test_head_var_must_occur(self):
+        with pytest.raises(QueryError):
+            cq([Z], [atom("R", X, Y)])
+
+    def test_repeated_variable_in_atom(self):
+        db = Database.from_dict({"R": [(1, 1), (1, 2)]})
+        q = cq([X], [atom("R", X, X)])
+        assert q.answers(db) == {(1,)}
+
+
+class TestNullSemantics:
+    def test_null_never_joins(self):
+        db = Database.from_dict({"R": [(NULL, 1)], "S": [(NULL,)]})
+        q = boolean_query([atom("R", X, Y), atom("S", X)])
+        assert not q.holds(db)
+
+    def test_null_not_equal_to_itself_within_atom(self):
+        db = Database.from_dict({"R": [(NULL, NULL)]})
+        q = boolean_query([atom("R", X, X)])
+        assert not q.holds(db)
+
+    def test_null_can_be_selected(self):
+        db = Database.from_dict({"R": [(1, NULL)]})
+        q = cq([X, Y], [atom("R", X, Y)])
+        assert q.answers(db) == {(1, NULL)}
+
+    def test_constant_pattern_never_matches_null(self):
+        db = Database.from_dict({"R": [(NULL,)]})
+        assert not boolean_query([atom("R", 1)]).holds(db)
+        assert not boolean_query([atom("R", NULL)]).holds(db)
+
+    def test_comparisons_with_null_false(self):
+        db = Database.from_dict({"R": [(NULL, 2)]})
+        assert not boolean_query([atom("R", X, Y)], [eq(X, Y)]).holds(db)
+        assert not boolean_query([atom("R", X, Y)], [neq(X, Y)]).holds(db)
+
+    def test_isnull_observes_null(self):
+        db = Database.from_dict({"R": [(NULL,), (1,)]})
+        q = Query((X,), And((atom("R", X), Not(IsNull(X)))))
+        assert q.answers(db) == {(1,)}
+        sat = satisfying_bindings(db, And((atom("R", X), IsNull(X))))
+        assert len(sat) == 1
+
+    def test_labeled_nulls_do_join(self):
+        n = LabeledNull("n1")
+        db = Database.from_dict({"R": [(n, 1)], "S": [(n,)]})
+        q = boolean_query([atom("R", X, Y), atom("S", X)])
+        assert q.holds(db)
+
+    def test_certain_rows_filters_labeled_nulls(self):
+        n = LabeledNull("n1")
+        db = Database.from_dict({"R": [(n,), (1,)]})
+        q = cq([X], [atom("R", X)]).to_query()
+        assert q.certain_rows(db) == {(1,)}
+
+
+class TestFirstOrderEvaluation:
+    def test_negation(self, supply_db):
+        # Items supplied but not listed in Articles.
+        body = And((
+            atom("Supply", X, Y, Z),
+            Not(atom("Articles", Z)),
+        ))
+        q = Query((Z,), body)
+        assert q.answers(supply_db) == {("I3",)}
+
+    def test_not_exists_rewriting_shape(self):
+        # Example 3.4: Employee(x, y) & not exists z (Employee(x, z) & z != y)
+        db = Database.from_dict({
+            "Employee": [("page", "5K"), ("page", "8K"),
+                         ("smith", "3K"), ("stowe", "7K")],
+        })
+        body = And((
+            atom("Employee", X, Y),
+            Not(Exists((Z,), And((atom("Employee", X, Z), neq(Z, Y))))),
+        ))
+        q = Query((X, Y), body)
+        assert q.answers(db) == {("smith", "3K"), ("stowe", "7K")}
+
+    def test_forall(self):
+        db = Database.from_dict({"R": [(1,), (2,)], "S": [(1,), (2,), (3,)]})
+        # forall x (R(x) -> S(x))  ==  not exists x (R(x) & not S(x))
+        sentence = Forall((X,), Or((Not(atom("R", X)), atom("S", X))))
+        assert evaluate(db, sentence)
+        sentence2 = Forall((X,), Or((Not(atom("S", X)), atom("R", X))))
+        assert not evaluate(db, sentence2)
+
+    def test_union(self):
+        db = Database.from_dict({"R": [(1,)], "S": [(2,)]})
+        q = Query((X,), Or((atom("R", X), atom("S", X))))
+        assert q.answers(db) == {(1,), (2,)}
+
+    def test_quantifier_scoping(self):
+        db = Database.from_dict({"R": [(1, 2)], "S": [(2,)]})
+        # exists y (R(x, y))  with outer x — y is scoped inside.
+        body = And((atom("S", Y), Exists((Y,), atom("R", X, Y))))
+        q = Query((X, Y), body)
+        assert q.answers(db) == {(1, 2)}
+
+    def test_unsafe_query_raises(self):
+        db = Database.from_dict({"R": [(1,)]})
+        q = Query((X, Y), Or((atom("R", X), atom("R", Y))))
+        with pytest.raises(QueryError):
+            q.answers(db)
+
+    def test_active_domain_fallback_for_comparison(self):
+        db = Database.from_dict({"R": [(1,), (2,), (3,)]})
+        # x < 3 with x unbound first: active-domain enumeration kicks in.
+        body = And((Comparison("<", X, 3), atom("R", X)))
+        q = Query((X,), body)
+        assert q.answers(db) == {(1,), (2,)}
+
+    def test_witnesses(self, supply_db):
+        results = witnesses(
+            supply_db, [atom("Supply", X, Y, Z), atom("Articles", Z)]
+        )
+        assert len(results) == 2
+        for binding, facts in results:
+            assert len(facts) == 2
+            assert facts[0].relation == "Supply"
+
+    def test_witnesses_with_conditions(self):
+        db = Database.from_dict({"R": [(1, 2), (1, 1)]})
+        results = witnesses(db, [atom("R", X, Y)], [neq(X, Y)])
+        assert len(results) == 1
+
+    def test_incomparable_types_dont_crash(self):
+        db = Database.from_dict({"R": [(1, "a")]})
+        q = boolean_query([atom("R", X, Y)], [Comparison("<", X, Y)])
+        assert not q.holds(db)
+
+
+class TestSubstitution:
+    def test_unify_atoms(self):
+        s = unify_atoms(atom("R", X, Y), atom("R", 1, Z))
+        assert s is not None
+        assert s[X] == 1
+
+    def test_unify_mismatch(self):
+        assert unify_atoms(atom("R", 1), atom("R", 2)) is None
+        assert unify_atoms(atom("R", X), atom("S", X)) is None
+
+    def test_unify_repeated_var(self):
+        s = unify_atoms(atom("R", X, X), atom("R", 1, Y))
+        assert s is not None
+        # x -> 1 and y -> 1 transitively.
+        from repro.logic.substitution import apply_to_term
+        assert apply_to_term(Y, s) == 1
+
+    def test_match_atom(self):
+        assert match_atom(atom("R", X, X), atom("R", 1, 1)) == {X: 1}
+        assert match_atom(atom("R", X, X), atom("R", 1, 2)) is None
+
+    def test_rename_apart(self):
+        f = And((atom("R", X, Y),))
+        renamed, renaming = rename_apart(f, [X])
+        assert X in renaming
+        assert renaming[X].name != "x"
+        assert Y not in renaming
+
+    def test_apply_to_formula_shields_quantified(self):
+        f = Exists((X,), atom("R", X, Y))
+        applied = apply_to_formula(f, {X: 1, Y: 2})
+        assert applied == Exists((X,), atom("R", X, 2))

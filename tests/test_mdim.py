@@ -1,0 +1,155 @@
+"""Tests for multidimensional dimensions and their repairs."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConstraintError, RepairError
+from repro.mdim import Dimension, c_dimension_repairs, dimension_repairs
+
+
+def location_dimension(rollup):
+    return Dimension(
+        categories={
+            "City": frozenset({"stgo", "conce"}),
+            "Region": frozenset({"rm", "biobio"}),
+            "Country": frozenset({"chile"}),
+        },
+        hierarchy=frozenset({
+            ("City", "Region"), ("Region", "Country"),
+        }),
+        rollup=frozenset(rollup),
+    )
+
+
+CLEAN = [
+    ("stgo", "rm"), ("conce", "biobio"),
+    ("rm", "chile"), ("biobio", "chile"),
+]
+
+
+class TestDimensionModel:
+    def test_clean_dimension_summarizable(self):
+        dim = location_dimension(CLEAN)
+        assert dim.is_strict()
+        assert dim.is_covering()
+        assert dim.is_summarizable()
+
+    def test_ancestors(self):
+        dim = location_dimension(CLEAN)
+        ancestors = dim.ancestors("stgo")
+        assert ancestors == {"Region": {"rm"}, "Country": {"chile"}}
+
+    def test_strictness_violation_detected(self):
+        dim = location_dimension(CLEAN + [("stgo", "biobio")])
+        assert not dim.is_strict()
+        violations = dim.strictness_violations()
+        assert ("stgo", "Region", frozenset({"rm", "biobio"})) in violations
+
+    def test_covering_violation_detected(self):
+        dim = location_dimension([
+            ("stgo", "rm"), ("rm", "chile"), ("biobio", "chile"),
+        ])
+        assert not dim.is_covering()
+        assert ("conce", "Region") in dim.covering_violations()
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ConstraintError):
+            Dimension(
+                categories={
+                    "A": frozenset({"x"}), "B": frozenset({"x"}),
+                },
+                hierarchy=frozenset({("A", "B")}),
+                rollup=frozenset(),
+            )
+
+    def test_cyclic_hierarchy_rejected(self):
+        with pytest.raises(ConstraintError):
+            Dimension(
+                categories={
+                    "A": frozenset({"a"}), "B": frozenset({"b"}),
+                },
+                hierarchy=frozenset({("A", "B"), ("B", "A")}),
+                rollup=frozenset(),
+            )
+
+    def test_edge_must_follow_hierarchy(self):
+        with pytest.raises(ConstraintError):
+            location_dimension(CLEAN + [("stgo", "chile")])
+
+
+class TestDimensionRepairs:
+    def test_double_parent_two_repairs(self):
+        dim = location_dimension(CLEAN + [("stgo", "biobio")])
+        repairs = dimension_repairs(dim)
+        assert len(repairs) == 2
+        diffs = {r.diff for r in repairs}
+        assert frozenset({("stgo", "rm")}) in diffs
+        assert frozenset({("stgo", "biobio")}) in diffs
+        for r in repairs:
+            assert r.repaired.is_summarizable()
+
+    def test_covering_repair_inserts(self):
+        dim = location_dimension([
+            ("stgo", "rm"), ("rm", "chile"), ("biobio", "chile"),
+        ])
+        repairs = dimension_repairs(dim)
+        assert len(repairs) == 2  # conce -> rm or conce -> biobio
+        for r in repairs:
+            assert r.repaired.is_summarizable()
+            assert len(r.inserted_edges) == 1
+            (edge,) = r.inserted_edges
+            assert edge[0] == "conce"
+
+    def test_indirect_nonstrictness(self):
+        # A bigger instance: stores roll up to cities and to brands;
+        # both reach Company, disagreeing — the classic indirect case.
+        dim = Dimension(
+            categories={
+                "Store": frozenset({"s1"}),
+                "City": frozenset({"c1"}),
+                "Brand": frozenset({"b1"}),
+                "Company": frozenset({"k1", "k2"}),
+            },
+            hierarchy=frozenset({
+                ("Store", "City"), ("Store", "Brand"),
+                ("City", "Company"), ("Brand", "Company"),
+            }),
+            rollup=frozenset({
+                ("s1", "c1"), ("s1", "b1"),
+                ("c1", "k1"), ("b1", "k2"),
+            }),
+        )
+        assert not dim.is_strict()
+        repairs = dimension_repairs(dim)
+        for r in repairs:
+            assert r.repaired.is_summarizable()
+        # Minimum repair: re-point one of the Company edges (delete one,
+        # insert the agreeing one) — 2 edge changes.
+        c = c_dimension_repairs(dim)
+        assert min(r.size for r in c) == 2
+
+    def test_repairs_are_minimal_antichain(self):
+        dim = location_dimension(CLEAN + [("stgo", "biobio")])
+        repairs = dimension_repairs(dim)
+        for r1, r2 in itertools.combinations(repairs, 2):
+            assert not (r1.diff < r2.diff)
+            assert not (r2.diff < r1.diff)
+
+    def test_clean_dimension_noop_repair(self):
+        dim = location_dimension(CLEAN)
+        repairs = dimension_repairs(dim)
+        assert len(repairs) == 1
+        assert repairs[0].size == 0
+
+    def test_unrepairable_covering_raises(self):
+        dim = Dimension(
+            categories={
+                "A": frozenset({"a"}),
+                "B": frozenset(),  # no candidate parents at all
+            },
+            hierarchy=frozenset({("A", "B")}),
+            rollup=frozenset(),
+        )
+        with pytest.raises(RepairError):
+            dimension_repairs(dim)

@@ -1,0 +1,88 @@
+"""Tests for repair-based inconsistency measures."""
+
+import pytest
+
+from repro.measures import (
+    InconsistencyReport,
+    cardinality_repair_measure,
+    g3_measure,
+    violation_ratio,
+)
+from repro.relational import Database, fact
+from repro.workloads import (
+    abcde_instance,
+    employee,
+    employee_key_violations,
+    rs_instance,
+)
+
+
+class TestMeasures:
+    def test_consistent_instance_measures_zero(self):
+        scenario = employee()
+        db = scenario.db.delete([fact("Employee", "page", "8K")])
+        assert cardinality_repair_measure(db, scenario.constraints) == 0.0
+        assert g3_measure(db, scenario.constraints) == 0.0
+        assert violation_ratio(db, scenario.constraints) == 0.0
+
+    def test_employee_measures(self):
+        scenario = employee()
+        # One of four tuples must go.
+        assert cardinality_repair_measure(
+            scenario.db, scenario.constraints
+        ) == 0.25
+        assert g3_measure(scenario.db, scenario.constraints) == 0.25
+        assert violation_ratio(scenario.db, scenario.constraints) == 0.5
+
+    def test_abcde_measures(self):
+        scenario = abcde_instance()
+        # C-repairs delete 2 of 5 tuples; every tuple is in a conflict.
+        assert cardinality_repair_measure(
+            scenario.db, scenario.constraints
+        ) == 0.4
+        assert violation_ratio(scenario.db, scenario.constraints) == 1.0
+
+    def test_g3_equals_cardinality_for_denial(self):
+        for scenario in (employee(), rs_instance(), abcde_instance()):
+            assert g3_measure(
+                scenario.db, scenario.constraints
+            ) == pytest.approx(
+                cardinality_repair_measure(
+                    scenario.db, scenario.constraints
+                )
+            )
+
+    def test_monotone_in_violations(self):
+        low = employee_key_violations(6, 1, 2, seed=3)
+        high = employee_key_violations(6, 3, 2, seed=3)
+        assert cardinality_repair_measure(
+            low.db, low.constraints
+        ) < cardinality_repair_measure(high.db, high.constraints)
+
+    def test_empty_db(self):
+        from repro.constraints import FunctionalDependency
+        from repro.relational import RelationSchema, Schema
+
+        schema = Schema.of(RelationSchema("R", ("a", "b")))
+        db = Database.from_dict({"R": []}, schema=schema)
+        fd = FunctionalDependency("R", ("a",), ("b",))
+        assert cardinality_repair_measure(db, (fd,)) == 0.0
+        assert g3_measure(db, (fd,)) == 0.0
+
+    def test_report(self):
+        scenario = abcde_instance()
+        report = InconsistencyReport.of(scenario.db, scenario.constraints)
+        assert report.size == 5
+        assert report.repair_distance == 2
+        assert report.cardinality_measure == 0.4
+        assert len(report.per_constraint) == 3
+        text = report.render()
+        assert "C-repair distance" in text
+
+    def test_report_with_tgds(self):
+        from repro.workloads import supply_articles
+
+        scenario = supply_articles()
+        report = InconsistencyReport.of(scenario.db, scenario.constraints)
+        assert report.repair_distance == 1
+        assert report.violation_ratio != report.violation_ratio  # NaN

@@ -1,0 +1,150 @@
+"""Tests for the operational approach to CQA ([36])."""
+
+import pytest
+
+from repro.cqa import consistent_answers
+from repro.cqa.operational import (
+    estimate_answer_probabilities,
+    operational_answer_probabilities,
+    operational_certain_answers,
+    operational_repair_distribution,
+    sample_operational_repair,
+)
+from repro.errors import RepairError
+from repro.logic import atom, cq, vars_
+from repro.repairs import is_s_repair, s_repairs
+from repro.workloads import employee, random_rs_instance, rs_instance
+
+X, Y = vars_("x y")
+
+
+class TestDistribution:
+    def test_probabilities_sum_to_one(self):
+        scenario = rs_instance()
+        distribution = operational_repair_distribution(
+            scenario.db, scenario.constraints
+        )
+        assert sum(p for _, p in distribution) == pytest.approx(1.0)
+
+    def test_leaves_contain_all_srepairs(self):
+        # Every S-repair is an outcome; additionally some non-minimal
+        # consistent instances can be reached (a justified deletion may
+        # be subsumed by a later one) — faithful to [36].
+        scenario = rs_instance()
+        distribution = operational_repair_distribution(
+            scenario.db, scenario.constraints
+        )
+        leaves = {instance.facts() for instance, _ in distribution}
+        srepair_sets = {
+            r.instance.facts()
+            for r in s_repairs(scenario.db, scenario.constraints)
+        }
+        assert srepair_sets <= leaves
+        from repro.constraints import all_satisfied
+
+        for instance, _ in distribution:
+            assert all_satisfied(instance, scenario.constraints)
+            assert any(
+                instance.facts() <= s for s in srepair_sets
+            )
+
+    def test_consistent_instance_trivial_distribution(self):
+        scenario = employee()
+        from repro.relational import fact
+
+        db = scenario.db.delete([fact("Employee", "page", "8K")])
+        distribution = operational_repair_distribution(
+            db, scenario.constraints
+        )
+        assert len(distribution) == 1
+        assert distribution[0][1] == pytest.approx(1.0)
+
+    def test_distribution_not_uniform_in_general(self):
+        # In the R/S instance, S(a3) participates in both violations, so
+        # the single-deletion repair is reached more often than 1/3.
+        scenario = rs_instance()
+        distribution = operational_repair_distribution(
+            scenario.db, scenario.constraints
+        )
+        probabilities = sorted(p for _, p in distribution)
+        assert len(set(round(p, 9) for p in probabilities)) > 1
+
+    def test_tgds_rejected(self):
+        from repro.workloads import supply_articles
+
+        scenario = supply_articles()
+        with pytest.raises(RepairError):
+            operational_repair_distribution(
+                scenario.db, scenario.constraints
+            )
+
+
+class TestOperationalAnswers:
+    def test_certain_sound_wrt_classical(self):
+        for scenario in (employee(), rs_instance()):
+            q = (
+                scenario.queries.get("Q1")
+                or cq([X], [atom("S", X)], name="s")
+            )
+            classical = consistent_answers(
+                scenario.db, scenario.constraints, q
+            )
+            operational = operational_certain_answers(
+                scenario.db, scenario.constraints, q
+            )
+            assert operational <= classical
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_certain_sound_wrt_classical_random(self, seed):
+        scenario = random_rs_instance(4, 3, 3, seed=seed)
+        q = cq([X], [atom("S", X)], name="s_values")
+        classical = consistent_answers(scenario.db, scenario.constraints, q)
+        operational = operational_certain_answers(
+            scenario.db, scenario.constraints, q
+        )
+        assert operational <= classical
+
+    def test_graded_answers_in_unit_interval(self):
+        scenario = employee()
+        q = scenario.queries["Q1"]
+        for row, p in operational_answer_probabilities(
+            scenario.db, scenario.constraints, q
+        ):
+            assert 0.0 < p <= 1.0
+
+    def test_threshold_monotone(self):
+        scenario = employee()
+        q = scenario.queries["Q1"]
+        strict = operational_certain_answers(
+            scenario.db, scenario.constraints, q, threshold=1.0
+        )
+        loose = operational_certain_answers(
+            scenario.db, scenario.constraints, q, threshold=0.4
+        )
+        assert strict <= loose
+
+
+class TestSampling:
+    def test_sample_is_consistent_subinstance(self):
+        from repro.constraints import all_satisfied
+
+        scenario = rs_instance()
+        for seed in range(5):
+            repair = sample_operational_repair(
+                scenario.db, scenario.constraints, seed=seed
+            )
+            assert all_satisfied(repair, scenario.constraints)
+            assert repair.issubset(scenario.db)
+
+    def test_estimates_near_exact(self):
+        scenario = employee()
+        q = scenario.queries["Q1"]
+        exact = dict(operational_answer_probabilities(
+            scenario.db, scenario.constraints, q
+        ))
+        estimated = estimate_answer_probabilities(
+            scenario.db, scenario.constraints, q, samples=400, seed=1
+        )
+        assert set(estimated) <= set(exact)
+        for row, p in exact.items():
+            assert estimated.get(row, 0.0) == pytest.approx(p, abs=0.1)

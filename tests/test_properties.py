@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the paper's defining properties over randomly generated
+instances: minimality and consistency of repairs, the antichain
+structure of S-repair diffs, equality of independent computation paths
+(hypergraph vs search, enumeration vs rewriting, repairs vs causes), and
+the metric behaviour of the cleaning similarity.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cleaning import edit_distance
+from repro.constraints import (
+    ConflictHypergraph,
+    DenialConstraint,
+    FunctionalDependency,
+)
+from repro.cqa import consistent_answers, consistent_answers_fm
+from repro.logic import atom, cq, vars_
+from repro.relational import Database, Fact, RelationSchema, Schema
+from repro.repairs import (
+    c_repairs,
+    count_s_repairs,
+    is_s_repair,
+    s_repairs,
+)
+
+X, Y = vars_("x y")
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_VALUES = st.sampled_from(["a0", "a1", "a2", "a3"])
+
+_RS_SCHEMA = Schema.of(
+    RelationSchema("R", ("A", "B")),
+    RelationSchema("S", ("A",)),
+)
+
+_KV_SCHEMA = Schema.of(RelationSchema("R", ("K", "V"), key=("K",)))
+
+KAPPA = DenialConstraint(
+    (atom("S", X), atom("R", X, Y), atom("S", Y)), name="kappa"
+)
+
+FD = FunctionalDependency("R", ("K",), ("V",), name="FD")
+
+
+@st.composite
+def rs_databases(draw):
+    r_rows = draw(st.lists(
+        st.tuples(_VALUES, _VALUES), min_size=0, max_size=5, unique=True,
+    ))
+    s_rows = draw(st.lists(
+        st.tuples(_VALUES), min_size=0, max_size=4, unique=True,
+    ))
+    return Database.from_dict(
+        {"R": r_rows, "S": s_rows}, schema=_RS_SCHEMA
+    )
+
+
+@st.composite
+def kv_databases(draw):
+    rows = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["k0", "k1", "k2"]),
+            st.sampled_from(["v0", "v1", "v2"]),
+        ),
+        min_size=0, max_size=7, unique=True,
+    ))
+    return Database.from_dict({"R": rows}, schema=_KV_SCHEMA)
+
+
+# ----------------------------------------------------------------------
+# Database invariants
+# ----------------------------------------------------------------------
+
+
+@given(rs_databases())
+@settings(max_examples=60, deadline=None)
+def test_delete_insert_roundtrip(db):
+    facts = sorted(db.facts(), key=repr)
+    if not facts:
+        return
+    target = facts[0]
+    removed = db.delete([target])
+    assert target not in removed
+    restored = removed.insert([target])
+    assert restored == db
+
+
+@given(rs_databases(), rs_databases())
+@settings(max_examples=60, deadline=None)
+def test_symmetric_difference_symmetry(db1, db2):
+    assert db1.symmetric_difference(db2) == db2.symmetric_difference(db1)
+    assert db1.distance(db2) == db2.distance(db1)
+    assert db1.distance(db1) == 0
+
+
+@given(rs_databases())
+@settings(max_examples=60, deadline=None)
+def test_facts_are_set_semantics(db):
+    assert len(db.facts()) == len(db)
+    doubled = db.insert(db.facts())
+    assert doubled == db
+
+
+# ----------------------------------------------------------------------
+# Repair invariants
+# ----------------------------------------------------------------------
+
+
+@given(rs_databases())
+@settings(max_examples=40, deadline=None)
+def test_srepairs_consistent_minimal_antichain(db):
+    repairs = s_repairs(db, (KAPPA,))
+    assert repairs  # deleting everything is always consistent
+    for r in repairs:
+        assert KAPPA.is_satisfied(r.instance)
+        assert r.instance.issubset(db)
+        assert is_s_repair(db, r.instance, (KAPPA,))
+    for r1, r2 in itertools.combinations(repairs, 2):
+        assert not (r1.diff < r2.diff) and not (r2.diff < r1.diff)
+
+
+@given(rs_databases())
+@settings(max_examples=40, deadline=None)
+def test_srepair_engines_agree(db):
+    via_graph = {r.diff for r in s_repairs(db, (KAPPA,), engine="hypergraph")}
+    via_search = {r.diff for r in s_repairs(db, (KAPPA,), engine="search")}
+    assert via_graph == via_search
+
+
+@given(rs_databases())
+@settings(max_examples=40, deadline=None)
+def test_crepairs_are_minimum_srepairs(db):
+    all_s = s_repairs(db, (KAPPA,))
+    best = min(r.size for r in all_s)
+    expected = {r.diff for r in all_s if r.size == best}
+    assert {r.diff for r in c_repairs(db, (KAPPA,))} == expected
+
+
+@given(rs_databases())
+@settings(max_examples=40, deadline=None)
+def test_count_matches_enumeration(db):
+    assert count_s_repairs(db, (KAPPA,)) == len(s_repairs(db, (KAPPA,)))
+
+
+@given(kv_databases())
+@settings(max_examples=40, deadline=None)
+def test_fd_closed_form_count(db):
+    assert count_s_repairs(db, (FD,)) == len(s_repairs(db, (FD,)))
+
+
+@given(rs_databases())
+@settings(max_examples=40, deadline=None)
+def test_consistent_core_inside_every_repair(db):
+    graph = ConflictHypergraph.build(db, (KAPPA,))
+    core = {db.fact_by_tid(t) for t in graph.conflict_free_tids()}
+    for r in s_repairs(db, (KAPPA,)):
+        assert core <= r.instance.facts()
+
+
+# ----------------------------------------------------------------------
+# CQA invariants
+# ----------------------------------------------------------------------
+
+
+@given(kv_databases())
+@settings(max_examples=40, deadline=None)
+def test_fm_rewriting_equals_enumeration_projection(db):
+    if not len(db):
+        return
+    q = cq([X], [atom("R", X, Y)], name="keys")
+    assert consistent_answers_fm(db, (FD,), q) == consistent_answers(
+        db, (FD,), q
+    )
+
+
+@given(kv_databases())
+@settings(max_examples=40, deadline=None)
+def test_fm_rewriting_equals_enumeration_full(db):
+    if not len(db):
+        return
+    q = cq([X, Y], [atom("R", X, Y)], name="full")
+    assert consistent_answers_fm(db, (FD,), q) == consistent_answers(
+        db, (FD,), q
+    )
+
+
+@given(kv_databases())
+@settings(max_examples=40, deadline=None)
+def test_certain_answers_hold_in_every_repair(db):
+    if not len(db):
+        return
+    q = cq([X, Y], [atom("R", X, Y)], name="full")
+    certain = consistent_answers(db, (FD,), q)
+    for r in s_repairs(db, (FD,)):
+        assert certain <= q.answers(r.instance)
+
+
+# ----------------------------------------------------------------------
+# Causality invariants
+# ----------------------------------------------------------------------
+
+
+@given(rs_databases())
+@settings(max_examples=25, deadline=None)
+def test_causes_match_direct_definition(db):
+    from repro.causality import actual_causes, actual_causes_direct
+
+    q = cq([], [atom("S", X), atom("R", X, Y), atom("S", Y)], name="Q")
+    via_repairs = {
+        c.fact: c.responsibility for c in actual_causes(db, q)
+    }
+    direct = {
+        c.fact: c.responsibility for c in actual_causes_direct(db, q)
+    }
+    assert via_repairs == direct
+
+
+@given(rs_databases())
+@settings(max_examples=25, deadline=None)
+def test_attribute_repairs_consistent_and_minimal(db):
+    from repro.repairs import attribute_repairs
+
+    repairs = attribute_repairs(db, (KAPPA,))
+    for r in repairs:
+        assert KAPPA.is_satisfied(r.instance)
+    for r1, r2 in itertools.combinations(repairs, 2):
+        assert not (r1.changes < r2.changes)
+        assert not (r2.changes < r1.changes)
+
+
+# ----------------------------------------------------------------------
+# Hypergraph invariants
+# ----------------------------------------------------------------------
+
+
+@given(rs_databases())
+@settings(max_examples=40, deadline=None)
+def test_mis_are_complements_of_mhs(db):
+    graph = ConflictHypergraph.build(db, (KAPPA,))
+    mhs = graph.minimal_hitting_sets()
+    mis = graph.maximal_independent_sets()
+    assert {graph.nodes - h for h in mhs} == set(mis)
+    for independent in mis:
+        assert graph.is_independent(independent)
+
+
+# ----------------------------------------------------------------------
+# Similarity metric
+# ----------------------------------------------------------------------
+
+_WORDS = st.text(alphabet="abcde", max_size=8)
+
+
+@given(_WORDS, _WORDS)
+@settings(max_examples=80, deadline=None)
+def test_edit_distance_symmetric(a, b):
+    assert edit_distance(a, b) == edit_distance(b, a)
+    assert (edit_distance(a, b) == 0) == (a == b)
+
+
+@given(_WORDS, _WORDS, _WORDS)
+@settings(max_examples=80, deadline=None)
+def test_edit_distance_triangle(a, b, c):
+    assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)

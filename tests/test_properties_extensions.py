@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for the extension modules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import ConflictHypergraph, DenialConstraint, FunctionalDependency
+from repro.cqa import (
+    AggregateQuery,
+    fd_range_count_star,
+    fd_range_max,
+    fd_range_min,
+    fd_range_sum,
+    range_consistent_answer,
+)
+from repro.logic import atom, cq, vars_
+from repro.probabilistic import (
+    DirtyDatabase,
+    clean_answers,
+    clean_answers_single_atom,
+    world_probabilities,
+)
+from repro.relational import Database, RelationSchema, Schema
+from repro.repairs import (
+    IncrementalRepairer,
+    PriorityRelation,
+    globally_optimal_repairs,
+    pareto_optimal_repairs,
+    s_repairs,
+)
+
+X, Y = vars_("x y")
+
+_KV_SCHEMA = Schema.of(RelationSchema("R", ("K", "V"), key=("K",)))
+FD = FunctionalDependency("R", ("K",), ("V",), name="key")
+
+
+@st.composite
+def numeric_kv_databases(draw):
+    rows = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["k0", "k1", "k2"]),
+            st.integers(min_value=-20, max_value=20),
+        ),
+        min_size=1, max_size=7, unique=True,
+    ))
+    return Database.from_dict({"R": rows}, schema=_KV_SCHEMA)
+
+
+@given(numeric_kv_databases())
+@settings(max_examples=40, deadline=None)
+def test_aggregate_closed_forms_match_enumeration(db):
+    pairs = [
+        (fd_range_sum(db, FD, "V"),
+         range_consistent_answer(db, (FD,), AggregateQuery("R", "sum", "V"))),
+        (fd_range_count_star(db, FD),
+         range_consistent_answer(db, (FD,), AggregateQuery("R", "count"))),
+        (fd_range_min(db, FD, "V"),
+         range_consistent_answer(db, (FD,), AggregateQuery("R", "min", "V"))),
+        (fd_range_max(db, FD, "V"),
+         range_consistent_answer(db, (FD,), AggregateQuery("R", "max", "V"))),
+    ]
+    for fast, exact in pairs:
+        assert (fast.glb, fast.lub) == (exact.glb, exact.lub)
+
+
+@given(numeric_kv_databases())
+@settings(max_examples=40, deadline=None)
+def test_aggregate_range_brackets_every_repair(db):
+    for function, attribute in (("sum", "V"), ("min", "V"), ("max", "V")):
+        query = AggregateQuery("R", function, attribute)
+        bracket = range_consistent_answer(db, (FD,), query)
+        for r in s_repairs(db, (FD,)):
+            value = query.evaluate(r.instance)
+            if value is not None:
+                assert bracket.glb <= value <= bracket.lub
+
+
+@given(numeric_kv_databases())
+@settings(max_examples=30, deadline=None)
+def test_world_probabilities_sum_to_one(db):
+    dirty = DirtyDatabase(db, FD)
+    worlds = world_probabilities(dirty)
+    assert abs(sum(p for _, p in worlds) - 1.0) < 1e-9
+    srepair_sets = {
+        r.instance.facts() for r in s_repairs(db, (FD,))
+    }
+    assert {w.facts() for w, _ in worlds} == srepair_sets
+
+
+@given(numeric_kv_databases())
+@settings(max_examples=30, deadline=None)
+def test_clean_answer_paths_agree(db):
+    dirty = DirtyDatabase(db, FD)
+    q = cq([X, Y], [atom("R", X, Y)], name="rows")
+    exact = dict(clean_answers(dirty, q))
+    fast = dict(clean_answers_single_atom(dirty, q))
+    assert set(exact) == set(fast)
+    for row in exact:
+        assert abs(exact[row] - fast[row]) < 1e-9
+
+
+@given(numeric_kv_databases())
+@settings(max_examples=30, deadline=None)
+def test_certain_answers_have_probability_one(db):
+    from repro.cqa import consistent_answers
+
+    dirty = DirtyDatabase(db, FD)
+    q = cq([X, Y], [atom("R", X, Y)], name="rows")
+    certain = consistent_answers(db, (FD,), q)
+    probs = dict(clean_answers(dirty, q))
+    for row in certain:
+        assert abs(probs[row] - 1.0) < 1e-9
+
+
+@given(numeric_kv_databases())
+@settings(max_examples=25, deadline=None)
+def test_preferred_repair_containments(db):
+    priority = PriorityRelation.from_score(
+        db, lambda f: float(f.values[1])
+    )
+    s_diffs = {r.diff for r in s_repairs(db, (FD,))}
+    pareto = {r.diff for r in pareto_optimal_repairs(db, (FD,), priority)}
+    global_ = {
+        r.diff for r in globally_optimal_repairs(db, (FD,), priority)
+    }
+    assert global_ <= pareto <= s_diffs
+    assert global_  # some repair is always preferred
+
+
+@given(
+    numeric_kv_databases(),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["k0", "k1", "k3"]),
+            st.integers(min_value=-5, max_value=5),
+        ),
+        min_size=1, max_size=4,
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_incremental_matches_batch(db, updates):
+    from repro.relational import Fact
+
+    repairer = IncrementalRepairer(db, (FD,))
+    for key, value in updates:
+        f = Fact("R", (key, value))
+        if f in repairer.database:
+            repairer.delete([f])
+        else:
+            repairer.insert([f])
+    expected = ConflictHypergraph.build(repairer.database, (FD,))
+    assert repairer.graph.edges == expected.edges
+    assert {r.instance.facts() for r in repairer.s_repairs()} == {
+        r.instance.facts()
+        for r in s_repairs(repairer.database, (FD,))
+    }

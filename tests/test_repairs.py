@@ -1,0 +1,325 @@
+"""Tests for repair semantics: S-, C-, null-based, attribute-based."""
+
+import itertools
+
+import pytest
+
+from repro.constraints import DenialConstraint, FunctionalDependency
+from repro.errors import RepairError
+from repro.logic import atom, vars_
+from repro.relational import NULL, Database, fact
+from repro.repairs import (
+    attribute_repairs,
+    c_attribute_repairs,
+    c_repairs,
+    count_fd_repairs,
+    count_s_repairs,
+    delete_only_repairs,
+    is_c_repair,
+    is_s_repair,
+    null_tuple_repairs,
+    one_c_repair,
+    one_s_repair,
+    repair_distance,
+    s_repairs,
+)
+from repro.workloads import (
+    abcde_instance,
+    employee,
+    employee_key_violations,
+    random_rs_instance,
+    rs_instance,
+    supply_articles,
+    supply_articles_cost,
+)
+
+X, Y = vars_("x y")
+
+
+class TestExample31:
+    """Example 3.1: Supply/Articles under the inclusion dependency."""
+
+    def setup_method(self):
+        self.scenario = supply_articles()
+
+    def test_two_s_repairs(self):
+        repairs = s_repairs(self.scenario.db, self.scenario.constraints)
+        assert len(repairs) == 2
+        diffs = {r.diff for r in repairs}
+        # D1 deletes Supply(C2,R1,I3); D2 inserts Articles(I3).
+        assert frozenset({fact("Supply", "C2", "R1", "I3")}) in diffs
+        assert frozenset({fact("Articles", "I3")}) in diffs
+
+    def test_d3_is_not_a_repair(self):
+        # Deleting both Supply(C2,R1,I3) and Supply(C2,R2,I2) is consistent
+        # but not minimal.
+        d3 = self.scenario.db.delete([
+            fact("Supply", "C2", "R1", "I3"),
+            fact("Supply", "C2", "R2", "I2"),
+        ])
+        assert not is_s_repair(
+            self.scenario.db, d3, self.scenario.constraints
+        )
+
+    def test_both_are_c_repairs(self):
+        repairs = c_repairs(self.scenario.db, self.scenario.constraints)
+        assert len(repairs) == 2
+        assert all(r.size == 1 for r in repairs)
+
+    def test_delete_only_semantics(self):
+        repairs = delete_only_repairs(
+            self.scenario.db, self.scenario.constraints
+        )
+        assert len(repairs) == 1
+        assert repairs[0].inserted == frozenset()
+
+    def test_repair_checking(self):
+        db = self.scenario.db
+        ics = self.scenario.constraints
+        d1 = db.delete([fact("Supply", "C2", "R1", "I3")])
+        d2 = db.insert([fact("Articles", "I3")])
+        assert is_s_repair(db, d1, ics)
+        assert is_s_repair(db, d2, ics)
+        assert is_c_repair(db, d1, ics)
+        assert not is_s_repair(db, db, ics)  # inconsistent itself
+
+
+class TestExample33:
+    """Example 3.3: Employee under the key constraint."""
+
+    def setup_method(self):
+        self.scenario = employee()
+
+    def test_two_repairs(self):
+        repairs = s_repairs(self.scenario.db, self.scenario.constraints)
+        assert len(repairs) == 2
+        kept_page_salaries = {
+            next(
+                f.values[1] for f in r.instance if f.values[0] == "page"
+            )
+            for r in repairs
+        }
+        assert kept_page_salaries == {"5K", "8K"}
+
+    def test_all_repairs_keep_clean_tuples(self):
+        repairs = s_repairs(self.scenario.db, self.scenario.constraints)
+        for r in repairs:
+            assert fact("Employee", "smith", "3K") in r.instance
+            assert fact("Employee", "stowe", "7K") in r.instance
+
+    def test_count(self):
+        (kc,) = self.scenario.constraints
+        assert count_fd_repairs(self.scenario.db, kc) == 2
+        assert count_s_repairs(self.scenario.db, [kc]) == 2
+
+
+class TestExample41:
+    """Example 4.1: four S-repairs, three C-repairs."""
+
+    def setup_method(self):
+        self.scenario = abcde_instance()
+
+    def _relations(self, repairs):
+        return {
+            frozenset(f.relation for f in r.instance) for r in repairs
+        }
+
+    def test_four_s_repairs(self):
+        repairs = s_repairs(self.scenario.db, self.scenario.constraints)
+        assert self._relations(repairs) == {
+            frozenset({"B", "C"}),
+            frozenset({"C", "D", "E"}),
+            frozenset({"A", "B", "D"}),
+            frozenset({"E", "D", "A"}),
+        }
+
+    def test_three_c_repairs(self):
+        repairs = c_repairs(self.scenario.db, self.scenario.constraints)
+        assert self._relations(repairs) == {
+            frozenset({"C", "D", "E"}),
+            frozenset({"A", "B", "D"}),
+            frozenset({"E", "D", "A"}),
+        }
+
+    def test_engines_agree(self):
+        via_search = s_repairs(
+            self.scenario.db, self.scenario.constraints, engine="search"
+        )
+        via_graph = s_repairs(
+            self.scenario.db, self.scenario.constraints, engine="hypergraph"
+        )
+        assert {r.diff for r in via_search} == {r.diff for r in via_graph}
+
+    def test_c_repair_engines_agree(self):
+        auto = c_repairs(self.scenario.db, self.scenario.constraints)
+        filtered = c_repairs(
+            self.scenario.db, self.scenario.constraints, engine="filter"
+        )
+        assert {r.diff for r in auto} == {r.diff for r in filtered}
+
+    def test_repair_distance(self):
+        assert repair_distance(
+            self.scenario.db, self.scenario.constraints
+        ) == 2
+
+
+class TestExample43:
+    """Example 4.3: tuple-level null repairs for the tgd ID'."""
+
+    def test_two_repairs_one_inserts_null(self):
+        scenario = supply_articles_cost()
+        repairs = null_tuple_repairs(scenario.db, scenario.constraints)
+        assert len(repairs) == 2
+        diffs = {r.diff for r in repairs}
+        assert frozenset({fact("Supply", "C2", "R1", "I3")}) in diffs
+        assert frozenset({fact("Articles", "I3", NULL)}) in diffs
+
+    def test_repeated_existential_rejected(self):
+        from repro.constraints import TupleGeneratingDependency
+
+        db = Database.from_dict({"P": [(1,)], "Q": [(2, 2)]})
+        v = vars_("v")[0]
+        x = vars_("x")[0]
+        tgd = TupleGeneratingDependency(
+            (atom("P", x),), (atom("Q", v, v),), name="bad"
+        )
+        with pytest.raises(RepairError):
+            null_tuple_repairs(db, (tgd,))
+
+
+class TestExample44:
+    """Example 4.4: attribute-level null repairs."""
+
+    def setup_method(self):
+        self.scenario = rs_instance()
+
+    def test_paper_change_sets_found(self):
+        repairs = attribute_repairs(
+            self.scenario.db, self.scenario.constraints
+        )
+        change_sets = {r.change_labels() for r in repairs}
+        # The two repairs displayed in the paper.
+        assert ("t6[1]",) in change_sets
+        assert ("t1[2]", "t3[2]") in change_sets
+
+    def test_change_sets_minimal_and_consistent(self):
+        repairs = attribute_repairs(
+            self.scenario.db, self.scenario.constraints
+        )
+        for r in repairs:
+            assert all(
+                ic.is_satisfied(r.instance)
+                for ic in self.scenario.constraints
+            )
+        for r1, r2 in itertools.combinations(repairs, 2):
+            assert not (r1.changes < r2.changes)
+            assert not (r2.changes < r1.changes)
+
+    def test_cardinality_minimal(self):
+        repairs = c_attribute_repairs(
+            self.scenario.db, self.scenario.constraints
+        )
+        assert {r.change_labels() for r in repairs} == {("t6[1]",)}
+
+    def test_nulled_value_visible(self):
+        repairs = attribute_repairs(
+            self.scenario.db, self.scenario.constraints
+        )
+        single = next(
+            r for r in repairs if r.change_labels() == ("t6[1]",)
+        )
+        assert single.instance.fact_by_tid("t6").values == (NULL,)
+
+    def test_non_denial_rejected(self):
+        scenario = supply_articles()
+        with pytest.raises(RepairError):
+            attribute_repairs(scenario.db, scenario.constraints)
+
+    def test_unary_dc_without_candidates(self):
+        (x,) = vars_("x")
+        db = Database.from_dict({"A": [(1,)]})
+        dc = DenialConstraint((atom("A", x),), name="noA")
+        assert attribute_repairs(db, (dc,)) == []
+
+
+class TestRepairProperties:
+    """Structural invariants across random instances."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_srepair_invariants_random_dc(self, seed):
+        scenario = random_rs_instance(5, 4, 4, seed=seed)
+        repairs = s_repairs(scenario.db, scenario.constraints)
+        assert repairs, "the empty instance is always consistent"
+        for r in repairs:
+            assert r.is_consistent_under(scenario.constraints)
+            assert r.instance.issubset(scenario.db)  # denial class
+            assert is_s_repair(scenario.db, r.instance, scenario.constraints)
+        for r1, r2 in itertools.combinations(repairs, 2):
+            assert not (r1.diff < r2.diff)
+            assert not (r2.diff < r1.diff)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_crepairs_subset_of_srepairs(self, seed):
+        scenario = random_rs_instance(5, 4, 4, seed=seed)
+        s_diffs = {r.diff for r in s_repairs(scenario.db, scenario.constraints)}
+        c = c_repairs(scenario.db, scenario.constraints)
+        sizes = {r.size for r in c}
+        assert len(sizes) == 1
+        for r in c:
+            assert r.diff in s_diffs
+            assert is_c_repair(scenario.db, r.instance, scenario.constraints)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_engines_agree_random(self, seed):
+        scenario = random_rs_instance(4, 3, 3, seed=seed)
+        via_search = s_repairs(
+            scenario.db, scenario.constraints, engine="search"
+        )
+        via_graph = s_repairs(
+            scenario.db, scenario.constraints, engine="hypergraph"
+        )
+        assert {r.diff for r in via_search} == {r.diff for r in via_graph}
+
+    @pytest.mark.parametrize("groups,size", [(1, 2), (2, 2), (3, 2), (2, 3)])
+    def test_exponential_count_closed_form(self, groups, size):
+        scenario = employee_key_violations(3, groups, size, seed=1)
+        (kc,) = scenario.constraints
+        expected = size ** groups
+        assert count_fd_repairs(scenario.db, kc) == expected
+        assert len(s_repairs(scenario.db, scenario.constraints)) == expected
+
+    def test_consistent_database_single_repair(self):
+        db = Database.from_dict({"R": [("a", 1)]})
+        fd = FunctionalDependency("R", ("a0",), ("a1",))
+        repairs = s_repairs(db, (fd,))
+        assert len(repairs) == 1
+        assert repairs[0].size == 0
+        assert is_s_repair(db, db, (fd,))
+
+    def test_one_s_repair_is_a_repair(self):
+        for seed in range(5):
+            scenario = random_rs_instance(6, 4, 4, seed=seed)
+            r = one_s_repair(scenario.db, scenario.constraints)
+            assert is_s_repair(
+                scenario.db, r.instance, scenario.constraints
+            )
+
+    def test_one_c_repair_achieves_distance(self):
+        for seed in range(5):
+            scenario = random_rs_instance(6, 4, 4, seed=seed)
+            r = one_c_repair(scenario.db, scenario.constraints)
+            assert r.size == repair_distance(
+                scenario.db, scenario.constraints
+            )
+
+    def test_limit_parameter(self):
+        scenario = employee_key_violations(0, 4, 2, seed=0)
+        repairs = s_repairs(scenario.db, scenario.constraints, limit=3)
+        assert len(repairs) == 3
+
+    def test_unknown_engine_rejected(self):
+        scenario = employee()
+        with pytest.raises(ValueError):
+            s_repairs(scenario.db, scenario.constraints, engine="quantum")
+        with pytest.raises(ValueError):
+            c_repairs(scenario.db, scenario.constraints, engine="quantum")

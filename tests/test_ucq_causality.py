@@ -1,0 +1,108 @@
+"""Tests for causality over unions of conjunctive queries (Section 7)."""
+
+import pytest
+
+from repro.causality import actual_causes, actual_causes_direct
+from repro.errors import QueryError
+from repro.logic import UnionQuery, atom, boolean_query, cq, vars_
+from repro.relational import Database, fact
+from repro.workloads import random_rs_instance
+
+X, Y = vars_("x y")
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict({
+        "P": [(1,), (2,)],
+        "Q": [(2,), (3,)],
+    })
+
+
+class TestUCQCauses:
+    def test_union_counterfactuals(self, db):
+        # Q_u: ∃x P(x)  ∨  ∃x Q(x) — true via four tuples; removing any
+        # single one keeps it true, so responsibilities reflect unions.
+        union = UnionQuery((
+            boolean_query([atom("P", X)], name="d1"),
+            boolean_query([atom("Q", X)], name="d2"),
+        ), name="Qu")
+        causes = {c.fact: c.responsibility for c in actual_causes(db, union)}
+        # Every tuple is a cause; killing the query needs deleting all
+        # four tuples, so each has responsibility 1/4.
+        assert set(causes) == {
+            fact("P", 1), fact("P", 2), fact("Q", 2), fact("Q", 3),
+        }
+        assert all(r == pytest.approx(0.25) for r in causes.values())
+
+    def test_union_matches_direct(self, db):
+        union = UnionQuery((
+            boolean_query([atom("P", X)], name="d1"),
+            boolean_query([atom("Q", X)], name="d2"),
+        ), name="Qu")
+        via_repairs = {
+            c.fact: c.responsibility for c in actual_causes(db, union)
+        }
+        direct = {
+            c.fact: c.responsibility
+            for c in actual_causes_direct(db, union)
+        }
+        assert via_repairs == direct
+
+    def test_single_disjunct_equals_cq(self, db):
+        union = UnionQuery((boolean_query([atom("P", X)], name="d"),))
+        as_cq = boolean_query([atom("P", X)], name="d")
+        u = {c.fact: c.responsibility for c in actual_causes(db, union)}
+        c = {c.fact: c.responsibility for c in actual_causes(db, as_cq)}
+        assert u == c
+
+    def test_false_union_no_causes(self, db):
+        union = UnionQuery((
+            boolean_query([atom("P", 99)], name="d1"),
+            boolean_query([atom("Q", 99)], name="d2"),
+        ))
+        assert actual_causes(db, union) == []
+        assert actual_causes_direct(db, union) == []
+
+    def test_non_boolean_union_requires_answer(self, db):
+        union = UnionQuery((
+            cq([X], [atom("P", X)], name="d1"),
+            cq([X], [atom("Q", X)], name="d2"),
+        ))
+        with pytest.raises(QueryError):
+            actual_causes(db, union)
+        causes = {
+            c.fact for c in actual_causes(db, union, answer=(2,))
+        }
+        # Both P(2) and Q(2) independently make 2 an answer.
+        assert causes == {fact("P", 2), fact("Q", 2)}
+        for c in actual_causes(db, union, answer=(2,)):
+            assert c.responsibility == pytest.approx(0.5)
+
+    def test_answer_only_in_one_disjunct(self, db):
+        union = UnionQuery((
+            cq([X], [atom("P", X)], name="d1"),
+            cq([X], [atom("Q", X)], name="d2"),
+        ))
+        causes = actual_causes(db, union, answer=(1,))
+        assert [c.fact for c in causes] == [fact("P", 1)]
+        assert causes[0].is_counterfactual
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_differential(self, seed):
+        scenario = random_rs_instance(4, 3, 3, seed=seed)
+        union = UnionQuery((
+            boolean_query(
+                [atom("S", X), atom("R", X, Y), atom("S", Y)], name="d1"
+            ),
+            boolean_query([atom("R", X, X)], name="d2"),
+        ), name="Qu")
+        via_repairs = {
+            c.fact: c.responsibility
+            for c in actual_causes(scenario.db, union)
+        }
+        direct = {
+            c.fact: c.responsibility
+            for c in actual_causes_direct(scenario.db, union)
+        }
+        assert via_repairs == direct

@@ -1,0 +1,83 @@
+"""Tests for CQA over unions of conjunctive queries."""
+
+import pytest
+
+from repro.cqa import (
+    answer_frequencies,
+    consistent_answers,
+    is_consistently_true,
+    is_possibly_true,
+)
+from repro.logic import UnionQuery, atom, boolean_query, cq, vars_
+from repro.relational import Database, RelationSchema, Schema, fact
+from repro.workloads import employee
+
+X, Y = vars_("x y")
+
+
+class TestUCQConsistentAnswers:
+    def setup_method(self):
+        schema = Schema.of(
+            RelationSchema("Emp", ("Name", "Salary"), key=("Name",)),
+            RelationSchema("Contractor", ("Name", "Rate"), key=("Name",)),
+        )
+        self.db = Database.from_dict(
+            {
+                "Emp": [("page", "5K"), ("page", "8K"), ("smith", "3K")],
+                "Contractor": [("page", "100"), ("lee", "90")],
+            },
+            schema=schema,
+        )
+        from repro.constraints import FunctionalDependency
+
+        self.constraints = (
+            FunctionalDependency("Emp", ("Name",), ("Salary",)),
+        )
+        self.workers = UnionQuery((
+            cq([X], [atom("Emp", X, Y)], name="emps"),
+            cq([X], [atom("Contractor", X, Y)], name="contractors"),
+        ), name="workers")
+
+    def test_union_certain_answers(self):
+        answers = consistent_answers(
+            self.db, self.constraints, self.workers
+        )
+        # page is a worker in every repair: via Emp (some salary kept)
+        # and via Contractor regardless.
+        assert answers == {("page",), ("smith",), ("lee",)}
+
+    def test_union_answer_frequencies(self):
+        freqs = dict(answer_frequencies(
+            self.db, self.constraints, self.workers
+        ))
+        assert freqs[("page",)] == 1.0
+        assert freqs[("lee",)] == 1.0
+
+    def test_boolean_union(self):
+        q = UnionQuery((
+            boolean_query([atom("Emp", "nobody", Y)], name="d1"),
+            boolean_query([atom("Contractor", "lee", Y)], name="d2"),
+        ))
+        assert is_consistently_true(self.db, self.constraints, q)
+        q_false = UnionQuery((
+            boolean_query([atom("Emp", "nobody", Y)], name="d1"),
+            boolean_query([atom("Contractor", "nobody", Y)], name="d2"),
+        ))
+        assert not is_possibly_true(self.db, self.constraints, q_false)
+
+    def test_union_on_paper_employee(self):
+        scenario = employee()
+        q = UnionQuery((
+            cq([X], [atom("Employee", X, Y)], name="all"),
+        ))
+        answers = consistent_answers(scenario.db, scenario.constraints, q)
+        assert answers == {("page",), ("smith",), ("stowe",)}
+
+    def test_union_arity_mismatch_rejected(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            UnionQuery((
+                cq([X], [atom("Emp", X, Y)]),
+                cq([X, Y], [atom("Contractor", X, Y)]),
+            ))
