@@ -1,0 +1,183 @@
+"""Shared benchmark runner: timed, instrumented, machine-readable.
+
+Every ``bench_*.py`` script runs through this module (via the
+``benchmark`` fixture in ``conftest.py``).  Each measured call is:
+
+1. run once under a fresh observability collector to capture the key
+   counters (ground rules, repairs emitted, SQL rows, ...);
+2. re-run with instrumentation disabled to take wall-time samples
+   (best-of-N, N adaptive so fast benchmarks get more rounds);
+3. recorded as a :class:`BenchRecord`.
+
+At the end of a run, one ``BENCH_<suite>.json`` file per benchmark
+module is written to the repo root — the machine-readable perf
+trajectory — alongside the human-readable table printed to the
+terminal.  Run a single suite directly with::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+# Bootstrap src/ onto sys.path so ``python benchmarks/bench_x.py`` works
+# without PYTHONPATH=src (the bench scripts import this module first).
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.observability import collect
+
+SCHEMA_VERSION = 1
+
+#: Counters worth exporting per benchmark (the full registry would drown
+#: the JSON in incidental detail; these are the cost-shape counters the
+#: paper claims are about).
+EXPORTED_COUNTERS = (
+    "asp.ground_atoms",
+    "asp.ground_rules",
+    "asp.candidates_checked",
+    "asp.models_accepted",
+    "conflicts.edges",
+    "conflicts.hitting_set_branches",
+    "repairs.s_emitted",
+    "repairs.c_emitted",
+    "repairs.counted",
+    "repairs.states_explored",
+    "repairs.bb_branches",
+    "repairs.bb_pruned",
+    "cqa.repairs_intersected",
+    "cqa.residues",
+    "cqa.rewrite_nodes",
+    "cqa.sql_rows",
+    "sql.statements",
+    "sql.rows_materialized",
+)
+
+
+@dataclass
+class BenchRecord:
+    """One measured benchmark: identity, timing, counters."""
+
+    name: str
+    params: Dict[str, object] = field(default_factory=dict)
+    rounds: int = 0
+    best_s: float = 0.0
+    mean_s: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "params": self.params,
+            "rounds": self.rounds,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "counters": self.counters,
+        }
+
+
+class BenchRunner:
+    """Accumulates records for one suite and writes ``BENCH_<suite>.json``."""
+
+    def __init__(self, suite: str) -> None:
+        self.suite = suite
+        self.records: List[BenchRecord] = []
+
+    def measure(
+        self,
+        name: str,
+        fn: Callable,
+        *args,
+        params: Optional[Dict[str, object]] = None,
+        min_rounds: int = 3,
+        target_s: float = 0.25,
+        **kwargs,
+    ):
+        """Measure *fn(*args, **kwargs)*; returns fn's result.
+
+        The first (counter-capturing) round is not timed, so collector
+        overhead never pollutes the wall-time samples.
+        """
+        with collect() as collector:
+            result = fn(*args, **kwargs)
+        counters = {
+            k: v
+            for k, v in collector.snapshot().items()
+            if k in EXPORTED_COUNTERS
+        }
+        samples: List[float] = []
+        spent = 0.0
+        while len(samples) < min_rounds or spent < target_s:
+            t0 = time.perf_counter()
+            fn(*args, **kwargs)
+            took = time.perf_counter() - t0
+            samples.append(took)
+            spent += took
+            if len(samples) >= 200:
+                break
+        self.records.append(
+            BenchRecord(
+                name=name,
+                params=dict(params or {}),
+                rounds=len(samples),
+                best_s=min(samples),
+                mean_s=sum(samples) / len(samples),
+                counters=counters,
+            )
+        )
+        return result
+
+    # -- output --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "suite": self.suite,
+            "python": platform.python_version(),
+            "results": [r.to_dict() for r in self.records],
+        }
+
+    def write(self, directory) -> pathlib.Path:
+        """Write ``BENCH_<suite>.json`` into *directory*; returns the path."""
+        path = pathlib.Path(directory) / f"BENCH_{self.suite}.json"
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def render(self) -> str:
+        """The human-readable per-suite table."""
+        lines = [f"benchmark suite {self.suite!r}:"]
+        width = max((len(r.name) for r in self.records), default=4)
+        for r in self.records:
+            extras = " ".join(
+                f"{k.split('.', 1)[1]}={v}"
+                for k, v in sorted(r.counters.items())
+            )
+            lines.append(
+                f"  {r.name.ljust(width)}  best {r.best_s * 1000:8.2f}ms"
+                f"  mean {r.mean_s * 1000:8.2f}ms"
+                f"  ({r.rounds} rounds)  {extras}"
+            )
+        return "\n".join(lines)
+
+
+def suite_name_for(path) -> str:
+    """``bench_scaling.py`` -> ``scaling`` (module stem sans prefix)."""
+    stem = pathlib.Path(path).stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def main(path) -> int:
+    """Entry point for ``python benchmarks/bench_<x>.py``: run via pytest."""
+    import pytest
+
+    return pytest.main(
+        [str(path), "-q", "-p", "no:benchmark", "-p", "no:cacheprovider"]
+    )

@@ -9,6 +9,8 @@ exact agreement every time.
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.asp import RepairProgram, Solver, ground_program
 from repro.repairs import c_repairs, s_repairs
 from repro.workloads import employee_key_violations, random_rs_instance, rs_instance
@@ -70,3 +72,9 @@ def test_cqa_via_cautious_reasoning(benchmark):
     q = scenario.queries["Q2"]
     answers = benchmark(rp.consistent_answers, q)
     assert answers == {("smith",), ("stowe",), ("page",)}
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

@@ -9,6 +9,8 @@ ASP path grounds and solves the extended repair program.
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.causality import (
     actual_causes,
     actual_causes_direct,
@@ -95,3 +97,9 @@ def test_datalog_causes(benchmark):
     rhos = {c.responsibility for c in causes}
     # Per layer the two parallel edges halve responsibility.
     assert causes and max(rhos) <= 0.5
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

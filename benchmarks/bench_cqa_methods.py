@@ -9,6 +9,8 @@ crossover falls": enumeration is competitive only while repairs are few.
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.cqa import (
     answers_via_sql,
     consistent_answers,
@@ -78,3 +80,9 @@ def test_over_approximation(benchmark, k):
         scenario.db, scenario.constraints, FULL, 4,
     )
     assert exact <= over
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

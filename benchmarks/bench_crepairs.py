@@ -9,6 +9,8 @@ cardinality found (the DESIGN.md ablation pair).
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.constraints import ConflictHypergraph
 from repro.repairs import (
     c_repairs,
@@ -57,3 +59,9 @@ def test_minimum_hitting_sets(benchmark, k):
     graph = ConflictHypergraph.build(scenario.db, scenario.constraints)
     sets = benchmark(minimum_hitting_sets_branch_and_bound, graph)
     assert all(len(s) == k for s in sets)
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

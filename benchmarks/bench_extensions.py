@@ -8,6 +8,8 @@ path against the defining enumeration.
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.constraints import FunctionalDependency
 from repro.cqa import (
     AggregateQuery,
@@ -88,3 +90,9 @@ def test_probabilistic_closed_form(benchmark, k):
         exact = dict(clean_answers(dirty, q))
         for row, p in fast:
             assert p == pytest.approx(exact[row])
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

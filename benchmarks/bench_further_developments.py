@@ -12,6 +12,8 @@ Shapes demonstrated:
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.asp import RepairProgram
 from repro.constraints import DenialConstraint, FunctionalDependency
 from repro.cqa.operational import (
@@ -146,3 +148,9 @@ def test_dimension_repairs(benchmark):
     )
     repairs = benchmark(dimension_repairs, dimension)
     assert all(r.repaired.is_summarizable() for r in repairs)
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

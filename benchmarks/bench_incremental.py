@@ -8,6 +8,8 @@ update.
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.constraints import ConflictHypergraph
 from repro.relational import fact
 from repro.repairs import IncrementalRepairer, s_repairs
@@ -72,3 +74,9 @@ def test_incremental_repairs_after_updates(benchmark):
         for r in s_repairs(repairer.database, scenario.constraints)
     }
     assert {r.instance.facts() for r in repairs} == expected
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

@@ -8,6 +8,8 @@ track their cost as the workload dirties.
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.measures import (
     InconsistencyReport,
     cardinality_repair_measure,
@@ -64,3 +66,9 @@ def test_measures_monotone(benchmark):
     values = benchmark(sweep)
     assert values == sorted(values)
     assert values[0] == 0.0
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

@@ -7,6 +7,8 @@ the executable counterparts of the EXPERIMENTS.md example rows.
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.harness import run
 
 
@@ -86,3 +88,9 @@ def test_ex74_causality_under_ics(benchmark):
 
 def test_fig1_conflict_hypergraph(benchmark):
     _bench_experiment(benchmark, "FIG1")
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

@@ -9,6 +9,8 @@ count (the ablation pair of DESIGN.md).
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.repairs import count_fd_repairs, s_repairs
 from repro.workloads import employee_key_violations
 
@@ -34,3 +36,9 @@ def test_count_scales_with_group_size(benchmark, group_size):
     (kc,) = scenario.constraints
     count = benchmark(count_fd_repairs, scenario.db, kc)
     assert count == group_size ** 4
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

@@ -8,6 +8,8 @@ evaluator on growing instances.
 
 import pytest
 
+import _benchlib  # noqa: F401  (sys.path bootstrap for direct runs)
+
 from repro.cqa import answers_via_sql, fuxman_miller_rewrite, query_to_sql
 from repro.logic import atom, cq, vars_
 from repro.relational.sqlbridge import run_sql_on_connection, to_sqlite
@@ -58,3 +60,9 @@ def test_sql_generation_cost(benchmark):
         query_to_sql, _rewritten(scenario), scenario.db.schema
     )
     assert "NOT" in sql
+
+
+if __name__ == "__main__":
+    from _benchlib import main as _bench_main
+
+    raise SystemExit(_bench_main(__file__))

@@ -1,0 +1,68 @@
+"""Benchmark plumbing for the ``bench_*.py`` suites.
+
+Overrides the ``benchmark`` fixture (pytest-benchmark's, when that
+plugin happens to be installed) with the zero-dependency
+:mod:`_benchlib` runner, so every benchmark run also captures the
+observability counters and ends by writing one machine-readable
+``BENCH_<suite>.json`` per module into the repo root.
+"""
+
+import pathlib
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+# Make ``import _benchlib`` and ``import repro`` work however pytest was
+# invoked (PYTHONPATH=src is not required for benchmark runs).
+for _entry in (str(BENCH_DIR), str(REPO_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+import pytest
+
+import _benchlib
+
+
+def pytest_configure(config):
+    config._repro_bench_runners = {}
+
+
+@pytest.fixture
+def benchmark(request):
+    """Time a callable and record counters: ``benchmark(fn, *args)``.
+
+    Same call signature as pytest-benchmark's fixture, so the bench
+    scripts stay plugin-agnostic.
+    """
+    suite = _benchlib.suite_name_for(str(request.node.fspath))
+    runners = request.config._repro_bench_runners
+    runner = runners.setdefault(suite, _benchlib.BenchRunner(suite))
+    callspec = getattr(request.node, "callspec", None)
+    params = {}
+    if callspec is not None:
+        params = {
+            key: value
+            for key, value in callspec.params.items()
+            if isinstance(value, (int, float, str, bool))
+        }
+
+    def run(fn, *args, **kwargs):
+        return runner.measure(
+            request.node.name, fn, *args,
+            params=params, target_s=0.15, **kwargs,
+        )
+
+    return run
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    runners = getattr(config, "_repro_bench_runners", {})
+    for suite in sorted(runners):
+        runner = runners[suite]
+        if not runner.records:
+            continue
+        path = runner.write(REPO_ROOT)
+        terminalreporter.write_line("")
+        terminalreporter.write_line(runner.render())
+        terminalreporter.write_line(f"  -> wrote {path}")

@@ -13,6 +13,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 
 from ..errors import GroundingError
 from ..logic.formulas import Atom, Comparison, Var, is_var
+from ..observability import add, span
 from .syntax import AspProgram
 
 
@@ -106,7 +107,12 @@ class Grounder:
 
     def ground(self) -> GroundProgram:
         """Ground the program: possible-atom fixpoint, then instantiation."""
-        possible = self._possible_atoms()
+        with span("asp.ground", rules=len(self._program.rules)):
+            return self._ground()
+
+    def _ground(self) -> GroundProgram:
+        with span("asp.ground.possible_atoms"):
+            possible = self._possible_atoms()
         by_pred: Dict[str, List[Atom]] = {}
         for a in possible:
             by_pred.setdefault(a.predicate, []).append(a)
@@ -178,6 +184,9 @@ class Grounder:
                         positive, frozenset(negative), wc.weight, wc.level
                     )
                 )
+        add("asp.ground_atoms", len(atoms))
+        add("asp.ground_rules", len(ground_rules))
+        add("asp.ground_weak_constraints", len(ground_weak))
         return GroundProgram(atoms, index, ground_rules, ground_weak)
 
     # ------------------------------------------------------------------

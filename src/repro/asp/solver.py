@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SolverError
+from ..observability import add, annotate, span
 from .grounding import GroundProgram, GroundRule
 
 Clause = Tuple[int, ...]  # DIMACS-style: +i / -i for atom index i-1
@@ -267,6 +268,22 @@ def stable_models(
     hitting sets.  Projected blocking collapses the enumeration from all
     hitting sets to exactly the minimal ones.
     """
+    with span(
+        "asp.solve", atoms=ground.n_atoms, rules=len(ground.rules)
+    ):
+        models = _stable_models(
+            ground, limit, max_candidates, blocking_atoms
+        )
+        annotate(models=len(models))
+        return models
+
+
+def _stable_models(
+    ground: GroundProgram,
+    limit: Optional[int],
+    max_candidates: int,
+    blocking_atoms: Optional[FrozenSet[int]],
+) -> List[FrozenSet[int]]:
     base = program_clauses(ground)
     pruning = support_clauses(ground)
     blocking: List[Clause] = []
@@ -277,7 +294,9 @@ def stable_models(
         if found is None:
             break
         candidate = _greedy_shrink(found, base + pruning + blocking)
+        add("asp.candidates_checked")
         if is_stable(ground, {v - 1 for v in candidate}):
+            add("asp.models_accepted")
             models.append(
                 frozenset(v - 1 for v in candidate)  # back to 0-based
             )

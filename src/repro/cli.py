@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import logging
 import sys
 from typing import Dict, List, Sequence, Tuple
 
@@ -32,10 +33,14 @@ from .cqa import (
     consistent_answers_fm,
     fuxman_miller_rewrite,
 )
+from .errors import ReproError
 from .logic import parse_denial, parse_fd, parse_inclusion, parse_query
 from .measures import InconsistencyReport
+from .observability import collect
 from .relational import Database, RelationSchema, Schema
 from .repairs import c_repairs, s_repairs
+
+logger = logging.getLogger("repro.cli")
 
 
 def _load_csv(spec: str) -> Tuple[str, RelationSchema, List[Tuple]]:
@@ -72,6 +77,7 @@ def _build_database(csv_specs: Sequence[str]) -> Database:
     data: Dict[str, List[Tuple]] = {}
     for spec in csv_specs:
         name, rel_schema, rows = _load_csv(spec)
+        logger.info("loaded %s: %d row(s)", name, len(rows))
         schemas.append(rel_schema)
         data[name] = rows
     if not schemas:
@@ -81,16 +87,23 @@ def _build_database(csv_specs: Sequence[str]) -> Database:
 
 def _build_constraints(args) -> List[IntegrityConstraint]:
     constraints: List[IntegrityConstraint] = []
-    for text in args.fd or ():
-        constraints.append(parse_fd(text))
-    for text in args.ind or ():
-        constraints.append(parse_inclusion(text))
-    for text in args.dc or ():
-        constraints.append(parse_denial(text))
+    for kind, parse, texts in (
+        ("--fd", parse_fd, args.fd or ()),
+        ("--ind", parse_inclusion, args.ind or ()),
+        ("--dc", parse_denial, args.dc or ()),
+    ):
+        for text in texts:
+            try:
+                constraints.append(parse(text))
+            except ReproError as exc:
+                raise SystemExit(
+                    f"cannot parse {kind} constraint {text!r}: {exc}"
+                )
     if not constraints:
         raise SystemExit(
             "no constraints given (use --fd / --ind / --dc)"
         )
+    logger.info("parsed %d constraint(s)", len(constraints))
     return constraints
 
 
@@ -110,6 +123,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dc", action="append", metavar="':- R(X), S(X)'",
         help="denial constraint (repeatable)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a JSONL span trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the span/counter summary to stderr after the run",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log progress details to stderr",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors",
     )
 
 
@@ -210,11 +240,48 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(args) -> None:
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level, format="%(name)s: %(message)s", stream=sys.stderr
+    )
+    logging.getLogger("repro").setLevel(level)
+
+
 def main(argv: Sequence[str] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Exit codes: 0 success, 1 inconsistency reported by ``check``, 2 bad
+    input (unparsable constraints/queries, missing files, unsupported
+    query fragments).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _configure_logging(args)
+    try:
+        if args.trace or args.metrics:
+            with collect() as collector:
+                code = args.func(args)
+            if args.trace:
+                lines = collector.write_trace(args.trace)
+                logger.info(
+                    "wrote %d trace line(s) to %s", lines, args.trace
+                )
+            if args.metrics:
+                print(collector.summary(), file=sys.stderr)
+            return code
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from ..errors import ConstraintError
+from ..observability import add, annotate, span
 from ..relational.database import Database
 from .base import IntegrityConstraint, all_violations, denial_class_only
 
@@ -35,10 +36,15 @@ class ConflictHypergraph:
                 "conflict hypergraphs require denial-class constraints "
                 "(keys, FDs, DCs, CFDs); tgds admit insertions"
             )
-        edges: Set[FrozenSet[str]] = set()
-        for violation in all_violations(db, constraints):
-            edges.add(frozenset(db.tid_of(f) for f in violation.facts))
-        return ConflictHypergraph(frozenset(db.tids()), frozenset(edges))
+        with span("conflicts.build"):
+            edges: Set[FrozenSet[str]] = set()
+            for violation in all_violations(db, constraints):
+                edges.add(frozenset(db.tid_of(f) for f in violation.facts))
+            add("conflicts.nodes", len(db))
+            add("conflicts.edges", len(edges))
+            return ConflictHypergraph(
+                frozenset(db.tids()), frozenset(edges)
+            )
 
     def is_independent(self, tids: Iterable[str]) -> bool:
         """True when *tids* contains no complete hyperedge."""
@@ -76,6 +82,7 @@ class ConflictHypergraph:
         candidates: Set[FrozenSet[str]] = set()
 
         def branch(chosen: Set[str], remaining: List[FrozenSet[str]]) -> None:
+            add("conflicts.hitting_set_branches")
             if limit is not None and len(candidates) >= 4 * limit:
                 return
             uncovered = [e for e in remaining if not (e & chosen)]
@@ -89,14 +96,19 @@ class ConflictHypergraph:
                 chosen.add(vertex)
                 if not any(c <= chosen for c in candidates):
                     branch(chosen, uncovered)
+                else:
+                    add("conflicts.superset_pruned")
                 chosen.remove(vertex)
 
-        branch(set(), edges)
-        minimal = _inclusion_minimal(candidates)
-        minimal.sort(key=lambda s: (len(s), sorted(s)))
-        if limit is not None:
-            minimal = minimal[:limit]
-        return minimal
+        with span("conflicts.minimal_hitting_sets"):
+            branch(set(), edges)
+            minimal = _inclusion_minimal(candidates)
+            minimal.sort(key=lambda s: (len(s), sorted(s)))
+            if limit is not None:
+                minimal = minimal[:limit]
+            add("conflicts.minimal_hitting_sets", len(minimal))
+            annotate(edges=len(edges), hitting_sets=len(minimal))
+            return minimal
 
     def minimum_hitting_sets(self) -> List[FrozenSet[str]]:
         """All hitting sets of minimum cardinality (C-repair deletions)."""

@@ -13,6 +13,7 @@ from typing import FrozenSet, Optional, Sequence, Tuple
 
 from ..constraints.base import IntegrityConstraint
 from ..errors import RepairError
+from ..observability import add, span
 from ..relational.database import Database, Row
 from ..repairs.base import Repair
 from ..repairs.crepairs import c_repairs
@@ -53,18 +54,23 @@ def consistent_answers(
     S-repairs, ``"c"`` for C-repairs, ``"delete-only"`` for subset
     repairs ([48]).
     """
-    repairs = repairs_for_semantics(db, constraints, semantics, max_steps)
-    if not repairs:
-        raise RepairError(
-            "no repairs found: cannot intersect over an empty repair class"
+    with span("cqa.enumerate", semantics=semantics):
+        repairs = repairs_for_semantics(
+            db, constraints, semantics, max_steps
         )
-    result: Optional[FrozenSet[Row]] = None
-    for repair in repairs:
-        answers = frozenset(query.answers(repair.instance))
-        result = answers if result is None else (result & answers)
-        if not result:
-            break
-    return result if result is not None else frozenset()
+        if not repairs:
+            raise RepairError(
+                "no repairs found: cannot intersect over an empty "
+                "repair class"
+            )
+        add("cqa.repairs_intersected", len(repairs))
+        result: Optional[FrozenSet[Row]] = None
+        for repair in repairs:
+            answers = frozenset(query.answers(repair.instance))
+            result = answers if result is None else (result & answers)
+            if not result:
+                break
+        return result if result is not None else frozenset()
 
 
 def is_consistently_true(

@@ -33,8 +33,10 @@ from ..logic.formulas import (
     Var,
     conj,
     is_var,
+    node_count,
 )
 from ..logic.queries import ConjunctiveQuery, Query
+from ..observability import add, span
 from ..relational.database import Database
 
 
@@ -91,20 +93,24 @@ def fuxman_miller_rewrite(
     variables, non-forest join graphs, cross-atom comparisons on
     existential variables).
     """
-    keys = key_positions_from_constraints(constraints, db)
-    infos = _analyze(query, keys, db)
-    head_vars = frozenset(query.head)
+    with span("cqa.fm_rewrite", query=query.name):
+        keys = key_positions_from_constraints(constraints, db)
+        infos = _analyze(query, keys, db)
+        head_vars = frozenset(query.head)
 
-    parts: List[Formula] = []
-    for info in infos:
-        parts.append(info.atom)
-        clause = _forall_clause(
-            info, infos, query, head_vars, tuple(info.atom.terms), depth=0
-        )
-        if clause is not None:
-            parts.append(clause)
-    parts.extend(query.conditions)
-    return Query(query.head, conj(parts), name=f"{query.name}_fm")
+        parts: List[Formula] = []
+        for info in infos:
+            parts.append(info.atom)
+            clause = _forall_clause(
+                info, infos, query, head_vars,
+                tuple(info.atom.terms), depth=0,
+            )
+            if clause is not None:
+                parts.append(clause)
+        parts.extend(query.conditions)
+        body = conj(parts)
+        add("cqa.rewrite_nodes", node_count(body))
+        return Query(query.head, body, name=f"{query.name}_fm")
 
 
 def consistent_answers_fm(

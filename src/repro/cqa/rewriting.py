@@ -39,9 +39,11 @@ from ..logic.formulas import (
     conj,
     disj,
     is_var,
+    node_count,
 )
 from ..logic.queries import ConjunctiveQuery, Query
 from ..logic.substitution import apply_to_atom, rename_apart, unify_atoms
+from ..observability import add, span
 from ..relational.database import Database
 
 
@@ -265,6 +267,7 @@ def fo_rewrite(
 
     def expand_atom(a: Atom, depth: int) -> Formula:
         residues = atom_residues(a, clauses)
+        add("cqa.residues", len(residues))
         if not residues:
             return a
         if depth >= max_depth:
@@ -288,11 +291,14 @@ def fo_rewrite(
         # apply to positive query literals.
         return f
 
-    parts: List[Formula] = []
-    for a in query.atoms:
-        parts.append(expand_atom(a, 0))
-    parts.extend(query.conditions)
-    return Query(query.head, conj(parts), name=f"{query.name}_rewritten")
+    with span("cqa.fo_rewrite", query=query.name):
+        parts: List[Formula] = []
+        for a in query.atoms:
+            parts.append(expand_atom(a, 0))
+        parts.extend(query.conditions)
+        body = conj(parts)
+        add("cqa.rewrite_nodes", node_count(body))
+        return Query(query.head, body, name=f"{query.name}_rewritten")
 
 
 def consistent_answers_by_rewriting(

@@ -31,6 +31,7 @@ from ..logic.formulas import (
     is_var,
 )
 from ..logic.queries import ConjunctiveQuery, Query
+from ..observability import add, annotate, span
 from ..relational.database import Database
 from ..relational.nulls import is_labeled_null, is_null
 from ..relational.schema import Schema
@@ -240,17 +241,24 @@ def query_to_sql(query, schema: Schema) -> str:
     """Compile a Query or ConjunctiveQuery to a SQLite SELECT statement."""
     if isinstance(query, ConjunctiveQuery):
         query = query.to_query()
-    return _SqlCompiler(schema).compile(query)
+    with span("cqa.sqlgen", query=query.name):
+        sql = _SqlCompiler(schema).compile(query)
+        add("cqa.sql_generated", 1)
+        annotate(sql_chars=len(sql))
+        return sql
 
 
 def answers_via_sql(db: Database, query) -> frozenset:
     """Evaluate *query* by compiling to SQL and running on SQLite."""
-    sql = query_to_sql(query, db.schema)
-    rows = run_sql(db, sql)
-    if isinstance(query, ConjunctiveQuery):
-        head = query.head
-    else:
-        head = query.head
-    if not head:
-        return frozenset({()} if rows else set())
-    return frozenset(rows)
+    with span("cqa.sql"):
+        sql = query_to_sql(query, db.schema)
+        rows = run_sql(db, sql)
+        add("cqa.sql_statements", 1)
+        add("cqa.sql_rows", len(rows))
+        if isinstance(query, ConjunctiveQuery):
+            head = query.head
+        else:
+            head = query.head
+        if not head:
+            return frozenset({()} if rows else set())
+        return frozenset(rows)

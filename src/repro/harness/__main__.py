@@ -1,8 +1,12 @@
-"""``python -m repro.harness`` — run all paper experiments."""
+"""``python -m repro.harness`` — run all paper experiments.
+
+Supports ``--trace FILE`` (JSONL span trace), ``--metrics`` (aggregate
+counter snapshot), and ``--only ID`` (restrict to one experiment).
+"""
 
 import sys
 
 from .experiments import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

@@ -9,9 +9,11 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import argparse
+import sys
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..asp import RepairProgram
 from ..causality import (
@@ -36,6 +38,7 @@ from ..integration import (
     university_gav_mediator,
 )
 from ..measures import cardinality_repair_measure
+from ..observability import Collector, Span, collect, span
 from ..relational import NULL, fact
 from ..relational.sqlbridge import run_sql
 from ..repairs import (
@@ -68,6 +71,8 @@ class ExperimentResult:
     measured: str
     match: bool
     details: str = ""
+    wall_s: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
 
     def render(self) -> str:
         verdict = "MATCH" if self.match else "MISMATCH"
@@ -78,6 +83,13 @@ class ExperimentResult:
         ]
         if self.details:
             lines.append(f"  note:     {self.details}")
+        if self.wall_s:
+            cost = f"  cost:     {self.wall_s * 1000:.1f}ms"
+            if self.counters:
+                cost += "  " + " ".join(
+                    f"{k}={v}" for k, v in sorted(self.counters.items())
+                )
+            lines.append(cost)
         return "\n".join(lines)
 
 
@@ -97,14 +109,45 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
     return dict(_REGISTRY)
 
 
+#: Counters surfaced in the per-experiment cost line (a stable subset of
+#: everything collected; the full set lands in the JSONL trace).
+KEY_COUNTERS = (
+    "asp.ground_rules",
+    "asp.candidates_checked",
+    "asp.models_accepted",
+    "conflicts.edges",
+    "repairs.s_emitted",
+    "repairs.c_emitted",
+    "repairs.states_explored",
+    "cqa.repairs_intersected",
+    "cqa.rewrite_nodes",
+    "cqa.sql_rows",
+    "sql.statements",
+)
+
+
 def run(exp_id: str) -> ExperimentResult:
-    """Run one experiment by id."""
-    return _REGISTRY[exp_id]()
+    """Run one experiment by id, with a span and counters attached."""
+    with span(f"experiment.{exp_id}", experiment=exp_id) as s:
+        result = _REGISTRY[exp_id]()
+    if isinstance(s, Span):
+        result.wall_s = s.duration or 0.0
+        result.counters = {
+            k: v for k, v in s.metrics.items() if k in KEY_COUNTERS
+        }
+        s.annotate(match=result.match, title=result.title)
+    return result
 
 
-def run_all() -> List[ExperimentResult]:
-    """Run every experiment, in id order."""
-    return [_REGISTRY[k]() for k in sorted(_REGISTRY)]
+def run_all(
+    only: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Run every experiment (or the *only* subset), in id order."""
+    ids = sorted(_REGISTRY if only is None else only)
+    unknown = [i for i in ids if i not in _REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiment id(s): {', '.join(unknown)}")
+    return [run(k) for k in ids]
 
 
 # ----------------------------------------------------------------------
@@ -834,12 +877,69 @@ def b10_further_directions() -> ExperimentResult:
     )
 
 
-def main() -> int:
-    """Run the whole registry and print paper-vs-measured rows."""
-    results = run_all()
+def _cost_table(results: Sequence[ExperimentResult]) -> str:
+    """Measured cost shapes, one row per experiment."""
+    lines = ["experiment   wall      key counters"]
+    for r in results:
+        counters = " ".join(
+            f"{k.split('.', 1)[1]}={v}"
+            for k, v in sorted(r.counters.items())
+        )
+        lines.append(
+            f"{r.id:<12} {r.wall_s * 1000:7.1f}ms  {counters}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the registry and print paper-vs-measured rows plus costs.
+
+    ``--trace FILE`` writes a JSONL trace with one span tree per
+    experiment (counter snapshots attached to every span); ``--metrics``
+    prints the flat counter snapshot; ``--only ID`` restricts the run.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.harness",
+        description="Run every paper experiment and report matches",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a JSONL span trace of all experiments to FILE",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the aggregate counter snapshot after the table",
+    )
+    parser.add_argument(
+        "--only", action="append", metavar="ID",
+        help="run only this experiment id (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    with collect() as collector:
+        try:
+            results = run_all(only=args.only)
+        except KeyError as exc:
+            known = ", ".join(sorted(registry()))
+            print(f"error: {exc.args[0]} (known ids: {known})",
+                  file=sys.stderr)
+            return 2
     for r in results:
         print(r.render())
         print()
+    print("-- measured cost shapes --")
+    print(_cost_table(results))
+    if args.metrics:
+        snapshot = collector.snapshot()
+        print("\n-- counters --")
+        for key in sorted(snapshot):
+            print(f"{key} = {snapshot[key]}")
+    if args.trace:
+        lines = collector.write_trace(args.trace)
+        print(
+            f"\nwrote {lines} trace line(s) to {args.trace}",
+            file=sys.stderr,
+        )
     matched = sum(1 for r in results if r.match)
-    print(f"{matched}/{len(results)} experiments match the paper")
+    print(f"\n{matched}/{len(results)} experiments match the paper")
     return 0 if matched == len(results) else 1

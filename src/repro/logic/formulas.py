@@ -281,3 +281,18 @@ def disj(parts: Iterable[Formula]) -> Formula:
     if len(flat) == 1:
         return flat[0]
     return Or(tuple(flat))
+
+
+def node_count(formula: Formula) -> int:
+    """Number of connective/literal nodes in a formula tree.
+
+    The size measure reported by the rewriters (counter
+    ``cqa.rewrite_nodes``): rewriting-based CQA is polynomial exactly
+    because this quantity stays polynomial in the query, independent of
+    the instance.
+    """
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(node_count(p) for p in formula.parts)
+    if isinstance(formula, (Not, Exists, Forall)):
+        return 1 + node_count(formula.inner)
+    return 1

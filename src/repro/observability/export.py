@@ -1,0 +1,168 @@
+"""Trace and metrics export: JSONL traces, flat snapshots, summary tables.
+
+The JSONL format is one JSON object per line, one line per span, with
+``span_id`` / ``parent_id`` linking so a consumer can rebuild the trees
+(``read_trace`` + ``build_trees`` round-trip them).  Counter deltas ride
+on each span under ``"metrics"`` — this is the machine-readable record
+behind the harness cost tables and the ``BENCH_*.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .spans import Span
+
+__all__ = [
+    "span_to_record",
+    "write_trace",
+    "read_trace",
+    "build_trees",
+    "flat_snapshot",
+    "summary_table",
+]
+
+
+def span_to_record(
+    span: Span, parent_id: Optional[int] = None
+) -> Dict[str, object]:
+    """The JSON-ready flat record of one span (children not included)."""
+    return {
+        "span_id": span.span_id,
+        "parent_id": parent_id,
+        "name": span.name,
+        "start": span.start,
+        "duration_s": span.duration,
+        "attributes": dict(span.attributes),
+        "metrics": dict(span.metrics),
+    }
+
+
+def _records(roots: Sequence[Span]) -> Iterable[Dict[str, object]]:
+    def emit(span: Span, parent_id: Optional[int]):
+        yield span_to_record(span, parent_id)
+        for child in span.children:
+            yield from emit(child, span.span_id)
+
+    for root in roots:
+        yield from emit(root, None)
+
+
+def write_trace(
+    destination,
+    roots: Sequence[Span],
+    metrics: Optional[MetricsRegistry] = None,
+) -> int:
+    """Write span trees as JSONL to a path or text file object.
+
+    When *metrics* is given, a final ``{"kind": "metrics", ...}`` line
+    carries the full registry snapshot.  Returns the number of lines
+    written.
+    """
+    own = isinstance(destination, (str, bytes)) or hasattr(
+        destination, "__fspath__"
+    )
+    handle = (
+        open(destination, "w", encoding="utf-8") if own else destination
+    )
+    lines = 0
+    try:
+        for record in _records(roots):
+            handle.write(json.dumps(record, default=repr) + "\n")
+            lines += 1
+        if metrics is not None:
+            handle.write(
+                json.dumps(
+                    {"kind": "metrics", "snapshot": metrics.snapshot()},
+                    default=repr,
+                )
+                + "\n"
+            )
+            lines += 1
+    finally:
+        if own:
+            handle.close()
+    return lines
+
+
+def read_trace(source) -> List[Dict[str, object]]:
+    """Parse a JSONL trace (path or file object) back into records."""
+    own = not isinstance(source, io.IOBase) and not hasattr(source, "read")
+    handle = open(source, "r", encoding="utf-8") if own else source
+    try:
+        records = []
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+        return records
+    finally:
+        if own:
+            handle.close()
+
+
+def build_trees(records: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rebuild span trees from flat records (adds ``"children"`` lists).
+
+    Ignores non-span lines (e.g. the trailing metrics snapshot).  Returns
+    the list of root records.
+    """
+    spans = [r for r in records if "span_id" in r]
+    by_id = {r["span_id"]: dict(r, children=[]) for r in spans}
+    roots: List[Dict[str, object]] = []
+    for record in spans:
+        node = by_id[record["span_id"]]
+        parent = record.get("parent_id")
+        if parent is None or parent not in by_id:
+            roots.append(node)
+        else:
+            by_id[parent]["children"].append(node)
+    return roots
+
+
+def flat_snapshot(registry: MetricsRegistry) -> Dict[str, object]:
+    """The registry's flat dict snapshot (alias for symmetry)."""
+    return registry.snapshot()
+
+
+def summary_table(
+    roots: Sequence[Span],
+    metrics: Optional[MetricsRegistry] = None,
+    indent: str = "  ",
+) -> str:
+    """A human-readable rendering: span tree with timings, then counters."""
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        took = (
+            f"{span.duration * 1000:8.2f}ms"
+            if span.duration is not None
+            else "      open"
+        )
+        extras = []
+        if span.attributes:
+            extras.append(
+                " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+            )
+        if span.metrics:
+            extras.append(
+                " ".join(f"{k}={v}" for k, v in sorted(span.metrics.items()))
+            )
+        suffix = ("  [" + "; ".join(extras) + "]") if extras else ""
+        lines.append(f"{took}  {indent * depth}{span.name}{suffix}")
+        for child in span.children:
+            render(child, depth + 1)
+
+    for root in roots:
+        render(root, 0)
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        if snapshot:
+            lines.append("counters:")
+            width = max(len(k) for k in snapshot)
+            for key in sorted(snapshot):
+                lines.append(f"  {key.ljust(width)}  {snapshot[key]}")
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Nestable spans with monotonic timing and thread-local span stacks.
+
+A span measures one region of the pipeline (``with span("asp.ground")``).
+Spans nest: entering a span while another is open on the same thread makes
+it a child, so a trace is a forest of timed trees.  Each span also carries
+the *counter deltas* of the active metrics registry over its lifetime, so
+"ground rules produced while this experiment ran" falls out for free.
+
+When no collector is installed, :func:`span` returns a shared no-op
+context manager — one global read, no allocation — which is what makes it
+safe to leave instrumentation in hot paths permanently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "span", "current_span", "annotate"]
+
+_span_ids = itertools.count(1)
+
+
+class Span:
+    """One timed, attributed region of execution."""
+
+    __slots__ = (
+        "span_id",
+        "name",
+        "attributes",
+        "start",
+        "duration",
+        "children",
+        "metrics",
+        "_tracer",
+        "_counters_before",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, object]] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.span_id = next(_span_ids)
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.start: Optional[float] = None
+        self.duration: Optional[float] = None
+        self.children: List["Span"] = []
+        self.metrics: Dict[str, int] = {}
+        self._tracer = tracer
+        self._counters_before: Dict[str, int] = {}
+
+    def annotate(self, **attributes) -> "Span":
+        """Attach key/value attributes to the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start = time.monotonic()
+        tracer = self._tracer
+        if tracer is not None:
+            if tracer.registry is not None:
+                self._counters_before = tracer.registry.counter_values()
+            tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.monotonic() - self.start
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        tracer = self._tracer
+        if tracer is not None:
+            if tracer.registry is not None:
+                after = tracer.registry.counter_values()
+                before = self._counters_before
+                self.metrics = {
+                    k: v - before.get(k, 0)
+                    for k, v in after.items()
+                    if v != before.get(k, 0)
+                }
+            tracer._pop(self)
+        return False
+
+    def walk(self):
+        """Yield this span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        took = f"{self.duration * 1000:.2f}ms" if self.duration else "open"
+        return f"Span({self.name!r}, {took}, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attributes) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished span trees; one stack of open spans per thread."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry
+        self.roots: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span lifecycle ------------------------------------------------
+
+    def start_span(self, name: str, attributes=None) -> Span:
+        """A new span bound to this tracer (not yet entered)."""
+        return Span(name, attributes, tracer=self)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, s: Span) -> None:
+        self._stack().append(s)
+
+    def _pop(self, s: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is s:
+            stack.pop()
+        else:  # mismatched exit: drop it wherever it is
+            try:
+                stack.remove(s)
+            except ValueError:
+                pass
+        if stack:
+            stack[-1].children.append(s)
+        else:
+            with self._lock:
+                self.roots.append(s)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- queries -------------------------------------------------------
+
+    def span_count(self) -> int:
+        """Finished spans across all trees."""
+        return sum(1 for root in self.roots for _ in root.walk())
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans with the given name, trace order."""
+        return [
+            s for root in self.roots for s in root.walk() if s.name == name
+        ]
+
+
+# ----------------------------------------------------------------------
+# Active-tracer plumbing (mirrors metrics._set_active).
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def _set_active(tracer: Optional[Tracer]) -> None:
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def span(name: str, **attributes):
+    """Open a span under the installed collector.
+
+    Usage: ``with span("repairs.s_repairs", engine="hypergraph"): ...``.
+    Returns the shared null span when no collector is installed, so the
+    disabled cost is one global read and two trivial method calls.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.start_span(name, attributes)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread (None when disabled)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    return tracer.current()
+
+
+def annotate(**attributes) -> None:
+    """Attach attributes to the innermost open span, if any."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    current = tracer.current()
+    if current is not None:
+        current.annotate(**attributes)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import sqlite3
 from typing import Iterable, List, Tuple
 
+from ..observability import add, span
 from .database import Database, Row
 from .nulls import NULL, is_labeled_null, is_null
 
@@ -31,6 +32,7 @@ def to_sqlite(db: Database) -> sqlite3.Connection:
     """
     conn = sqlite3.connect(":memory:")
     cursor = conn.cursor()
+    materialized = 0
     for name in db.schema.names():
         rel = db.schema.relation(name)
         columns = ", ".join(_quote_identifier(a) for a in rel.attributes)
@@ -53,7 +55,9 @@ def to_sqlite(db: Database) -> sqlite3.Connection:
             f"INSERT INTO {_quote_identifier(name)} VALUES ({placeholders})",
             prepared,
         )
+        materialized += len(prepared)
     conn.commit()
+    add("sql.rows_materialized", materialized)
     return conn
 
 
@@ -64,17 +68,20 @@ def run_sql(db: Database, sql: str) -> List[Row]:
     returned in sorted order for deterministic comparison with the
     in-memory evaluator.
     """
-    conn = to_sqlite(db)
-    try:
-        cursor = conn.execute(sql)
-        raw = cursor.fetchall()
-    finally:
-        conn.close()
-    rows = [
-        tuple(NULL if v is None else v for v in row)
-        for row in raw
-    ]
-    return sorted(set(rows), key=repr)
+    with span("sql.run"):
+        conn = to_sqlite(db)
+        try:
+            cursor = conn.execute(sql)
+            raw = cursor.fetchall()
+        finally:
+            conn.close()
+        add("sql.statements", 1)
+        add("sql.rows_fetched", len(raw))
+        rows = [
+            tuple(NULL if v is None else v for v in row)
+            for row in raw
+        ]
+        return sorted(set(rows), key=repr)
 
 
 def run_sql_on_connection(

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..constraints.base import IntegrityConstraint, denial_class_only
 from ..constraints.conflicts import ConflictHypergraph
 from ..constraints.fd import FunctionalDependency
+from ..observability import add, span
 from ..relational.database import Database
 from ..relational.nulls import is_null
 from .srepairs import s_repairs
@@ -34,9 +35,15 @@ def count_s_repairs(
     ):
         return count_fd_repairs(db, constraints[0])
     if denial_class_only(constraints):
-        graph = ConflictHypergraph.build(db, constraints)
-        return len(graph.minimal_hitting_sets())
-    return len(s_repairs(db, constraints, max_steps=max_steps))
+        with span("repairs.count", method="hypergraph"):
+            graph = ConflictHypergraph.build(db, constraints)
+            count = len(graph.minimal_hitting_sets())
+            add("repairs.counted", count)
+            return count
+    with span("repairs.count", method="enumerate"):
+        count = len(s_repairs(db, constraints, max_steps=max_steps))
+        add("repairs.counted", count)
+        return count
 
 
 def count_fd_repairs(db: Database, fd: FunctionalDependency) -> int:
@@ -47,26 +54,31 @@ def count_fd_repairs(db: Database, fd: FunctionalDependency) -> int:
     agree on lhs *and* rhs never conflict).  The repair count is the
     product over lhs groups of the number of distinct rhs classes.
     """
-    rel = db.schema.relation(fd.relation)
-    lhs_pos = rel.positions(fd.lhs)
-    rhs_pos = rel.positions(fd.rhs)
-    groups: Dict[Tuple, set] = {}
-    for values in db.relation(fd.relation):
-        key = tuple(values[p] for p in lhs_pos)
-        if any(is_null(v) for v in key):
-            continue
-        rhs = tuple(values[p] for p in rhs_pos)
-        if any(is_null(v) for v in rhs):
-            # With NULLs on the right-hand side the conflict relation is
-            # no longer an equivalence on rhs classes; fall back to the
-            # hypergraph count, which handles SQL null semantics exactly.
-            graph = ConflictHypergraph.build(db, (fd,))
-            return len(graph.minimal_hitting_sets())
-        groups.setdefault(key, set()).add(rhs)
-    count = 1
-    for rhs_classes in groups.values():
-        count *= max(1, len(rhs_classes))
-    return count
+    with span("repairs.count", method="closed-form"):
+        rel = db.schema.relation(fd.relation)
+        lhs_pos = rel.positions(fd.lhs)
+        rhs_pos = rel.positions(fd.rhs)
+        groups: Dict[Tuple, set] = {}
+        for values in db.relation(fd.relation):
+            key = tuple(values[p] for p in lhs_pos)
+            if any(is_null(v) for v in key):
+                continue
+            rhs = tuple(values[p] for p in rhs_pos)
+            if any(is_null(v) for v in rhs):
+                # With NULLs on the right-hand side the conflict relation
+                # is no longer an equivalence on rhs classes; fall back to
+                # the hypergraph count, which handles SQL null semantics
+                # exactly.
+                graph = ConflictHypergraph.build(db, (fd,))
+                count = len(graph.minimal_hitting_sets())
+                add("repairs.counted", count)
+                return count
+            groups.setdefault(key, set()).add(rhs)
+        count = 1
+        for rhs_classes in groups.values():
+            count *= max(1, len(rhs_classes))
+        add("repairs.counted", count)
+        return count
 
 
 def count_repairs_per_group(

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Set
 
 from ..constraints.base import IntegrityConstraint, denial_class_only
 from ..constraints.conflicts import ConflictHypergraph
+from ..observability import add, span
 from ..relational.database import Database
 from .base import Repair, cardinality_minimal, sort_repairs
 from .srepairs import s_repairs
@@ -37,12 +38,19 @@ def c_repairs(
     if engine not in ("auto", "filter"):
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "auto" and denial_class_only(constraints):
-        graph = ConflictHypergraph.build(db, constraints)
-        hitting_sets = minimum_hitting_sets_branch_and_bound(graph)
-        repairs = [Repair(db, db.delete_tids(h)) for h in hitting_sets]
-        return sort_repairs(repairs)
-    all_s = s_repairs(db, constraints, max_steps=max_steps)
-    return sort_repairs(cardinality_minimal(all_s))
+        with span("repairs.c_repairs", engine="branch-and-bound"):
+            graph = ConflictHypergraph.build(db, constraints)
+            hitting_sets = minimum_hitting_sets_branch_and_bound(graph)
+            repairs = [
+                Repair(db, db.delete_tids(h)) for h in hitting_sets
+            ]
+            add("repairs.c_emitted", len(repairs))
+            return sort_repairs(repairs)
+    with span("repairs.c_repairs", engine="filter"):
+        all_s = s_repairs(db, constraints, max_steps=max_steps)
+        repairs = sort_repairs(cardinality_minimal(all_s))
+        add("repairs.c_emitted", len(repairs))
+        return repairs
 
 
 def repair_distance(
@@ -78,6 +86,7 @@ def minimum_hitting_sets_branch_and_bound(
 
     def branch(chosen: Set[str], remaining: List[frozenset]) -> None:
         nonlocal best_size
+        add("repairs.bb_branches")
         uncovered = [e for e in remaining if not (e & chosen)]
         if not uncovered:
             size = len(chosen)
@@ -88,6 +97,7 @@ def minimum_hitting_sets_branch_and_bound(
                 solutions.add(frozenset(chosen))
             return
         if len(chosen) + 1 > best_size:
+            add("repairs.bb_pruned")
             return
         edge = min(uncovered, key=len)
         for vertex in sorted(edge):

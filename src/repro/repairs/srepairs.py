@@ -28,6 +28,7 @@ from ..constraints.base import (
 )
 from ..constraints.conflicts import ConflictHypergraph
 from ..errors import RepairError
+from ..observability import add, span
 from ..relational.database import Database
 from .base import Repair, minimal_repairs, sort_repairs
 
@@ -54,11 +55,16 @@ def s_repairs(
         engine == "hypergraph"
         or (engine == "auto" and denial_class_only(constraints))
     )
-    if use_hypergraph:
-        return _hypergraph_repairs(db, constraints, limit)
-    return _search_repairs(
-        db, constraints, limit, max_steps, allow_insertions
-    )
+    chosen = "hypergraph" if use_hypergraph else "search"
+    with span("repairs.s_repairs", engine=chosen, facts=len(db)):
+        if use_hypergraph:
+            repairs = _hypergraph_repairs(db, constraints, limit)
+        else:
+            repairs = _search_repairs(
+                db, constraints, limit, max_steps, allow_insertions
+            )
+        add("repairs.s_emitted", len(repairs))
+        return repairs
 
 
 def delete_only_repairs(
@@ -113,6 +119,7 @@ def _search_repairs(
     exhausted_bound = False
     while frontier:
         current = frontier.pop()
+        add("repairs.states_explored")
         violations = all_violations(current, constraints)
         if not violations:
             consistent.append(Repair(db, current))

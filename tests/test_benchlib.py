@@ -1,0 +1,70 @@
+"""Tests for the shared benchmark runner (benchmarks/_benchlib.py)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_BENCHLIB_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "_benchlib.py"
+)
+
+
+@pytest.fixture(scope="module")
+def benchlib():
+    spec = importlib.util.spec_from_file_location("_benchlib", _BENCHLIB_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec: the dataclasses in the module need their
+    # defining module resolvable through sys.modules.
+    sys.modules.setdefault("_benchlib", module)
+    spec.loader.exec_module(module)
+    return sys.modules["_benchlib"]
+
+
+def test_suite_name_for(benchlib):
+    assert benchlib.suite_name_for("benchmarks/bench_scaling.py") == "scaling"
+    assert benchlib.suite_name_for("odd.py") == "odd"
+
+
+def test_measure_records_and_returns_result(benchlib):
+    from repro.observability import add
+
+    runner = benchlib.BenchRunner("unit")
+
+    def work(n):
+        add("repairs.s_emitted", n)
+        return n * 2
+
+    result = runner.measure(
+        "work[3]", work, 3, params={"n": 3}, min_rounds=2, target_s=0.0
+    )
+    assert result == 6
+    (record,) = runner.records
+    assert record.name == "work[3]"
+    assert record.params == {"n": 3}
+    assert record.rounds >= 2
+    assert record.best_s <= record.mean_s
+    assert record.counters == {"repairs.s_emitted": 3}
+
+
+def test_write_emits_valid_json(benchlib, tmp_path):
+    runner = benchlib.BenchRunner("unit")
+    runner.measure("noop", lambda: None, min_rounds=1, target_s=0.0)
+    path = runner.write(tmp_path)
+    assert path.name == "BENCH_unit.json"
+    data = json.loads(path.read_text())
+    assert data["suite"] == "unit"
+    assert data["results"][0]["name"] == "noop"
+    assert "best_s" in data["results"][0]
+
+
+def test_render_mentions_each_record(benchlib):
+    runner = benchlib.BenchRunner("unit")
+    runner.measure("alpha", lambda: None, min_rounds=1, target_s=0.0)
+    runner.measure("beta", lambda: None, min_rounds=1, target_s=0.0)
+    text = runner.render()
+    assert "alpha" in text and "beta" in text and "best" in text

@@ -122,7 +122,83 @@ class TestMeasure:
         assert "0.25" in out
 
 
+class TestObservabilityFlags:
+    def test_trace_writes_jsonl(self, employee_csv, tmp_path, capsys):
+        trace = tmp_path / "out.jsonl"
+        rc = main([
+            "cqa", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--query", "Q(X, Y) :- Employee(X, Y)",
+            "--method", "sql",
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        import json
+
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line
+        ]
+        names = {r["name"] for r in records if "name" in r}
+        assert "cqa.sql" in names
+        metrics_lines = [r for r in records if r.get("kind") == "metrics"]
+        assert metrics_lines and "cqa.sql_rows" in metrics_lines[0]["snapshot"]
+
+    def test_metrics_summary_on_stderr(self, employee_csv, capsys):
+        rc = main([
+            "repairs", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--metrics",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "repairs.s_repairs" in err
+        assert "repairs.s_emitted" in err
+
+    def test_no_collector_left_installed(self, employee_csv, capsys):
+        from repro import observability
+
+        main([
+            "repairs", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--metrics",
+        ])
+        assert observability.installed() is None
+
+
 class TestErrors:
+    def test_unparsable_fd_exits_nonzero(self, employee_csv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "check", "--csv", f"Employee={employee_csv}",
+                "--fd", "Employee Name Salary",
+            ])
+        assert excinfo.value.code != 0
+        assert "cannot parse --fd" in str(excinfo.value.code)
+
+    def test_unparsable_query_returns_2(self, employee_csv, capsys):
+        rc = main([
+            "cqa", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--query", "not a query",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unsupported_method_returns_2(self, tmp_path, capsys):
+        # Self-joins fall outside C_forest: the rewriting raises a
+        # RewritingError, which must surface as exit code 2, not a
+        # traceback.
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\n1,2\n")
+        rc = main([
+            "cqa", "--csv", f"R={path}", "--fd", "R: A -> B",
+            "--query", "Q(X) :- R(X, Y), R(Y, X)",
+            "--method", "rewrite",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
     def test_missing_constraints(self, employee_csv):
         with pytest.raises(SystemExit):
             main(["check", "--csv", f"Employee={employee_csv}"])
