@@ -10,9 +10,11 @@ Every ``bench_*.py`` script runs through this module (via the
 3. recorded as a :class:`BenchRecord`.
 
 At the end of a run, one ``BENCH_<suite>.json`` file per benchmark
-module is written to the repo root — the machine-readable perf
-trajectory — alongside the human-readable table printed to the
-terminal.  Run a single suite directly with::
+module is written to ``benchmarks/results/`` (gitignored) — the
+machine-readable perf trajectory — alongside the human-readable table
+printed to the terminal.  ``benchmarks/baselines/`` holds the committed
+reference copies that ``python -m repro obs check`` gates against.
+Run a single suite directly with::
 
     PYTHONPATH=src python benchmarks/bench_scaling.py
 """
@@ -22,8 +24,10 @@ from __future__ import annotations
 import json
 import pathlib
 import platform
+import statistics
 import sys
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -35,7 +39,10 @@ if _SRC not in sys.path:
 
 from repro.observability import collect
 
-SCHEMA_VERSION = 1
+# Schema 2 adds ``median_s`` (the regression gate's robust timing
+# statistic) and the optional ``mem_peak_kb`` (present only when the run
+# profiled memory).  Readers fall back to ``best_s`` for schema-1 files.
+SCHEMA_VERSION = 2
 
 #: Counters worth exporting per benchmark (the full registry would drown
 #: the JSON in incidental detail; these are the cost-shape counters the
@@ -71,17 +78,23 @@ class BenchRecord:
     rounds: int = 0
     best_s: float = 0.0
     mean_s: float = 0.0
+    median_s: float = 0.0
     counters: Dict[str, int] = field(default_factory=dict)
+    mem_peak_kb: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        record = {
             "name": self.name,
             "params": self.params,
             "rounds": self.rounds,
             "best_s": self.best_s,
             "mean_s": self.mean_s,
+            "median_s": self.median_s,
             "counters": self.counters,
         }
+        if self.mem_peak_kb is not None:
+            record["mem_peak_kb"] = self.mem_peak_kb
+        return record
 
 
 class BenchRunner:
@@ -99,12 +112,16 @@ class BenchRunner:
         params: Optional[Dict[str, object]] = None,
         min_rounds: int = 3,
         target_s: float = 0.25,
+        profile_mem: bool = False,
         **kwargs,
     ):
         """Measure *fn(*args, **kwargs)*; returns fn's result.
 
         The first (counter-capturing) round is not timed, so collector
-        overhead never pollutes the wall-time samples.
+        overhead never pollutes the wall-time samples.  With
+        *profile_mem* a final tracemalloc-instrumented round (also
+        untimed — tracemalloc slows allocation-heavy code severely)
+        records the peak allocation as ``mem_peak_kb``.
         """
         with collect() as collector:
             result = fn(*args, **kwargs)
@@ -123,6 +140,17 @@ class BenchRunner:
             spent += took
             if len(samples) >= 200:
                 break
+        mem_peak_kb = None
+        if profile_mem:
+            already_tracing = tracemalloc.is_tracing()
+            if not already_tracing:
+                tracemalloc.start()
+            tracemalloc.reset_peak()
+            fn(*args, **kwargs)
+            _, peak = tracemalloc.get_traced_memory()
+            if not already_tracing:
+                tracemalloc.stop()
+            mem_peak_kb = round(peak / 1024)
         self.records.append(
             BenchRecord(
                 name=name,
@@ -130,7 +158,9 @@ class BenchRunner:
                 rounds=len(samples),
                 best_s=min(samples),
                 mean_s=sum(samples) / len(samples),
+                median_s=statistics.median(samples),
                 counters=counters,
+                mem_peak_kb=mem_peak_kb,
             )
         )
         return result
@@ -160,9 +190,11 @@ class BenchRunner:
                 f"{k.split('.', 1)[1]}={v}"
                 for k, v in sorted(r.counters.items())
             )
+            if r.mem_peak_kb is not None:
+                extras = f"peak {r.mem_peak_kb}kB  " + extras
             lines.append(
                 f"  {r.name.ljust(width)}  best {r.best_s * 1000:8.2f}ms"
-                f"  mean {r.mean_s * 1000:8.2f}ms"
+                f"  med {r.median_s * 1000:8.2f}ms"
                 f"  ({r.rounds} rounds)  {extras}"
             )
         return "\n".join(lines)

@@ -4,7 +4,10 @@ Overrides the ``benchmark`` fixture (pytest-benchmark's, when that
 plugin happens to be installed) with the zero-dependency
 :mod:`_benchlib` runner, so every benchmark run also captures the
 observability counters and ends by writing one machine-readable
-``BENCH_<suite>.json`` per module into the repo root.
+``BENCH_<suite>.json`` per module into ``benchmarks/results/``
+(gitignored; copy into ``benchmarks/baselines/`` to commit a new
+reference for ``python -m repro obs check``).  Pass ``--profile-mem``
+to add a tracemalloc round per benchmark (``mem_peak_kb`` in the JSON).
 """
 
 import pathlib
@@ -12,6 +15,7 @@ import sys
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
 
 # Make ``import _benchlib`` and ``import repro`` work however pytest was
 # invoked (PYTHONPATH=src is not required for benchmark runs).
@@ -22,6 +26,13 @@ for _entry in (str(BENCH_DIR), str(REPO_ROOT / "src")):
 import pytest
 
 import _benchlib
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile-mem", action="store_true", default=False,
+        help="record tracemalloc peak per benchmark (mem_peak_kb)",
+    )
 
 
 def pytest_configure(config):
@@ -47,10 +58,13 @@ def benchmark(request):
             if isinstance(value, (int, float, str, bool))
         }
 
+    profile_mem = request.config.getoption("--profile-mem")
+
     def run(fn, *args, **kwargs):
         return runner.measure(
             request.node.name, fn, *args,
-            params=params, target_s=0.15, **kwargs,
+            params=params, target_s=0.15, profile_mem=profile_mem,
+            **kwargs,
         )
 
     return run
@@ -62,7 +76,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         runner = runners[suite]
         if not runner.records:
             continue
-        path = runner.write(REPO_ROOT)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = runner.write(RESULTS_DIR)
         terminalreporter.write_line("")
         terminalreporter.write_line(runner.render())
         terminalreporter.write_line(f"  -> wrote {path}")

@@ -14,8 +14,10 @@ Lets a downstream user exercise the core pipeline without writing Python::
 
 Subcommands: ``check`` (violations report), ``repairs`` (enumerate
 S-/C-repairs), ``cqa`` (consistent answers by enumeration, Fuxman–Miller
-rewriting, or SQL), ``measure`` (inconsistency degrees).  CSV files need
-a header row naming the attributes.
+rewriting, or SQL), ``measure`` (inconsistency degrees), and the ``obs``
+family over recorded telemetry (``obs report`` / ``obs flamegraph`` on
+JSONL traces, ``obs diff`` / ``obs check`` on ``BENCH_*.json`` perf
+suites).  CSV files need a header row naming the attributes.
 """
 
 from __future__ import annotations
@@ -132,6 +134,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--metrics", action="store_true",
         help="print the span/counter summary to stderr after the run",
     )
+    parser.add_argument(
+        "--profile-mem", action="store_true",
+        help="attribute tracemalloc peak/net memory to spans "
+             "(slow; implies --metrics unless --trace is given)",
+    )
     verbosity = parser.add_mutually_exclusive_group()
     verbosity.add_argument(
         "-v", "--verbose", action="store_true",
@@ -199,6 +206,78 @@ def _cmd_measure(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# obs: trace analysis and perf-regression gating
+# ----------------------------------------------------------------------
+
+
+def _load_trace_trees(path):
+    """Parse a JSONL trace into (root trees, final metrics snapshot)."""
+    from .observability import build_trees, read_trace
+
+    records = read_trace(path)
+    snapshot = None
+    for record in records:
+        if record.get("kind") == "metrics":
+            snapshot = record.get("snapshot")
+    return build_trees(records), snapshot
+
+
+def _cmd_obs_report(args) -> int:
+    from .observability.analysis import render_report
+
+    roots, snapshot = _load_trace_trees(args.trace_file)
+    print(render_report(roots, snapshot, top=args.top))
+    return 0
+
+
+def _cmd_obs_flamegraph(args) -> int:
+    import pathlib
+
+    from .observability.analysis import render_flamegraph
+
+    roots, _ = _load_trace_trees(args.trace_file)
+    out = args.output or str(
+        pathlib.Path(args.trace_file).with_suffix(".html")
+    )
+    html = render_flamegraph(roots, title=f"trace: {args.trace_file}")
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    from .observability.analysis import (
+        diff_suites,
+        exit_code,
+        load_suite,
+        render_findings,
+    )
+
+    findings = diff_suites(
+        load_suite(args.old),
+        load_suite(args.new),
+        threshold=args.threshold,
+    )
+    print(render_findings(findings, counters_only=args.counters_only))
+    return exit_code(findings, counters_only=args.counters_only)
+
+
+def _cmd_obs_check(args) -> int:
+    from .observability.analysis import (
+        check_baselines,
+        exit_code,
+        render_findings,
+    )
+
+    findings = check_baselines(
+        args.baseline, args.results, threshold=args.threshold
+    )
+    print(render_findings(findings, counters_only=args.counters_only))
+    return exit_code(findings, counters_only=args.counters_only)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -237,13 +316,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(measure)
     measure.set_defaults(func=_cmd_measure)
+
+    obs = sub.add_parser(
+        "obs", help="analyse traces and gate benchmark regressions"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    report = obs_sub.add_parser(
+        "report", help="text analysis of a JSONL trace"
+    )
+    report.add_argument("trace_file", metavar="TRACE.jsonl")
+    report.add_argument(
+        "--top", type=int, default=25,
+        help="rows in the per-span-name table (default 25)",
+    )
+    report.set_defaults(func=_cmd_obs_report)
+
+    flame = obs_sub.add_parser(
+        "flamegraph", help="self-contained HTML flame view of a trace"
+    )
+    flame.add_argument("trace_file", metavar="TRACE.jsonl")
+    flame.add_argument(
+        "-o", "--output", metavar="FILE.html",
+        help="output path (default: trace path with .html suffix)",
+    )
+    flame.set_defaults(func=_cmd_obs_flamegraph)
+
+    threshold_help = (
+        "allowed timing ratio new/old before a regression is flagged "
+        "(default 1.5)"
+    )
+    counters_only_help = (
+        "gate on deterministic counters only; timing findings become "
+        "advisory (for noisy shared runners)"
+    )
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare two BENCH_<suite>.json files"
+    )
+    diff.add_argument("old", metavar="OLD.json")
+    diff.add_argument("new", metavar="NEW.json")
+    diff.add_argument("--threshold", type=float, default=1.5,
+                      help=threshold_help)
+    diff.add_argument("--counters-only", action="store_true",
+                      help=counters_only_help)
+    diff.set_defaults(func=_cmd_obs_diff)
+
+    check_bench = obs_sub.add_parser(
+        "check", help="gate benchmark results against committed baselines"
+    )
+    check_bench.add_argument(
+        "--baseline", default="benchmarks/baselines",
+        help="directory of committed BENCH_*.json baselines",
+    )
+    check_bench.add_argument(
+        "--results", default="benchmarks/results",
+        help="directory of freshly generated BENCH_*.json results",
+    )
+    check_bench.add_argument("--threshold", type=float, default=1.5,
+                             help=threshold_help)
+    check_bench.add_argument("--counters-only", action="store_true",
+                             help=counters_only_help)
+    check_bench.set_defaults(func=_cmd_obs_check)
     return parser
 
 
 def _configure_logging(args) -> None:
-    if args.quiet:
+    if getattr(args, "quiet", False):
         level = logging.ERROR
-    elif args.verbose:
+    elif getattr(args, "verbose", False):
         level = logging.INFO
     else:
         level = logging.WARNING
@@ -258,28 +399,39 @@ def main(argv: Sequence[str] = None) -> int:
 
     Exit codes: 0 success, 1 inconsistency reported by ``check``, 2 bad
     input (unparsable constraints/queries, missing files, unsupported
-    query fragments).
+    query fragments).  ``obs diff`` / ``obs check`` add the gating codes
+    of :mod:`repro.observability.analysis.regression`: 3 timing
+    regression, 4 counter drift, 5 benchmark set changed.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_logging(args)
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", False)
+    profile_mem = getattr(args, "profile_mem", False)
     try:
-        if args.trace or args.metrics:
+        if trace or metrics or profile_mem:
+            from .observability.analysis import profile_memory
+
             with collect() as collector:
-                code = args.func(args)
-            if args.trace:
-                lines = collector.write_trace(args.trace)
+                if profile_mem:
+                    with profile_memory(collector.tracer):
+                        code = args.func(args)
+                else:
+                    code = args.func(args)
+            if trace:
+                lines = collector.write_trace(trace)
                 logger.info(
-                    "wrote %d trace line(s) to %s", lines, args.trace
+                    "wrote %d trace line(s) to %s", lines, trace
                 )
-            if args.metrics:
+            if metrics or (profile_mem and not trace):
                 print(collector.summary(), file=sys.stderr)
             return code
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except OSError as exc:
+    except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

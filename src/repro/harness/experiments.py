@@ -73,6 +73,7 @@ class ExperimentResult:
     details: str = ""
     wall_s: float = 0.0
     counters: Dict[str, int] = field(default_factory=dict)
+    mem_peak_kb: Optional[float] = None
 
     def render(self) -> str:
         verdict = "MATCH" if self.match else "MISMATCH"
@@ -85,6 +86,8 @@ class ExperimentResult:
             lines.append(f"  note:     {self.details}")
         if self.wall_s:
             cost = f"  cost:     {self.wall_s * 1000:.1f}ms"
+            if self.mem_peak_kb is not None:
+                cost += f"  peak {self.mem_peak_kb:.0f}kB"
             if self.counters:
                 cost += "  " + " ".join(
                     f"{k}={v}" for k, v in sorted(self.counters.items())
@@ -135,6 +138,9 @@ def run(exp_id: str) -> ExperimentResult:
         result.counters = {
             k: v for k, v in s.metrics.items() if k in KEY_COUNTERS
         }
+        mem = s.attributes.get("mem_peak_kb")
+        if isinstance(mem, (int, float)):
+            result.mem_peak_kb = float(mem)
         s.annotate(match=result.match, title=result.title)
     return result
 
@@ -879,15 +885,25 @@ def b10_further_directions() -> ExperimentResult:
 
 def _cost_table(results: Sequence[ExperimentResult]) -> str:
     """Measured cost shapes, one row per experiment."""
-    lines = ["experiment   wall      key counters"]
+    with_mem = any(r.mem_peak_kb is not None for r in results)
+    header = "experiment   wall      "
+    if with_mem:
+        header += "peak mem   "
+    lines = [header + "key counters"]
     for r in results:
         counters = " ".join(
             f"{k.split('.', 1)[1]}={v}"
             for k, v in sorted(r.counters.items())
         )
-        lines.append(
-            f"{r.id:<12} {r.wall_s * 1000:7.1f}ms  {counters}"
-        )
+        row = f"{r.id:<12} {r.wall_s * 1000:7.1f}ms  "
+        if with_mem:
+            mem = (
+                f"{r.mem_peak_kb:7.0f}kB"
+                if r.mem_peak_kb is not None
+                else "        ?"
+            )
+            row += f"{mem}  "
+        lines.append(row + counters)
     return "\n".join(lines)
 
 
@@ -914,9 +930,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--only", action="append", metavar="ID",
         help="run only this experiment id (repeatable)",
     )
+    parser.add_argument(
+        "--profile-mem", action="store_true",
+        help="attribute tracemalloc peak/net memory to experiment spans "
+             "(slow, opt-in)",
+    )
     args = parser.parse_args(argv)
 
     with collect() as collector:
+        profiler = None
+        if args.profile_mem:
+            from ..observability.analysis import MemoryProfiler
+
+            profiler = MemoryProfiler().attach(collector.tracer)
         try:
             results = run_all(only=args.only)
         except KeyError as exc:
@@ -924,6 +950,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc.args[0]} (known ids: {known})",
                   file=sys.stderr)
             return 2
+        finally:
+            if profiler is not None:
+                profiler.detach()
     for r in results:
         print(r.render())
         print()

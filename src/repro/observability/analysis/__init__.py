@@ -1,0 +1,50 @@
+"""Analysis half of the observability stack: consume what PR 1 records.
+
+Four pieces, surfaced through the ``obs`` CLI family
+(``python -m repro obs {report,flamegraph,diff,check}``):
+
+- :mod:`aggregate` / :mod:`report` — per-span-name rollups, critical
+  paths, and the text report over JSONL traces;
+- :mod:`flamegraph` — a self-contained HTML flame view of the same;
+- :mod:`memprof` — opt-in tracemalloc profiling attributed to spans;
+- :mod:`regression` — exact-counter + tolerant-timing comparison of
+  ``BENCH_*.json`` suites against committed baselines, the perf gate.
+"""
+
+from .aggregate import NameStats, aggregate, critical_path, trace_totals
+from .flamegraph import render_flamegraph
+from .memprof import MemoryProfiler, profile_memory
+from .regression import (
+    EXIT_BENCH_SET,
+    EXIT_COUNTERS,
+    EXIT_OK,
+    EXIT_TIMING,
+    Finding,
+    check_baselines,
+    diff_suites,
+    exit_code,
+    load_suite,
+    render_findings,
+)
+from .report import render_report
+
+__all__ = [
+    "NameStats",
+    "aggregate",
+    "critical_path",
+    "trace_totals",
+    "render_report",
+    "render_flamegraph",
+    "MemoryProfiler",
+    "profile_memory",
+    "EXIT_OK",
+    "EXIT_TIMING",
+    "EXIT_COUNTERS",
+    "EXIT_BENCH_SET",
+    "Finding",
+    "load_suite",
+    "diff_suites",
+    "check_baselines",
+    "exit_code",
+    "render_findings",
+]

@@ -1,0 +1,104 @@
+"""Trace aggregation: per-span-name rollups and critical paths.
+
+Operates on the *record trees* produced by ``export.read_trace`` +
+``export.build_trees`` (plain dicts with ``name`` / ``duration_s`` /
+``metrics`` / ``children``), so a trace written by any past run — or any
+other process — can be analysed without reconstructing live ``Span``
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["NameStats", "aggregate", "critical_path", "trace_totals"]
+
+
+def _duration(node: Dict[str, object]) -> float:
+    """A node's wall time in seconds (0.0 for open/unfinished spans)."""
+    value = node.get("duration_s")
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+@dataclass
+class NameStats:
+    """Rollup of every span sharing one name."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+def aggregate(roots: Sequence[Dict[str, object]]) -> List[NameStats]:
+    """Per-span-name aggregates over a forest of record trees.
+
+    ``total_s`` sums full durations; ``self_s`` subtracts each span's
+    direct children, so a name's self time is what its own code cost
+    (clamped at zero against clock jitter).  Counter sums add up the
+    per-span deltas — a parent's delta already includes its descendants',
+    so sums are "attributed to spans of this name, descendants included".
+    Sorted by total time, descending.
+    """
+    stats: Dict[str, NameStats] = {}
+
+    def visit(node: Dict[str, object]) -> None:
+        children = node.get("children") or []
+        name = str(node.get("name", "?"))
+        entry = stats.get(name)
+        if entry is None:
+            entry = stats[name] = NameStats(name)
+        duration = _duration(node)
+        entry.calls += 1
+        entry.total_s += duration
+        entry.self_s += max(
+            0.0, duration - sum(_duration(c) for c in children)
+        )
+        for key, value in (node.get("metrics") or {}).items():
+            if isinstance(value, (int, float)):
+                entry.counters[key] = entry.counters.get(key, 0) + value
+        for child in children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return sorted(stats.values(), key=lambda s: -s.total_s)
+
+
+def critical_path(root: Dict[str, object]) -> List[Dict[str, object]]:
+    """The heaviest root-to-leaf chain of one tree.
+
+    At every level the slowest child is taken; that chain is where an
+    optimisation pays off first.  Always contains at least the root.
+    """
+    path = [root]
+    node = root
+    while node.get("children"):
+        node = max(node["children"], key=_duration)
+        path.append(node)
+    return path
+
+
+def trace_totals(roots: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Headline numbers for a forest: trees, span count, wall time."""
+    spans = 0
+
+    def count(node: Dict[str, object]) -> None:
+        nonlocal spans
+        spans += 1
+        for child in node.get("children") or []:
+            count(child)
+
+    for root in roots:
+        count(root)
+    return {
+        "trees": len(roots),
+        "spans": spans,
+        "wall_s": sum(_duration(r) for r in roots),
+    }

@@ -1,0 +1,166 @@
+"""Self-contained flamegraph-style HTML rendering of a span trace.
+
+One HTML file, zero external assets: spans become absolutely-positioned
+``div`` cells, horizontal extent proportional to wall time within the
+root, one row per nesting depth, hue hashed from the span name so the
+same stage gets the same colour across trees and runs.  Clicking a cell
+zooms its subtree to full width; clicking the root row zooms back out.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, List, Sequence
+
+__all__ = ["render_flamegraph"]
+
+_ROW_PX = 19
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font: 13px/1.4 system-ui, sans-serif; margin: 16px;
+         background: #fafafa; color: #222; }}
+  h1 {{ font-size: 16px; }}
+  h2 {{ font-size: 13px; font-weight: 600; margin: 18px 0 4px; }}
+  .flame {{ position: relative; background: #fff;
+           border: 1px solid #ddd; border-radius: 4px; }}
+  .cell {{ position: absolute; height: {row}px; box-sizing: border-box;
+          border: 1px solid rgba(255,255,255,.7); border-radius: 2px;
+          overflow: hidden; white-space: nowrap; text-overflow: ellipsis;
+          font-size: 11px; padding: 1px 3px; cursor: pointer; }}
+  .cell:hover {{ filter: brightness(1.12); }}
+  #tip {{ position: fixed; display: none; background: #222; color: #eee;
+         padding: 4px 8px; border-radius: 3px; font-size: 11px;
+         pointer-events: none; max-width: 480px; z-index: 9; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p>{subtitle}</p>
+{blocks}
+<div id="tip"></div>
+<script>
+  const tip = document.getElementById('tip');
+  document.querySelectorAll('.cell').forEach(cell => {{
+    cell.addEventListener('mousemove', ev => {{
+      tip.textContent = cell.dataset.tip;
+      tip.style.display = 'block';
+      tip.style.left = (ev.clientX + 12) + 'px';
+      tip.style.top = (ev.clientY + 12) + 'px';
+    }});
+    cell.addEventListener('mouseleave', () => tip.style.display = 'none');
+    cell.addEventListener('click', () => {{
+      const flame = cell.closest('.flame');
+      const left = parseFloat(cell.dataset.l);
+      const width = parseFloat(cell.dataset.w);
+      flame.querySelectorAll('.cell').forEach(other => {{
+        const ol = parseFloat(other.dataset.l);
+        const ow = parseFloat(other.dataset.w);
+        const inside = ol >= left - 1e-9 && ol + ow <= left + width + 1e-9;
+        other.style.display = inside ? 'block' : 'none';
+        if (inside) {{
+          other.style.left = ((ol - left) / width * 100) + '%';
+          other.style.width = (ow / width * 100) + '%';
+        }}
+      }});
+    }});
+  }});
+</script>
+</body>
+</html>
+"""
+
+
+def _hue(name: str) -> int:
+    """A stable hue for a span name (FNV-1a, no randomness)."""
+    h = 2166136261
+    for ch in name.encode("utf-8"):
+        h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+    return h % 360
+
+
+def _tooltip(node: Dict[str, object], root_s: float) -> str:
+    duration = node.get("duration_s") or 0.0
+    share = f"{duration / root_s * 100:.1f}%" if root_s else "?"
+    parts = [f"{node.get('name')}  {duration * 1000:.3f}ms ({share})"]
+    for label, mapping in (
+        ("attrs", node.get("attributes")),
+        ("counters", node.get("metrics")),
+    ):
+        if mapping:
+            parts.append(
+                f"{label}: "
+                + " ".join(f"{k}={v}" for k, v in sorted(mapping.items()))
+            )
+    return " | ".join(parts)
+
+
+def _render_tree(root: Dict[str, object], index: int) -> str:
+    root_s = float(root.get("duration_s") or 0.0)
+    root_start = float(root.get("start") or 0.0)
+    cells: List[str] = []
+    max_depth = 0
+
+    def emit(node: Dict[str, object], depth: int, left: float, width: float):
+        nonlocal max_depth
+        max_depth = max(max_depth, depth)
+        name = str(node.get("name", "?"))
+        cells.append(
+            '<div class="cell" style="left:{l:.4f}%;width:{w:.4f}%;'
+            "top:{t}px;background:hsl({hue},65%,72%)\" "
+            'data-l="{l:.4f}" data-w="{w:.4f}" data-tip="{tip}">'
+            "{label}</div>".format(
+                l=left,
+                w=max(width, 0.05),
+                t=depth * _ROW_PX,
+                hue=_hue(name),
+                tip=html.escape(_tooltip(node, root_s), quote=True),
+                label=html.escape(name),
+            )
+        )
+        for child in node.get("children") or []:
+            child_s = float(child.get("duration_s") or 0.0)
+            child_start = float(child.get("start") or 0.0)
+            if root_s > 0:
+                child_left = (child_start - root_start) / root_s * 100
+                child_width = child_s / root_s * 100
+            else:
+                child_left, child_width = left, width
+            emit(child, depth + 1, child_left, child_width)
+
+    emit(root, 0, 0.0, 100.0)
+    height = (max_depth + 1) * _ROW_PX
+    return (
+        f"<h2>tree {index}: {html.escape(str(root.get('name')))}"
+        f" — {root_s * 1000:.2f}ms</h2>\n"
+        f'<div class="flame" style="height:{height}px">\n'
+        + "\n".join(cells)
+        + "\n</div>"
+    )
+
+
+def render_flamegraph(
+    roots: Sequence[Dict[str, object]], title: str = "repro trace"
+) -> str:
+    """The complete HTML document for a forest of record trees."""
+    totals_s = sum(float(r.get("duration_s") or 0.0) for r in roots)
+    blocks = "\n".join(
+        _render_tree(root, i) for i, root in enumerate(roots, start=1)
+    )
+    if not roots:
+        blocks = "<p><em>empty trace: no spans recorded</em></p>"
+    return _TEMPLATE.format(
+        title=html.escape(title),
+        subtitle=(
+            f"{len(roots)} tree(s), {totals_s * 1000:.2f}ms total — "
+            "hover for details, click a span to zoom, click the root to "
+            "zoom out"
+        ),
+        row=_ROW_PX,
+        blocks=blocks,
+    )

@@ -1,0 +1,115 @@
+"""Opt-in memory profiling: tracemalloc peaks attributed to spans.
+
+A :class:`MemoryProfiler` attaches to a tracer as a span hook (see
+``Tracer.hooks``).  While attached, every span gains two attributes on
+exit:
+
+- ``mem_peak_kb`` — the tracemalloc high-water mark observed while the
+  span (or any of its children) ran;
+- ``mem_net_kb`` — allocated-minus-freed over the span's lifetime, i.e.
+  what the span left behind.
+
+tracemalloc's peak counter is process-global, so nested attribution
+resets it on every span boundary and folds each child's peak back into
+its parent — the parent's peak is the max over its own segments and its
+children's peaks.  This costs real time (tracemalloc intercepts every
+allocation), which is why profiling is strictly opt-in
+(``--profile-mem``) and never touched by the <5%-overhead guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+from contextlib import contextmanager
+from typing import List, Optional
+
+from ..spans import Span, Tracer
+
+__all__ = ["MemoryProfiler", "profile_memory"]
+
+
+class _Frame:
+    """Bookkeeping for one open span: baseline and running peak."""
+
+    __slots__ = ("span", "start_bytes", "peak_bytes")
+
+    def __init__(self, span: Span, start_bytes: int) -> None:
+        self.span = span
+        self.start_bytes = start_bytes
+        self.peak_bytes = start_bytes
+
+
+class MemoryProfiler:
+    """Attributes tracemalloc peak/net allocation to spans via hooks."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._tracer: Optional[Tracer] = None
+        self._started_tracing = False
+
+    # -- hook protocol (called by Span.__enter__/__exit__) -------------
+
+    def _stack(self) -> List[_Frame]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def on_span_enter(self, span: Span) -> None:
+        stack = self._stack()
+        current, peak = tracemalloc.get_traced_memory()
+        if stack:
+            # Close out the parent's running segment before resetting.
+            stack[-1].peak_bytes = max(stack[-1].peak_bytes, peak)
+        tracemalloc.reset_peak()
+        stack.append(_Frame(span, current))
+
+    def on_span_exit(self, span: Span) -> None:
+        stack = self._stack()
+        if not stack or stack[-1].span is not span:
+            return  # mismatched exit; skip rather than misattribute
+        frame = stack.pop()
+        current, peak = tracemalloc.get_traced_memory()
+        peak_bytes = max(frame.peak_bytes, peak)
+        span.attributes["mem_peak_kb"] = round(peak_bytes / 1024, 1)
+        span.attributes["mem_net_kb"] = round(
+            (current - frame.start_bytes) / 1024, 1
+        )
+        tracemalloc.reset_peak()
+        if stack:
+            stack[-1].peak_bytes = max(stack[-1].peak_bytes, peak_bytes)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def attach(self, tracer: Tracer) -> "MemoryProfiler":
+        """Start tracemalloc (if needed) and hook into *tracer*."""
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        self._tracer = tracer
+        tracer.hooks.append(self)
+        return self
+
+    def detach(self) -> None:
+        """Unhook and stop tracemalloc if this profiler started it."""
+        if self._tracer is not None:
+            try:
+                self._tracer.hooks.remove(self)
+            except ValueError:
+                pass
+            self._tracer = None
+        if self._started_tracing:
+            tracemalloc.stop()
+            self._started_tracing = False
+
+
+@contextmanager
+def profile_memory(tracer: Tracer):
+    """Attach a :class:`MemoryProfiler` to *tracer* for the block."""
+    profiler = MemoryProfiler()
+    profiler.attach(tracer)
+    try:
+        yield profiler
+    finally:
+        profiler.detach()

@@ -1,0 +1,267 @@
+"""Perf-regression detection over ``BENCH_<suite>.json`` files.
+
+Two comparison regimes, matching what the numbers mean:
+
+- **Counters are exact.**  Every benchmark runs a fixed-seed workload,
+  so `repairs.states_explored`, `asp.ground_rules`, etc. are fully
+  deterministic — any drift is an *algorithmic behavior change* (a new
+  search order, a lost pruning rule), not noise, and is reported as
+  such.
+- **Timings are tolerant.**  Wall time is machine- and load-dependent;
+  a benchmark only regresses when its robust statistic (median of
+  rounds, falling back to best-of-rounds for old files) exceeds the
+  baseline by a configurable factor.
+
+`diff_suites` compares two suite dicts; `check_baselines` walks a
+baseline directory against a results directory.  Exit codes (most
+severe wins): counter drift > benchmark-set change > timing regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_TIMING",
+    "EXIT_COUNTERS",
+    "EXIT_BENCH_SET",
+    "Finding",
+    "load_suite",
+    "diff_suites",
+    "check_baselines",
+    "exit_code",
+    "render_findings",
+]
+
+EXIT_OK = 0
+#: A benchmark's timing statistic exceeded baseline * threshold.
+EXIT_TIMING = 3
+#: A deterministic counter changed — an algorithmic behavior change.
+EXIT_COUNTERS = 4
+#: Benchmarks (or whole suites) were added or removed.
+EXIT_BENCH_SET = 5
+
+_SEVERITY = {"counter": 3, "added": 2, "removed": 2, "timing": 1, "info": 0}
+
+
+@dataclass
+class Finding:
+    """One comparison outcome for one benchmark (or suite)."""
+
+    kind: str  # counter | timing | added | removed | info
+    name: str
+    message: str
+
+    def render(self) -> str:
+        tag = self.kind.upper() if self.kind != "info" else "note"
+        return f"[{tag}] {self.name}: {self.message}"
+
+
+def load_suite(path) -> Dict[str, object]:
+    """Parse one ``BENCH_<suite>.json`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "results" not in data:
+        raise ValueError(f"{path}: not a benchmark suite file")
+    return data
+
+
+def _index(suite: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    return {r["name"]: r for r in suite.get("results", ())}
+
+
+def _timing_stat(record: Dict[str, object]) -> Optional[float]:
+    """Median of rounds when present (schema >= 2), else best-of-rounds."""
+    for key in ("median_s", "best_s"):
+        value = record.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            return float(value)
+    return None
+
+
+def diff_suites(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    threshold: float = 1.5,
+    prefix: str = "",
+) -> List[Finding]:
+    """Every difference between two suite dicts, as findings.
+
+    *threshold* is the allowed timing ratio (new/old); 1.5 means a
+    benchmark may take up to 50% longer before it counts as a
+    regression.  Speedups are reported as notes, never failures.
+    """
+    findings: List[Finding] = []
+    old_ix, new_ix = _index(old), _index(new)
+
+    for name in sorted(set(old_ix) - set(new_ix)):
+        findings.append(
+            Finding("removed", prefix + name, "benchmark missing from new run")
+        )
+    for name in sorted(set(new_ix) - set(old_ix)):
+        findings.append(
+            Finding("added", prefix + name, "benchmark absent from baseline")
+        )
+
+    for name in sorted(set(old_ix) & set(new_ix)):
+        old_rec, new_rec = old_ix[name], new_ix[name]
+        label = prefix + name
+
+        old_counters = old_rec.get("counters") or {}
+        new_counters = new_rec.get("counters") or {}
+        if old_counters != new_counters:
+            deltas = []
+            for key in sorted(set(old_counters) | set(new_counters)):
+                before = old_counters.get(key, "absent")
+                after = new_counters.get(key, "absent")
+                if before != after:
+                    deltas.append(f"{key}: {before} -> {after}")
+            findings.append(
+                Finding(
+                    "counter",
+                    label,
+                    "deterministic counter drift (algorithm change): "
+                    + "; ".join(deltas),
+                )
+            )
+
+        old_t, new_t = _timing_stat(old_rec), _timing_stat(new_rec)
+        if old_t is not None and new_t is not None:
+            ratio = new_t / old_t
+            if ratio > threshold:
+                findings.append(
+                    Finding(
+                        "timing",
+                        label,
+                        f"{old_t * 1000:.2f}ms -> {new_t * 1000:.2f}ms "
+                        f"({ratio:.2f}x, threshold {threshold:.2f}x)",
+                    )
+                )
+            elif ratio < 1 / threshold:
+                findings.append(
+                    Finding(
+                        "info",
+                        label,
+                        f"speedup: {old_t * 1000:.2f}ms -> "
+                        f"{new_t * 1000:.2f}ms ({ratio:.2f}x)",
+                    )
+                )
+
+        old_mem = old_rec.get("mem_peak_kb")
+        new_mem = new_rec.get("mem_peak_kb")
+        if (
+            isinstance(old_mem, (int, float))
+            and isinstance(new_mem, (int, float))
+            and old_mem > 0
+            and new_mem / old_mem > threshold
+        ):
+            findings.append(
+                Finding(
+                    "info",
+                    label,
+                    f"memory peak grew {old_mem}kB -> {new_mem}kB "
+                    "(advisory only)",
+                )
+            )
+    return findings
+
+
+def check_baselines(
+    baseline_dir,
+    results_dir,
+    threshold: float = 1.5,
+) -> List[Finding]:
+    """Compare every ``BENCH_*.json`` under two directories.
+
+    A baseline suite with no counterpart in *results_dir* is a
+    benchmark-set finding (the gate must notice a suite silently
+    dropping out of the run), and vice versa for new suites.
+    """
+    baseline_dir = pathlib.Path(baseline_dir)
+    results_dir = pathlib.Path(results_dir)
+    findings: List[Finding] = []
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    result_names = {
+        p.name for p in results_dir.glob("BENCH_*.json")
+    } if results_dir.is_dir() else set()
+
+    if not baseline_files:
+        raise FileNotFoundError(
+            f"no BENCH_*.json baselines under {baseline_dir}"
+        )
+    for path in baseline_files:
+        suite = path.stem[len("BENCH_"):]
+        counterpart = results_dir / path.name
+        if path.name not in result_names:
+            findings.append(
+                Finding(
+                    "removed", suite, f"suite has no results file "
+                    f"({counterpart} missing — was the suite run?)"
+                )
+            )
+            continue
+        findings.extend(
+            diff_suites(
+                load_suite(path),
+                load_suite(counterpart),
+                threshold=threshold,
+                prefix=f"{suite}::",
+            )
+        )
+    for name in sorted(result_names - {p.name for p in baseline_files}):
+        findings.append(
+            Finding(
+                "added",
+                name[len("BENCH_"):-len(".json")],
+                "suite has no committed baseline (regenerate baselines)",
+            )
+        )
+    return findings
+
+
+def exit_code(
+    findings: Sequence[Finding], counters_only: bool = False
+) -> int:
+    """The gate's exit code: most severe finding wins.
+
+    ``counters_only`` demotes timing regressions to advisory (for noisy
+    shared CI runners) — they are still rendered, but never fail.
+    """
+    kinds = {f.kind for f in findings}
+    if "counter" in kinds:
+        return EXIT_COUNTERS
+    if "added" in kinds or "removed" in kinds:
+        return EXIT_BENCH_SET
+    if "timing" in kinds and not counters_only:
+        return EXIT_TIMING
+    return EXIT_OK
+
+
+def render_findings(
+    findings: Sequence[Finding], counters_only: bool = False
+) -> str:
+    """The report body: findings (most severe first) plus a verdict."""
+    ordered = sorted(
+        findings, key=lambda f: -_SEVERITY.get(f.kind, 0)
+    )
+    lines = [f.render() for f in ordered]
+    code = exit_code(findings, counters_only=counters_only)
+    problems = [
+        f for f in findings
+        if _SEVERITY.get(f.kind, 0) > (1 if counters_only else 0)
+    ]
+    if code == EXIT_OK:
+        note = "within tolerance" if lines else "identical"
+        extra = ""
+        if counters_only and any(f.kind == "timing" for f in findings):
+            extra = " (timing regressions advisory in counters-only mode)"
+        lines.append(f"OK: benchmarks {note}{extra}")
+    else:
+        lines.append(
+            f"FAIL: {len(problems)} gating finding(s), exit code {code}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Text report over a JSONL trace: totals, rollups, critical paths.
+
+This is what ``python -m repro obs report trace.jsonl`` prints — the
+at-a-glance answer to "where did the time go" without opening the
+flamegraph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .aggregate import aggregate, critical_path, trace_totals
+
+__all__ = ["render_report"]
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:9.2f}ms"
+
+
+def render_report(
+    roots: Sequence[Dict[str, object]],
+    metrics_snapshot: Optional[Dict[str, object]] = None,
+    top: int = 25,
+) -> str:
+    """The human-readable analysis of a parsed trace.
+
+    Three sections: headline totals, the per-span-name table (top *top*
+    rows by total time, with self time and summed counters), and the
+    critical path of each tree (heaviest chains first).
+    """
+    totals = trace_totals(roots)
+    lines: List[str] = [
+        f"trace: {totals['trees']} tree(s), {totals['spans']} span(s), "
+        f"total {totals['wall_s'] * 1000:.2f}ms"
+    ]
+
+    stats = aggregate(roots)
+    if stats:
+        shown = stats[:top]
+        width = max(len(s.name) for s in shown)
+        lines.append("")
+        lines.append(
+            f"{'span name'.ljust(width)}  calls       total        self"
+            "  counters"
+        )
+        for s in shown:
+            counters = " ".join(
+                f"{k}={v}" for k, v in sorted(s.counters.items())
+            )
+            lines.append(
+                f"{s.name.ljust(width)}  {s.calls:5d} {_fmt_ms(s.total_s)}"
+                f" {_fmt_ms(s.self_s)}  {counters}"
+            )
+        if len(stats) > top:
+            lines.append(f"... {len(stats) - top} more span name(s)")
+
+    ordered = sorted(
+        roots,
+        key=lambda r: -(r.get("duration_s") or 0.0),
+    )
+    for root in ordered:
+        path = critical_path(root)
+        lines.append("")
+        lines.append(
+            f"critical path ({root.get('name')},"
+            f" {(root.get('duration_s') or 0.0) * 1000:.2f}ms):"
+        )
+        for depth, node in enumerate(path):
+            took = (node.get("duration_s") or 0.0) * 1000
+            lines.append(f"  {'  ' * depth}{node.get('name')}  {took:.2f}ms")
+
+    if metrics_snapshot:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(k) for k in metrics_snapshot)
+        for key in sorted(metrics_snapshot):
+            lines.append(f"  {key.ljust(width)}  {metrics_snapshot[key]}")
+    return "\n".join(lines)

@@ -11,10 +11,14 @@ from __future__ import annotations
 
 import io
 import json
+import logging
+import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .metrics import MetricsRegistry
 from .spans import Span
+
+logger = logging.getLogger("repro.observability")
 
 __all__ = [
     "span_to_record",
@@ -61,13 +65,21 @@ def write_trace(
     When *metrics* is given, a final ``{"kind": "metrics", ...}`` line
     carries the full registry snapshot.  Returns the number of lines
     written.
+
+    Paths are written via a temporary sibling file and an atomic
+    ``os.replace``, so rerunning ``--trace FILE`` always yields exactly
+    one run's lines — a crash mid-write can never leave a shorter new
+    trace interleaved with the stale tail of an older, longer one.
     """
     own = isinstance(destination, (str, bytes)) or hasattr(
         destination, "__fspath__"
     )
-    handle = (
-        open(destination, "w", encoding="utf-8") if own else destination
-    )
+    if own:
+        final = os.fspath(destination)
+        tmp = f"{final}.tmp"
+        handle = open(tmp, "w", encoding="utf-8")
+    else:
+        handle = destination
     lines = 0
     try:
         for record in _records(roots):
@@ -82,22 +94,49 @@ def write_trace(
                 + "\n"
             )
             lines += 1
-    finally:
+    except BaseException:
         if own:
             handle.close()
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+        raise
+    else:
+        if own:
+            handle.close()
+            os.replace(tmp, final)
     return lines
 
 
 def read_trace(source) -> List[Dict[str, object]]:
-    """Parse a JSONL trace (path or file object) back into records."""
+    """Parse a JSONL trace (path or file object) back into records.
+
+    Blank lines are skipped silently; lines that fail to parse (a
+    truncated write, an editor artifact) are skipped with a warning so
+    one bad line never discards the rest of the trace.
+    """
     own = not isinstance(source, io.IOBase) and not hasattr(source, "read")
     handle = open(source, "r", encoding="utf-8") if own else source
     try:
         records = []
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                logger.warning(
+                    "skipping corrupt trace line %d: %.60r", lineno, line
+                )
+                continue
+            if not isinstance(record, dict):
+                logger.warning(
+                    "skipping non-object trace line %d: %.60r", lineno, line
+                )
+                continue
+            records.append(record)
         return records
     finally:
         if own:

@@ -11,8 +11,9 @@ asserted by ``tests/test_observability.py``).
 
 from __future__ import annotations
 
+import random
 import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 __all__ = [
     "Counter",
@@ -53,17 +54,26 @@ class Gauge:
 class Histogram:
     """A streaming summary of observed values (typically durations).
 
-    Keeps count / sum / min / max — enough to report totals and averages
-    without storing samples.
+    Keeps count / sum / min / max plus a bounded reservoir of samples
+    (Algorithm R with a per-histogram fixed-seed RNG, so the kept set is
+    deterministic for a given observation sequence), which is enough to
+    report totals, averages, and percentile estimates without unbounded
+    memory.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_reservoir", "_rng")
+
+    #: Samples retained for percentile estimation.  Below this many
+    #: observations the percentiles are exact.
+    RESERVOIR_SIZE = 1024
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._reservoir: List[float] = []
+        self._rng = random.Random(0x5EED)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -72,10 +82,32 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The p-th percentile (0..100) of the retained samples.
+
+        Linear interpolation between closest ranks; ``None`` when the
+        histogram is empty.  Exact up to ``RESERVOIR_SIZE`` observations,
+        a uniform-sample estimate beyond that.
+        """
+        if not self._reservoir:
+            return None
+        ordered = sorted(self._reservoir)
+        rank = (len(ordered) - 1) * (p / 100.0)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
 class MetricsRegistry:
@@ -138,7 +170,8 @@ class MetricsRegistry:
         """One flat dict of everything: counters, gauges, histograms.
 
         Histogram ``h`` flattens to ``h.count`` / ``h.sum`` / ``h.min`` /
-        ``h.max`` keys so the result is JSON-ready.
+        ``h.max`` / ``h.p50`` / ``h.p90`` / ``h.p99`` keys so the result
+        is JSON-ready.
         """
         with self._lock:
             flat: Dict[str, object] = {
@@ -151,6 +184,8 @@ class MetricsRegistry:
                 flat[f"{k}.sum"] = h.total
                 flat[f"{k}.min"] = h.min
                 flat[f"{k}.max"] = h.max
+                for p in (50, 90, 99):
+                    flat[f"{k}.p{p}"] = h.percentile(p)
             return flat
 
     def reset(self) -> None:

@@ -68,6 +68,8 @@ class Span:
             if tracer.registry is not None:
                 self._counters_before = tracer.registry.counter_values()
             tracer._push(self)
+            for hook in tracer.hooks:
+                hook.on_span_enter(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -76,6 +78,8 @@ class Span:
             self.attributes.setdefault("error", exc_type.__name__)
         tracer = self._tracer
         if tracer is not None:
+            for hook in tracer.hooks:
+                hook.on_span_exit(self)
             if tracer.registry is not None:
                 after = tracer.registry.counter_values()
                 before = self._counters_before
@@ -117,11 +121,18 @@ _NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Collects finished span trees; one stack of open spans per thread."""
+    """Collects finished span trees; one stack of open spans per thread.
+
+    ``hooks`` holds objects with ``on_span_enter(span)`` /
+    ``on_span_exit(span)`` methods, called around every span on this
+    tracer (the memory profiler attaches itself this way).  The list is
+    empty by default, so the hook dispatch is a no-iteration loop.
+    """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry
         self.roots: List[Span] = []
+        self.hooks: List[object] = []
         self._lock = threading.Lock()
         self._local = threading.local()
 

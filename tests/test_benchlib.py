@@ -48,7 +48,25 @@ def test_measure_records_and_returns_result(benchlib):
     assert record.params == {"n": 3}
     assert record.rounds >= 2
     assert record.best_s <= record.mean_s
+    assert record.best_s <= record.median_s
     assert record.counters == {"repairs.s_emitted": 3}
+    assert record.mem_peak_kb is None
+    assert "mem_peak_kb" not in record.to_dict()
+
+
+def test_profile_mem_records_peak(benchlib):
+    runner = benchlib.BenchRunner("unit")
+
+    def allocate():
+        return [0] * 100_000
+
+    runner.measure(
+        "alloc", allocate, min_rounds=1, target_s=0.0, profile_mem=True
+    )
+    (record,) = runner.records
+    assert record.mem_peak_kb is not None
+    assert record.mem_peak_kb > 400  # 100k machine ints
+    assert record.to_dict()["mem_peak_kb"] == record.mem_peak_kb
 
 
 def test_write_emits_valid_json(benchlib, tmp_path):
