@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 from ..errors import GroundingError
 from ..logic.formulas import Atom, Comparison, Var, is_var
 from ..observability import add, span
+from ..runtime import checkpoint as budget_checkpoint
 from .syntax import AspProgram
 
 
@@ -123,6 +124,9 @@ class Grounder:
         seen_rules: Set[Tuple] = set()
         for rule in self._program.rules:
             for binding in self._body_matches(rule.positive, by_pred):
+                # A half-ground program is unsound, so grounding has no
+                # anytime variant: budget exhaustion propagates.
+                budget_checkpoint()
                 if not self._builtins_hold(rule.builtins, binding):
                     continue
                 head = frozenset(
@@ -210,6 +214,7 @@ class Grounder:
                 if rule.is_constraint:
                     continue
                 for binding in self._body_matches(rule.positive, by_pred):
+                    budget_checkpoint()
                     if not self._builtins_hold(rule.builtins, binding):
                         continue
                     for h in rule.head:

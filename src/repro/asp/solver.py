@@ -26,8 +26,16 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..errors import SolverError
+from ..errors import BudgetExceededError, SolverError
 from ..observability import add, annotate, span
+from ..runtime import (
+    Budget,
+    BudgetExhaustion,
+    Partial,
+    resolve_budget,
+    use_budget,
+)
+from ..runtime import checkpoint as budget_checkpoint
 from .grounding import GroundProgram, GroundRule
 
 Clause = Tuple[int, ...]  # DIMACS-style: +i / -i for atom index i-1
@@ -162,6 +170,7 @@ class _Dpll:
         return True
 
     def _search(self, assignment: Dict[int, bool]) -> Optional[Set[int]]:
+        budget_checkpoint()
         # Pick a branching variable from an unsatisfied clause.
         branch_var = None
         for clause in self._clauses:
@@ -268,40 +277,83 @@ def stable_models(
     hitting sets.  Projected blocking collapses the enumeration from all
     hitting sets to exactly the minimal ones.
     """
+    partial = stable_models_partial(
+        ground, limit, max_candidates, blocking_atoms
+    )
+    return partial.unwrap(strict=partial.hit_resource_limit)
+
+
+def stable_models_partial(
+    ground: GroundProgram,
+    limit: Optional[int] = None,
+    max_candidates: int = 100000,
+    blocking_atoms: Optional[FrozenSet[int]] = None,
+    budget: Optional[Budget] = None,
+) -> "Partial[List[FrozenSet[int]]]":
+    """Anytime stable-model enumeration.
+
+    Every model in the value passed the full stability check, so a
+    budget-truncated prefix is sound: it is a subset of the models the
+    unbudgeted call returns.  Candidate-budget overflow (the historical
+    ``max_candidates`` guard) still raises :class:`SolverError` — that
+    is a safety valve against runaway blocking-clause growth, not a
+    graceful-degradation path.
+    """
     with span(
         "asp.solve", atoms=ground.n_atoms, rules=len(ground.rules)
     ):
-        models = _stable_models(
-            ground, limit, max_candidates, blocking_atoms
-        )
-        annotate(models=len(models))
-        return models
+        budget = resolve_budget(budget)
+        models: List[FrozenSet[int]] = []
+        exhausted = None
+        with use_budget(budget):
+            try:
+                complete = _enumerate_stable_models(
+                    ground, limit, max_candidates, blocking_atoms,
+                    budget, models,
+                )
+                exhausted = None if complete else BudgetExhaustion.COUNT
+            except BudgetExceededError as exc:
+                if budget is not None and budget.strict:
+                    raise
+                exhausted = BudgetExhaustion(exc.reason)
+        ordered = sorted(models, key=lambda m: (len(m), sorted(m)))
+        annotate(models=len(ordered))
+        if exhausted is None:
+            return Partial.done(ordered, budget)
+        add("asp.models_truncated")
+        annotate(truncated=exhausted.value)
+        return Partial.truncated(ordered, exhausted, budget)
 
 
-def _stable_models(
+def _enumerate_stable_models(
     ground: GroundProgram,
     limit: Optional[int],
     max_candidates: int,
     blocking_atoms: Optional[FrozenSet[int]],
-) -> List[FrozenSet[int]]:
+    budget: Optional[Budget],
+    models: List[FrozenSet[int]],
+) -> bool:
+    """Append stable models to *models*; False when ``limit`` cut off
+    the enumeration with candidates still outstanding."""
     base = program_clauses(ground)
     pruning = support_clauses(ground)
     blocking: List[Clause] = []
-    models: List[FrozenSet[int]] = []
     for _ in range(max_candidates):
         solver = _Dpll(ground.n_atoms, base + pruning + blocking)
         found = solver.solve()
         if found is None:
-            break
+            return True
         candidate = _greedy_shrink(found, base + pruning + blocking)
         add("asp.candidates_checked")
         if is_stable(ground, {v - 1 for v in candidate}):
             add("asp.models_accepted")
+            if budget is not None:
+                budget.count_result()
             models.append(
                 frozenset(v - 1 for v in candidate)  # back to 0-based
             )
             if limit is not None and len(models) >= limit:
-                break
+                return False
         if blocking_atoms is not None:
             projected = [
                 v for v in candidate if (v - 1) in blocking_atoms
@@ -309,15 +361,13 @@ def _stable_models(
             if not projected:
                 # The empty projection's model is unique; nothing else
                 # can follow without being a projection-superset.
-                break
+                return True
             blocking.append(tuple(sorted(-v for v in projected)))
         elif candidate:
             blocking.append(tuple(sorted(-v for v in candidate)))
         else:
             # The empty model blocks everything.
-            break
-    else:
-        raise SolverError(
-            "stable-model search exceeded the candidate budget"
-        )
-    return sorted(models, key=lambda m: (len(m), sorted(m)))
+            return True
+    raise SolverError(
+        "stable-model search exceeded the candidate budget"
+    )

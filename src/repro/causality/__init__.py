@@ -15,6 +15,7 @@ from .causes import (
     Cause,
     actual_causes,
     actual_causes_direct,
+    actual_causes_partial,
     counterfactual_causes,
     most_responsible_causes,
     query_as_denial,
@@ -34,6 +35,7 @@ __all__ = [
     "Cause",
     "actual_causes",
     "actual_causes_direct",
+    "actual_causes_partial",
     "counterfactual_causes",
     "most_responsible_causes",
     "query_as_denial",

@@ -25,7 +25,8 @@ from ..constraints.denial import DenialConstraint
 from ..errors import QueryError
 from ..logic.queries import ConjunctiveQuery
 from ..relational.database import Database, Fact, Row
-from ..repairs.srepairs import delete_only_repairs
+from ..repairs.srepairs import delete_only_repairs, delete_only_repairs_partial
+from ..runtime import Budget, Partial, resolve_budget
 
 
 @dataclass(frozen=True)
@@ -83,9 +84,34 @@ def actual_causes(
     :class:`~repro.logic.queries.UnionQuery` — for a UCQ, κ(Q) is the
     *set* of denial constraints negating each disjunct, and the repair
     connection goes through unchanged ([26] covers UCQs).
+
+    Budget exhaustion raises
+    :class:`~repro.errors.BudgetExceededError`; use
+    :func:`actual_causes_partial` for the anytime result.
+    """
+    partial = actual_causes_partial(db, query, answer)
+    return partial.unwrap(strict=partial.hit_resource_limit)
+
+
+def actual_causes_partial(
+    db: Database,
+    query,
+    answer: Optional[Row] = None,
+    budget: Optional[Budget] = None,
+) -> "Partial[List[Cause]]":
+    """Anytime actual causes via the repair connection.
+
+    The S-repair prefix is sound, so every returned :class:`Cause` is a
+    genuine actual cause and each listed contingency set is genuinely
+    subset-minimal (the repair-connection theorem certifies minimality
+    per repair, independent of the others).  When ``complete=False``,
+    the cause list and per-cause contingency lists may be missing
+    entries, and responsibilities are *lower bounds* — an unseen repair
+    could still provide a smaller contingency set.
     """
     from ..logic.queries import UnionQuery
 
+    budget = resolve_budget(budget)
     if isinstance(query, UnionQuery):
         if answer is not None:
             disjuncts = tuple(
@@ -99,17 +125,16 @@ def actual_causes(
                 )
             disjuncts = query.disjuncts
         if not any(d.holds(db) for d in disjuncts):
-            return []
+            return Partial.done([], budget)
         kappas = tuple(query_as_denial(d) for d in disjuncts)
-        repairs = delete_only_repairs(db, kappas)
     else:
         bq = _boolean(query, answer)
         if not bq.holds(db):
-            return []
-        kappa = query_as_denial(bq)
-        repairs = delete_only_repairs(db, (kappa,))
+            return Partial.done([], budget)
+        kappas = (query_as_denial(bq),)
+    repairs = delete_only_repairs_partial(db, kappas, budget=budget)
     by_fact: Dict[Fact, List[FrozenSet[Fact]]] = {}
-    for repair in repairs:
+    for repair in repairs.value:
         removed = repair.deleted
         for tau in removed:
             by_fact.setdefault(tau, []).append(
@@ -122,7 +147,7 @@ def actual_causes(
         causes.append(
             Cause(tau, 1.0 / (1 + smallest), tuple(contingencies))
         )
-    return causes
+    return repairs.map(lambda _: causes)
 
 
 def responsibility(

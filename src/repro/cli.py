@@ -18,6 +18,14 @@ rewriting, or SQL), ``measure`` (inconsistency degrees), and the ``obs``
 family over recorded telemetry (``obs report`` / ``obs flamegraph`` on
 JSONL traces, ``obs diff`` / ``obs check`` on ``BENCH_*.json`` perf
 suites).  CSV files need a header row naming the attributes.
+
+Every data subcommand accepts an execution budget: ``--timeout SECONDS``
+and/or ``--max-steps N`` activate cooperative cancellation across the
+whole pipeline.  When the budget runs out, ``repairs`` and ``cqa
+--method enumerate`` degrade gracefully — they print the sound partial
+result with an ``INCOMPLETE`` marker and exit 0 — while ``--strict``
+(and any code path that cannot produce a sound partial result) aborts
+with exit code 6.
 """
 
 from __future__ import annotations
@@ -31,16 +39,21 @@ from typing import Dict, List, Sequence, Tuple
 from .constraints import IntegrityConstraint
 from .cqa import (
     answers_via_sql,
-    consistent_answers,
     consistent_answers_fm,
+    consistent_answers_partial,
     fuxman_miller_rewrite,
 )
-from .errors import ReproError
+from .errors import BudgetExceededError, ReproError
 from .logic import parse_denial, parse_fd, parse_inclusion, parse_query
 from .measures import InconsistencyReport
 from .observability import collect
 from .relational import Database, RelationSchema, Schema
-from .repairs import c_repairs, s_repairs
+from .repairs import c_repairs_partial, s_repairs_partial
+from .runtime import Budget, use_budget
+
+#: Exit code for an exhausted execution budget without a sound partial
+#: result (``--strict``, or a method with no anytime variant).
+EXIT_BUDGET_EXHAUSTED = 6
 
 logger = logging.getLogger("repro.cli")
 
@@ -127,6 +140,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="denial constraint (repeatable)",
     )
     parser.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock deadline for the whole run (anytime results "
+             "where the method supports them)",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, metavar="N", dest="max_steps",
+        help="cooperative step budget for the whole run",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="abort with exit code 6 on budget exhaustion instead of "
+             "printing a partial result",
+    )
+    parser.add_argument(
         "--trace", metavar="FILE",
         help="write a JSONL span trace of the run to FILE",
     )
@@ -167,10 +194,17 @@ def _cmd_check(args) -> int:
 def _cmd_repairs(args) -> int:
     db = _build_database(args.csv or ())
     constraints = _build_constraints(args)
-    finder = c_repairs if args.cardinality else s_repairs
-    repairs = finder(db, constraints)
+    finder = c_repairs_partial if args.cardinality else s_repairs_partial
+    partial = finder(db, constraints)
+    repairs = partial.value
     kind = "C" if args.cardinality else "S"
-    print(f"{len(repairs)} {kind}-repair(s)")
+    if partial.complete:
+        print(f"{len(repairs)} {kind}-repair(s)")
+    else:
+        print(
+            f"{len(repairs)} {kind}-repair(s) -- INCOMPLETE: "
+            f"budget exhausted ({partial.exhausted})"
+        )
     for i, repair in enumerate(repairs[: args.limit]):
         print(f"repair {i}: -{sorted(map(repr, repair.deleted))} "
               f"+{sorted(map(repr, repair.inserted))}")
@@ -183,8 +217,16 @@ def _cmd_cqa(args) -> int:
     db = _build_database(args.csv or ())
     constraints = _build_constraints(args)
     query = parse_query(args.query)
+    note = ""
     if args.method == "enumerate":
-        answers = consistent_answers(db, constraints, query)
+        partial = consistent_answers_partial(db, constraints, query)
+        answers = partial.value
+        if not partial.complete:
+            note = (
+                f" -- INCOMPLETE: budget exhausted ({partial.exhausted}); "
+                f"sound under-approximation "
+                f"({partial.detail.get('fallback', '?')} fallback)"
+            )
     elif args.method == "rewrite":
         answers = consistent_answers_fm(db, constraints, query)
     elif args.method == "sql":
@@ -194,7 +236,7 @@ def _cmd_cqa(args) -> int:
         raise SystemExit(f"unknown method {args.method}")
     for row in sorted(answers, key=repr):
         print(",".join(str(v) for v in row))
-    print(f"-- {len(answers)} consistent answer(s) via {args.method}",
+    print(f"-- {len(answers)} consistent answer(s) via {args.method}{note}",
           file=sys.stderr)
     return 0
 
@@ -394,13 +436,30 @@ def _configure_logging(args) -> None:
     logging.getLogger("repro").setLevel(level)
 
 
+def _build_budget(args) -> Budget:
+    """The run-wide execution budget from CLI flags, or None."""
+    timeout = getattr(args, "timeout", None)
+    max_steps = getattr(args, "max_steps", None)
+    strict = getattr(args, "strict", False)
+    if timeout is None and max_steps is None:
+        if strict:
+            raise SystemExit(
+                "--strict requires a budget (--timeout and/or --max-steps)"
+            )
+        return None
+    return Budget(timeout=timeout, max_steps=max_steps, strict=strict)
+
+
 def main(argv: Sequence[str] = None) -> int:
     """CLI entry point.
 
-    Exit codes: 0 success, 1 inconsistency reported by ``check``, 2 bad
+    Exit codes: 0 success (including graceful partial results under an
+    exhausted budget), 1 inconsistency reported by ``check``, 2 bad
     input (unparsable constraints/queries, missing files, unsupported
-    query fragments).  ``obs diff`` / ``obs check`` add the gating codes
-    of :mod:`repro.observability.analysis.regression`: 3 timing
+    query fragments), 6 execution budget exhausted without a sound
+    partial result (``--strict``, or a method with no anytime variant).
+    ``obs diff`` / ``obs check`` add the gating codes of
+    :mod:`repro.observability.analysis.regression`: 3 timing
     regression, 4 counter drift, 5 benchmark set changed.
     """
     parser = build_parser()
@@ -409,25 +468,30 @@ def main(argv: Sequence[str] = None) -> int:
     trace = getattr(args, "trace", None)
     metrics = getattr(args, "metrics", False)
     profile_mem = getattr(args, "profile_mem", False)
+    budget = _build_budget(args)
     try:
-        if trace or metrics or profile_mem:
-            from .observability.analysis import profile_memory
+        with use_budget(budget):
+            if trace or metrics or profile_mem:
+                from .observability.analysis import profile_memory
 
-            with collect() as collector:
-                if profile_mem:
-                    with profile_memory(collector.tracer):
+                with collect() as collector:
+                    if profile_mem:
+                        with profile_memory(collector.tracer):
+                            code = args.func(args)
+                    else:
                         code = args.func(args)
-                else:
-                    code = args.func(args)
-            if trace:
-                lines = collector.write_trace(trace)
-                logger.info(
-                    "wrote %d trace line(s) to %s", lines, trace
-                )
-            if metrics or (profile_mem and not trace):
-                print(collector.summary(), file=sys.stderr)
-            return code
-        return args.func(args)
+                if trace:
+                    lines = collector.write_trace(trace)
+                    logger.info(
+                        "wrote %d trace line(s) to %s", lines, trace
+                    )
+                if metrics or (profile_mem and not trace):
+                    print(collector.summary(), file=sys.stderr)
+                return code
+            return args.func(args)
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BUDGET_EXHAUSTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -66,9 +66,16 @@ def all_satisfied(db: Database, constraints) -> bool:
 
 
 def all_violations(db: Database, constraints) -> List[Violation]:
-    """Concatenated violations of several constraints."""
+    """Concatenated violations of several constraints.
+
+    Checkpoints the ambient execution budget once per constraint, so
+    violation scans over large instances stay cancellable.
+    """
+    from ..runtime import checkpoint
+
     out: List[Violation] = []
     for ic in constraints:
+        checkpoint()
         out.extend(ic.violations(db))
     return out
 

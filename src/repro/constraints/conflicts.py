@@ -13,10 +13,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
-from ..errors import ConstraintError
+from ..errors import BudgetExceededError, ConstraintError
 from ..observability import add, annotate, span
 from ..relational.database import Database
+from ..runtime import (
+    Budget,
+    BudgetExhaustion,
+    Partial,
+    resolve_budget,
+    use_budget,
+)
+from ..runtime import checkpoint as budget_checkpoint
 from .base import IntegrityConstraint, all_violations, denial_class_only
+
+
+class _LimitReached(Exception):
+    """Internal: the requested number of minimal sets was found."""
 
 
 @dataclass(frozen=True)
@@ -39,6 +51,7 @@ class ConflictHypergraph:
         with span("conflicts.build"):
             edges: Set[FrozenSet[str]] = set()
             for violation in all_violations(db, constraints):
+                budget_checkpoint()
                 edges.add(frozenset(db.tid_of(f) for f in violation.facts))
             add("conflicts.nodes", len(db))
             add("conflicts.edges", len(edges))
@@ -71,23 +84,55 @@ class ConflictHypergraph:
     ) -> List[FrozenSet[str]]:
         """All inclusion-minimal hitting sets of the hyperedges.
 
-        These are exactly the deletion sets of S-repairs.  Enumeration
-        branches on the vertices of an uncovered edge; the result is
-        post-filtered to inclusion-minimal sets.  *limit* bounds the
-        number of (minimal) sets returned.
+        These are exactly the deletion sets of S-repairs.  *limit*
+        bounds the number of sets returned — and, unlike the historical
+        post-hoc slice, stops the search as soon as that many minimal
+        sets are verified, so bounded calls do bounded work.  Deadline
+        or step exhaustion of an ambient budget raises
+        :class:`~repro.errors.BudgetExceededError`; use
+        :meth:`minimal_hitting_sets_partial` for the anytime prefix.
+        """
+        partial = self.minimal_hitting_sets_partial(limit=limit)
+        return partial.unwrap(strict=partial.hit_resource_limit)
+
+    def minimal_hitting_sets_partial(
+        self,
+        limit: Optional[int] = None,
+        budget: Optional[Budget] = None,
+    ) -> "Partial[List[FrozenSet[str]]]":
+        """Anytime enumeration of the inclusion-minimal hitting sets.
+
+        Enumeration branches on the vertices of an uncovered edge.
+        Every emitted set passes an exact local minimality check (each
+        vertex has a private uncovered edge), so the prefix returned on
+        budget exhaustion is *sound*: each element is a true minimal
+        hitting set of the full edge set, never a superset that a
+        deeper branch would have shrunk.
         """
         edges = sorted(self.edges, key=lambda e: (len(e), sorted(e)))
+        budget = resolve_budget(budget)
         if not edges:
-            return [frozenset()]
+            return Partial.done([frozenset()], budget)
+        # ``candidates`` keeps every completed hitting set (minimal or
+        # not) for superset pruning; ``found`` holds the verified
+        # minimal ones, in discovery order.
         candidates: Set[FrozenSet[str]] = set()
+        found: List[FrozenSet[str]] = []
 
         def branch(chosen: Set[str], remaining: List[FrozenSet[str]]) -> None:
             add("conflicts.hitting_set_branches")
-            if limit is not None and len(candidates) >= 4 * limit:
-                return
+            budget_checkpoint()
             uncovered = [e for e in remaining if not (e & chosen)]
             if not uncovered:
-                candidates.add(frozenset(chosen))
+                hitting = frozenset(chosen)
+                if hitting not in candidates:
+                    candidates.add(hitting)
+                    if _is_minimal_hitting_set(hitting, edges):
+                        if budget is not None:
+                            budget.count_result()
+                        found.append(hitting)
+                        if limit is not None and len(found) >= limit:
+                            raise _LimitReached
                 return
             edge = min(uncovered, key=len)
             for vertex in sorted(edge):
@@ -100,15 +145,25 @@ class ConflictHypergraph:
                     add("conflicts.superset_pruned")
                 chosen.remove(vertex)
 
+        exhausted: Optional[BudgetExhaustion] = None
         with span("conflicts.minimal_hitting_sets"):
-            branch(set(), edges)
-            minimal = _inclusion_minimal(candidates)
-            minimal.sort(key=lambda s: (len(s), sorted(s)))
-            if limit is not None:
-                minimal = minimal[:limit]
+            with use_budget(budget):
+                try:
+                    branch(set(), edges)
+                except _LimitReached:
+                    exhausted = BudgetExhaustion.COUNT
+                except BudgetExceededError as exc:
+                    if budget is not None and budget.strict:
+                        raise
+                    exhausted = BudgetExhaustion(exc.reason)
+            minimal = sorted(found, key=lambda s: (len(s), sorted(s)))
             add("conflicts.minimal_hitting_sets", len(minimal))
             annotate(edges=len(edges), hitting_sets=len(minimal))
-            return minimal
+            if exhausted is None:
+                return Partial.done(minimal, budget)
+            add("conflicts.hitting_sets_truncated")
+            annotate(truncated=exhausted.value)
+            return Partial.truncated(minimal, exhausted, budget)
 
     def minimum_hitting_sets(self) -> List[FrozenSet[str]]:
         """All hitting sets of minimum cardinality (C-repair deletions)."""
@@ -164,6 +219,24 @@ class ConflictHypergraph:
                 "  conflict-free: " + ", ".join(label(t) for t in isolated)
             )
         return "\n".join(lines)
+
+
+def _is_minimal_hitting_set(
+    hitting: FrozenSet[str], edges: Sequence[FrozenSet[str]]
+) -> bool:
+    """Exact local minimality: every vertex owns a private edge.
+
+    *hitting* is assumed to cover every edge.  It is inclusion-minimal
+    iff each of its vertices is the sole cover of some edge — a check
+    that needs no knowledge of the other hitting sets, which is what
+    makes budget-truncated prefixes sound.
+    """
+    needed = {v: False for v in hitting}
+    for edge in edges:
+        covering = edge & hitting
+        if len(covering) == 1:
+            needed[next(iter(covering))] = True
+    return all(needed.values())
 
 
 def _inclusion_minimal(sets: Iterable[FrozenSet[str]]) -> List[FrozenSet[str]]:

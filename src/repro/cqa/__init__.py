@@ -18,9 +18,11 @@ from .approximation import (
 from .certain import (
     answer_frequencies,
     consistent_answers,
+    consistent_answers_partial,
     is_consistently_true,
     is_possibly_true,
     repairs_for_semantics,
+    repairs_for_semantics_partial,
 )
 from .fuxman_miller import consistent_answers_fm, fuxman_miller_rewrite
 from .rewriting import (
@@ -45,9 +47,11 @@ __all__ = [
     "underapproximate_answers",
     "answer_frequencies",
     "consistent_answers",
+    "consistent_answers_partial",
     "is_consistently_true",
     "is_possibly_true",
     "repairs_for_semantics",
+    "repairs_for_semantics_partial",
     "consistent_answers_fm",
     "fuxman_miller_rewrite",
     "atom_residues",

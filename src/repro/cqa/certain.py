@@ -11,13 +11,27 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional, Sequence, Tuple
 
-from ..constraints.base import IntegrityConstraint
-from ..errors import RepairError
-from ..observability import add, span
+from ..constraints.base import IntegrityConstraint, denial_class_only
+from ..errors import BudgetExceededError, RepairError
+from ..observability import add, annotate, span
 from ..relational.database import Database, Row
 from ..repairs.base import Repair
-from ..repairs.crepairs import c_repairs
-from ..repairs.srepairs import delete_only_repairs, s_repairs
+from ..repairs.crepairs import c_repairs, c_repairs_partial
+from ..repairs.srepairs import (
+    delete_only_repairs,
+    delete_only_repairs_partial,
+    s_repairs,
+    s_repairs_partial,
+)
+from ..runtime import (
+    Budget,
+    BudgetExhaustion,
+    Partial,
+    resolve_budget,
+    suspend_budget,
+    use_budget,
+)
+from ..runtime import checkpoint as budget_checkpoint
 
 SEMANTICS = ("s", "c", "delete-only")
 
@@ -40,6 +54,31 @@ def repairs_for_semantics(
     )
 
 
+def repairs_for_semantics_partial(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    semantics: str = "s",
+    max_steps: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> "Partial[Sequence[Repair]]":
+    """Anytime variant of :func:`repairs_for_semantics`."""
+    if semantics == "s":
+        return s_repairs_partial(
+            db, constraints, max_steps=max_steps, budget=budget
+        )
+    if semantics == "c":
+        return c_repairs_partial(
+            db, constraints, max_steps=max_steps, budget=budget
+        )
+    if semantics == "delete-only":
+        return delete_only_repairs_partial(
+            db, constraints, max_steps=max_steps, budget=budget
+        )
+    raise ValueError(
+        f"unknown repair semantics {semantics!r}; choose from {SEMANTICS}"
+    )
+
+
 def consistent_answers(
     db: Database,
     constraints: Sequence[IntegrityConstraint],
@@ -53,24 +92,109 @@ def consistent_answers(
     UnionQuery).  *semantics* selects the repair class: ``"s"`` for
     S-repairs, ``"c"`` for C-repairs, ``"delete-only"`` for subset
     repairs ([48]).
+
+    Under an active execution budget, exhaustion raises
+    :class:`~repro.errors.BudgetExceededError` — an exact answer set
+    cannot be produced from a repair prefix.  Use
+    :func:`consistent_answers_partial` for the anytime
+    under-approximation.
     """
+    partial = consistent_answers_partial(
+        db, constraints, query, semantics=semantics, max_steps=max_steps
+    )
+    return partial.unwrap(strict=not partial.complete)
+
+
+def consistent_answers_partial(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    query,
+    semantics: str = "s",
+    max_steps: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> "Partial[FrozenSet[Row]]":
+    """Anytime ``Cons(Q, D, Σ)``: certain answers or a sound subset.
+
+    ``complete=True`` results equal :func:`consistent_answers`.  On
+    budget exhaustion the value degrades to the *certain-core*
+    under-approximation (the query over the conflict-free sub-instance
+    — contained in every repair, hence sound for monotone queries); for
+    non-denial constraint sets, where no core exists, the fallback is
+    the empty set.  For the "s" and "delete-only" semantics the detail
+    carries ``upper_bound``: the intersection over the repairs seen
+    before exhaustion, a complete over-approximation that brackets the
+    exact answer set from above.
+    """
+    budget = resolve_budget(budget)
     with span("cqa.enumerate", semantics=semantics):
-        repairs = repairs_for_semantics(
-            db, constraints, semantics, max_steps
-        )
-        if not repairs:
-            raise RepairError(
-                "no repairs found: cannot intersect over an empty "
-                "repair class"
-            )
-        add("cqa.repairs_intersected", len(repairs))
-        result: Optional[FrozenSet[Row]] = None
-        for repair in repairs:
-            answers = frozenset(query.answers(repair.instance))
-            result = answers if result is None else (result & answers)
-            if not result:
-                break
-        return result if result is not None else frozenset()
+        exhausted: Optional[BudgetExhaustion] = None
+        prefix: Sequence[Repair] = ()
+        with use_budget(budget):
+            try:
+                repairs = repairs_for_semantics_partial(
+                    db, constraints, semantics, max_steps, budget=budget
+                )
+                if repairs.complete and not repairs.value:
+                    raise RepairError(
+                        "no repairs found: cannot intersect over an "
+                        "empty repair class"
+                    )
+                add("cqa.repairs_intersected", len(repairs.value))
+                if repairs.complete:
+                    result: Optional[FrozenSet[Row]] = None
+                    for repair in repairs.value:
+                        budget_checkpoint()
+                        answers = frozenset(
+                            query.answers(repair.instance)
+                        )
+                        result = (
+                            answers
+                            if result is None
+                            else (result & answers)
+                        )
+                        if not result:
+                            break
+                    value = result if result is not None else frozenset()
+                    return Partial.done(value, budget)
+                exhausted = repairs.exhausted
+                prefix = repairs.value
+            except BudgetExceededError as exc:
+                if budget is not None and budget.strict:
+                    raise
+                exhausted = BudgetExhaustion(exc.reason)
+        # Graceful degradation: the intersection over a repair *prefix*
+        # over-approximates the certain answers, so it cannot be
+        # returned as the value.  Fall back to the sound certain-core
+        # under-approximation, computed with the exhausted budget
+        # masked (it would re-raise on every checkpoint).
+        add("cqa.partial_fallbacks")
+        annotate(truncated=exhausted.value, repairs_seen=len(prefix))
+        with suspend_budget():
+            detail = {"repairs_seen": len(prefix)}
+            if semantics != "c" and prefix:
+                # Prefix intersection: an over-approximation bracket.
+                # (Not valid for "c": certified C-repairs may lie
+                # outside a best-so-far prefix.)
+                upper: Optional[FrozenSet[Row]] = None
+                for repair in prefix:
+                    answers = frozenset(query.answers(repair.instance))
+                    upper = (
+                        answers if upper is None else (upper & answers)
+                    )
+                    if not upper:
+                        break
+                detail["upper_bound"] = (
+                    upper if upper is not None else frozenset()
+                )
+            if denial_class_only(constraints):
+                from .approximation import underapproximate_answers
+
+                value = underapproximate_answers(db, constraints, query)
+                detail["fallback"] = "certain-core"
+            else:
+                value = frozenset()
+                detail["fallback"] = "empty"
+            return Partial.truncated(value, exhausted, budget, **detail)
 
 
 def is_consistently_true(

@@ -39,3 +39,32 @@ class SolverError(ReproError):
 
 class IntegrationError(ReproError):
     """A mediator, mapping, or source specification is invalid."""
+
+
+class BudgetExceededError(ReproError):
+    """An execution budget (deadline, steps, or result count) ran out.
+
+    Raised internally as the cooperative-cancellation signal of
+    :mod:`repro.runtime` and surfaced to callers only in *strict* mode;
+    the default pipeline behavior is to catch it at algorithm boundaries
+    and return an anytime :class:`repro.runtime.Partial` instead.
+
+    ``reason`` is the :class:`repro.runtime.BudgetExhaustion` member that
+    tripped, and ``budget`` the exhausted :class:`repro.runtime.Budget`.
+    """
+
+    def __init__(self, reason, message=None, budget=None):
+        super().__init__(
+            message or f"execution budget exhausted ({reason})"
+        )
+        self.reason = reason
+        self.budget = budget
+
+
+class TransientBackendError(ReproError):
+    """A backend failure that is expected to succeed on retry.
+
+    The SQLite rewriting backend raises (or translates driver errors
+    into) this class; :func:`repro.runtime.retry_transient` retries it
+    with exponential backoff.
+    """

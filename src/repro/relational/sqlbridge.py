@@ -14,6 +14,8 @@ import sqlite3
 from typing import Iterable, List, Tuple
 
 from ..observability import add, span
+from ..runtime.faults import sqlite_attempt
+from ..runtime.retry import retry_transient
 from .database import Database, Row
 from .nulls import NULL, is_labeled_null, is_null
 
@@ -67,14 +69,23 @@ def run_sql(db: Database, sql: str) -> List[Row]:
     SQL NULLs in the result are mapped back to the NULL marker.  Rows are
     returned in sorted order for deterministic comparison with the
     in-memory evaluator.
+
+    Transient backend failures (``sqlite3.OperationalError`` and the
+    fault harness's injected :class:`~repro.errors.TransientBackendError`)
+    are retried with exponential backoff; each attempt rebuilds the
+    in-memory materialization from scratch, so a retried statement never
+    observes half-written state.
     """
     with span("sql.run"):
-        conn = to_sqlite(db)
-        try:
-            cursor = conn.execute(sql)
-            raw = cursor.fetchall()
-        finally:
-            conn.close()
+        def attempt() -> List[Tuple]:
+            sqlite_attempt()
+            conn = to_sqlite(db)
+            try:
+                return conn.execute(sql).fetchall()
+            finally:
+                conn.close()
+
+        raw = retry_transient(attempt)
         add("sql.statements", 1)
         add("sql.rows_fetched", len(raw))
         rows = [
@@ -87,11 +98,18 @@ def run_sql(db: Database, sql: str) -> List[Row]:
 def run_sql_on_connection(
     conn: sqlite3.Connection, sql: str
 ) -> List[Row]:
-    """Run *sql* on an existing connection (for benchmark reuse)."""
-    cursor = conn.execute(sql)
+    """Run *sql* on an existing connection (for benchmark reuse).
+
+    Read-only statements are safe to retry on the live connection, so
+    transient failures get the same backoff treatment as :func:`run_sql`.
+    """
+    def attempt() -> List[Tuple]:
+        sqlite_attempt()
+        return conn.execute(sql).fetchall()
+
     rows = [
         tuple(NULL if v is None else v for v in row)
-        for row in cursor.fetchall()
+        for row in retry_transient(attempt)
     ]
     return sorted(set(rows), key=repr)
 

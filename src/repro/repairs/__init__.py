@@ -3,6 +3,7 @@
 from .attribute import (
     AttributeRepair,
     attribute_repairs,
+    attribute_repairs_partial,
     c_attribute_repairs,
 )
 from .base import Repair, cardinality_minimal, minimal_repairs, sort_repairs
@@ -14,6 +15,7 @@ from .counting import (
 )
 from .crepairs import (
     c_repairs,
+    c_repairs_partial,
     minimum_hitting_sets_branch_and_bound,
     repair_distance,
 )
@@ -26,11 +28,17 @@ from .prioritized import (
     prioritized_consistent_answers,
 )
 from .optimal import one_c_repair, one_s_repair
-from .srepairs import delete_only_repairs, s_repairs
+from .srepairs import (
+    delete_only_repairs,
+    delete_only_repairs_partial,
+    s_repairs,
+    s_repairs_partial,
+)
 
 __all__ = [
     "AttributeRepair",
     "attribute_repairs",
+    "attribute_repairs_partial",
     "c_attribute_repairs",
     "Repair",
     "cardinality_minimal",
@@ -42,6 +50,7 @@ __all__ = [
     "count_repairs_per_group",
     "count_s_repairs",
     "c_repairs",
+    "c_repairs_partial",
     "minimum_hitting_sets_branch_and_bound",
     "repair_distance",
     "IncrementalRepairer",
@@ -53,5 +62,7 @@ __all__ = [
     "one_c_repair",
     "one_s_repair",
     "delete_only_repairs",
+    "delete_only_repairs_partial",
     "s_repairs",
+    "s_repairs_partial",
 ]

@@ -23,11 +23,20 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..constraints.base import IntegrityConstraint, all_satisfied
+from ..constraints.conflicts import _LimitReached, _is_minimal_hitting_set
 from ..constraints.denial import DenialConstraint
-from ..errors import RepairError
+from ..errors import BudgetExceededError, RepairError
 from ..logic.evaluation import witnesses
 from ..relational.database import Database
 from ..relational.nulls import NULL
+from ..runtime import (
+    Budget,
+    BudgetExhaustion,
+    Partial,
+    resolve_budget,
+    use_budget,
+)
+from ..runtime import checkpoint as budget_checkpoint
 
 Position = Tuple[str, int]  # (tid, attribute position)
 
@@ -71,13 +80,39 @@ def attribute_repairs(
     set inclusion) there are additional incomparable minimal change sets,
     all of which this function returns.  EXPERIMENTS.md records the
     comparison.
+
+    ``limit`` is enforced during the hitting-set search (the historical
+    implementation over-enumerated ``4 * limit`` candidates, then
+    sliced).  Budget exhaustion raises
+    :class:`~repro.errors.BudgetExceededError`; use
+    :func:`attribute_repairs_partial` for the anytime prefix.
     """
-    candidate_sets = _violation_candidates(db, constraints)
-    if candidate_sets is None:
-        return []
-    hitting_sets = _minimal_hitting_sets(candidate_sets, limit=limit)
+    partial = attribute_repairs_partial(db, constraints, limit=limit)
+    return partial.unwrap(strict=partial.hit_resource_limit)
+
+
+def attribute_repairs_partial(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    limit: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> "Partial[List[AttributeRepair]]":
+    """Anytime attribute-repair enumeration: a sound prefix.
+
+    Every change set in the value passed the exact local-minimality
+    check against the full violation family, so truncation never leaks
+    a non-minimal repair.
+    """
+    budget = resolve_budget(budget)
+    with use_budget(budget):
+        candidate_sets = _violation_candidates(db, constraints)
+        if candidate_sets is None:
+            return Partial.done([], budget)
+        hitting = _minimal_hitting_sets(
+            candidate_sets, limit=limit, budget=budget
+        )
     out: List[AttributeRepair] = []
-    for changes in hitting_sets:
+    for changes in hitting.value:
         instance = _apply_changes(db, changes)
         # Nulling is monotone for DCs, so this holds by construction;
         # assert defensively because downstream causality relies on it.
@@ -88,7 +123,7 @@ def attribute_repairs(
             )
         out.append(AttributeRepair(db, frozenset(changes), instance))
     out.sort(key=lambda r: (r.size, r.change_labels()))
-    return out
+    return hitting.map(lambda _: out)
 
 
 def c_attribute_repairs(
@@ -138,33 +173,57 @@ def _violation_candidates(
 def _minimal_hitting_sets(
     sets: List[FrozenSet[Position]],
     limit: Optional[int] = None,
-) -> List[FrozenSet[Position]]:
+    budget: Optional[Budget] = None,
+) -> "Partial[List[FrozenSet[Position]]]":
+    """Minimal hitting sets of the candidate-position family.
+
+    Same anytime scheme as
+    :meth:`~repro.constraints.conflicts.ConflictHypergraph.minimal_hitting_sets_partial`:
+    completed sets are verified against the *full* family with the
+    private-edge check, so ``limit`` and budget truncation both yield
+    sound prefixes — unlike the historical ``4 * limit``
+    over-enumeration, which silently capped the candidate pool and
+    could miss minimal sets entirely.
+    """
     if not sets:
-        return [frozenset()]
-    results: Set[FrozenSet[Position]] = set()
+        return Partial.done([frozenset()], budget)
+    candidates: Set[FrozenSet[Position]] = set()
+    found: List[FrozenSet[Position]] = []
 
     def branch(chosen: Set[Position], remaining) -> None:
-        if limit is not None and len(results) >= 4 * limit:
-            return
+        budget_checkpoint()
         uncovered = [s for s in remaining if not (s & chosen)]
         if not uncovered:
-            results.add(frozenset(chosen))
+            hitting = frozenset(chosen)
+            if hitting not in candidates:
+                candidates.add(hitting)
+                if _is_minimal_hitting_set(hitting, sets):
+                    if budget is not None:
+                        budget.count_result()
+                    found.append(hitting)
+                    if limit is not None and len(found) >= limit:
+                        raise _LimitReached
             return
         target = min(uncovered, key=len)
         for position in sorted(target):
             chosen.add(position)
-            if not any(r <= chosen for r in results):
+            if not any(r <= chosen for r in candidates):
                 branch(chosen, uncovered)
             chosen.remove(position)
 
-    branch(set(), sets)
-    minimal: List[FrozenSet[Position]] = []
-    for s in sorted(results, key=len):
-        if not any(m <= s for m in minimal):
-            minimal.append(s)
-    if limit is not None:
-        minimal = minimal[:limit]
-    return minimal
+    exhausted: Optional[BudgetExhaustion] = None
+    try:
+        branch(set(), sets)
+    except _LimitReached:
+        exhausted = BudgetExhaustion.COUNT
+    except BudgetExceededError as exc:
+        if budget is not None and budget.strict:
+            raise
+        exhausted = BudgetExhaustion(exc.reason)
+    minimal = sorted(found, key=lambda s: (len(s), sorted(s)))
+    if exhausted is None:
+        return Partial.done(minimal, budget)
+    return Partial.truncated(minimal, exhausted, budget)
 
 
 def _apply_changes(db: Database, changes) -> Database:

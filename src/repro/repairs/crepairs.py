@@ -17,10 +17,19 @@ from typing import List, Optional, Sequence, Set
 
 from ..constraints.base import IntegrityConstraint, denial_class_only
 from ..constraints.conflicts import ConflictHypergraph
-from ..observability import add, span
+from ..errors import BudgetExceededError
+from ..observability import add, annotate, span
 from ..relational.database import Database
+from ..runtime import (
+    Budget,
+    BudgetExhaustion,
+    Partial,
+    resolve_budget,
+    use_budget,
+)
+from ..runtime import checkpoint as budget_checkpoint
 from .base import Repair, cardinality_minimal, sort_repairs
-from .srepairs import s_repairs
+from .srepairs import s_repairs_partial
 
 
 def c_repairs(
@@ -34,23 +43,74 @@ def c_repairs(
     ``engine="auto"`` uses branch-and-bound over the conflict hypergraph
     for denial-class constraints and falls back to filtering S-repairs
     otherwise; ``engine="filter"`` forces the filtering baseline.
+
+    Deadline/step exhaustion of an active execution budget raises
+    :class:`~repro.errors.BudgetExceededError`; use
+    :func:`c_repairs_partial` for the anytime best-so-far result.
+    """
+    partial = c_repairs_partial(
+        db, constraints, max_steps=max_steps, engine=engine
+    )
+    return partial.unwrap(strict=partial.hit_resource_limit)
+
+
+def c_repairs_partial(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    max_steps: Optional[int] = None,
+    engine: str = "auto",
+    budget: Optional[Budget] = None,
+) -> "Partial[List[Repair]]":
+    """Anytime C-repair computation.
+
+    Unlike the S-repair prefix, a truncated C-repair result is only
+    *best-so-far*: the returned repairs are genuine S-repairs of
+    cardinality ``detail["distance_bound"]``, an upper bound on the true
+    C-repair distance that a longer run might still undercut.  Only
+    ``complete=True`` results are certified minimum.
     """
     if engine not in ("auto", "filter"):
         raise ValueError(f"unknown engine {engine!r}")
+    budget = resolve_budget(budget)
     if engine == "auto" and denial_class_only(constraints):
         with span("repairs.c_repairs", engine="branch-and-bound"):
-            graph = ConflictHypergraph.build(db, constraints)
-            hitting_sets = minimum_hitting_sets_branch_and_bound(graph)
-            repairs = [
+            with use_budget(budget):
+                try:
+                    graph = ConflictHypergraph.build(db, constraints)
+                    hitting_sets = minimum_hitting_sets_branch_and_bound(
+                        graph
+                    )
+                    exhausted = None
+                except BudgetExceededError as exc:
+                    if budget is not None and budget.strict:
+                        raise
+                    exhausted = BudgetExhaustion(exc.reason)
+                    hitting_sets = getattr(exc, "best_so_far", [])
+            repairs = sort_repairs(
                 Repair(db, db.delete_tids(h)) for h in hitting_sets
-            ]
+            )
             add("repairs.c_emitted", len(repairs))
-            return sort_repairs(repairs)
+            if exhausted is None:
+                return Partial.done(repairs, budget)
+            add("repairs.c_truncated")
+            annotate(truncated=exhausted.value)
+            bound = min((r.size for r in repairs), default=None)
+            return Partial.truncated(
+                repairs, exhausted, budget, distance_bound=bound
+            )
     with span("repairs.c_repairs", engine="filter"):
-        all_s = s_repairs(db, constraints, max_steps=max_steps)
-        repairs = sort_repairs(cardinality_minimal(all_s))
+        all_s = s_repairs_partial(
+            db, constraints, max_steps=max_steps, budget=budget
+        )
+        repairs = sort_repairs(cardinality_minimal(all_s.value))
         add("repairs.c_emitted", len(repairs))
-        return repairs
+        if all_s.complete:
+            return Partial.done(repairs, budget)
+        add("repairs.c_truncated")
+        bound = min((r.size for r in repairs), default=None)
+        return Partial.truncated(
+            repairs, all_s.exhausted, budget, distance_bound=bound
+        )
 
 
 def repair_distance(
@@ -87,6 +147,7 @@ def minimum_hitting_sets_branch_and_bound(
     def branch(chosen: Set[str], remaining: List[frozenset]) -> None:
         nonlocal best_size
         add("repairs.bb_branches")
+        budget_checkpoint()
         uncovered = [e for e in remaining if not (e & chosen)]
         if not uncovered:
             size = len(chosen)
@@ -105,7 +166,14 @@ def minimum_hitting_sets_branch_and_bound(
             branch(chosen, uncovered)
             chosen.remove(vertex)
 
-    branch(set(), edges)
+    try:
+        branch(set(), edges)
+    except BudgetExceededError as exc:
+        # Anytime hand-off: the solutions found so far (all of size
+        # ``best_size``, an upper bound on the optimum) ride along on
+        # the exception for c_repairs_partial to salvage.
+        exc.best_so_far = sorted(solutions, key=sorted)
+        raise
     return sorted(solutions, key=sorted)
 
 

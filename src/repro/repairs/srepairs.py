@@ -10,15 +10,25 @@ Two engines:
 
 * **State-search engine** — for constraint sets including tgds/inclusion
   dependencies, where repairs may insert tuples (Example 3.1's repair D2
-  inserts Articles(I3)).  Explores the update space breadth-first, fixing
-  one violation per step by deleting a witnessing fact or inserting the
-  missing head facts (with NULL at existential positions, Section 4.2),
-  then keeps the inclusion-minimal consistent leaves.  Terminates for
-  weakly-acyclic tgds; a step bound guards cyclic inputs.
+  inserts Articles(I3)).  Explores the update space best-first by
+  ``|D Δ D'|``, fixing one violation per step by deleting a witnessing
+  fact or inserting the missing head facts (with NULL at existential
+  positions, Section 4.2); because states pop in nondecreasing distance
+  order, a consistent state is an S-repair exactly when no
+  already-emitted repair's diff is a subset of its diff, so repairs
+  stream out sound-as-found.  Terminates for weakly-acyclic tgds; a step
+  bound guards cyclic inputs.
+
+Both engines are **anytime**: :func:`s_repairs_partial` returns a
+:class:`~repro.runtime.Partial` whose value is a sound prefix of the
+repair set when the execution budget (deadline / steps / result count)
+runs out, and ``limit`` is enforced *during* the search, not by slicing
+a fully enumerated list.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Optional, Sequence, Set
 
 from ..constraints.base import (
@@ -27,10 +37,18 @@ from ..constraints.base import (
     denial_class_only,
 )
 from ..constraints.conflicts import ConflictHypergraph
-from ..errors import RepairError
-from ..observability import add, span
+from ..errors import BudgetExceededError, RepairError
+from ..observability import add, annotate, span
+from ..runtime import (
+    Budget,
+    BudgetExhaustion,
+    Partial,
+    resolve_budget,
+    use_budget,
+)
+from ..runtime import checkpoint as budget_checkpoint
 from ..relational.database import Database
-from .base import Repair, minimal_repairs, sort_repairs
+from .base import Repair, sort_repairs
 
 
 def s_repairs(
@@ -48,6 +66,37 @@ def s_repairs(
     non-denial constraints), ``"search"`` forces the state search (the
     ablation baseline of DESIGN.md).  ``allow_insertions=False`` restricts
     to the deletion-only semantics of Chomicki & Marcinkowski [48].
+
+    Under an active execution budget, deadline or step exhaustion raises
+    :class:`~repro.errors.BudgetExceededError` (a plain list cannot
+    express partiality); use :func:`s_repairs_partial` for the anytime
+    sound prefix.
+    """
+    partial = s_repairs_partial(
+        db,
+        constraints,
+        limit=limit,
+        max_steps=max_steps,
+        allow_insertions=allow_insertions,
+        engine=engine,
+    )
+    return partial.unwrap(strict=partial.hit_resource_limit)
+
+
+def s_repairs_partial(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    limit: Optional[int] = None,
+    max_steps: Optional[int] = None,
+    allow_insertions: bool = True,
+    engine: str = "auto",
+    budget: Optional[Budget] = None,
+) -> "Partial[List[Repair]]":
+    """Anytime S-repair enumeration: a :class:`Partial` sound prefix.
+
+    ``complete=True`` results are identical to :func:`s_repairs`.  On
+    budget exhaustion the value holds the repairs found so far — each a
+    genuine S-repair of the full instance — with the exhaustion reason.
     """
     if engine not in ("auto", "hypergraph", "search"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -56,15 +105,21 @@ def s_repairs(
         or (engine == "auto" and denial_class_only(constraints))
     )
     chosen = "hypergraph" if use_hypergraph else "search"
+    budget = resolve_budget(budget)
     with span("repairs.s_repairs", engine=chosen, facts=len(db)):
-        if use_hypergraph:
-            repairs = _hypergraph_repairs(db, constraints, limit)
-        else:
-            repairs = _search_repairs(
-                db, constraints, limit, max_steps, allow_insertions
-            )
-        add("repairs.s_emitted", len(repairs))
-        return repairs
+        with use_budget(budget):
+            if use_hypergraph:
+                partial = _hypergraph_repairs(db, constraints, limit, budget)
+            else:
+                partial = _search_repairs(
+                    db, constraints, limit, max_steps, allow_insertions,
+                    budget,
+                )
+        add("repairs.s_emitted", len(partial.value))
+        if not partial.complete:
+            add("repairs.s_truncated")
+            annotate(truncated=partial.exhausted.value)
+        return partial
 
 
 def delete_only_repairs(
@@ -80,6 +135,20 @@ def delete_only_repairs(
     )
 
 
+def delete_only_repairs_partial(
+    db: Database,
+    constraints: Sequence[IntegrityConstraint],
+    limit: Optional[int] = None,
+    max_steps: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> "Partial[List[Repair]]":
+    """Anytime subset-repair enumeration ([48])."""
+    return s_repairs_partial(
+        db, constraints, limit=limit, max_steps=max_steps,
+        allow_insertions=False, budget=budget,
+    )
+
+
 # ----------------------------------------------------------------------
 # Conflict-hypergraph engine
 # ----------------------------------------------------------------------
@@ -89,13 +158,34 @@ def _hypergraph_repairs(
     db: Database,
     constraints: Sequence[IntegrityConstraint],
     limit: Optional[int],
-) -> List[Repair]:
-    graph = ConflictHypergraph.build(db, constraints)
-    repairs = []
-    for hitting in graph.minimal_hitting_sets(limit=limit):
-        repaired = db.delete_tids(hitting)
-        repairs.append(Repair(db, repaired))
-    return sort_repairs(repairs)
+    budget: Optional[Budget],
+) -> "Partial[List[Repair]]":
+    exhausted: Optional[BudgetExhaustion] = None
+    repairs: List[Repair] = []
+    try:
+        graph = ConflictHypergraph.build(db, constraints)
+    except BudgetExceededError as exc:
+        if budget is not None and budget.strict:
+            raise
+        # Exhausted before any hitting set existed: empty sound prefix.
+        return Partial.truncated([], BudgetExhaustion(exc.reason), budget)
+    hitting = graph.minimal_hitting_sets_partial(limit=limit, budget=budget)
+    exhausted = hitting.exhausted
+    try:
+        for deletion in hitting.value:
+            if exhausted is None:
+                # Once exhausted, converting the already-found sets is
+                # bounded salvage work; checkpointing would re-raise.
+                budget_checkpoint()
+            repairs.append(Repair(db, db.delete_tids(deletion)))
+    except BudgetExceededError as exc:
+        if budget is not None and budget.strict:
+            raise
+        exhausted = BudgetExhaustion(exc.reason)
+    repairs = sort_repairs(repairs)
+    if exhausted is None:
+        return Partial.done(repairs, budget)
+    return Partial.truncated(repairs, exhausted, budget)
 
 
 # ----------------------------------------------------------------------
@@ -109,45 +199,75 @@ def _search_repairs(
     limit: Optional[int],
     max_steps: Optional[int],
     allow_insertions: bool,
-) -> List[Repair]:
+    budget: Optional[Budget],
+) -> "Partial[List[Repair]]":
     if max_steps is None:
         max_steps = 2 * len(db) + 10
     start = db.facts()
     visited: Set[frozenset] = {start}
-    frontier: List[Database] = [db]
-    consistent: List[Repair] = []
+    # Best-first by |D Δ D'| (repr as tiebreak for determinism): states
+    # pop in nondecreasing distance, so a consistent state is an
+    # S-repair iff no earlier-emitted repair's diff is contained in its
+    # diff — which makes every emitted repair final and the stream sound
+    # under truncation.
+    counter = 0
+    frontier: List = [(0, counter, db)]
+    emitted: List[Repair] = []
+    exhausted: Optional[BudgetExhaustion] = None
     exhausted_bound = False
-    while frontier:
-        current = frontier.pop()
-        add("repairs.states_explored")
-        violations = all_violations(current, constraints)
-        if not violations:
-            consistent.append(Repair(db, current))
-            continue
-        if len(current.symmetric_difference(db)) >= max_steps:
-            exhausted_bound = True
-            continue
-        violation = min(
-            violations, key=lambda v: sorted(map(repr, v.facts))
-        )
-        successors: List[Database] = []
-        for f in sorted(violation.facts, key=repr):
-            successors.append(current.delete([f]))
-        if allow_insertions and violation.missing:
-            successors.append(current.insert(violation.missing))
-        for nxt in successors:
-            key = nxt.facts()
-            if key not in visited:
-                visited.add(key)
-                frontier.append(nxt)
-    if not consistent and exhausted_bound:
+    try:
+        while frontier:
+            _, _, current = heapq.heappop(frontier)
+            add("repairs.states_explored")
+            budget_checkpoint()
+            violations = all_violations(current, constraints)
+            if not violations:
+                repair = Repair(db, current)
+                if not any(r.diff <= repair.diff for r in emitted):
+                    if budget is not None:
+                        budget.count_result()
+                    emitted.append(repair)
+                    if limit is not None and len(emitted) >= limit:
+                        exhausted = (
+                            BudgetExhaustion.COUNT if frontier else None
+                        )
+                        break
+                continue
+            if len(current.symmetric_difference(db)) >= max_steps:
+                exhausted_bound = True
+                continue
+            violation = min(
+                violations, key=lambda v: sorted(map(repr, v.facts))
+            )
+            successors: List[Database] = []
+            for f in sorted(violation.facts, key=repr):
+                successors.append(current.delete([f]))
+            if allow_insertions and violation.missing:
+                successors.append(current.insert(violation.missing))
+            for nxt in successors:
+                key = nxt.facts()
+                if key not in visited:
+                    visited.add(key)
+                    counter += 1
+                    heapq.heappush(
+                        frontier,
+                        (
+                            len(nxt.symmetric_difference(db)),
+                            counter,
+                            nxt,
+                        ),
+                    )
+    except BudgetExceededError as exc:
+        if budget is not None and budget.strict:
+            raise
+        exhausted = BudgetExhaustion(exc.reason)
+    if not emitted and exhausted is None and exhausted_bound:
         raise RepairError(
             "repair search exhausted its step bound without finding a "
             "consistent instance; the tgd set may be cyclic — raise "
             "max_steps or restrict to deletions"
         )
-    repairs = minimal_repairs(consistent)
-    repairs = sort_repairs(repairs)
-    if limit is not None:
-        repairs = repairs[:limit]
-    return repairs
+    repairs = sort_repairs(emitted)
+    if exhausted is None:
+        return Partial.done(repairs, budget)
+    return Partial.truncated(repairs, exhausted, budget)

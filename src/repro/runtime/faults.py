@@ -1,0 +1,136 @@
+"""Deterministic fault injection for the stress-test harness.
+
+A :class:`FaultPlan` simulates the three failure classes the runtime
+layer must degrade gracefully under:
+
+* **deadline expiry** — after a configured number of checkpoint calls,
+  every active budget behaves as if its wall clock ran out;
+* **step starvation** — same trigger, but reported as step exhaustion;
+* **transient SQLite failures** — the rewriting backend's
+  :func:`repro.relational.sqlbridge.run_sql` raises
+  :class:`~repro.errors.TransientBackendError` with a seed-driven
+  probability, exercising the retry/backoff path.
+
+Everything is driven by one ``random.Random(seed)``: the same seed and
+the same call sequence inject the same faults, so stress tests assert
+exact outcomes.  Plans install via the :func:`inject` context manager;
+with no plan installed every hook is a global read.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import TransientBackendError
+from ..observability import add
+from . import budget as _budget
+from .budget import BudgetExhaustion
+
+__all__ = ["FaultPlan", "inject", "active_plan"]
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    ``expire_deadline_after`` / ``starve_steps_after`` are checkpoint
+    counts after which every budget checkpoint reports deadline/step
+    exhaustion.  ``sqlite_failure_rate`` is the per-attempt probability
+    of a transient backend error, capped at ``max_sqlite_failures``
+    total injections (None = unlimited).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        expire_deadline_after: Optional[int] = None,
+        starve_steps_after: Optional[int] = None,
+        sqlite_failure_rate: float = 0.0,
+        max_sqlite_failures: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= sqlite_failure_rate <= 1.0:
+            raise ValueError("sqlite_failure_rate must be in [0, 1]")
+        self.seed = seed
+        self.expire_deadline_after = expire_deadline_after
+        self.starve_steps_after = starve_steps_after
+        self.sqlite_failure_rate = sqlite_failure_rate
+        self.max_sqlite_failures = max_sqlite_failures
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.checkpoints_seen = 0
+        self.sqlite_attempts = 0
+        self.sqlite_failures_injected = 0
+
+    # -- hooks (called by budget.checkpoint / sqlbridge.run_sql) -------
+
+    def _on_checkpoint(self) -> Optional[BudgetExhaustion]:
+        with self._lock:
+            self.checkpoints_seen += 1
+            seen = self.checkpoints_seen
+        if (
+            self.expire_deadline_after is not None
+            and seen > self.expire_deadline_after
+        ):
+            add("runtime.faults.deadline_injected")
+            return BudgetExhaustion.DEADLINE
+        if (
+            self.starve_steps_after is not None
+            and seen > self.starve_steps_after
+        ):
+            add("runtime.faults.starvation_injected")
+            return BudgetExhaustion.STEPS
+        return None
+
+    def _on_sqlite_attempt(self) -> None:
+        """Raise a transient backend error per the seeded schedule."""
+        if self.sqlite_failure_rate <= 0.0:
+            return
+        with self._lock:
+            self.sqlite_attempts += 1
+            if (
+                self.max_sqlite_failures is not None
+                and self.sqlite_failures_injected
+                >= self.max_sqlite_failures
+            ):
+                return
+            if self._rng.random() >= self.sqlite_failure_rate:
+                return
+            self.sqlite_failures_injected += 1
+        add("runtime.faults.sqlite_injected")
+        raise TransientBackendError(
+            "injected transient SQLite failure "
+            f"(#{self.sqlite_failures_injected}, seed={self.seed})"
+        )
+
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed fault plan, or None."""
+    return _PLAN
+
+
+def sqlite_attempt() -> None:
+    """Fault hook for the SQLite backend (no-op without a plan)."""
+    plan = _PLAN
+    if plan is not None:
+        plan._on_sqlite_attempt()
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install *plan* for the duration of the block (non-reentrant)."""
+    global _PLAN
+    if _PLAN is not None:
+        raise RuntimeError("a fault plan is already installed")
+    _PLAN = plan
+    _budget._fault_hook = plan._on_checkpoint
+    try:
+        yield plan
+    finally:
+        _PLAN = None
+        _budget._fault_hook = None

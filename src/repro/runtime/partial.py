@@ -1,0 +1,115 @@
+"""Anytime partial results.
+
+A :class:`Partial` wraps whatever **sound prefix** an algorithm managed
+to compute before its budget ran out: repairs found so far, stable
+models enumerated so far, a certain-answer under-approximation.  The
+wrapper is explicit about completeness — ``complete=True`` results are
+bit-identical to what the unbudgeted call would have returned, while
+``complete=False`` carries the :class:`BudgetExhaustion` reason and
+only guarantees soundness (every element genuinely belongs to the full
+result; nothing about the elements that are missing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Optional, TypeVar
+
+from ..errors import BudgetExceededError
+from .budget import Budget, BudgetExhaustion
+
+__all__ = ["Partial"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Partial(Generic[T]):
+    """An anytime result: a value plus an explicit completeness claim.
+
+    ``detail`` carries algorithm-specific extras (e.g. the
+    over-approximation bracket a truncated CQA run could still derive,
+    or the best cardinality bound a cut-short branch-and-bound proved).
+    """
+
+    value: T
+    complete: bool
+    exhausted: Optional[BudgetExhaustion] = None
+    steps: int = 0
+    elapsed_s: float = 0.0
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def done(
+        cls, value: T, budget: Optional[Budget] = None, **detail
+    ) -> "Partial[T]":
+        """A complete result (identical to the unbudgeted computation)."""
+        return cls(
+            value=value,
+            complete=True,
+            exhausted=None,
+            steps=budget.steps if budget else 0,
+            elapsed_s=budget.elapsed() if budget else 0.0,
+            detail=detail,
+        )
+
+    @classmethod
+    def truncated(
+        cls,
+        value: T,
+        reason: BudgetExhaustion,
+        budget: Optional[Budget] = None,
+        **detail,
+    ) -> "Partial[T]":
+        """A sound prefix cut short by *reason*."""
+        return cls(
+            value=value,
+            complete=False,
+            exhausted=BudgetExhaustion(reason),
+            steps=budget.steps if budget else 0,
+            elapsed_s=budget.elapsed() if budget else 0.0,
+            detail=detail,
+        )
+
+    @property
+    def hit_resource_limit(self) -> bool:
+        """True when a deadline or step budget cut the computation.
+
+        Result-count truncation (``COUNT``) is excluded: a caller who
+        capped the result count asked for a prefix, whereas deadline and
+        step exhaustion mean the machine gave out — legacy list-returning
+        APIs re-raise for the latter and return the prefix for the former.
+        """
+        return self.exhausted in (
+            BudgetExhaustion.DEADLINE,
+            BudgetExhaustion.STEPS,
+        )
+
+    def unwrap(self, strict: bool = False) -> T:
+        """The value; in strict mode an incomplete result raises."""
+        if strict and not self.complete:
+            raise BudgetExceededError(
+                self.exhausted,
+                "strict budget: computation was truncated "
+                f"({self.exhausted})",
+            )
+        return self.value
+
+    def map(self, fn) -> "Partial":
+        """A new Partial with ``fn(value)``, same completeness claim."""
+        return Partial(
+            value=fn(self.value),
+            complete=self.complete,
+            exhausted=self.exhausted,
+            steps=self.steps,
+            elapsed_s=self.elapsed_s,
+            detail=dict(self.detail),
+        )
+
+    def __repr__(self) -> str:
+        if self.complete:
+            return f"Partial(complete, {self.value!r})"
+        return (
+            f"Partial(exhausted={self.exhausted.value}, "
+            f"{self.value!r})"
+        )

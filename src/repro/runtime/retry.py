@@ -1,0 +1,63 @@
+"""Retry with exponential backoff for transient backend failures.
+
+The rewriting path materializes instances into SQLite; under real
+deployments (and under the fault-injection harness) those calls can
+fail transiently.  :func:`retry_transient` retries the transient class
+with exponential backoff, respects the ambient execution budget between
+attempts, and records retry counters for ``obs report``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from ..errors import TransientBackendError
+from ..observability import add
+from .budget import checkpoint
+
+__all__ = ["retry_transient", "TRANSIENT_ERRORS"]
+
+T = TypeVar("T")
+
+#: Errors worth retrying: our own transient class plus SQLite's
+#: operational failures (locked database, I/O pressure, ...).
+TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (
+    TransientBackendError,
+    sqlite3.OperationalError,
+)
+
+
+def retry_transient(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 4,
+    base_delay: float = 0.01,
+    factor: float = 2.0,
+    max_delay: float = 0.25,
+    transient: Tuple[Type[BaseException], ...] = TRANSIENT_ERRORS,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> T:
+    """Call ``fn`` with up to *attempts* tries on transient failures.
+
+    Backoff delays are ``base_delay * factor**i`` capped at
+    ``max_delay``.  A budget checkpoint runs before every retry, so a
+    deadline that expires mid-backoff cancels the retry loop instead of
+    sleeping past it.  The final failure is re-raised unchanged.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    do_sleep = time.sleep if sleep is None else sleep
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except transient:
+            add("runtime.transient_failures")
+            if attempt == attempts - 1:
+                add("runtime.retries_exhausted")
+                raise
+            checkpoint()
+            add("runtime.retries")
+            do_sleep(min(base_delay * (factor ** attempt), max_delay))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -221,3 +221,46 @@ class TestErrors:
         assert rc == 0
         assert "2 S-repair(s)" in out
         assert "2.5" in out
+
+
+class TestBudgetFlags:
+    def test_budget_flags_parse_and_complete_run_is_unmarked(
+        self, employee_csv, capsys
+    ):
+        rc = main([
+            "repairs", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--timeout", "30", "--max-steps", "1000000",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "INCOMPLETE" not in out
+
+    def test_step_budget_marks_output_incomplete(
+        self, employee_csv, capsys
+    ):
+        rc = main([
+            "repairs", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--max-steps", "5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "INCOMPLETE: budget exhausted (steps)" in out
+
+    def test_strict_step_budget_exits_6(self, employee_csv, capsys):
+        rc = main([
+            "repairs", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--max-steps", "5", "--strict",
+        ])
+        err = capsys.readouterr().err
+        assert rc == 6
+        assert "steps" in err
+
+    def test_strict_without_budget_is_a_usage_error(self, employee_csv):
+        with pytest.raises(SystemExit):
+            main([
+                "check", "--csv", f"Employee={employee_csv}",
+                "--fd", "Employee: Name -> Salary", "--strict",
+            ])

@@ -1,0 +1,369 @@
+"""Unit tests for the execution-budget runtime (repro.runtime)."""
+
+import time
+
+import pytest
+
+from repro.errors import BudgetExceededError, TransientBackendError
+from repro.runtime import (
+    Budget,
+    BudgetExhaustion,
+    FaultPlan,
+    Partial,
+    active_plan,
+    checkpoint,
+    count_result,
+    current_budget,
+    inject,
+    resolve_budget,
+    retry_transient,
+    suspend_budget,
+    use_budget,
+)
+from repro.runtime.budget import _CLOCK_STRIDE
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestBudget:
+    def test_unbounded_budget_never_exhausts(self):
+        b = Budget()
+        for _ in range(1000):
+            b.checkpoint()
+        b.count_result(10)
+        assert b.exhausted is None
+
+    def test_step_budget(self):
+        b = Budget(max_steps=5)
+        for _ in range(5):
+            b.checkpoint()
+        with pytest.raises(BudgetExceededError) as info:
+            b.checkpoint()
+        assert info.value.reason == BudgetExhaustion.STEPS
+        assert b.exhausted == BudgetExhaustion.STEPS
+
+    def test_exhausted_budget_re_raises(self):
+        b = Budget(max_steps=1)
+        b.checkpoint()
+        with pytest.raises(BudgetExceededError):
+            b.checkpoint()
+        with pytest.raises(BudgetExceededError):
+            b.checkpoint()
+        with pytest.raises(BudgetExceededError):
+            b.count_result()
+
+    def test_deadline_budget_with_fake_clock(self):
+        clock = FakeClock()
+        b = Budget(timeout=2.0, clock=clock).start()
+        b.checkpoint()
+        clock.advance(5.0)
+        with pytest.raises(BudgetExceededError) as info:
+            # The clock is strided, so one checkpoint may not look.
+            for _ in range(2 * _CLOCK_STRIDE):
+                b.checkpoint()
+        assert info.value.reason == BudgetExhaustion.DEADLINE
+
+    def test_deadline_checked_at_most_every_stride(self):
+        calls = []
+
+        def clock():
+            calls.append(1)
+            return 0.0
+
+        b = Budget(timeout=100.0, clock=clock).start()
+        for _ in range(10 * _CLOCK_STRIDE):
+            b.checkpoint()
+        # start() reads once; afterwards ~one read per stride.
+        assert len(calls) <= 12
+
+    def test_result_cap_never_over_emits(self):
+        b = Budget(max_results=3)
+        emitted = []
+        with pytest.raises(BudgetExceededError) as info:
+            for i in range(10):
+                b.count_result()
+                emitted.append(i)
+        assert emitted == [0, 1, 2]
+        assert info.value.reason == BudgetExhaustion.COUNT
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Budget(timeout=-1)
+        with pytest.raises(ValueError):
+            Budget(max_steps=-1)
+        with pytest.raises(ValueError):
+            Budget(max_results=-1)
+
+    def test_start_is_idempotent(self):
+        clock = FakeClock()
+        b = Budget(timeout=1.0, clock=clock)
+        b.start()
+        first = b._deadline
+        clock.advance(10.0)
+        b.start()
+        assert b._deadline == first
+
+    def test_remaining_accessors(self):
+        clock = FakeClock()
+        b = Budget(timeout=4.0, max_results=2, clock=clock).start()
+        clock.advance(1.0)
+        assert b.remaining_time() == pytest.approx(3.0)
+        assert b.elapsed() == pytest.approx(1.0)
+        assert b.remaining_results() == 2
+        b.count_result()
+        assert b.remaining_results() == 1
+        assert Budget().remaining_time() is None
+        assert Budget().remaining_results() is None
+
+    def test_repr(self):
+        assert "unbounded" in repr(Budget())
+        assert "max_steps=3" in repr(Budget(max_steps=3))
+        b = Budget(max_steps=1)
+        b.checkpoint()
+        with pytest.raises(BudgetExceededError):
+            b.checkpoint()
+        assert "steps" in repr(b)
+
+    def test_exception_carries_budget(self):
+        b = Budget(max_steps=0)
+        with pytest.raises(BudgetExceededError) as info:
+            b.checkpoint()
+        assert info.value.budget is b
+        assert "steps" in str(info.value)
+
+
+class TestAmbientBudget:
+    def test_free_functions_are_noops_without_budget(self):
+        assert current_budget() is None
+        checkpoint()
+        count_result()
+
+    def test_use_budget_activates_and_deactivates(self):
+        b = Budget(max_steps=100)
+        assert current_budget() is None
+        with use_budget(b):
+            assert current_budget() is b
+            checkpoint()
+        assert current_budget() is None
+        assert b.steps == 1
+
+    def test_use_budget_none_is_noop(self):
+        with use_budget(None):
+            assert current_budget() is None
+
+    def test_nesting_innermost_wins(self):
+        outer, inner = Budget(), Budget()
+        with use_budget(outer):
+            with use_budget(inner):
+                assert current_budget() is inner
+                checkpoint()
+            assert current_budget() is outer
+        assert inner.steps == 1
+        assert outer.steps == 0
+
+    def test_resolve_budget(self):
+        explicit, ambient = Budget(), Budget()
+        assert resolve_budget(explicit) is explicit
+        assert resolve_budget(None) is None
+        with use_budget(ambient):
+            assert resolve_budget(None) is ambient
+            assert resolve_budget(explicit) is explicit
+
+    def test_suspend_budget_masks_exhausted_budget(self):
+        b = Budget(max_steps=1)
+        with use_budget(b):
+            checkpoint()
+            with pytest.raises(BudgetExceededError):
+                checkpoint()
+            with suspend_budget():
+                assert current_budget() is None
+                checkpoint()  # no-op, does not re-raise
+                count_result()
+            with pytest.raises(BudgetExceededError):
+                checkpoint()
+
+
+class TestPartial:
+    def test_done(self):
+        p = Partial.done([1, 2, 3])
+        assert p.complete
+        assert p.exhausted is None
+        assert p.value == [1, 2, 3]
+        assert not p.hit_resource_limit
+        assert p.unwrap() == [1, 2, 3]
+        assert p.unwrap(strict=True) == [1, 2, 3]
+
+    def test_truncated(self):
+        p = Partial.truncated([1], BudgetExhaustion.DEADLINE)
+        assert not p.complete
+        assert p.exhausted == BudgetExhaustion.DEADLINE
+        assert p.hit_resource_limit
+        assert p.unwrap() == [1]
+        with pytest.raises(BudgetExceededError):
+            p.unwrap(strict=True)
+
+    def test_count_truncation_is_not_a_resource_limit(self):
+        p = Partial.truncated([1], BudgetExhaustion.COUNT)
+        assert not p.hit_resource_limit
+
+    def test_budget_stats_recorded(self):
+        b = Budget(max_steps=10)
+        b.checkpoint(4)
+        p = Partial.done([], b)
+        assert p.steps == 4
+
+    def test_detail(self):
+        p = Partial.truncated(
+            [], BudgetExhaustion.STEPS, None, distance_bound=3
+        )
+        assert p.detail["distance_bound"] == 3
+
+    def test_map_preserves_completeness(self):
+        p = Partial.truncated([1, 2], BudgetExhaustion.STEPS)
+        q = p.map(len)
+        assert q.value == 2
+        assert not q.complete
+        assert q.exhausted == BudgetExhaustion.STEPS
+        r = Partial.done([1]).map(len)
+        assert r.complete
+
+
+class TestRetry:
+    def test_succeeds_without_failures(self):
+        assert retry_transient(lambda: 42, sleep=lambda s: None) == 42
+
+    def test_retries_transient_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientBackendError("injected")
+            return "ok"
+
+        delays = []
+        assert retry_transient(flaky, sleep=delays.append) == "ok"
+        assert len(attempts) == 3
+        # Exponential backoff: each delay doubles.
+        assert delays == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_exhausted_retries_re_raise(self):
+        def always_fails():
+            raise TransientBackendError("injected")
+
+        with pytest.raises(TransientBackendError):
+            retry_transient(
+                always_fails, attempts=3, sleep=lambda s: None
+            )
+
+    def test_non_transient_errors_propagate_immediately(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retry_transient(broken, sleep=lambda s: None)
+        assert len(attempts) == 1
+
+    def test_deadline_cancels_backoff(self):
+        b = Budget(max_steps=1)
+
+        def always_fails():
+            raise TransientBackendError("injected")
+
+        with use_budget(b):
+            checkpoint()  # consume the single step
+            with pytest.raises(BudgetExceededError):
+                retry_transient(always_fails, sleep=lambda s: None)
+
+
+class TestFaultPlans:
+    def test_no_plan_by_default(self):
+        assert active_plan() is None
+
+    def test_deadline_injection_is_deterministic(self):
+        for _ in range(2):
+            plan = FaultPlan(seed=3, expire_deadline_after=5)
+            b = Budget(timeout=1000.0)
+            with inject(plan):
+                with pytest.raises(BudgetExceededError) as info:
+                    for _ in range(100):
+                        b.checkpoint()
+                assert info.value.reason == BudgetExhaustion.DEADLINE
+                assert plan.checkpoints_seen == 6
+            assert active_plan() is None
+
+    def test_step_starvation_injection(self):
+        plan = FaultPlan(seed=0, starve_steps_after=3)
+        b = Budget()
+        with inject(plan):
+            with pytest.raises(BudgetExceededError) as info:
+                for _ in range(10):
+                    b.checkpoint()
+            assert info.value.reason == BudgetExhaustion.STEPS
+
+    def test_sqlite_fault_schedule_is_seeded(self):
+        def schedule(seed):
+            plan = FaultPlan(seed=seed, sqlite_failure_rate=0.5)
+            out = []
+            with inject(plan):
+                for _ in range(20):
+                    try:
+                        plan._on_sqlite_attempt()
+                        out.append(0)
+                    except TransientBackendError:
+                        out.append(1)
+            return out
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_max_sqlite_failures(self):
+        plan = FaultPlan(
+            seed=1, sqlite_failure_rate=1.0, max_sqlite_failures=2
+        )
+        failures = 0
+        with inject(plan):
+            for _ in range(10):
+                try:
+                    plan._on_sqlite_attempt()
+                except TransientBackendError:
+                    failures += 1
+        assert failures == 2
+
+    def test_inject_is_not_reentrant(self):
+        with inject(FaultPlan(seed=0)):
+            with pytest.raises(RuntimeError):
+                with inject(FaultPlan(seed=1)):
+                    pass
+
+    def test_faults_do_not_leak_after_exit(self):
+        with inject(FaultPlan(seed=0, expire_deadline_after=0)):
+            pass
+        b = Budget(timeout=1000.0)
+        for _ in range(10):
+            b.checkpoint()
+        assert b.exhausted is None
+
+
+class TestWallClockIntegration:
+    def test_real_deadline_fires(self):
+        b = Budget(timeout=0.01).start()
+        time.sleep(0.02)
+        with pytest.raises(BudgetExceededError) as info:
+            for _ in range(10 * _CLOCK_STRIDE):
+                b.checkpoint()
+        assert info.value.reason == BudgetExhaustion.DEADLINE

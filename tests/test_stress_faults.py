@@ -1,0 +1,267 @@
+"""Stress and fault-injection tests for budgets and graceful degradation.
+
+These are the acceptance tests of the robustness layer:
+
+* a hard instance with more than 10^6 S-repairs (``2^20``) under a
+  1-second wall-clock deadline returns a *sound, non-empty* partial
+  result — in both the library and the CLI path — instead of hanging;
+* injected faults (deadline expiry, step starvation, transient SQLite
+  failures) are deterministic under a fixed seed and never corrupt
+  results;
+* strict mode turns exhaustion into an error with a dedicated exit code.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.constraints.base import all_satisfied
+from repro.cqa import consistent_answers, consistent_answers_partial
+from repro.errors import BudgetExceededError, TransientBackendError
+from repro.relational.sqlbridge import run_sql
+from repro.repairs import s_repairs, s_repairs_partial
+from repro.runtime import Budget, BudgetExhaustion, FaultPlan, inject
+from repro.workloads import employee_key_violations
+
+
+@pytest.fixture
+def hard_scenario():
+    """2^20 > 10^6 S-repairs: 20 violating key groups of size 2."""
+    return employee_key_violations(0, 20, 2)
+
+
+@pytest.fixture
+def hard_csv(tmp_path):
+    rows = ["Name,Salary"]
+    for g in range(20):
+        rows.append(f"n{g},100")
+        rows.append(f"n{g},200")
+    path = tmp_path / "emp.csv"
+    path.write_text("\n".join(rows) + "\n")
+    return str(path)
+
+
+class TestDeadlineOnHardInstance:
+    def test_library_path_returns_sound_nonempty_prefix(
+        self, hard_scenario
+    ):
+        partial = s_repairs_partial(
+            hard_scenario.db,
+            hard_scenario.constraints,
+            budget=Budget(timeout=1.0),
+        )
+        assert not partial.complete
+        assert partial.exhausted == BudgetExhaustion.DEADLINE
+        assert partial.exhausted == "deadline"  # str-enum equality
+        assert len(partial.value) > 0
+        assert len(partial.value) < 2 ** 20
+        # Soundness: every element of the prefix is a genuine S-repair
+        # (consistent, and minimal because each deletion set was
+        # verified as a minimal hitting set during the search).
+        sample = partial.value[:20]
+        for repair in sample:
+            assert all_satisfied(
+                repair.instance, hard_scenario.constraints
+            )
+        # No duplicates in the prefix.
+        diffs = [r.diff for r in partial.value]
+        assert len(set(diffs)) == len(diffs)
+
+    def test_wall_clock_is_respected(self, hard_scenario):
+        import time
+
+        start = time.monotonic()
+        s_repairs_partial(
+            hard_scenario.db,
+            hard_scenario.constraints,
+            budget=Budget(timeout=0.5),
+        )
+        # Generous overshoot allowance for slow CI runners; the point
+        # is that a 2^20-repair enumeration does not run to completion.
+        assert time.monotonic() - start < 10.0
+
+    def test_cli_path_prints_partial_and_exits_zero(
+        self, hard_csv, capsys
+    ):
+        rc = main([
+            "repairs", "--csv", f"Employee={hard_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--timeout", "1", "--limit", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "INCOMPLETE" in out
+        assert "deadline" in out
+        assert "repair 0:" in out  # non-empty prefix was printed
+
+    def test_cli_strict_mode_exits_6(self, hard_csv, capsys):
+        rc = main([
+            "repairs", "--csv", f"Employee={hard_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--timeout", "1", "--strict",
+        ])
+        err = capsys.readouterr().err
+        assert rc == 6
+        assert "deadline" in err
+
+    def test_cli_strict_requires_a_budget(self, hard_csv):
+        with pytest.raises(SystemExit):
+            main([
+                "repairs", "--csv", f"Employee={hard_csv}",
+                "--fd", "Employee: Name -> Salary", "--strict",
+            ])
+
+    def test_cli_cqa_degrades_to_certain_core(self, hard_csv, capsys):
+        rc = main([
+            "cqa", "--csv", f"Employee={hard_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--query", "Q(X) :- Employee(X, Y)",
+            "--timeout", "1",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "INCOMPLETE" in captured.err
+        assert "certain-core" in captured.err
+
+
+class TestStepBudgets:
+    """Step budgets make truncation deterministic — same budget, same
+    prefix — which is what the fault suite and experiment B11 rely on."""
+
+    def test_same_budget_same_prefix(self):
+        scenario = employee_key_violations(2, 8, 2, seed=5)
+
+        def prefix(steps):
+            p = s_repairs_partial(
+                scenario.db, scenario.constraints,
+                budget=Budget(max_steps=steps),
+            )
+            return [sorted(map(repr, r.diff)) for r in p.value]
+
+        assert prefix(300) == prefix(300)
+
+    def test_strict_library_budget_raises(self):
+        scenario = employee_key_violations(0, 8, 2)
+        with pytest.raises(BudgetExceededError) as info:
+            s_repairs_partial(
+                scenario.db, scenario.constraints,
+                budget=Budget(max_steps=50, strict=True),
+            )
+        assert info.value.reason == BudgetExhaustion.STEPS
+
+    def test_legacy_list_api_raises_instead_of_silent_truncation(self):
+        """A list-returning API under an exhausted non-strict budget
+        must raise rather than silently return a prefix."""
+        from repro.runtime import use_budget
+
+        scenario = employee_key_violations(0, 8, 2)
+        with use_budget(Budget(max_steps=50)):
+            with pytest.raises(BudgetExceededError):
+                s_repairs(scenario.db, scenario.constraints)
+
+    def test_cqa_exact_unaffected_when_budget_suffices(self):
+        scenario = employee_key_violations(2, 3, 2, seed=1)
+        query = scenario.queries["all"]
+        exact = consistent_answers(
+            scenario.db, scenario.constraints, query
+        )
+        partial = consistent_answers_partial(
+            scenario.db, scenario.constraints, query,
+            budget=Budget(max_steps=10 ** 7),
+        )
+        assert partial.complete
+        assert partial.value == exact
+
+
+class TestFaultInjection:
+    def test_injected_deadline_is_deterministic(self):
+        scenario = employee_key_violations(0, 8, 2)
+
+        def run():
+            plan = FaultPlan(seed=11, expire_deadline_after=200)
+            with inject(plan):
+                p = s_repairs_partial(
+                    scenario.db, scenario.constraints,
+                    budget=Budget(timeout=3600.0),
+                )
+            return (
+                p.complete,
+                str(p.exhausted),
+                [sorted(map(repr, r.diff)) for r in p.value],
+                plan.checkpoints_seen,
+            )
+
+        first, second = run(), run()
+        assert first == second
+        complete, reason, prefix, _ = first
+        assert not complete
+        assert reason == "deadline"
+        assert 0 < len(prefix) < 2 ** 8
+
+    def test_injected_starvation_reports_steps(self):
+        scenario = employee_key_violations(0, 6, 2)
+        with inject(FaultPlan(seed=0, starve_steps_after=100)):
+            p = s_repairs_partial(
+                scenario.db, scenario.constraints, budget=Budget()
+            )
+        assert not p.complete
+        assert p.exhausted == BudgetExhaustion.STEPS
+
+    def test_injected_faults_never_corrupt_results(self):
+        """Data-loss check: the prefix under faults is a subset of the
+        unfaulted repair set."""
+        scenario = employee_key_violations(1, 6, 2, seed=3)
+        full = {
+            frozenset(map(repr, r.diff))
+            for r in s_repairs(scenario.db, scenario.constraints)
+        }
+        with inject(FaultPlan(seed=2, expire_deadline_after=150)):
+            p = s_repairs_partial(
+                scenario.db, scenario.constraints,
+                budget=Budget(timeout=3600.0),
+            )
+        found = {frozenset(map(repr, r.diff)) for r in p.value}
+        assert found <= full
+
+    def test_transient_sqlite_failures_are_retried(self):
+        scenario = employee_key_violations(2, 2, 2, seed=9)
+        baseline = run_sql(scenario.db, "SELECT Name FROM Employee")
+        plan = FaultPlan(
+            seed=13, sqlite_failure_rate=1.0, max_sqlite_failures=2
+        )
+        with inject(plan):
+            rows = run_sql(scenario.db, "SELECT Name FROM Employee")
+        assert rows == baseline
+        assert plan.sqlite_failures_injected == 2
+
+    def test_unrecoverable_sqlite_outage_surfaces(self):
+        scenario = employee_key_violations(1, 1, 2)
+        plan = FaultPlan(seed=0, sqlite_failure_rate=1.0)
+        with inject(plan):
+            with pytest.raises(TransientBackendError):
+                run_sql(scenario.db, "SELECT Name FROM Employee")
+
+    def test_no_hang_under_combined_faults(self):
+        """Deadline + sqlite faults together: the pipeline terminates
+        and classifies the outcome instead of wedging."""
+        import time
+
+        scenario = employee_key_violations(0, 10, 2)
+        start = time.monotonic()
+        with inject(
+            FaultPlan(
+                seed=4,
+                expire_deadline_after=500,
+                sqlite_failure_rate=0.2,
+                max_sqlite_failures=3,
+            )
+        ):
+            p = consistent_answers_partial(
+                scenario.db,
+                scenario.constraints,
+                scenario.queries["all"],
+                budget=Budget(timeout=3600.0),
+            )
+        assert time.monotonic() - start < 30.0
+        assert not p.complete
+        assert p.exhausted == BudgetExhaustion.DEADLINE
+        assert p.detail["fallback"] == "certain-core"
