@@ -14,10 +14,12 @@ Lets a downstream user exercise the core pipeline without writing Python::
 
 Subcommands: ``check`` (violations report), ``repairs`` (enumerate
 S-/C-repairs), ``cqa`` (consistent answers by enumeration, Fuxman–Miller
-rewriting, or SQL), ``measure`` (inconsistency degrees), and the ``obs``
-family over recorded telemetry (``obs report`` / ``obs flamegraph`` on
-JSONL traces, ``obs diff`` / ``obs check`` on ``BENCH_*.json`` perf
-suites).  CSV files need a header row naming the attributes.
+rewriting, or SQL), ``dispatch`` (consistent answers through the
+resilient multi-engine fallback ladder, with provenance), ``measure``
+(inconsistency degrees), and the ``obs`` family over recorded telemetry
+(``obs report`` / ``obs flamegraph`` on JSONL traces, ``obs diff`` /
+``obs check`` on ``BENCH_*.json`` perf suites).  CSV files need a
+header row naming the attributes.
 
 Every data subcommand accepts an execution budget: ``--timeout SECONDS``
 and/or ``--max-steps N`` activate cooperative cancellation across the
@@ -241,6 +243,58 @@ def _cmd_cqa(args) -> int:
     return 0
 
 
+def _cmd_dispatch(args) -> int:
+    import contextlib
+
+    from .dispatch import DEFAULT_LADDER, DispatchPolicy, Dispatcher
+    from .runtime import FaultPlan, inject
+
+    db = _build_database(args.csv or ())
+    constraints = _build_constraints(args)
+    query = parse_query(args.query)
+    ladder = tuple(args.engine) if args.engine else DEFAULT_LADDER
+    policy = DispatchPolicy(
+        ladder=ladder,
+        isolate=tuple(args.isolate or ()),
+        shadow_rate=args.shadow_rate,
+        shadow_seed=args.seed,
+        rung_timeout=args.rung_timeout,
+    )
+    dispatcher = Dispatcher(policy)
+    faults = contextlib.nullcontext()
+    if args.fault_sqlite_rate or args.fault_starve_after is not None:
+        faults = inject(FaultPlan(
+            seed=args.seed,
+            sqlite_failure_rate=args.fault_sqlite_rate,
+            starve_steps_after=args.fault_starve_after,
+        ))
+    with faults:
+        result = dispatcher.dispatch(
+            db, constraints, query, semantics=args.semantics
+        )
+    for row in sorted(result.answers, key=repr):
+        print(",".join(str(v) for v in row))
+    note = ""
+    if not result.complete:
+        note = (
+            " -- INCOMPLETE: sound under-approximation "
+            f"({result.provenance.engine})"
+        )
+        upper = result.detail.get("upper_bound")
+        if upper is not None:
+            note += f"; upper bound has {len(upper)} answer(s)"
+    print(
+        f"-- {len(result.answers)} consistent answer(s) via "
+        f"{result.provenance.engine}{note}",
+        file=sys.stderr,
+    )
+    if args.provenance:
+        print("-- ladder:", file=sys.stderr)
+        for line in result.provenance.render().splitlines():
+            print(f"--   {line}", file=sys.stderr)
+    return 0
+
+
 def _cmd_measure(args) -> int:
     db = _build_database(args.csv or ())
     constraints = _build_constraints(args)
@@ -353,6 +407,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cqa.set_defaults(func=_cmd_cqa)
 
+    dispatch = sub.add_parser(
+        "dispatch",
+        help="consistent answers via the resilient multi-engine ladder",
+    )
+    _add_common(dispatch)
+    dispatch.add_argument(
+        "--query", required=True, metavar="'Q(X) :- R(X, Y)'",
+    )
+    dispatch.add_argument(
+        "--semantics", choices=("s", "c", "delete-only"), default="s",
+        help="repair semantics the answers must be certain under",
+    )
+    dispatch.add_argument(
+        "--engine", action="append", metavar="NAME",
+        help="restrict the ladder to these engines, in order "
+             "(repeatable; default: the full ladder)",
+    )
+    dispatch.add_argument(
+        "--isolate", action="append", metavar="NAME",
+        help="run this engine in a watchdogged subprocess "
+             "(repeatable; only isolatable engines are eligible)",
+    )
+    dispatch.add_argument(
+        "--rung-timeout", type=float, metavar="SECONDS",
+        dest="rung_timeout",
+        help="wall-clock cap per ladder rung",
+    )
+    dispatch.add_argument(
+        "--shadow-rate", type=float, default=0.0, dest="shadow_rate",
+        help="fraction of requests cross-checked on a second engine",
+    )
+    dispatch.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the shadow sampling stream",
+    )
+    dispatch.add_argument(
+        "--provenance", action="store_true",
+        help="print the per-rung ladder outcomes to stderr",
+    )
+    dispatch.add_argument(
+        "--fault-sqlite-rate", type=float, default=0.0,
+        dest="fault_sqlite_rate", metavar="RATE",
+        help="chaos testing: inject SQLite failures at this rate "
+             "(seeded by --seed)",
+    )
+    dispatch.add_argument(
+        "--fault-starve-after", type=int, dest="fault_starve_after",
+        metavar="STEPS",
+        help="chaos testing: starve cooperative budgets after STEPS "
+             "checkpointed steps",
+    )
+    dispatch.set_defaults(func=_cmd_dispatch)
+
     measure = sub.add_parser(
         "measure", help="repair-based inconsistency measures"
     )
@@ -454,10 +561,12 @@ def main(argv: Sequence[str] = None) -> int:
     """CLI entry point.
 
     Exit codes: 0 success (including graceful partial results under an
-    exhausted budget), 1 inconsistency reported by ``check``, 2 bad
+    exhausted budget, and ``dispatch`` answers degraded to the sound
+    INCOMPLETE bracket), 1 inconsistency reported by ``check``, 2 bad
     input (unparsable constraints/queries, missing files, unsupported
-    query fragments), 6 execution budget exhausted without a sound
-    partial result (``--strict``, or a method with no anytime variant).
+    query fragments, a ``dispatch`` request no engine can serve),
+    6 execution budget exhausted without a sound partial result
+    (``--strict``, or a method with no anytime variant).
     ``obs diff`` / ``obs check`` add the gating codes of
     :mod:`repro.observability.analysis.regression`: 3 timing
     regression, 4 counter drift, 5 benchmark set changed.

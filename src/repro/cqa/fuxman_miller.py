@@ -22,7 +22,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..constraints.base import IntegrityConstraint
 from ..constraints.fd import FunctionalDependency
-from ..errors import RewritingError
+from ..errors import NotRewritableError
 from ..logic.formulas import (
     And,
     Atom,
@@ -48,19 +48,19 @@ def key_positions_from_constraints(
     keys: Dict[str, Tuple[int, ...]] = {}
     for ic in constraints:
         if not isinstance(ic, FunctionalDependency):
-            raise RewritingError(
+            raise NotRewritableError(
                 "the Fuxman–Miller rewriting handles primary key "
                 f"constraints only; got {type(ic).__name__}"
             )
         rel = db.schema.relation(ic.relation)
         covered = set(ic.lhs) | set(ic.rhs)
         if covered != set(rel.attributes):
-            raise RewritingError(
+            raise NotRewritableError(
                 f"constraint {ic.name} is not a key constraint: it does "
                 f"not determine all attributes of {ic.relation!r}"
             )
         if ic.relation in keys:
-            raise RewritingError(
+            raise NotRewritableError(
                 f"two key constraints given for relation {ic.relation!r}"
             )
         keys[ic.relation] = rel.positions(ic.lhs)
@@ -88,7 +88,7 @@ def fuxman_miller_rewrite(
 ) -> Query:
     """Rewrite a C_forest query into an FO query answering ``Cons(Q,D,Σ)``.
 
-    Raises :class:`RewritingError` when the query falls outside the
+    Raises :class:`NotRewritableError` when the query falls outside the
     supported class (self-joins, key-to-key joins on existential
     variables, non-forest join graphs, cross-atom comparisons on
     existential variables).
@@ -131,7 +131,7 @@ def _analyze(
     db: Database,
 ) -> List[_AtomInfo]:
     if query.has_self_join():
-        raise RewritingError(
+        raise NotRewritableError(
             "C_forest excludes self-joins; use certain-answer enumeration"
         )
     head_vars = frozenset(query.head)
@@ -159,7 +159,7 @@ def _analyze(
             if v not in head_vars and len(
                 [o for o in occs if o[1] == "key"]
             ) > 1:
-                raise RewritingError(
+                raise NotRewritableError(
                     f"repeated variable {v} in a key is outside C_forest"
                 )
             continue
@@ -168,24 +168,24 @@ def _analyze(
         key_atoms = {i for i, kind in occs if kind == "key"}
         nonkey_atoms = {i for i, kind in occs if kind == "nonkey"}
         if not key_atoms or not nonkey_atoms:
-            raise RewritingError(
+            raise NotRewritableError(
                 f"join on {v} is not a nonkey-to-key join; "
                 "outside C_forest"
             )
         if len(nonkey_atoms) > 1:
-            raise RewritingError(
+            raise NotRewritableError(
                 f"variable {v} joins from several non-key positions; "
                 "outside C_forest"
             )
         (parent,) = nonkey_atoms
         for child in key_atoms:
             if child == parent:
-                raise RewritingError(
+                raise NotRewritableError(
                     f"variable {v} occurs in key and non-key of the same "
                     "atom; outside C_forest"
                 )
             if infos[child].parent is not None and infos[child].parent != parent:
-                raise RewritingError(
+                raise NotRewritableError(
                     f"atom {infos[child].atom!r} has two parents; the "
                     "join graph is not a forest"
                 )
@@ -203,7 +203,7 @@ def _check_forest(infos: List[_AtomInfo]) -> None:
         node = start
         while node.parent is not None:
             if node.index in seen:
-                raise RewritingError("join graph has a cycle")
+                raise NotRewritableError("join graph has a cycle")
             seen.add(node.index)
             node = infos[node.parent]
 
@@ -224,7 +224,7 @@ def _check_conditions(
             if is_var(t) and t not in head_vars and t in var_atom
         }
         if len(atoms_involved) > 1:
-            raise RewritingError(
+            raise NotRewritableError(
                 f"comparison {c!r} spans existential variables of two "
                 "atoms; outside C_forest"
             )

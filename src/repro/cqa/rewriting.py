@@ -11,7 +11,7 @@ Scope (as in the paper): the method is sound and complete for
 quantifier-free queries under universal binary constraints, and for the
 paper's example queries; it iterates residues (an atom introduced by a
 residue may itself carry residues) with a termination bound, raising
-:class:`RewritingError` when interacting constraints cycle.  For
+:class:`NotRewritableError` when interacting constraints cycle.  For
 existentially quantified CQs under key constraints, the complete method
 is :mod:`repro.cqa.fuxman_miller`.
 """
@@ -28,7 +28,7 @@ from ..constraints.inclusion import (
     InclusionDependency,
     TupleGeneratingDependency,
 )
-from ..errors import RewritingError
+from ..errors import NotRewritableError
 from ..logic.formulas import (
     And,
     Atom,
@@ -98,12 +98,12 @@ def constraint_clauses(
         return constraint_clauses(ic.to_tgd(db), db)
     if isinstance(ic, TupleGeneratingDependency):
         if ic.existential_variables():
-            raise RewritingError(
+            raise NotRewritableError(
                 f"constraint {ic.name} has existential head variables; "
                 "it admits no universal clausal form for residue rewriting"
             )
         return [Clause(tuple(ic.head), tuple(ic.body), ())]
-    raise RewritingError(
+    raise NotRewritableError(
         f"cannot build clauses for constraint type {type(ic).__name__}"
     )
 
@@ -258,7 +258,7 @@ def fo_rewrite(
 
     Residues are attached to each query atom; positive atoms introduced
     by residues are expanded recursively up to *max_depth*, raising
-    :class:`RewritingError` if expansion has not stabilized by then
+    :class:`NotRewritableError` if expansion has not stabilized by then
     (cyclically interacting constraints).
     """
     clauses: List[Clause] = []
@@ -271,7 +271,7 @@ def fo_rewrite(
         if not residues:
             return a
         if depth >= max_depth:
-            raise RewritingError(
+            raise NotRewritableError(
                 "residue expansion did not terminate within "
                 f"{max_depth} rounds; constraints interact cyclically"
             )

@@ -1,0 +1,424 @@
+"""The resilient CQA front-end: a fallback ladder over the engines.
+
+One request — ``(db, constraints, query, semantics)`` — walks the
+ladder top down.  Each rung is guarded three ways before it runs:
+
+1. **applicability** — the engine's typed check
+   (:class:`~repro.errors.NotRewritableError` /
+   :class:`~repro.dispatch.engines.EngineInapplicableError`); an
+   inapplicable rung is recorded and skipped silently;
+2. **circuit breaker** — a rung whose engine has failed
+   ``failure_threshold`` consecutive times is skipped outright until
+   its cooldown elapses (then one half-open probe is let through);
+3. **budget slice** — the request's remaining wall time is divided
+   over the exact rungs still ahead, so one slow engine cannot starve
+   every rung below it.
+
+Exact rungs either return a complete answer or fail; a failure trips
+the breaker bookkeeping and the dispatcher *falls through*.  Only the
+final certain-core rung may answer incompletely — a sound
+under-approximation, never a wrong answer.  Every result carries a
+:class:`Provenance` record (winning engine, what each rung did and
+why), and an optional **shadow mode** re-runs a sampled fraction of
+requests on the next applicable engine, counting disagreements as
+``dispatch.shadow_disagreements`` for the observability layer — the
+cheap production insurance against a rewriting bug that type checks
+but answers wrongly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import NotRewritableError, ReproError
+from ..observability import add, annotate, span
+from ..relational.database import Database, Row
+from ..runtime import Budget, resolve_budget, use_budget
+from .breaker import CircuitBreaker
+from .engines import (
+    CQARequest,
+    DEFAULT_LADDER,
+    EngineAnswer,
+    EngineInapplicableError,
+    get_engine,
+)
+from .worker import run_isolated
+
+__all__ = [
+    "DispatchError",
+    "DispatchPolicy",
+    "DispatchResult",
+    "Dispatcher",
+    "Provenance",
+    "RungOutcome",
+    "ShadowReport",
+    "dispatch_cqa",
+]
+
+_INAPPLICABLE = (NotRewritableError, EngineInapplicableError)
+
+
+class DispatchError(ReproError):
+    """No engine — not even the sound salvage rung — could serve the
+    request.  The message carries the per-rung outcomes."""
+
+
+@dataclass(frozen=True)
+class RungOutcome:
+    """What one ladder rung did for one request."""
+
+    engine: str
+    status: str  # "ok" | "failed" | "inapplicable" | "breaker-open"
+    reason: str = ""
+    elapsed_s: float = 0.0
+
+    def render(self) -> str:
+        note = f": {self.reason}" if self.reason else ""
+        return f"{self.engine}: {self.status}{note}"
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Outcome of a shadow cross-check against a second engine."""
+
+    engine: str
+    agreed: Optional[bool]  # None: the shadow engine itself failed
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How an answer was produced: winning engine, rung history, shadow."""
+
+    engine: Optional[str]
+    complete: bool
+    rungs: Tuple[RungOutcome, ...]
+    shadow: Optional[ShadowReport] = None
+
+    def render(self) -> str:
+        lines = [outcome.render() for outcome in self.rungs]
+        if self.shadow is not None:
+            verdict = (
+                "agreed" if self.shadow.agreed
+                else "DISAGREED" if self.shadow.agreed is not None
+                else f"failed ({self.shadow.reason})"
+            )
+            lines.append(f"shadow {self.shadow.engine}: {verdict}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Answers plus the completeness claim and full provenance."""
+
+    answers: FrozenSet[Row]
+    complete: bool
+    provenance: Provenance
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DispatchPolicy:
+    """Tunables of one dispatcher instance.
+
+    ``isolate`` names the engines to run under hard subprocess
+    isolation (only engines flagged ``isolatable`` are eligible; names
+    of cooperative engines are ignored).  ``rung_timeout`` is a fixed
+    per-rung wall cap applied even when the request carries no budget;
+    the per-request deadline, when present, is always divided over the
+    exact rungs still ahead and the tighter of the two caps wins.
+    """
+
+    ladder: Tuple[str, ...] = DEFAULT_LADDER
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+    isolate: Tuple[str, ...] = ()
+    watchdog_s: float = 10.0
+    rung_timeout: Optional[float] = None
+    shadow_rate: float = 0.0
+    shadow_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ValueError("the ladder needs at least one engine")
+        for name in self.ladder + tuple(self.isolate):
+            get_engine(name)  # raises on unknown names
+        if not 0.0 <= self.shadow_rate <= 1.0:
+            raise ValueError("shadow_rate must be in [0, 1]")
+
+
+class Dispatcher:
+    """A stateful multi-engine CQA front-end.
+
+    State that must survive across requests — breaker counters and the
+    shadow sampling stream — lives here; one dispatcher serves many
+    requests.  The clock is injectable for deterministic breaker tests.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[DispatchPolicy] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.policy = policy or DispatchPolicy()
+        self.breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                name,
+                failure_threshold=self.policy.failure_threshold,
+                cooldown_s=self.policy.cooldown_s,
+                clock=clock,
+            )
+            for name in self.policy.ladder
+        }
+        self._shadow_rng = random.Random(self.policy.shadow_seed)
+
+    # ------------------------------------------------------------------
+
+    def dispatch(
+        self,
+        db: Database,
+        constraints: Sequence,
+        query,
+        semantics: str = "s",
+        budget: Optional[Budget] = None,
+    ) -> DispatchResult:
+        """Serve one CQA request through the fallback ladder.
+
+        Returns a :class:`DispatchResult`; raises :class:`DispatchError`
+        only when every rung (including the salvage rung) is
+        inapplicable or failed — never a wrong answer, never a bare
+        backend traceback.
+        """
+        request = CQARequest(db, tuple(constraints), query, semantics)
+        budget = resolve_budget(budget)
+        if budget is not None:
+            budget.start()
+        add("dispatch.requests")
+        with span("dispatch.request", semantics=semantics):
+            result = self._walk_ladder(request, budget)
+            annotate(
+                engine=result.provenance.engine or "",
+                complete=result.complete,
+            )
+            return result
+
+    # ------------------------------------------------------------------
+
+    def _walk_ladder(
+        self, request: CQARequest, budget: Optional[Budget]
+    ) -> DispatchResult:
+        applicable = self._applicability(request)
+        outcomes: List[RungOutcome] = []
+        winner: Optional[str] = None
+        answer: Optional[EngineAnswer] = None
+        for index, name in enumerate(self.policy.ladder):
+            verdict = applicable.get(name)
+            if verdict is not None:  # inapplicable, with the typed reason
+                outcomes.append(
+                    RungOutcome(name, "inapplicable", verdict)
+                )
+                continue
+            breaker = self.breakers[name]
+            if not breaker.allows():
+                outcomes.append(
+                    RungOutcome(
+                        name,
+                        "breaker-open",
+                        f"cooldown {breaker.cooldown_s:g}s after "
+                        f"{breaker.failures} consecutive failure(s)",
+                    )
+                )
+                continue
+            slice_s = self._slice(request, budget, applicable, index)
+            started = time.monotonic()
+            try:
+                answer = self._run_rung(request, name, slice_s)
+            except _INAPPLICABLE as exc:
+                # check() passed but run() found a deeper class issue;
+                # the engine is healthy, so no breaker penalty.
+                outcomes.append(
+                    RungOutcome(
+                        name,
+                        "inapplicable",
+                        str(exc),
+                        time.monotonic() - started,
+                    )
+                )
+                continue
+            except Exception as exc:  # noqa: BLE001 — rung firewall
+                breaker.record_failure()
+                add("dispatch.rung_failures")
+                add("dispatch.fallbacks")
+                outcomes.append(
+                    RungOutcome(
+                        name,
+                        "failed",
+                        f"{type(exc).__name__}: {exc}",
+                        time.monotonic() - started,
+                    )
+                )
+                continue
+            breaker.record_success()
+            winner = name
+            outcomes.append(
+                RungOutcome(name, "ok", "", time.monotonic() - started)
+            )
+            break
+        if answer is None:
+            summary = "; ".join(o.render() for o in outcomes)
+            raise DispatchError(
+                "no engine could produce a sound answer "
+                f"(semantics={request.semantics}): {summary}"
+            )
+        if not answer.complete:
+            add("dispatch.incomplete")
+        shadow = self._maybe_shadow(request, winner, answer, applicable)
+        provenance = Provenance(
+            winner, answer.complete, tuple(outcomes), shadow
+        )
+        return DispatchResult(
+            answer.answers, answer.complete, provenance,
+            dict(answer.detail),
+        )
+
+    def _applicability(
+        self, request: CQARequest
+    ) -> Dict[str, Optional[str]]:
+        """Map each ladder engine to None (applicable) or the typed
+        rejection message."""
+        verdicts: Dict[str, Optional[str]] = {}
+        for name in self.policy.ladder:
+            try:
+                get_engine(name).check(request)
+                verdicts[name] = None
+            except _INAPPLICABLE as exc:
+                verdicts[name] = str(exc)
+        return verdicts
+
+    def _slice(
+        self,
+        request: CQARequest,
+        budget: Optional[Budget],
+        applicable: Dict[str, Optional[str]],
+        index: int,
+    ) -> Optional[float]:
+        """The wall-time slice for the rung at *index* of the ladder.
+
+        The request's remaining deadline is split evenly over the exact
+        applicable rungs from *index* on (the salvage rung runs with the
+        budget masked, so it takes no share); a policy ``rung_timeout``
+        additionally caps every rung.
+        """
+        slice_s: Optional[float] = None
+        if budget is not None:
+            remaining = budget.remaining_time()
+            if remaining is not None:
+                share = sum(
+                    1
+                    for name in self.policy.ladder[index:]
+                    if applicable.get(name) is None
+                    and get_engine(name).exact
+                )
+                slice_s = remaining / max(1, share)
+        if self.policy.rung_timeout is not None:
+            slice_s = (
+                self.policy.rung_timeout
+                if slice_s is None
+                else min(slice_s, self.policy.rung_timeout)
+            )
+        return slice_s
+
+    def _run_rung(
+        self,
+        request: CQARequest,
+        name: str,
+        slice_s: Optional[float],
+        wedge_s: Optional[float] = None,
+    ) -> EngineAnswer:
+        engine = get_engine(name)
+        with span("dispatch.rung", engine=name):
+            if name in self.policy.isolate and engine.isolatable:
+                watchdog = (
+                    slice_s * 1.5 + 1.0
+                    if slice_s is not None
+                    else self.policy.watchdog_s
+                )
+                return run_isolated(
+                    name,
+                    request,
+                    watchdog_s=watchdog,
+                    budget_timeout=slice_s,
+                    wedge_s=wedge_s,
+                )
+            # Always install a rung budget: it carries the slice
+            # deadline and gives the fault-injection hook a checkpoint
+            # stream even on otherwise unbudgeted requests.
+            rung_budget = Budget(timeout=slice_s)
+            with use_budget(rung_budget):
+                return engine.run(request)
+
+    # ------------------------------------------------------------------
+
+    def _maybe_shadow(
+        self,
+        request: CQARequest,
+        winner: Optional[str],
+        answer: EngineAnswer,
+        applicable: Dict[str, Optional[str]],
+    ) -> Optional[ShadowReport]:
+        """Cross-check a sampled fraction of complete answers on the
+        next applicable exact engine; count disagreements."""
+        if (
+            winner is None
+            or not answer.complete
+            or self.policy.shadow_rate <= 0.0
+            or self._shadow_rng.random() >= self.policy.shadow_rate
+        ):
+            return None
+        candidate = next(
+            (
+                name
+                for name in self.policy.ladder
+                if name != winner
+                and applicable.get(name) is None
+                and get_engine(name).exact
+            ),
+            None,
+        )
+        if candidate is None:
+            return None
+        add("dispatch.shadow_runs")
+        try:
+            shadow_answer = self._run_rung(
+                request, candidate, self.policy.rung_timeout
+            )
+        except Exception as exc:  # noqa: BLE001 — shadow is best-effort
+            return ShadowReport(
+                candidate, None, f"{type(exc).__name__}: {exc}"
+            )
+        if not shadow_answer.complete:
+            return ShadowReport(candidate, None, "incomplete")
+        agreed = shadow_answer.answers == answer.answers
+        if not agreed:
+            add("dispatch.shadow_disagreements")
+            add(f"dispatch.shadow_disagreements.{candidate}")
+            annotate(shadow_disagreement=candidate)
+        return ShadowReport(candidate, agreed)
+
+
+def dispatch_cqa(
+    db: Database,
+    constraints: Sequence,
+    query,
+    semantics: str = "s",
+    policy: Optional[DispatchPolicy] = None,
+    budget: Optional[Budget] = None,
+) -> DispatchResult:
+    """One-shot convenience: dispatch a single request on a fresh
+    :class:`Dispatcher` (no breaker state carries over)."""
+    return Dispatcher(policy).dispatch(
+        db, constraints, query, semantics=semantics, budget=budget
+    )

@@ -1,0 +1,230 @@
+"""Process-level isolation for engines that can wedge non-cooperatively.
+
+PR 3's cooperative ``checkpoint()`` cancels pure-Python loops, but it
+cannot interrupt a stuck C-extension call: a wedged SQLite
+materialization or a pathological grounding holds the GIL-released
+thread forever and no budget checkpoint ever fires.  For those engines
+the dispatcher can pay for hard isolation: the engine runs in a fresh
+``subprocess`` (a new interpreter, ``python -m repro.dispatch.worker``)
+with
+
+* the request pickled over stdin and the result pickled over stdout
+  (structured marshalling — never a traceback scrape);
+* a cooperative :class:`~repro.runtime.Budget` installed inside the
+  child, so well-behaved engines still degrade gracefully there;
+* a **watchdog deadline** in the parent: if the child has produced no
+  result when it expires, the child is killed and
+  :class:`WorkerTimeoutError` is raised — the dispatcher records a
+  ``dispatch.worker_kills`` counter and falls to the next rung.
+
+Fault plans (:mod:`repro.runtime.faults`) are process-local and do NOT
+propagate into workers; isolation is for real wedges, fault injection
+exercises the in-process path.  The payload accepts a ``wedge_s`` test
+hook that makes the child sleep before evaluating, simulating a
+non-cooperative hang for watchdog tests.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from typing import Dict, Optional
+
+from ..errors import (
+    BudgetExceededError,
+    NotRewritableError,
+    ReproError,
+)
+from ..observability import add
+from ..runtime import Budget, use_budget
+
+__all__ = [
+    "WorkerError",
+    "WorkerTimeoutError",
+    "WorkerCrashError",
+    "run_isolated",
+]
+
+#: Hard floor for the watchdog: interpreter start-up plus import of the
+#: repro package costs real time, and a watchdog below it would kill
+#: healthy workers before they compute anything.
+MIN_WATCHDOG_S = 2.0
+
+
+class WorkerError(ReproError):
+    """Base class for isolation-worker failures."""
+
+
+class WorkerTimeoutError(WorkerError):
+    """The watchdog expired and the worker was killed."""
+
+
+class WorkerCrashError(WorkerError):
+    """The worker died or returned unparsable output."""
+
+
+def _marshal_error(exc: BaseException) -> Dict[str, object]:
+    from .engines import EngineInapplicableError
+
+    if isinstance(exc, NotRewritableError):
+        kind = "not-rewritable"
+    elif isinstance(exc, EngineInapplicableError):
+        kind = "inapplicable"
+    elif isinstance(exc, BudgetExceededError):
+        kind = "budget"
+    else:
+        kind = "failure"
+    payload: Dict[str, object] = {
+        "ok": False,
+        "kind": kind,
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+    if kind == "budget":
+        payload["reason"] = str(getattr(exc, "reason", "deadline"))
+    return payload
+
+
+def _unmarshal_error(record: Dict[str, object]) -> BaseException:
+    from .engines import EngineInapplicableError
+
+    kind = record.get("kind")
+    message = f"[worker] {record.get('type')}: {record.get('message')}"
+    if kind == "not-rewritable":
+        return NotRewritableError(message)
+    if kind == "inapplicable":
+        return EngineInapplicableError(message)
+    if kind == "budget":
+        return BudgetExceededError(record.get("reason"), message)
+    return WorkerCrashError(message)
+
+
+def child_main(stdin=None, stdout=None) -> int:
+    """Entry point of the worker process (also callable in-process for
+    tests): read one pickled job, run it, write one pickled result."""
+    stdin = sys.stdin.buffer if stdin is None else stdin
+    stdout = sys.stdout.buffer if stdout is None else stdout
+    try:
+        job = pickle.loads(stdin.read())
+    except Exception as exc:  # malformed payload: structured, exit 0
+        pickle.dump(
+            {
+                "ok": False,
+                "kind": "failure",
+                "type": type(exc).__name__,
+                "message": f"cannot read job: {exc}",
+            },
+            stdout,
+        )
+        stdout.flush()
+        return 0
+    wedge_s = job.get("wedge_s")
+    if wedge_s:  # test hook: simulate a non-cooperative hang
+        import time
+
+        time.sleep(wedge_s)
+    try:
+        from .engines import get_engine
+
+        engine = get_engine(job["engine"])
+        timeout = job.get("budget_timeout")
+        budget = Budget(timeout=timeout) if timeout else None
+        with use_budget(budget):
+            answer = engine.run(job["request"])
+        result: Dict[str, object] = {
+            "ok": True,
+            "answers": answer.answers,
+            "complete": answer.complete,
+            "detail": answer.detail,
+        }
+    except BaseException as exc:
+        result = _marshal_error(exc)
+    pickle.dump(result, stdout)
+    stdout.flush()
+    return 0
+
+
+def _child_env() -> Dict[str, str]:
+    """The worker environment: inherit, but guarantee repro is importable
+    (the parent may run from a checkout without installing the package)."""
+    env = dict(os.environ)
+    src_dir = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = env.get("PYTHONPATH", "")
+    paths = [src_dir] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    return env
+
+
+def run_isolated(
+    engine_name: str,
+    request,
+    *,
+    watchdog_s: float,
+    budget_timeout: Optional[float] = None,
+    wedge_s: Optional[float] = None,
+):
+    """Run an engine in a watchdogged subprocess; return its EngineAnswer.
+
+    ``watchdog_s`` is the hard kill deadline (floored at
+    :data:`MIN_WATCHDOG_S`); ``budget_timeout`` installs a cooperative
+    budget inside the child so the engine can degrade before the
+    watchdog has to fire.  Raises :class:`WorkerTimeoutError` on kill,
+    :class:`WorkerCrashError` on a dead/garbled worker, and re-raises
+    marshalled engine errors as their typed classes.
+    """
+    from .engines import EngineAnswer
+
+    job = {
+        "engine": engine_name,
+        "request": request,
+        "budget_timeout": budget_timeout,
+        "wedge_s": wedge_s,
+    }
+    payload = pickle.dumps(job)
+    deadline = max(float(watchdog_s), MIN_WATCHDOG_S)
+    add("dispatch.worker_runs")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.dispatch.worker"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=_child_env(),
+    )
+    try:
+        out, _ = proc.communicate(payload, timeout=deadline)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        add("dispatch.worker_kills")
+        add(f"dispatch.worker_kills.{engine_name}")
+        raise WorkerTimeoutError(
+            f"engine {engine_name} exceeded its {deadline:.1f}s "
+            "watchdog and was killed"
+        )
+    if proc.returncode != 0:
+        raise WorkerCrashError(
+            f"engine worker for {engine_name} exited with code "
+            f"{proc.returncode}"
+        )
+    try:
+        result = pickle.loads(out)
+    except Exception as exc:
+        raise WorkerCrashError(
+            f"engine worker for {engine_name} returned unreadable "
+            f"output: {exc}"
+        )
+    if not result.get("ok"):
+        raise _unmarshal_error(result)
+    return EngineAnswer(
+        frozenset(result["answers"]),
+        bool(result["complete"]),
+        dict(result.get("detail") or {}),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(child_main())

@@ -29,6 +29,19 @@ class RewritingError(ReproError):
     """A query falls outside the fragment supported by a rewriting method."""
 
 
+class NotRewritableError(RewritingError):
+    """A (query, constraints) pair is outside a rewriter's complete class.
+
+    Raised by :func:`repro.cqa.fo_rewrite` (constraints with no universal
+    clausal form, cyclically interacting residues) and
+    :func:`repro.cqa.fuxman_miller_rewrite` (non-key constraints, queries
+    outside C_forest).  This is an *applicability* signal, not a failure:
+    the dispatcher catches it to fall through to the next engine on the
+    ladder, and callers should treat it as "use another method" rather
+    than pattern-matching error messages.
+    """
+
+
 class GroundingError(ReproError):
     """An ASP rule cannot be safely grounded."""
 

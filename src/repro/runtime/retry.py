@@ -9,13 +9,14 @@ attempts, and records retry counters for ``obs report``.
 
 from __future__ import annotations
 
+import random
 import sqlite3
 import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from ..errors import TransientBackendError
 from ..observability import add
-from .budget import checkpoint
+from .budget import checkpoint, current_budget
 
 __all__ = ["retry_transient", "TRANSIENT_ERRORS"]
 
@@ -28,6 +29,12 @@ TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (
     sqlite3.OperationalError,
 )
 
+#: Relative jitter applied to every backoff delay: each sleep is scaled
+#: by a seed-deterministic factor in [1 - JITTER, 1 + JITTER] so that
+#: concurrent retry loops hitting the same contended backend do not
+#: re-collide in lock-step on every attempt.
+JITTER = 0.25
+
 
 def retry_transient(
     fn: Callable[[], T],
@@ -38,17 +45,23 @@ def retry_transient(
     max_delay: float = 0.25,
     transient: Tuple[Type[BaseException], ...] = TRANSIENT_ERRORS,
     sleep: Optional[Callable[[float], None]] = None,
+    jitter_seed: int = 0,
 ) -> T:
     """Call ``fn`` with up to *attempts* tries on transient failures.
 
     Backoff delays are ``base_delay * factor**i`` capped at
-    ``max_delay``.  A budget checkpoint runs before every retry, so a
-    deadline that expires mid-backoff cancels the retry loop instead of
-    sleeping past it.  The final failure is re-raised unchanged.
+    ``max_delay``, scaled by a ±25% jitter drawn from
+    ``random.Random(jitter_seed)`` (deterministic: the same seed gives
+    the same delay schedule), and finally capped at the ambient budget's
+    remaining wall time — a 0.25 s sleep must not overshoot a deadline
+    that expires mid-backoff, and the pre-sleep :func:`checkpoint` alone
+    cannot prevent that (it only fires *before* the sleep).  The final
+    failure is re-raised unchanged.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
     do_sleep = time.sleep if sleep is None else sleep
+    rng = random.Random(jitter_seed)
     for attempt in range(attempts):
         try:
             return fn()
@@ -59,5 +72,13 @@ def retry_transient(
                 raise
             checkpoint()
             add("runtime.retries")
-            do_sleep(min(base_delay * (factor ** attempt), max_delay))
+            delay = min(base_delay * (factor ** attempt), max_delay)
+            delay *= 1.0 + JITTER * (2.0 * rng.random() - 1.0)
+            budget = current_budget()
+            if budget is not None:
+                remaining = budget.remaining_time()
+                if remaining is not None:
+                    delay = min(delay, remaining)
+            if delay > 0:
+                do_sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

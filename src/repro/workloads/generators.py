@@ -137,11 +137,18 @@ def random_rs_instance(
     kappa = DenialConstraint(
         (atom("S", x), atom("R", x, y), atom("S", y)), name="kappa"
     )
+    from ..logic import cq
+
+    queries = {
+        "pairs": cq([x, y], [atom("R", x, y)], name="pairs"),
+        "sources": cq([x], [atom("R", x, y)], name="sources"),
+        "s_all": cq([x], [atom("S", x)], name="s_all"),
+    }
     return Scenario(
         f"random_rs({n_r},{n_s},{domain_size})",
         db,
         (kappa,),
-        {},
+        queries,
         description="random denial-constraint workload",
     )
 
@@ -161,10 +168,19 @@ def random_fd_instance(
     schema = Schema.of(RelationSchema("R", ("K", "V"), key=("K",)))
     db = Database.from_dict({"R": sorted(rows)}, schema=schema)
     fd = FunctionalDependency("R", ("K",), ("V",), name="FD")
+    x, y = vars_("x y")
+    from ..logic import cq
+
+    queries = {
+        # quantifier-free: every dispatcher engine is applicable
+        "all": cq([x, y], [atom("R", x, y)], name="all"),
+        # existential projection: outside the residue-rewriting class
+        "keys": cq([x], [atom("R", x, y)], name="keys"),
+    }
     return Scenario(
         f"random_fd({n_rows},{n_keys},{n_values})",
         db,
         (fd,),
-        {},
+        queries,
         description="random FD-violation workload",
     )

@@ -1,0 +1,601 @@
+"""Tests for the resilient multi-engine CQA dispatcher.
+
+Covers the breaker state machine (with a fake clock), typed
+applicability errors, ladder fallback under injected faults, subprocess
+isolation with watchdog kill, shadow cross-checking, the budget-capped
+retry backoff, and the CLI front-end.  The invariant under test
+throughout: the dispatcher may degrade (INCOMPLETE) or refuse
+(DispatchError), but it never returns a wrong answer.
+"""
+
+import pytest
+
+from repro.cqa import consistent_answers, fuxman_miller_rewrite
+from repro.cqa.rewriting import fo_rewrite
+from repro.dispatch import (
+    BreakerState,
+    CircuitBreaker,
+    CQARequest,
+    DEFAULT_LADDER,
+    DispatchError,
+    DispatchPolicy,
+    Dispatcher,
+    EngineInapplicableError,
+    applicable_engines,
+    dispatch_cqa,
+    get_engine,
+    run_isolated,
+)
+from repro.dispatch.worker import WorkerTimeoutError
+from repro.errors import (
+    NotRewritableError,
+    ReproError,
+    RewritingError,
+)
+from repro.logic import atom, cq, vars_
+from repro.observability import collect
+from repro.runtime import Budget, FaultPlan, inject, use_budget
+from repro.runtime.retry import retry_transient
+from repro.errors import TransientBackendError
+from repro.workloads import employee, employee_key_violations, rs_instance
+
+X, Y = vars_("x y")
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self):
+        b = CircuitBreaker("e", failure_threshold=3, clock=FakeClock())
+        b.record_failure()
+        b.record_failure()
+        assert b.state() is BreakerState.CLOSED
+        assert b.allows()
+
+    def test_trips_open_at_threshold(self):
+        b = CircuitBreaker("e", failure_threshold=3, clock=FakeClock())
+        for _ in range(3):
+            b.record_failure()
+        assert b.state() is BreakerState.OPEN
+        assert not b.allows()
+        assert b.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        b = CircuitBreaker("e", failure_threshold=3, clock=FakeClock())
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state() is BreakerState.CLOSED
+
+    def test_half_open_after_cooldown_allows_one_probe(self):
+        clock = FakeClock()
+        b = CircuitBreaker(
+            "e", failure_threshold=1, cooldown_s=30.0, clock=clock
+        )
+        b.record_failure()
+        assert not b.allows()
+        clock.advance(29.0)
+        assert not b.allows()
+        clock.advance(1.0)
+        assert b.state() is BreakerState.HALF_OPEN
+        assert b.allows()       # the single probe
+        assert not b.allows()   # probe in flight: everyone else waits
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        b = CircuitBreaker(
+            "e", failure_threshold=1, cooldown_s=5.0, clock=clock
+        )
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allows()
+        b.record_success()
+        assert b.state() is BreakerState.CLOSED
+        assert b.allows()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        b = CircuitBreaker(
+            "e", failure_threshold=1, cooldown_s=5.0, clock=clock
+        )
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allows()
+        b.record_failure()
+        assert b.state() is BreakerState.OPEN
+        clock.advance(4.9)
+        assert not b.allows()
+        clock.advance(0.1)
+        assert b.allows()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("e", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("e", cooldown_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Typed applicability errors (satellite: NotRewritableError)
+# ----------------------------------------------------------------------
+
+
+class TestNotRewritable:
+    def test_is_typed_subclass(self):
+        assert issubclass(NotRewritableError, RewritingError)
+        assert issubclass(NotRewritableError, ReproError)
+
+    def test_fuxman_miller_raises_on_non_key_constraints(self):
+        scenario = rs_instance()
+        q = cq([X], [atom("S", X)], name="q")
+        with pytest.raises(NotRewritableError):
+            fuxman_miller_rewrite(q, scenario.constraints, scenario.db)
+
+    def test_fo_rewrite_raises_on_existential_head_tgd(self):
+        # An inclusion dependency whose target has extra attributes
+        # turns into a tgd with existential head variables — no
+        # universal clausal form, so residue rewriting must refuse.
+        from repro.constraints import InclusionDependency
+        from repro.workloads import supply_articles
+
+        scenario = supply_articles()
+        reverse = InclusionDependency(
+            "Articles", ("Item",), "Supply", ("Item",), name="rev"
+        )
+        with pytest.raises(NotRewritableError):
+            fo_rewrite(
+                cq([X], [atom("Articles", X)], name="q"),
+                (reverse,),
+                scenario.db,
+            )
+
+    def test_applicability_never_penalizes_breakers(self):
+        # A BCQ with existential variables under a denial constraint:
+        # both rewriting rungs are inapplicable, asp serves it.
+        scenario = rs_instance()
+        d = Dispatcher(DispatchPolicy())
+        result = d.dispatch(
+            scenario.db, scenario.constraints, scenario.queries["Q"]
+        )
+        assert result.provenance.engine == "asp"
+        statuses = {
+            o.engine: o.status for o in result.provenance.rungs
+        }
+        assert statuses["fm-sql"] == "inapplicable"
+        assert statuses["fo-mem"] == "inapplicable"
+        assert all(b.failures == 0 for b in d.breakers.values())
+
+
+# ----------------------------------------------------------------------
+# Engines agree where applicable
+# ----------------------------------------------------------------------
+
+
+class TestEngines:
+    def test_applicable_engines_on_paper_example(self):
+        scenario = employee()
+        request = CQARequest(
+            scenario.db, scenario.constraints, scenario.queries["Q2"]
+        )
+        names = applicable_engines(request)
+        assert names[0] == "fm-sql"
+        assert "enumerate" in names and "certain-core" in names
+
+    @pytest.mark.parametrize("qname", ["Q1", "Q2"])
+    def test_every_exact_engine_matches_reference(self, qname):
+        scenario = employee()
+        query = scenario.queries[qname]
+        ref = consistent_answers(
+            scenario.db, scenario.constraints, query
+        )
+        request = CQARequest(scenario.db, scenario.constraints, query)
+        for name in applicable_engines(request):
+            engine = get_engine(name)
+            answer = engine.run(request)
+            if engine.exact:
+                assert answer.complete
+                assert answer.answers == ref, name
+            else:
+                assert answer.answers <= ref, name
+
+    def test_semantics_validation(self):
+        scenario = employee()
+        with pytest.raises(ValueError):
+            CQARequest(
+                scenario.db, scenario.constraints,
+                scenario.queries["Q1"], semantics="majority",
+            )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            get_engine("quantum")
+        with pytest.raises(ValueError):
+            DispatchPolicy(ladder=("quantum",))
+
+
+# ----------------------------------------------------------------------
+# Ladder fallback under injected faults
+# ----------------------------------------------------------------------
+
+
+class TestFallback:
+    def test_sqlite_outage_falls_to_fo_mem(self):
+        scenario = employee()
+        query = scenario.queries["Q2"]
+        ref = consistent_answers(
+            scenario.db, scenario.constraints, query
+        )
+        with collect() as collector:
+            with inject(FaultPlan(seed=3, sqlite_failure_rate=1.0)):
+                result = dispatch_cqa(
+                    scenario.db, scenario.constraints, query
+                )
+        assert result.complete
+        assert result.answers == ref
+        assert result.provenance.engine == "fo-mem"
+        assert result.provenance.rungs[0].engine == "fm-sql"
+        assert result.provenance.rungs[0].status == "failed"
+        assert collector.counter("dispatch.fallbacks") >= 1
+
+    def test_breaker_skips_dead_engine_on_later_requests(self):
+        scenario = employee()
+        query = scenario.queries["Q1"]
+        d = Dispatcher(DispatchPolicy(failure_threshold=2))
+        with inject(FaultPlan(seed=5, sqlite_failure_rate=1.0)):
+            for _ in range(2):
+                d.dispatch(scenario.db, scenario.constraints, query)
+            result = d.dispatch(
+                scenario.db, scenario.constraints, query
+            )
+        assert result.provenance.rungs[0].status == "breaker-open"
+        assert result.provenance.engine == "fo-mem"
+
+    def test_all_exact_engines_starved_yields_sound_incomplete(self):
+        scenario = employee_key_violations(3, 2, 2, seed=4)
+        query = scenario.queries["all"]
+        ref = consistent_answers(
+            scenario.db, scenario.constraints, query
+        )
+        policy = DispatchPolicy(
+            ladder=("asp", "enumerate", "certain-core")
+        )
+        with inject(FaultPlan(seed=1, starve_steps_after=5)):
+            result = dispatch_cqa(
+                scenario.db, scenario.constraints, query, policy=policy
+            )
+        assert not result.complete
+        assert result.provenance.engine == "certain-core"
+        assert result.answers <= ref
+        upper = result.detail.get("upper_bound")
+        assert upper is not None and ref <= upper
+        failed = [
+            o for o in result.provenance.rungs if o.status == "failed"
+        ]
+        assert {o.engine for o in failed} == {"asp", "enumerate"}
+
+    def test_unservable_request_raises_dispatch_error(self):
+        # A BCQ on non-key constraints with a rewriting-only ladder:
+        # nothing applies, and the error says so per rung.
+        scenario = rs_instance()
+        policy = DispatchPolicy(ladder=("fm-sql", "fo-mem"))
+        with pytest.raises(DispatchError, match="inapplicable"):
+            dispatch_cqa(
+                scenario.db, scenario.constraints,
+                scenario.queries["Q"], policy=policy,
+            )
+
+    def test_request_budget_is_sliced_over_rungs(self):
+        scenario = employee()
+        query = scenario.queries["Q1"]
+        d = Dispatcher(DispatchPolicy())
+        request = CQARequest(scenario.db, scenario.constraints, query)
+        budget = Budget(timeout=8.0)
+        budget.start()
+        applicable = d._applicability(request)
+        slice_s = d._slice(request, budget, applicable, 0)
+        # 4 exact applicable rungs share the 8s deadline.
+        assert slice_s is not None and slice_s <= 2.1
+        tail = d._slice(request, budget, applicable, 3)
+        assert tail is not None and slice_s < tail <= 8.0
+
+
+# ----------------------------------------------------------------------
+# Subprocess isolation
+# ----------------------------------------------------------------------
+
+
+class TestIsolation:
+    def test_round_trip(self):
+        scenario = employee()
+        query = scenario.queries["Q2"]
+        ref = consistent_answers(
+            scenario.db, scenario.constraints, query
+        )
+        request = CQARequest(scenario.db, scenario.constraints, query)
+        answer = run_isolated("fm-sql", request, watchdog_s=30.0)
+        assert answer.complete
+        assert answer.answers == ref
+
+    def test_typed_errors_survive_marshalling(self):
+        scenario = rs_instance()
+        request = CQARequest(
+            scenario.db, scenario.constraints, scenario.queries["Q"]
+        )
+        with pytest.raises(NotRewritableError):
+            run_isolated("fm-sql", request, watchdog_s=30.0)
+
+    def test_watchdog_kills_wedged_worker(self):
+        scenario = employee()
+        request = CQARequest(
+            scenario.db, scenario.constraints, scenario.queries["Q1"]
+        )
+        with collect() as collector:
+            with pytest.raises(WorkerTimeoutError):
+                run_isolated(
+                    "fm-sql", request, watchdog_s=0.1, wedge_s=60.0
+                )
+            assert collector.counter("dispatch.worker_kills") == 1
+
+    def test_dispatcher_survives_wedged_isolated_rung(self):
+        scenario = employee()
+        query = scenario.queries["Q1"]
+        ref = consistent_answers(
+            scenario.db, scenario.constraints, query
+        )
+        d = Dispatcher(DispatchPolicy(isolate=("fm-sql",)))
+        original = d._run_rung
+
+        def wedge_fm(request, name, slice_s, wedge_s=None):
+            if name == "fm-sql":
+                return original(request, name, 0.05, wedge_s=60.0)
+            return original(request, name, slice_s, wedge_s=wedge_s)
+
+        d._run_rung = wedge_fm
+        result = d.dispatch(scenario.db, scenario.constraints, query)
+        assert result.complete and result.answers == ref
+        assert result.provenance.engine == "fo-mem"
+        assert result.provenance.rungs[0].status == "failed"
+        assert "watchdog" in result.provenance.rungs[0].reason
+
+    def test_child_main_in_process(self, tmp_path):
+        import io
+        import pickle
+
+        from repro.dispatch.worker import child_main
+
+        scenario = employee()
+        request = CQARequest(
+            scenario.db, scenario.constraints, scenario.queries["Q1"]
+        )
+        job = pickle.dumps({"engine": "fo-mem", "request": request})
+        out = io.BytesIO()
+        assert child_main(io.BytesIO(job), out) == 0
+        result = pickle.loads(out.getvalue())
+        assert result["ok"] and result["complete"]
+
+
+# ----------------------------------------------------------------------
+# Shadow cross-checking
+# ----------------------------------------------------------------------
+
+
+class TestShadow:
+    def test_shadow_agreement_on_paper_example(self):
+        scenario = employee()
+        d = Dispatcher(DispatchPolicy(shadow_rate=1.0))
+        with collect() as collector:
+            result = d.dispatch(
+                scenario.db, scenario.constraints,
+                scenario.queries["Q2"],
+            )
+            assert result.provenance.shadow is not None
+            assert result.provenance.shadow.agreed is True
+            assert result.provenance.shadow.engine != (
+                result.provenance.engine
+            )
+            assert collector.counter("dispatch.shadow_runs") == 1
+            assert collector.counter(
+                "dispatch.shadow_disagreements"
+            ) == 0
+
+    def test_shadow_disagreement_is_counted(self, monkeypatch):
+        from repro.dispatch import engines as engines_mod
+        from repro.dispatch.engines import EngineAnswer
+
+        scenario = employee()
+        monkeypatch.setattr(
+            type(engines_mod.ENGINES["fo-mem"]),
+            "run",
+            lambda self, request: EngineAnswer(frozenset(), True),
+        )
+        d = Dispatcher(DispatchPolicy(shadow_rate=1.0))
+        with collect() as collector:
+            result = d.dispatch(
+                scenario.db, scenario.constraints,
+                scenario.queries["Q2"],
+            )
+            assert result.provenance.shadow.agreed is False
+            assert collector.counter(
+                "dispatch.shadow_disagreements"
+            ) == 1
+
+    def test_shadow_sampling_is_seeded(self):
+        scenario = employee()
+
+        def shadowed(seed):
+            d = Dispatcher(
+                DispatchPolicy(shadow_rate=0.5, shadow_seed=seed)
+            )
+            hits = []
+            for _ in range(8):
+                r = d.dispatch(
+                    scenario.db, scenario.constraints,
+                    scenario.queries["Q1"],
+                )
+                hits.append(r.provenance.shadow is not None)
+            return hits
+
+        assert shadowed(7) == shadowed(7)
+        assert any(shadowed(7)) and not all(shadowed(7))
+
+
+# ----------------------------------------------------------------------
+# Budget-capped, jittered retry backoff (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestRetryBackoff:
+    def _delays(self, expect=TransientBackendError, **kwargs):
+        sleeps = []
+
+        def flaky():
+            raise TransientBackendError("down")
+
+        with pytest.raises(expect):
+            retry_transient(
+                flaky, sleep=sleeps.append, **kwargs
+            )
+        return sleeps
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = self._delays(jitter_seed=1)
+        b = self._delays(jitter_seed=1)
+        c = self._delays(jitter_seed=2)
+        assert a == b
+        assert a != c
+
+    def test_jitter_stays_within_band(self):
+        sleeps = self._delays(
+            jitter_seed=9, base_delay=0.1, factor=1.0, max_delay=0.1
+        )
+        assert len(sleeps) == 3
+        for s in sleeps:
+            assert 0.075 <= s <= 0.125
+
+    def test_sleep_capped_at_remaining_budget(self):
+        # Nominal backoff of 5s per retry must be capped at the
+        # budget's remaining wall time (well under a second here).
+        budget = Budget(timeout=1000.0)
+        budget.start()
+        budget._deadline = budget._clock() + 0.5
+        with use_budget(budget):
+            sleeps = self._delays(
+                jitter_seed=0, base_delay=5.0, max_delay=5.0
+            )
+        assert sleeps and all(s <= 0.5 for s in sleeps)
+
+    def test_expired_budget_aborts_backoff_without_sleeping(self):
+        # remaining_time() is clamped at 0 and the pre-sleep checkpoint
+        # raises; either way the loop must never sleep (time.sleep would
+        # reject a negative duration) once the deadline has passed.
+        from repro.errors import BudgetExceededError
+
+        budget = Budget(timeout=1000.0)
+        budget.start()
+        budget._deadline = budget._clock() - 1.0
+        with use_budget(budget):
+            sleeps = self._delays(
+                expect=(TransientBackendError, BudgetExceededError),
+                jitter_seed=0, attempts=2,
+            )
+        assert sleeps == []
+
+
+# ----------------------------------------------------------------------
+# CLI front-end
+# ----------------------------------------------------------------------
+
+
+class TestDispatchCli:
+    @pytest.fixture
+    def employee_csv(self, tmp_path):
+        path = tmp_path / "emp.csv"
+        path.write_text(
+            "Name,Salary\npage,5K\npage,8K\nsmith,3K\nstowe,7K\n"
+        )
+        return str(path)
+
+    def test_happy_path_with_provenance(self, employee_csv, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "dispatch", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--query", "Q(X) :- Employee(X, Y)",
+            "--provenance",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "page" in captured.out
+        assert "via fm-sql" in captured.err
+        assert "fm-sql: ok" in captured.err
+
+    def test_forced_sqlite_failure_routes_to_lower_rung(
+        self, employee_csv, capsys
+    ):
+        from repro.cli import main
+
+        rc = main([
+            "dispatch", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--query", "Q(X, Y) :- Employee(X, Y)",
+            "--provenance", "--fault-sqlite-rate", "1.0",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "smith,3K" in captured.out
+        assert "page" not in captured.out
+        assert "via fo-mem" in captured.err
+        assert "fm-sql: failed" in captured.err
+
+    def test_total_outage_degrades_to_incomplete(
+        self, employee_csv, capsys
+    ):
+        from repro.cli import main
+
+        rc = main([
+            "dispatch", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--query", "Q(X, Y) :- Employee(X, Y)",
+            "--engine", "asp", "--engine", "enumerate",
+            "--engine", "certain-core",
+            "--fault-starve-after", "5",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "INCOMPLETE" in captured.err
+        assert "certain-core" in captured.err
+        # sound: only the conflict-free tuples may be printed
+        assert "page" not in captured.out
+
+    def test_unservable_is_a_clean_error_not_a_traceback(
+        self, employee_csv, capsys
+    ):
+        from repro.cli import main
+
+        rc = main([
+            "dispatch", "--csv", f"Employee={employee_csv}",
+            "--fd", "Employee: Name -> Salary",
+            "--query", "Q(X) :- Employee(X, Y), Employee(Y, X)",
+            "--engine", "fm-sql", "--engine", "fo-mem",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err

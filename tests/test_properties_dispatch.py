@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis): the engines are interchangeable.
+
+The dispatcher's fallback ladder is only sound if every engine answers
+identically wherever its applicability check passes.  On random
+FD-constrained instances (the ``random_fd_instance`` workload):
+
+* **differential** — every applicable *exact* engine returns exactly
+  the reference consistent answers (repair-set intersection);
+* **dispatcher exactness** — whatever rung wins, ``complete=True``
+  results equal the reference, under every repair semantics;
+* **salvage soundness** — the certain-core rung brackets the reference
+  from below (and from above via ``upper_bound``) even though it is
+  never complete.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cqa import consistent_answers
+from repro.dispatch import (
+    CQARequest,
+    DispatchPolicy,
+    applicable_engines,
+    dispatch_cqa,
+    get_engine,
+)
+from repro.workloads import random_fd_instance
+
+# Small-instance strategy: up to 3 key groups of up to 3 values keeps
+# the repair count <= 27, so the reference enumeration stays instant
+# while still exercising every engine's conflict handling.
+_PARAMS = st.tuples(
+    st.integers(min_value=0, max_value=7),    # n_rows
+    st.integers(min_value=1, max_value=3),    # n_keys
+    st.integers(min_value=1, max_value=3),    # n_values
+    st.integers(min_value=0, max_value=50),   # seed
+)
+
+_QUERY_NAMES = st.sampled_from(["all", "keys"])
+
+_SEMANTICS = st.sampled_from(["s", "c", "delete-only"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(_PARAMS, _QUERY_NAMES)
+def test_applicable_engines_agree(params, qname):
+    scenario = random_fd_instance(*params)
+    query = scenario.queries[qname]
+    ref = consistent_answers(scenario.db, scenario.constraints, query)
+    request = CQARequest(scenario.db, scenario.constraints, query)
+    for name in applicable_engines(request):
+        engine = get_engine(name)
+        answer = engine.run(request)
+        if engine.exact:
+            assert answer.complete
+            assert answer.answers == ref, (
+                f"engine {name} disagrees with the reference "
+                f"enumeration on {scenario.name}/{qname}"
+            )
+        else:
+            assert answer.answers <= ref
+            upper = answer.detail.get("upper_bound")
+            if upper is not None:
+                assert ref <= upper
+
+
+@settings(max_examples=40, deadline=None)
+@given(_PARAMS, _QUERY_NAMES, _SEMANTICS)
+def test_dispatcher_complete_answers_are_exact(params, qname, semantics):
+    scenario = random_fd_instance(*params)
+    query = scenario.queries[qname]
+    # Key FDs: every repair keeps one tuple per key group, so all three
+    # semantics coincide and share one reference.
+    ref = consistent_answers(scenario.db, scenario.constraints, query)
+    result = dispatch_cqa(
+        scenario.db, scenario.constraints, query, semantics=semantics
+    )
+    assert result.complete
+    assert result.answers == ref
+    assert result.provenance.engine is not None
+
+
+@settings(max_examples=25, deadline=None)
+@given(_PARAMS, _QUERY_NAMES)
+def test_salvage_rung_is_always_sound(params, qname):
+    scenario = random_fd_instance(*params)
+    query = scenario.queries[qname]
+    ref = consistent_answers(scenario.db, scenario.constraints, query)
+    result = dispatch_cqa(
+        scenario.db, scenario.constraints, query,
+        policy=DispatchPolicy(ladder=("certain-core",)),
+    )
+    assert not result.complete
+    assert result.answers <= ref
+    upper = result.detail.get("upper_bound")
+    assert upper is not None and ref <= upper

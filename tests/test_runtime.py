@@ -255,8 +255,15 @@ class TestRetry:
         delays = []
         assert retry_transient(flaky, sleep=delays.append) == "ok"
         assert len(attempts) == 3
-        # Exponential backoff: each delay doubles.
-        assert delays == [pytest.approx(0.01), pytest.approx(0.02)]
+        # Exponential backoff (0.01 then 0.02) with ±25% seeded jitter.
+        assert len(delays) == 2
+        assert 0.0075 <= delays[0] <= 0.0125
+        assert 0.015 <= delays[1] <= 0.025
+        # The schedule is deterministic for a fixed seed.
+        repeat = []
+        attempts.clear()
+        retry_transient(flaky, sleep=repeat.append)
+        assert repeat == delays
 
     def test_exhausted_retries_re_raise(self):
         def always_fails():
