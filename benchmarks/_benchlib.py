@@ -66,6 +66,18 @@ EXPORTED_COUNTERS = (
     "cqa.sql_rows",
     "sql.statements",
     "sql.rows_materialized",
+    # Serving-plane counters: inert in today's suites (no benchmark
+    # dispatches yet), but tracked so a future dispatch benchmark's
+    # baselines pick them up without a schema bump.
+    "dispatch.requests",
+    "dispatch.requests.ok",
+    "dispatch.requests.degraded",
+    "dispatch.requests.error",
+    "dispatch.fallbacks",
+    "dispatch.events.request.start",
+    "dispatch.events.request.end",
+    "dispatch.events.rung.failure",
+    "dispatch.events.breaker.transition",
 )
 
 

@@ -245,8 +245,21 @@ def _cmd_cqa(args) -> int:
 
 def _cmd_dispatch(args) -> int:
     import contextlib
+    import os
 
-    from .dispatch import DEFAULT_LADDER, DispatchPolicy, Dispatcher
+    from .dispatch import (
+        DEFAULT_LADDER,
+        DispatchError,
+        DispatchPolicy,
+        Dispatcher,
+    )
+    from .observability.live import (
+        LivePlane,
+        install_live,
+        uninstall_live,
+        write_prometheus,
+        write_status_json,
+    )
     from .runtime import FaultPlan, inject
 
     db = _build_database(args.csv or ())
@@ -268,9 +281,49 @@ def _cmd_dispatch(args) -> int:
             sqlite_failure_rate=args.fault_sqlite_rate,
             starve_steps_after=args.fault_starve_after,
         ))
-    with faults:
-        result = dispatcher.dispatch(
-            db, constraints, query, semantics=args.semantics
+    plane = None
+    if args.telemetry:
+        os.makedirs(args.telemetry, exist_ok=True)
+        plane = install_live(LivePlane(
+            event_sink=os.path.join(args.telemetry, "events.jsonl"),
+        ))
+    result = None
+    errors = 0
+    try:
+        with faults:
+            # --repeat N serves the same request N times through the one
+            # stateful dispatcher — a seeded workload for the live plane
+            # (breaker trips, rolling windows) without a driver script.
+            for _ in range(max(1, args.repeat)):
+                try:
+                    result = dispatcher.dispatch(
+                        db, constraints, query, semantics=args.semantics
+                    )
+                except DispatchError:
+                    if args.repeat <= 1:
+                        raise
+                    errors += 1
+    finally:
+        if plane is not None:
+            uninstall_live()
+            write_status_json(
+                os.path.join(args.telemetry, "status.json"),
+                plane.status(),
+            )
+            write_prometheus(
+                os.path.join(args.telemetry, "metrics.prom"),
+                plane.status(),
+            )
+            plane.close()
+            logger.info("wrote live telemetry to %s", args.telemetry)
+    if result is None:
+        raise DispatchError(
+            f"all {args.repeat} repeated request(s) failed"
+        )
+    if errors:
+        print(
+            f"-- {errors}/{args.repeat} request(s) failed outright",
+            file=sys.stderr,
         )
     for row in sorted(result.answers, key=repr):
         print(",".join(str(v) for v in row))
@@ -374,6 +427,67 @@ def _cmd_obs_check(args) -> int:
     return exit_code(findings, counters_only=args.counters_only)
 
 
+def _load_status(path) -> dict:
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        status = json.load(handle)
+    if not isinstance(status, dict):
+        raise SystemExit(f"{path}: not a status document")
+    return status
+
+
+def _cmd_obs_status(args) -> int:
+    from .observability.live import prometheus_text, render_status
+
+    status = _load_status(args.status_file)
+    if args.prom:
+        sys.stdout.write(prometheus_text(status))
+    else:
+        print(render_status(status))
+    return 0
+
+
+def _cmd_obs_watch(args) -> int:
+    import time as _time
+
+    from .observability.live import render_status
+
+    for i in range(args.count):
+        if i:
+            _time.sleep(args.interval)
+        try:
+            status = _load_status(args.status_file)
+        except FileNotFoundError:
+            print(f"(waiting for {args.status_file})", file=sys.stderr)
+            continue
+        print(render_status(status))
+        if i + 1 < args.count:
+            print("---")
+    return 0
+
+
+def _cmd_obs_slo(args) -> int:
+    from .observability.live import (
+        EXIT_SLO_VIOLATION,
+        evaluate_slos,
+        load_slo_config,
+        render_slo,
+    )
+
+    slos = load_slo_config(args.config)
+    status = _load_status(args.status)
+    results = evaluate_slos(slos, status)
+    print(render_slo(results))
+    violated = [r for r in results if not r["ok"]]
+    if violated and args.check:
+        print(
+            f"-- {len(violated)} SLO(s) violated", file=sys.stderr
+        )
+        return EXIT_SLO_VIOLATION
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -458,6 +572,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos testing: starve cooperative budgets after STEPS "
              "checkpointed steps",
     )
+    dispatch.add_argument(
+        "--telemetry", metavar="DIR",
+        help="install the live telemetry plane and write events.jsonl, "
+             "status.json, and metrics.prom into DIR",
+    )
+    dispatch.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="serve the request N times through one dispatcher "
+             "(a seeded workload for --telemetry; default 1)",
+    )
     dispatch.set_defaults(func=_cmd_dispatch)
 
     measure = sub.add_parser(
@@ -527,6 +651,47 @@ def build_parser() -> argparse.ArgumentParser:
     check_bench.add_argument("--counters-only", action="store_true",
                              help=counters_only_help)
     check_bench.set_defaults(func=_cmd_obs_check)
+
+    status = obs_sub.add_parser(
+        "status", help="render a live status.json snapshot"
+    )
+    status.add_argument("status_file", metavar="STATUS.json")
+    status.add_argument(
+        "--prom", action="store_true",
+        help="emit Prometheus text exposition instead of the human view",
+    )
+    status.set_defaults(func=_cmd_obs_status)
+
+    watch = obs_sub.add_parser(
+        "watch", help="re-render a status.json snapshot periodically"
+    )
+    watch.add_argument("status_file", metavar="STATUS.json")
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between renders (default 2)",
+    )
+    watch.add_argument(
+        "--count", type=int, default=1000000, metavar="N",
+        help="stop after N renders (default: effectively forever)",
+    )
+    watch.set_defaults(func=_cmd_obs_watch)
+
+    slo = obs_sub.add_parser(
+        "slo", help="evaluate declared SLOs against a status snapshot"
+    )
+    slo.add_argument(
+        "--config", required=True, metavar="SLO.json",
+        help="SLO config ({'slos': [...]}; see benchmarks/slo.json)",
+    )
+    slo.add_argument(
+        "--status", required=True, metavar="STATUS.json",
+        help="live status snapshot to evaluate against",
+    )
+    slo.add_argument(
+        "--check", action="store_true",
+        help="exit 7 when any objective is violated (for CI gating)",
+    )
+    slo.set_defaults(func=_cmd_obs_slo)
     return parser
 
 
@@ -569,7 +734,8 @@ def main(argv: Sequence[str] = None) -> int:
     (``--strict``, or a method with no anytime variant).
     ``obs diff`` / ``obs check`` add the gating codes of
     :mod:`repro.observability.analysis.regression`: 3 timing
-    regression, 4 counter drift, 5 benchmark set changed.
+    regression, 4 counter drift, 5 benchmark set changed; ``obs slo
+    --check`` exits 7 when a declared objective is violated.
     """
     parser = build_parser()
     args = parser.parse_args(argv)

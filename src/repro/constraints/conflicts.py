@@ -75,6 +75,49 @@ class ConflictHypergraph:
         """Tids in no conflict: the 'certain core' of the instance."""
         return self.nodes - self.conflicting_tids()
 
+    def shape_stats(self) -> dict:
+        """Structural statistics of the conflict graph.
+
+        These are the shape parameters that govern CQA tractability
+        (component size bounds repair enumeration; the degree bound
+        controls hitting-set branching), recorded per request by the
+        live telemetry plane so engine selection can later key on them.
+        Keys: ``nodes``, ``conflicting_nodes``, ``edges``,
+        ``max_edge_arity``, ``max_degree``, ``components``,
+        ``max_component_size`` (component = connected component of the
+        conflicting nodes under shared-edge adjacency).
+        """
+        degree: dict = {}
+        parent: dict = {}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for edge in self.edges:
+            members = list(edge)
+            for tid in members:
+                degree[tid] = degree.get(tid, 0) + 1
+                parent.setdefault(tid, tid)
+            root = find(members[0])
+            for tid in members[1:]:
+                parent[find(tid)] = root
+        components: dict = {}
+        for tid in parent:
+            root = find(tid)
+            components[root] = components.get(root, 0) + 1
+        return {
+            "nodes": len(self.nodes),
+            "conflicting_nodes": len(degree),
+            "edges": len(self.edges),
+            "max_edge_arity": max((len(e) for e in self.edges), default=0),
+            "max_degree": max(degree.values(), default=0),
+            "components": len(components),
+            "max_component_size": max(components.values(), default=0),
+        }
+
     # ------------------------------------------------------------------
     # Hitting sets / independent sets
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ import time
 from typing import Callable, Optional
 
 from ..observability import add
+from ..observability.live import emit_event
 
 __all__ = ["BreakerState", "CircuitBreaker"]
 
@@ -90,9 +91,25 @@ class CircuitBreaker:
             and self._opened_at is not None
             and self._clock() - self._opened_at >= self.cooldown_s
         ):
-            self._state = BreakerState.HALF_OPEN
+            self._set_state(BreakerState.HALF_OPEN)
             self._probe_inflight = False
         return self._state
+
+    def _set_state(self, new: BreakerState) -> None:
+        """Transition to *new*, emitting a ``breaker.transition`` event
+        on the live plane (no-op transition emits nothing)."""
+        old = self._state
+        if new is old:
+            return
+        self._state = new
+        emit_event(
+            "breaker.transition",
+            engine=self.name,
+            from_state=str(old),
+            to_state=str(new),
+            failures=self.failures,
+            trips=self.trips,
+        )
 
     def allows(self) -> bool:
         """May a request be attempted right now?
@@ -118,7 +135,7 @@ class CircuitBreaker:
         self.failures = 0
         self._probe_inflight = False
         if self._state is not BreakerState.CLOSED:
-            self._state = BreakerState.CLOSED
+            self._set_state(BreakerState.CLOSED)
             self._opened_at = None
 
     def record_failure(self) -> None:
@@ -136,10 +153,10 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
-        self._state = BreakerState.OPEN
-        self._opened_at = self._clock()
         self.failures = self.failure_threshold
         self.trips += 1
+        self._set_state(BreakerState.OPEN)
+        self._opened_at = self._clock()
         add("dispatch.breaker_trips")
         add(f"dispatch.breaker_trips.{self.name}")
 

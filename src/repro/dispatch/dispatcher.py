@@ -33,10 +33,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..constraints.conflicts import ConflictHypergraph
 from ..errors import NotRewritableError, ReproError
 from ..observability import add, annotate, span
+from ..observability.live import (
+    emit_event,
+    live_add,
+    live_gauge,
+    live_installed,
+    live_observe,
+    request_scope,
+)
 from ..relational.database import Database, Row
-from ..runtime import Budget, resolve_budget, use_budget
+from ..runtime import Budget, resolve_budget, suspend_budget, use_budget
 from .breaker import CircuitBreaker
 from .engines import (
     CQARequest,
@@ -174,6 +183,7 @@ class Dispatcher:
             for name in self.policy.ladder
         }
         self._shadow_rng = random.Random(self.policy.shadow_seed)
+        self._clock = clock
 
     # ------------------------------------------------------------------
 
@@ -197,13 +207,88 @@ class Dispatcher:
         if budget is not None:
             budget.start()
         add("dispatch.requests")
-        with span("dispatch.request", semantics=semantics):
-            result = self._walk_ladder(request, budget)
+        live_add("dispatch.requests")
+        with request_scope() as rid, span(
+            "dispatch.request", semantics=semantics, request_id=rid
+        ):
+            started = self._clock()
+            emit_event(
+                "request.start",
+                semantics=semantics,
+                ladder=list(self.policy.ladder),
+                conflicts=self._shape_stats(request),
+            )
+            try:
+                result = self._walk_ladder(request, budget)
+            except Exception as exc:  # noqa: BLE001 — telemetry only
+                self._finish_request(
+                    "error", None, started, budget,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                raise
+            outcome = "ok" if result.complete else "degraded"
+            self._finish_request(
+                outcome, result.provenance.engine, started, budget
+            )
             annotate(
                 engine=result.provenance.engine or "",
                 complete=result.complete,
             )
             return result
+
+    def _shape_stats(self, request: CQARequest) -> Optional[dict]:
+        """Conflict-graph shape stats for the request, when the live
+        plane wants them (None otherwise — the build is not free).
+
+        Runs with any ambient budget masked: an exhausted or tight
+        request budget must not be charged for telemetry, and telemetry
+        must not raise into the serving path.
+        """
+        if not live_installed():
+            return None
+        try:
+            with suspend_budget():
+                graph = ConflictHypergraph.build(
+                    request.db, request.constraints
+                )
+        except Exception:  # noqa: BLE001 — e.g. non-denial constraints
+            return None
+        stats = graph.shape_stats()
+        for key in ("edges", "max_component_size", "max_degree"):
+            live_observe(f"dispatch.conflicts.{key}", stats[key])
+        return stats
+
+    def _finish_request(
+        self,
+        outcome: str,
+        engine: Optional[str],
+        started: float,
+        budget: Optional[Budget],
+        **fields,
+    ) -> None:
+        """Close out one request on the live plane: outcome counters,
+        the ``request.end`` event, latency and budget-consumption
+        histograms, and per-engine breaker introspection gauges."""
+        elapsed_ms = (self._clock() - started) * 1000.0
+        add(f"dispatch.requests.{outcome}")
+        live_add(f"dispatch.requests.{outcome}")
+        live_observe("dispatch.latency_ms", elapsed_ms)
+        if budget is not None:
+            live_observe("dispatch.budget.steps", budget.steps)
+            live_observe(
+                "dispatch.budget.elapsed_ms", budget.elapsed() * 1000.0
+            )
+        for name, breaker in self.breakers.items():
+            live_gauge(f"dispatch.breaker.state.{name}", str(breaker.state()))
+            live_gauge(f"dispatch.breaker.failures.{name}", breaker.failures)
+            live_gauge(f"dispatch.breaker.trips.{name}", breaker.trips)
+        emit_event(
+            "request.end",
+            outcome=outcome,
+            engine=engine,
+            elapsed_ms=elapsed_ms,
+            **fields,
+        )
 
     # ------------------------------------------------------------------
 
@@ -220,20 +305,25 @@ class Dispatcher:
                 outcomes.append(
                     RungOutcome(name, "inapplicable", verdict)
                 )
+                live_add("dispatch.rungs.inapplicable")
+                emit_event("rung.skip", engine=name, reason=verdict)
                 continue
             breaker = self.breakers[name]
             if not breaker.allows():
-                outcomes.append(
-                    RungOutcome(
-                        name,
-                        "breaker-open",
-                        f"cooldown {breaker.cooldown_s:g}s after "
-                        f"{breaker.failures} consecutive failure(s)",
-                    )
+                reason = (
+                    f"cooldown {breaker.cooldown_s:g}s after "
+                    f"{breaker.failures} consecutive failure(s)"
                 )
+                outcomes.append(
+                    RungOutcome(name, "breaker-open", reason)
+                )
+                live_add("dispatch.rungs.breaker-open")
+                emit_event("rung.skip", engine=name, reason=reason)
                 continue
             slice_s = self._slice(request, budget, applicable, index)
-            started = time.monotonic()
+            live_add("dispatch.rungs.attempted")
+            emit_event("rung.attempt", engine=name, slice_s=slice_s)
+            started = self._clock()
             try:
                 answer = self._run_rung(request, name, slice_s)
             except _INAPPLICABLE as exc:
@@ -244,27 +334,41 @@ class Dispatcher:
                         name,
                         "inapplicable",
                         str(exc),
-                        time.monotonic() - started,
+                        self._clock() - started,
                     )
                 )
+                live_add("dispatch.rungs.inapplicable")
+                emit_event("rung.skip", engine=name, reason=str(exc))
                 continue
             except Exception as exc:  # noqa: BLE001 — rung firewall
                 breaker.record_failure()
                 add("dispatch.rung_failures")
                 add("dispatch.fallbacks")
+                live_add("dispatch.rungs.failed")
                 outcomes.append(
                     RungOutcome(
                         name,
                         "failed",
                         f"{type(exc).__name__}: {exc}",
-                        time.monotonic() - started,
+                        self._clock() - started,
                     )
+                )
+                emit_event(
+                    "rung.failure",
+                    engine=name,
+                    error=f"{type(exc).__name__}: {exc}",
                 )
                 continue
             breaker.record_success()
             winner = name
-            outcomes.append(
-                RungOutcome(name, "ok", "", time.monotonic() - started)
+            elapsed = self._clock() - started
+            outcomes.append(RungOutcome(name, "ok", "", elapsed))
+            live_add("dispatch.rungs.ok")
+            emit_event(
+                "rung.ok",
+                engine=name,
+                complete=answer.complete,
+                elapsed_ms=elapsed * 1000.0,
             )
             break
         if answer is None:
@@ -405,6 +509,10 @@ class Dispatcher:
         if not agreed:
             add("dispatch.shadow_disagreements")
             add(f"dispatch.shadow_disagreements.{candidate}")
+            live_add("dispatch.shadow_disagreements")
+            emit_event(
+                "shadow.disagreement", engine=winner, shadow=candidate
+            )
             annotate(shadow_disagreement=candidate)
         return ShadowReport(candidate, agreed)
 

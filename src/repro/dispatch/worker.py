@@ -38,6 +38,7 @@ from ..errors import (
     ReproError,
 )
 from ..observability import add
+from ..observability.live import emit_event
 from ..runtime import Budget, use_budget
 
 __all__ = [
@@ -201,6 +202,9 @@ def run_isolated(
         proc.communicate()
         add("dispatch.worker_kills")
         add(f"dispatch.worker_kills.{engine_name}")
+        emit_event(
+            "worker.kill", engine=engine_name, watchdog_s=deadline
+        )
         raise WorkerTimeoutError(
             f"engine {engine_name} exceeded its {deadline:.1f}s "
             "watchdog and was killed"

@@ -130,18 +130,44 @@ KEY_COUNTERS = (
     "dispatch.breaker_open",
     "dispatch.shadow_disagreements",
     "dispatch.worker_kills",
+    "dispatch.requests",
+    "dispatch.requests.ok",
+    "dispatch.requests.degraded",
+    "dispatch.requests.error",
 )
+
+#: Cost-line counters matched by prefix: the live plane's per-kind
+#: event counters (``dispatch.events.request.start``, ...), bumped on
+#: the collector too so span deltas and perf-gate baselines see them.
+KEY_COUNTER_PREFIXES = ("dispatch.events.",)
+
+
+def _is_key_counter(name: str) -> bool:
+    return name in KEY_COUNTERS or name.startswith(KEY_COUNTER_PREFIXES)
 
 
 def run(exp_id: str) -> ExperimentResult:
-    """Run one experiment by id, with a span and counters attached."""
-    with span(f"experiment.{exp_id}", experiment=exp_id) as s:
-        result = _REGISTRY[exp_id]()
+    """Run one experiment by id, with a span and counters attached.
+
+    A fresh live plane is installed around the experiment so dispatch
+    experiments exercise the serving-side telemetry: their cost lines
+    gain the rolling p99 dispatch latency and the per-kind event
+    counters alongside the span counter deltas.
+    """
+    from ..observability.live import LivePlane, live
+
+    plane = LivePlane()
+    with live(plane):
+        with span(f"experiment.{exp_id}", experiment=exp_id) as s:
+            result = _REGISTRY[exp_id]()
     if isinstance(s, Span):
         result.wall_s = s.duration or 0.0
         result.counters = {
-            k: v for k, v in s.metrics.items() if k in KEY_COUNTERS
+            k: v for k, v in s.metrics.items() if _is_key_counter(k)
         }
+        p99 = plane.registry.percentile("dispatch.latency_ms", 99)
+        if p99 is not None:
+            result.counters["dispatch.latency_ms.p99"] = round(p99, 3)
         mem = s.attributes.get("mem_peak_kb")
         if isinstance(mem, (int, float)):
             result.mem_peak_kb = float(mem)

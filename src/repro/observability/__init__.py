@@ -48,7 +48,12 @@ from .metrics import (
 )
 from .spans import Span, Tracer, annotate, current_span, span
 
+# The live plane (always-on rolling metrics + event log) imports from
+# .metrics/.spans, so it must come after them; it never imports back.
+from . import live  # noqa: E402  (see module docstring of .live)
+
 __all__ = [
+    "live",
     "Collector",
     "collect",
     "install",

@@ -69,14 +69,19 @@ def write_trace(
     Paths are written via a temporary sibling file and an atomic
     ``os.replace``, so rerunning ``--trace FILE`` always yields exactly
     one run's lines — a crash mid-write can never leave a shorter new
-    trace interleaved with the stale tail of an older, longer one.
+    trace interleaved with the stale tail of an older, longer one.  The
+    temp name is pid-unique (concurrent writers never clobber each
+    other's in-flight file), and temp files orphaned by a process that
+    died between write and rename are swept on the next write to the
+    same path.
     """
     own = isinstance(destination, (str, bytes)) or hasattr(
         destination, "__fspath__"
     )
     if own:
         final = os.fspath(destination)
-        tmp = f"{final}.tmp"
+        tmp = f"{final}.{os.getpid()}.tmp"
+        _sweep_orphaned_tmp(final, keep=tmp)
         handle = open(tmp, "w", encoding="utf-8")
     else:
         handle = destination
@@ -107,6 +112,35 @@ def write_trace(
             handle.close()
             os.replace(tmp, final)
     return lines
+
+
+def _sweep_orphaned_tmp(final: str, keep: str) -> None:
+    """Remove temp siblings of *final* left by dead writers.
+
+    Matches both the legacy fixed name (``final.tmp``) and the
+    pid-unique pattern (``final.<pid>.tmp``), skipping *keep* (our own
+    in-flight name).  Best-effort: a racing live writer re-creates its
+    file after our unlink at worst, and its rename still lands.
+    """
+    directory = os.path.dirname(final) or "."
+    base = os.path.basename(final)
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return
+    for entry in entries:
+        if not (entry.startswith(f"{base}.") and entry.endswith(".tmp")):
+            continue
+        candidate = os.path.join(directory, entry)
+        if candidate == keep:
+            continue
+        middle = entry[len(base) + 1:-len(".tmp")]
+        if middle and not middle.isdigit():  # not ours: e.g. foo.bar.tmp
+            continue
+        try:
+            os.remove(candidate)
+        except OSError:
+            pass
 
 
 def read_trace(source) -> List[Dict[str, object]]:

@@ -1,0 +1,229 @@
+"""Request-correlated structured event log (JSONL).
+
+Where spans answer "how long did this region take", events answer "what
+happened to this *request*, in order": a dispatch request starts, rungs
+are attempted/skipped/failed, breakers flip, budgets run dry, shadow
+checks disagree, the request ends.  Every event is one JSON object with
+a stable schema:
+
+``{"seq": int, "ts": float, "kind": str, "request_id": str|None,
+"span_id": int|None, ...kind-specific fields}``
+
+``seq`` is a process-wide monotonic sequence number; ``ts`` comes from
+the log's injectable clock (monotonic by default) so ordering is
+deterministic in tests; ``request_id`` is the correlation key stamped by
+:func:`request_scope`; ``span_id`` links the event to the innermost open
+span of the installed collector, if any.
+
+Event *kinds* are a stable contract (like counter names — DESIGN.md
+"Live telemetry"): consumers may key on them, so :data:`EVENT_KINDS` is
+closed and :meth:`EventLog.emit` rejects unknown kinds rather than
+letting typos create silent new streams.
+
+The log is a bounded in-memory ring (for `obs status` and tests) plus an
+optional JSONL file sink, flushed per event so a crash never loses more
+than the in-flight line.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import os
+import threading
+import time
+from collections import Counter as _TallyCounter
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from ..spans import current_span
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "current_request_id",
+    "new_request_id",
+    "read_events",
+    "request_scope",
+]
+
+#: The closed set of event kinds — the stable event-schema contract.
+EVENT_KINDS = (
+    "request.start",
+    "request.end",
+    "rung.attempt",
+    "rung.ok",
+    "rung.skip",
+    "rung.failure",
+    "breaker.transition",
+    "budget.exhausted",
+    "shadow.disagreement",
+    "worker.kill",
+)
+
+_request_ids = itertools.count(1)
+_local = threading.local()
+
+
+def new_request_id() -> str:
+    """A fresh process-unique request id (``r000001``, ``r000002``, ...)."""
+    return f"r{next(_request_ids):06d}"
+
+
+def current_request_id() -> Optional[str]:
+    """The request id of the innermost open request scope, or None."""
+    return getattr(_local, "request_id", None)
+
+
+class request_scope:
+    """Bind a request id to the current thread for the ``with`` block.
+
+    Everything emitted inside — events, nested events from the breaker
+    or budget layers — carries this id, which is what makes the event
+    log *correlated* rather than merely interleaved.  Scopes nest; the
+    innermost wins (e.g. a shadow re-run inside a request).
+    """
+
+    __slots__ = ("request_id", "_previous")
+
+    def __init__(self, request_id: Optional[str] = None) -> None:
+        self.request_id = request_id or new_request_id()
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> str:
+        self._previous = getattr(_local, "request_id", None)
+        _local.request_id = self.request_id
+        return self.request_id
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _local.request_id = self._previous
+        return False
+
+
+class EventLog:
+    """Bounded ring of structured events with an optional JSONL sink."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+        sink=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+        self._by_kind: _TallyCounter = _TallyCounter()
+        self._emitted = 0
+        self._sink_handle = None
+        self._owns_sink = False
+        if sink is not None:
+            if isinstance(sink, (str, bytes)) or hasattr(sink, "__fspath__"):
+                self._sink_handle = open(
+                    os.fspath(sink), "a", encoding="utf-8"
+                )
+                self._owns_sink = True
+            else:
+                self._sink_handle = sink
+
+    # -- emission ------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        request_id: Optional[str] = None,
+        **fields,
+    ) -> Dict[str, object]:
+        """Record one event; returns the record.
+
+        ``request_id`` defaults to the ambient :func:`request_scope` id;
+        ``span_id`` is stamped from the installed collector's innermost
+        open span.  Unknown kinds raise ``ValueError`` — the schema is a
+        contract, not a convention.
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; the stable kinds are: "
+                + ", ".join(EVENT_KINDS)
+            )
+        open_span = current_span()
+        record: Dict[str, object] = {
+            "ts": self._clock(),
+            "kind": kind,
+            "request_id": (
+                request_id
+                if request_id is not None
+                else current_request_id()
+            ),
+            "span_id": open_span.span_id if open_span is not None else None,
+        }
+        record.update(fields)
+        with self._lock:
+            record["seq"] = next(self._seq)
+            self._ring.append(record)
+            self._by_kind[kind] += 1
+            self._emitted += 1
+            if self._sink_handle is not None:
+                self._sink_handle.write(
+                    json.dumps(record, default=repr) + "\n"
+                )
+                self._sink_handle.flush()
+        return record
+
+    # -- queries -------------------------------------------------------
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Retained events, oldest first, optionally filtered."""
+        with self._lock:
+            out = list(self._ring)
+        if kind is not None:
+            out = [r for r in out if r["kind"] == kind]
+        if request_id is not None:
+            out = [r for r in out if r["request_id"] == request_id]
+        return out
+
+    def tail(self, n: int = 20) -> List[Dict[str, object]]:
+        """The most recent *n* retained events, oldest first."""
+        with self._lock:
+            ring = list(self._ring)
+        return ring[-n:]
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready tallies: total emitted, retained, per-kind counts."""
+        with self._lock:
+            return {
+                "emitted": self._emitted,
+                "retained": len(self._ring),
+                "by_kind": dict(sorted(self._by_kind.items())),
+            }
+
+    def close(self) -> None:
+        """Close an owned file sink (idempotent)."""
+        with self._lock:
+            if self._owns_sink and self._sink_handle is not None:
+                self._sink_handle.close()
+            self._sink_handle = None
+            self._owns_sink = False
+
+
+def read_events(source) -> List[Dict[str, object]]:
+    """Parse a JSONL event file (path or file object) into records."""
+    own = not isinstance(source, io.IOBase) and not hasattr(source, "read")
+    handle = open(source, "r", encoding="utf-8") if own else source
+    try:
+        records = []
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+        return records
+    finally:
+        if own:
+            handle.close()

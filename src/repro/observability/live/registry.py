@@ -1,0 +1,142 @@
+"""The always-on live registry: rolling counters/histograms plus gauges.
+
+A :class:`LiveRegistry` is the serving-plane counterpart of the
+collector-gated :class:`~repro.observability.metrics.MetricsRegistry`:
+it lives for the life of the process (or server), never resets between
+requests, and answers "what is happening *now*" — window totals, rates,
+and windowed p50/p90/p99 — instead of "what happened during this run".
+Both registries coexist: the dispatcher feeds the collector (when one is
+installed) for per-run traces *and* the live plane (when one is
+installed) for health.
+
+Thread-safe with one lock, same contention profile as the post-mortem
+registry.  The injectable clock is shared with every instrument so a
+test can drive window expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from .rolling import RollingCounter, RollingHistogram
+
+__all__ = ["LiveRegistry"]
+
+
+class LiveRegistry:
+    """A named bag of rolling counters, rolling histograms, and gauges."""
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 60.0,
+        buckets: int = 60,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        self.window_s = float(window_s)
+        self.buckets = int(buckets)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._counters: Dict[str, RollingCounter] = {}
+        self._histograms: Dict[str, RollingHistogram] = {}
+        self._gauges: Dict[str, object] = {}
+        self._started = clock()
+        self._ops = 0
+
+    # -- updates -------------------------------------------------------
+
+    def add(self, name: str, n: int = 1) -> None:
+        """Count *n* events on rolling counter *name*."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = RollingCounter(
+                    self.window_s, self.buckets, self.clock
+                )
+            counter.add(n)
+            self._ops += 1
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into rolling histogram *name*."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = RollingHistogram(
+                    self.window_s, self.buckets, self.clock
+                )
+            histogram.observe(value)
+            self._ops += 1
+
+    def gauge(self, name: str, value) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+            self._ops += 1
+
+    # -- reads ---------------------------------------------------------
+
+    @property
+    def op_count(self) -> int:
+        """Instrument updates recorded so far (for overhead audits)."""
+        return self._ops
+
+    def uptime_s(self) -> float:
+        return self.clock() - self._started
+
+    def counter_total(self, name: str, default: int = 0) -> int:
+        """Lifetime total of one counter."""
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.lifetime if counter is not None else default
+
+    def counter_window(self, name: str, default: int = 0) -> int:
+        """Window total of one counter."""
+        with self._lock:
+            counter = self._counters.get(name)
+            return (
+                counter.window_total() if counter is not None else default
+            )
+
+    def percentile(self, name: str, p: float) -> Optional[float]:
+        """Windowed percentile of one histogram, or None."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return (
+                histogram.percentile(p) if histogram is not None else None
+            )
+
+    def gauge_value(self, name: str, default=None):
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def gauges(self) -> Dict[str, object]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view of every instrument.
+
+        Shape (part of the status-document contract, see DESIGN.md):
+        ``{"uptime_s", "window_s",
+        "counters": {name: {total, window, window_s, rate_per_s}},
+        "histograms": {name: {count, sum, min, max, window_s,
+        window_count, window_sum, p50, p90, p99}},
+        "gauges": {name: value}}``.
+        """
+        with self._lock:
+            return {
+                "uptime_s": self.uptime_s(),
+                "window_s": self.window_s,
+                "counters": {
+                    k: c.summary() for k, c in sorted(self._counters.items())
+                },
+                "histograms": {
+                    k: h.summary()
+                    for k, h in sorted(self._histograms.items())
+                },
+                "gauges": dict(sorted(self._gauges.items())),
+            }

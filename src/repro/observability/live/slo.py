@@ -1,0 +1,172 @@
+"""SLO evaluation over the live status document.
+
+An SLO config declares objectives; :func:`evaluate_slos` checks each one
+against a status document (from :meth:`LivePlane.status` or a
+``status.json`` written by ``repro dispatch --telemetry``) and reports
+the observed value, pass/fail, and — for availability objectives — the
+error-budget burn: ``(1 - observed) / (1 - objective)``, i.e. how many
+times over (or under) the allowed failure budget the window is running.
+Burn < 1 means budget remains; burn 2.0 means failing twice as fast as
+the objective allows.
+
+Config shape (``benchmarks/slo.json`` is the committed example)::
+
+    {"slos": [
+      {"name": "ladder-availability", "kind": "availability",
+       "objective": 0.95},
+      {"name": "dispatch-latency-p99", "kind": "latency",
+       "metric": "dispatch.latency_ms", "percentile": 99,
+       "target_ms": 30000}
+    ]}
+
+Availability counts degraded answers as served — the ladder's contract
+is "an answer with a stated confidence beats no answer", so only
+outright errors burn budget.  ``obs slo --check`` exits with
+:data:`EXIT_SLO_VIOLATION` (7) when any objective fails, which is what
+the chaos-matrix CI job gates on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "EXIT_SLO_VIOLATION",
+    "evaluate_slos",
+    "load_slo_config",
+    "render_slo",
+]
+
+#: CLI exit code for ``obs slo --check`` when any objective is violated.
+EXIT_SLO_VIOLATION = 7
+
+_KINDS = ("availability", "latency")
+
+
+def load_slo_config(path) -> List[Dict[str, object]]:
+    """Load and validate an SLO config file; returns the objective list."""
+    with open(path, "r", encoding="utf-8") as handle:
+        config = json.load(handle)
+    slos = config.get("slos")
+    if not isinstance(slos, list) or not slos:
+        raise ValueError(f"{path}: config must have a non-empty 'slos' list")
+    for slo in slos:
+        kind = slo.get("kind")
+        if kind not in _KINDS:
+            raise ValueError(
+                f"{path}: slo {slo.get('name')!r} has unknown kind "
+                f"{kind!r}; expected one of {_KINDS}"
+            )
+        if kind == "availability":
+            objective = slo.get("objective")
+            if not isinstance(objective, (int, float)) or not (
+                0.0 < objective <= 1.0
+            ):
+                raise ValueError(
+                    f"{path}: availability slo {slo.get('name')!r} needs "
+                    "an 'objective' in (0, 1]"
+                )
+        else:
+            if "metric" not in slo or "target_ms" not in slo:
+                raise ValueError(
+                    f"{path}: latency slo {slo.get('name')!r} needs "
+                    "'metric' and 'target_ms'"
+                )
+    return slos
+
+
+def _availability(status: Dict[str, object]) -> Optional[float]:
+    requests = status.get("requests") or {}
+    availability = requests.get("availability")
+    if availability is not None:
+        return float(availability)
+    total = requests.get("total") or 0
+    if not total:
+        return None
+    served = (requests.get("ok") or 0) + (requests.get("degraded") or 0)
+    return served / total
+
+
+def _latency(
+    status: Dict[str, object], metric: str, percentile: float
+) -> Optional[float]:
+    summary = (status.get("histograms") or {}).get(metric)
+    if summary is None:
+        return None
+    key = f"p{int(percentile)}"
+    return summary.get(key)
+
+
+def evaluate_slos(
+    slos: List[Dict[str, object]], status: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Evaluate every objective; returns one result dict per SLO.
+
+    Result shape: ``{"name", "kind", "objective", "observed", "ok",
+    "burn"}`` (``burn`` only for availability; ``observed`` None when
+    the window holds no data, which counts as ok — no traffic burns no
+    budget).
+    """
+    results: List[Dict[str, object]] = []
+    for slo in slos:
+        kind = slo["kind"]
+        if kind == "availability":
+            objective = float(slo["objective"])
+            observed = _availability(status)
+            ok = observed is None or observed >= objective
+            burn: Optional[float] = None
+            if observed is not None and objective < 1.0:
+                burn = (1.0 - observed) / (1.0 - objective)
+            results.append(
+                {
+                    "name": slo.get("name", "availability"),
+                    "kind": kind,
+                    "objective": objective,
+                    "observed": observed,
+                    "ok": ok,
+                    "burn": burn,
+                }
+            )
+        else:
+            target = float(slo["target_ms"])
+            percentile = float(slo.get("percentile", 99))
+            observed = _latency(status, slo["metric"], percentile)
+            ok = observed is None or observed <= target
+            results.append(
+                {
+                    "name": slo.get("name", slo["metric"]),
+                    "kind": kind,
+                    "objective": target,
+                    "observed": observed,
+                    "ok": ok,
+                    "burn": None,
+                }
+            )
+    return results
+
+
+def render_slo(results: List[Dict[str, object]]) -> str:
+    """Human-readable table of SLO results."""
+    lines = []
+    width = max((len(r["name"]) for r in results), default=4)
+    for result in results:
+        verdict = "ok" if result["ok"] else "VIOLATED"
+        observed = result["observed"]
+        if result["kind"] == "availability":
+            observed_text = (
+                f"{observed:.4f}" if observed is not None else "no-data"
+            )
+            detail = f"objective>={result['objective']:.4f}"
+            if result["burn"] is not None:
+                detail += f" burn={result['burn']:.2f}x"
+        else:
+            observed_text = (
+                f"{observed:.2f}ms" if observed is not None else "no-data"
+            )
+            detail = f"target<={result['objective']:.2f}ms"
+        lines.append(
+            f"{result['name'].ljust(width)}  {verdict:<8} "
+            f"observed={observed_text}  {detail}"
+        )
+    return "\n".join(lines)

@@ -37,6 +37,7 @@ from typing import Callable, Iterator, Optional
 
 from ..errors import BudgetExceededError
 from ..observability import add, annotate
+from ..observability.live import emit_event
 
 __all__ = [
     "Budget",
@@ -205,6 +206,13 @@ class Budget:
             add("runtime.budget_exhausted")
             add(f"runtime.budget_exhausted.{reason.value}")
             annotate(budget_exhausted=reason.value)
+            emit_event(
+                "budget.exhausted",
+                reason=reason.value,
+                steps=self.steps,
+                results=self.results,
+                elapsed_s=self.elapsed(),
+            )
         self._raise(reason)
 
     def _raise(self, reason: BudgetExhaustion) -> None:

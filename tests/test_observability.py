@@ -16,6 +16,7 @@ from repro.observability import (
     collect,
     current_span,
     flat_snapshot,
+    gauge,
     install,
     installed,
     observe,
@@ -227,6 +228,58 @@ class TestExport:
     def test_flat_snapshot(self):
         c = self._collected()
         assert flat_snapshot(c.registry)["outer.work"] == 4
+
+    def test_gauges_appear_in_every_export_path(self, tmp_path):
+        """Regression guard: gauges ride alongside counters/histograms
+        in flat_snapshot, summary_table, and the JSONL metrics line."""
+        with collect() as c:
+            with span("outer"):
+                add("outer.work", 2)
+                gauge("outer.depth", 7)
+                observe("outer.size", 3.0)
+        snap = flat_snapshot(c.registry)
+        assert snap["outer.depth"] == 7
+        assert snap["outer.work"] == 2
+        assert snap["outer.size.count"] == 1
+        text = c.summary()
+        assert "outer.depth" in text and "7" in text
+        path = tmp_path / "t.jsonl"
+        c.write_trace(path)
+        metrics_lines = [
+            r for r in read_trace(path) if r.get("kind") == "metrics"
+        ]
+        assert metrics_lines[0]["snapshot"]["outer.depth"] == 7
+
+    def test_stale_tmp_files_are_swept_on_next_write(self, tmp_path):
+        """A writer that died between write and rename leaves a ``.tmp``
+        orphan; the next write to the same path must remove it (both the
+        legacy fixed name and pid-unique names), without touching
+        unrelated files."""
+        c = self._collected()
+        final = tmp_path / "trace.jsonl"
+        legacy_orphan = tmp_path / "trace.jsonl.tmp"
+        pid_orphan = tmp_path / "trace.jsonl.99999.tmp"
+        unrelated = tmp_path / "trace.jsonl.backup.tmp"
+        other_file = tmp_path / "other.jsonl.tmp"
+        for orphan in (legacy_orphan, pid_orphan, unrelated, other_file):
+            orphan.write_text("{}\n")
+        c.write_trace(final)
+        assert final.exists()
+        assert not legacy_orphan.exists()
+        assert not pid_orphan.exists()
+        assert unrelated.exists()  # not our naming scheme
+        assert other_file.exists()  # different trace path
+        assert read_trace(final)  # the real trace is intact
+
+    def test_no_tmp_file_survives_a_successful_write(self, tmp_path):
+        c = self._collected()
+        final = tmp_path / "trace.jsonl"
+        c.write_trace(final)
+        c.write_trace(final)  # second write sweeps + replaces cleanly
+        leftovers = [
+            p for p in tmp_path.iterdir() if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
 
 
 class TestDisabledOverhead:
