@@ -57,6 +57,10 @@ from .runtime import Budget, use_budget
 #: result (``--strict``, or a method with no anytime variant).
 EXIT_BUDGET_EXHAUSTED = 6
 
+#: Exit code for ``obs replay``: a recorded flight envelope no longer
+#: reproduces its answer/provenance bit-for-bit (the CI replay gate).
+EXIT_REPLAY_DIVERGENCE = 8
+
 logger = logging.getLogger("repro.cli")
 
 
@@ -253,6 +257,11 @@ def _cmd_dispatch(args) -> int:
         DispatchPolicy,
         Dispatcher,
     )
+    from .observability.flight import (
+        FlightRecorder,
+        install_recorder,
+        uninstall_recorder,
+    )
     from .observability.live import (
         LivePlane,
         install_live,
@@ -287,6 +296,14 @@ def _cmd_dispatch(args) -> int:
         plane = install_live(LivePlane(
             event_sink=os.path.join(args.telemetry, "events.jsonl"),
         ))
+    recorder = None
+    record_dir = args.record or args.record_anomalies
+    if record_dir:
+        os.makedirs(record_dir, exist_ok=True)
+        recorder = install_recorder(FlightRecorder(
+            record_dir,
+            mode="all" if args.record else "anomaly",
+        ))
     result = None
     errors = 0
     try:
@@ -304,6 +321,13 @@ def _cmd_dispatch(args) -> int:
                         raise
                     errors += 1
     finally:
+        if recorder is not None:
+            uninstall_recorder()
+            print(
+                f"-- recorded {len(recorder.written)} flight "
+                f"envelope(s) to {record_dir}",
+                file=sys.stderr,
+            )
         if plane is not None:
             uninstall_live()
             write_status_json(
@@ -488,6 +512,38 @@ def _cmd_obs_slo(args) -> int:
     return 0
 
 
+def _cmd_obs_replay(args) -> int:
+    from .observability.flight.replay import replay_file
+
+    divergent = 0
+    for path in args.envelopes:
+        try:
+            report = replay_file(path)
+        except ReproError as exc:
+            print(f"{path}: replay failed: {exc}", file=sys.stderr)
+            divergent += 1
+            continue
+        print(report.render())
+        if not report.ok:
+            divergent += 1
+    if divergent:
+        print(
+            f"-- {divergent}/{len(args.envelopes)} envelope(s) "
+            "diverged from their recording",
+            file=sys.stderr,
+        )
+        return EXIT_REPLAY_DIVERGENCE
+    return 0
+
+
+def _cmd_obs_explain(args) -> int:
+    from .observability.flight import read_envelope
+    from .observability.flight.replay import explain_envelope
+
+    print(explain_envelope(read_envelope(args.envelope)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -581,6 +637,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=1, metavar="N",
         help="serve the request N times through one dispatcher "
              "(a seeded workload for --telemetry; default 1)",
+    )
+    record_group = dispatch.add_mutually_exclusive_group()
+    record_group.add_argument(
+        "--record", metavar="DIR",
+        help="flight-record every request into DIR (one replayable "
+             "JSON envelope per request; see 'obs replay')",
+    )
+    record_group.add_argument(
+        "--record-anomalies", metavar="DIR", dest="record_anomalies",
+        help="flight-record only anomalous requests (breaker trips, "
+             "budget exhaustion, shadow disagreement, worker kills, "
+             "errors) into DIR",
     )
     dispatch.set_defaults(func=_cmd_dispatch)
 
@@ -692,6 +760,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 7 when any objective is violated (for CI gating)",
     )
     slo.set_defaults(func=_cmd_obs_slo)
+
+    replay = obs_sub.add_parser(
+        "replay",
+        help="re-execute recorded flight envelopes and diff the "
+             "answer/provenance bit-for-bit",
+    )
+    replay.add_argument(
+        "envelopes", nargs="+", metavar="ENVELOPE.json",
+        help="flight envelope file(s) written by dispatch --record",
+    )
+    replay.set_defaults(func=_cmd_obs_replay)
+
+    explain = obs_sub.add_parser(
+        "explain",
+        help="render the decision trail of a recorded flight envelope",
+    )
+    explain.add_argument(
+        "envelope", metavar="ENVELOPE.json",
+        help="flight envelope file written by dispatch --record",
+    )
+    explain.set_defaults(func=_cmd_obs_explain)
     return parser
 
 
@@ -735,7 +824,9 @@ def main(argv: Sequence[str] = None) -> int:
     ``obs diff`` / ``obs check`` add the gating codes of
     :mod:`repro.observability.analysis.regression`: 3 timing
     regression, 4 counter drift, 5 benchmark set changed; ``obs slo
-    --check`` exits 7 when a declared objective is violated.
+    --check`` exits 7 when a declared objective is violated; ``obs
+    replay`` exits 8 when a recorded flight envelope diverges from its
+    recording.
     """
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -81,12 +81,21 @@ class ConflictHypergraph:
         These are the shape parameters that govern CQA tractability
         (component size bounds repair enumeration; the degree bound
         controls hitting-set branching), recorded per request by the
-        live telemetry plane so engine selection can later key on them.
+        live telemetry plane and the flight recorder so engine
+        selection can later key on them.
         Keys: ``nodes``, ``conflicting_nodes``, ``edges``,
         ``max_edge_arity``, ``max_degree``, ``components``,
         ``max_component_size`` (component = connected component of the
         conflicting nodes under shared-edge adjacency).
+
+        Memoized on the instance: the dataclass is frozen and the node/
+        edge sets immutable, so the union-find pass runs once per graph
+        no matter how many requests consult it (invalidation is moot).
+        Callers receive a fresh copy each time.
         """
+        cached = getattr(self, "_shape_stats_cache", None)
+        if cached is not None:
+            return dict(cached)
         degree: dict = {}
         parent: dict = {}
 
@@ -108,7 +117,7 @@ class ConflictHypergraph:
         for tid in parent:
             root = find(tid)
             components[root] = components.get(root, 0) + 1
-        return {
+        stats = {
             "nodes": len(self.nodes),
             "conflicting_nodes": len(degree),
             "edges": len(self.edges),
@@ -117,6 +126,11 @@ class ConflictHypergraph:
             "components": len(components),
             "max_component_size": max(components.values(), default=0),
         }
+        # frozen=True blocks plain attribute writes; the cache is not
+        # part of the value (equality/hash ignore it), so bypassing the
+        # freeze here is sound.
+        object.__setattr__(self, "_shape_stats_cache", stats)
+        return dict(stats)
 
     # ------------------------------------------------------------------
     # Hitting sets / independent sets

@@ -128,6 +128,51 @@ class CircuitBreaker:
         add(f"dispatch.breaker_open.{self.name}")
         return False
 
+    # -- flight-recorder snapshot/restore ------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for the flight recorder's envelope.
+
+        ``cooldown_remaining_s`` is only meaningful for OPEN breakers:
+        replay restores an open breaker with the same remaining wait so
+        a request recorded mid-cooldown replays the same skip decision.
+        """
+        state = self.state()
+        remaining = None
+        if state is BreakerState.OPEN and self._opened_at is not None:
+            remaining = max(
+                0.0,
+                self.cooldown_s - (self._clock() - self._opened_at),
+            )
+        return {
+            "state": str(state),
+            "failures": self.failures,
+            "trips": self.trips,
+            "cooldown_remaining_s": remaining,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Adopt a recorded snapshot (deterministic replay only).
+
+        Sets the state directly — no ``breaker.transition`` event is
+        emitted, since nothing transitioned; the breaker simply resumes
+        where the recorded one stood.
+        """
+        state = BreakerState(snapshot["state"])
+        self.failures = int(snapshot["failures"])
+        self.trips = int(snapshot.get("trips", 0))
+        self._probe_inflight = False
+        self._state = state
+        if state is BreakerState.OPEN:
+            remaining = float(snapshot.get("cooldown_remaining_s") or 0.0)
+            self._opened_at = self._clock() - (
+                self.cooldown_s - remaining
+            )
+        elif state is BreakerState.HALF_OPEN:
+            self._opened_at = self._clock() - self.cooldown_s
+        else:
+            self._opened_at = None
+
     # -- outcome reporting ---------------------------------------------
 
     def record_success(self) -> None:

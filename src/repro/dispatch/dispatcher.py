@@ -36,6 +36,13 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..constraints.conflicts import ConflictHypergraph
 from ..errors import NotRewritableError, ReproError
 from ..observability import add, annotate, span
+from ..observability.flight.recorder import (
+    flight_begin,
+    flight_decision,
+    flight_end,
+    flight_installed,
+    flight_shadow,
+)
 from ..observability.live import (
     emit_event,
     live_add,
@@ -45,7 +52,13 @@ from ..observability.live import (
     request_scope,
 )
 from ..relational.database import Database, Row
-from ..runtime import Budget, resolve_budget, suspend_budget, use_budget
+from ..runtime import (
+    Budget,
+    active_plan,
+    resolve_budget,
+    suspend_budget,
+    use_budget,
+)
 from .breaker import CircuitBreaker
 from .engines import (
     CQARequest,
@@ -159,6 +172,24 @@ class DispatchPolicy:
             raise ValueError("shadow_rate must be in [0, 1]")
 
 
+def _budget_spec(budget: Optional[Budget]) -> Optional[dict]:
+    """A budget as a JSON-ready spec for the flight envelope.
+
+    Carries the already-consumed steps/results so replay resumes
+    consumption exactly where the recorded request started.
+    """
+    if budget is None:
+        return None
+    return {
+        "timeout": budget.timeout,
+        "max_steps": budget.max_steps,
+        "max_results": budget.max_results,
+        "strict": budget.strict,
+        "steps": budget.steps,
+        "results": budget.results,
+    }
+
+
 class Dispatcher:
     """A stateful multi-engine CQA front-end.
 
@@ -184,6 +215,11 @@ class Dispatcher:
         }
         self._shadow_rng = random.Random(self.policy.shadow_seed)
         self._clock = clock
+        # Conflict shape stats per (db, constraints): telemetry and the
+        # flight recorder consume them every request, and rebuilding the
+        # hypergraph per request is the exact recompute the memoization
+        # satellite of PR 7 removes.  Bounded, insertion-ordered.
+        self._shape_cache: Dict[Tuple, Optional[dict]] = {}
 
     # ------------------------------------------------------------------
 
@@ -212,51 +248,97 @@ class Dispatcher:
             "dispatch.request", semantics=semantics, request_id=rid
         ):
             started = self._clock()
+            stats = self._shape_stats(request)
+            if flight_installed():
+                plan = active_plan()
+                flight_begin(
+                    request,
+                    request_id=rid,
+                    policy=self._policy_spec(),
+                    budget=_budget_spec(budget),
+                    fault_plan=(
+                        plan.snapshot() if plan is not None else None
+                    ),
+                    breakers={
+                        name: breaker.snapshot()
+                        for name, breaker in self.breakers.items()
+                    },
+                    shape_stats=stats,
+                )
             emit_event(
                 "request.start",
                 semantics=semantics,
                 ladder=list(self.policy.ladder),
-                conflicts=self._shape_stats(request),
+                conflicts=stats,
             )
             try:
                 result = self._walk_ladder(request, budget)
             except Exception as exc:  # noqa: BLE001 — telemetry only
+                error = f"{type(exc).__name__}: {exc}"
                 self._finish_request(
-                    "error", None, started, budget,
-                    error=f"{type(exc).__name__}: {exc}",
+                    "error", None, started, budget, error=error,
                 )
+                flight_end("error", None, error=error)
                 raise
             outcome = "ok" if result.complete else "degraded"
             self._finish_request(
                 outcome, result.provenance.engine, started, budget
             )
+            flight_end(outcome, result.provenance.engine, result=result)
             annotate(
                 engine=result.provenance.engine or "",
                 complete=result.complete,
             )
             return result
 
+    def _policy_spec(self) -> dict:
+        """The policy as a JSON-ready dict for the flight envelope."""
+        policy = self.policy
+        return {
+            "ladder": list(policy.ladder),
+            "failure_threshold": policy.failure_threshold,
+            "cooldown_s": policy.cooldown_s,
+            "isolate": list(policy.isolate),
+            "watchdog_s": policy.watchdog_s,
+            "rung_timeout": policy.rung_timeout,
+            "shadow_rate": policy.shadow_rate,
+            "shadow_seed": policy.shadow_seed,
+        }
+
     def _shape_stats(self, request: CQARequest) -> Optional[dict]:
         """Conflict-graph shape stats for the request, when the live
-        plane wants them (None otherwise — the build is not free).
+        plane or the flight recorder wants them (None otherwise — the
+        build is not free).
 
+        Memoized per ``(db, constraints)`` on the dispatcher (and again
+        on the hypergraph itself), so a dispatcher serving many requests
+        against one instance builds the graph once, not per request.
         Runs with any ambient budget masked: an exhausted or tight
         request budget must not be charged for telemetry, and telemetry
         must not raise into the serving path.
         """
-        if not live_installed():
+        if not live_installed() and not flight_installed():
             return None
-        try:
-            with suspend_budget():
-                graph = ConflictHypergraph.build(
-                    request.db, request.constraints
-                )
-        except Exception:  # noqa: BLE001 — e.g. non-denial constraints
+        key = (request.db, request.constraints)
+        if key in self._shape_cache:
+            stats = self._shape_cache[key]
+        else:
+            try:
+                with suspend_budget():
+                    graph = ConflictHypergraph.build(
+                        request.db, request.constraints
+                    )
+                stats = graph.shape_stats()
+            except Exception:  # noqa: BLE001 — non-denial constraints
+                stats = None
+            if len(self._shape_cache) >= 16:
+                self._shape_cache.pop(next(iter(self._shape_cache)))
+            self._shape_cache[key] = stats
+        if stats is None:
             return None
-        stats = graph.shape_stats()
-        for key in ("edges", "max_component_size", "max_degree"):
-            live_observe(f"dispatch.conflicts.{key}", stats[key])
-        return stats
+        for metric in ("edges", "max_component_size", "max_degree"):
+            live_observe(f"dispatch.conflicts.{metric}", stats[metric])
+        return dict(stats)
 
     def _finish_request(
         self,
@@ -307,6 +389,12 @@ class Dispatcher:
                 )
                 live_add("dispatch.rungs.inapplicable")
                 emit_event("rung.skip", engine=name, reason=verdict)
+                flight_decision(
+                    engine=name,
+                    status="inapplicable",
+                    verdict=verdict,
+                    breaker=str(self.breakers[name].state()),
+                )
                 continue
             breaker = self.breakers[name]
             if not breaker.allows():
@@ -319,6 +407,12 @@ class Dispatcher:
                 )
                 live_add("dispatch.rungs.breaker-open")
                 emit_event("rung.skip", engine=name, reason=reason)
+                flight_decision(
+                    engine=name,
+                    status="breaker-open",
+                    reason=reason,
+                    breaker=str(breaker.state()),
+                )
                 continue
             slice_s = self._slice(request, budget, applicable, index)
             live_add("dispatch.rungs.attempted")
@@ -339,24 +433,37 @@ class Dispatcher:
                 )
                 live_add("dispatch.rungs.inapplicable")
                 emit_event("rung.skip", engine=name, reason=str(exc))
+                flight_decision(
+                    engine=name,
+                    status="inapplicable",
+                    reason=str(exc),
+                    slice_s=slice_s,
+                    actual_s=self._clock() - started,
+                    breaker=str(breaker.state()),
+                )
                 continue
             except Exception as exc:  # noqa: BLE001 — rung firewall
                 breaker.record_failure()
                 add("dispatch.rung_failures")
                 add("dispatch.fallbacks")
                 live_add("dispatch.rungs.failed")
+                error = f"{type(exc).__name__}: {exc}"
                 outcomes.append(
                     RungOutcome(
                         name,
                         "failed",
-                        f"{type(exc).__name__}: {exc}",
+                        error,
                         self._clock() - started,
                     )
                 )
-                emit_event(
-                    "rung.failure",
+                emit_event("rung.failure", engine=name, error=error)
+                flight_decision(
                     engine=name,
-                    error=f"{type(exc).__name__}: {exc}",
+                    status="failed",
+                    reason=error,
+                    slice_s=slice_s,
+                    actual_s=self._clock() - started,
+                    breaker=str(breaker.state()),
                 )
                 continue
             breaker.record_success()
@@ -369,6 +476,13 @@ class Dispatcher:
                 engine=name,
                 complete=answer.complete,
                 elapsed_ms=elapsed * 1000.0,
+            )
+            flight_decision(
+                engine=name,
+                status="ok",
+                slice_s=slice_s,
+                actual_s=elapsed,
+                breaker=str(breaker.state()),
             )
             break
         if answer is None:
@@ -474,13 +588,23 @@ class Dispatcher:
         applicable: Dict[str, Optional[str]],
     ) -> Optional[ShadowReport]:
         """Cross-check a sampled fraction of complete answers on the
-        next applicable exact engine; count disagreements."""
+        next applicable exact engine; count disagreements.
+
+        The sampling *decision* (not the raw RNG draw) is handed to the
+        flight recorder: replay cannot reconstruct a mid-stream RNG
+        position, so it forces the recorded decision instead.  An
+        ineligible request (no winner / incomplete / rate 0) never
+        draws, so ``shadow_sampled`` stays None for it.
+        """
         if (
             winner is None
             or not answer.complete
             or self.policy.shadow_rate <= 0.0
-            or self._shadow_rng.random() >= self.policy.shadow_rate
         ):
+            return None
+        sampled = self._shadow_rng.random() < self.policy.shadow_rate
+        flight_shadow(sampled)
+        if not sampled:
             return None
         candidate = next(
             (
@@ -500,10 +624,20 @@ class Dispatcher:
                 request, candidate, self.policy.rung_timeout
             )
         except Exception as exc:  # noqa: BLE001 — shadow is best-effort
-            return ShadowReport(
+            report = ShadowReport(
                 candidate, None, f"{type(exc).__name__}: {exc}"
             )
+            flight_shadow(
+                True,
+                engine=report.engine,
+                agreed=report.agreed,
+                reason=report.reason,
+            )
+            return report
         if not shadow_answer.complete:
+            flight_shadow(
+                True, engine=candidate, agreed=None, reason="incomplete"
+            )
             return ShadowReport(candidate, None, "incomplete")
         agreed = shadow_answer.answers == answer.answers
         if not agreed:
@@ -514,6 +648,7 @@ class Dispatcher:
                 "shadow.disagreement", engine=winner, shadow=candidate
             )
             annotate(shadow_disagreement=candidate)
+        flight_shadow(True, engine=candidate, agreed=agreed)
         return ShadowReport(candidate, agreed)
 
 

@@ -17,6 +17,14 @@ with
   :class:`WorkerTimeoutError` is raised — the dispatcher records a
   ``dispatch.worker_kills`` counter and falls to the next rung.
 
+The parent's **request id** crosses the boundary: the job carries the
+ambient :func:`~repro.observability.live.current_request_id`, the child
+runs under a matching :func:`~repro.observability.live.request_scope`,
+and any events the child emits (budget exhaustion, engine internals)
+are marshalled back and re-emitted on the parent's planes tagged
+``worker=True`` — so ``obs events --request rNNNNNN`` shows one
+correlated trail even for isolated rungs.
+
 Fault plans (:mod:`repro.runtime.faults`) are process-local and do NOT
 propagate into workers; isolation is for real wedges, fault injection
 exercises the in-process path.  The payload accepts a ``wedge_s`` test
@@ -26,6 +34,7 @@ non-cooperative hang for watchdog tests.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import subprocess
@@ -38,7 +47,16 @@ from ..errors import (
     ReproError,
 )
 from ..observability import add
-from ..observability.live import emit_event
+from ..observability.flight.recorder import flight_installed
+from ..observability.live import (
+    LivePlane,
+    current_request_id,
+    emit_event,
+    install_live,
+    live_installed,
+    request_scope,
+    uninstall_live,
+)
 from ..runtime import Budget, use_budget
 
 __all__ = [
@@ -126,13 +144,26 @@ def child_main(stdin=None, stdout=None) -> int:
         import time
 
         time.sleep(wedge_s)
+    request_id = job.get("request_id")
+    scope = (
+        request_scope(request_id)
+        if request_id
+        else contextlib.nullcontext()
+    )
+    # When the parent is observing (live plane or flight recorder), the
+    # child installs its own plane so events emitted inside — budget
+    # exhaustion, engine internals — can be marshalled back with the
+    # result instead of dying with the process.
+    plane = (
+        install_live(LivePlane()) if job.get("collect_events") else None
+    )
     try:
         from .engines import get_engine
 
         engine = get_engine(job["engine"])
         timeout = job.get("budget_timeout")
         budget = Budget(timeout=timeout) if timeout else None
-        with use_budget(budget):
+        with scope, use_budget(budget):
             answer = engine.run(job["request"])
         result: Dict[str, object] = {
             "ok": True,
@@ -142,6 +173,16 @@ def child_main(stdin=None, stdout=None) -> int:
         }
     except BaseException as exc:
         result = _marshal_error(exc)
+    if plane is not None:
+        uninstall_live()
+        result["events"] = [
+            {
+                key: value
+                for key, value in record.items()
+                if key not in ("seq", "ts", "span_id")
+            }
+            for record in plane.events.records()
+        ]
     pickle.dump(result, stdout)
     stdout.flush()
     return 0
@@ -158,6 +199,27 @@ def _child_env() -> Dict[str, str]:
     paths = [src_dir] + ([existing] if existing else [])
     env["PYTHONPATH"] = os.pathsep.join(paths)
     return env
+
+
+def _replay_child_events(records) -> None:
+    """Re-emit events the worker child collected onto the parent planes.
+
+    The child ran under the parent's request id, so the ambient
+    :func:`request_scope` stamps the same correlation key; ``worker=True``
+    marks the process hop.  Best-effort: a record the event schema
+    rejects is dropped, never raised into the serving path.
+    """
+    for record in records or ():
+        fields = {
+            key: value
+            for key, value in record.items()
+            if key not in ("kind", "request_id")
+        }
+        fields["worker"] = True
+        try:
+            emit_event(record["kind"], **fields)
+        except Exception:  # noqa: BLE001 — telemetry only
+            continue
 
 
 def run_isolated(
@@ -184,6 +246,8 @@ def run_isolated(
         "request": request,
         "budget_timeout": budget_timeout,
         "wedge_s": wedge_s,
+        "request_id": current_request_id(),
+        "collect_events": live_installed() or flight_installed(),
     }
     payload = pickle.dumps(job)
     deadline = max(float(watchdog_s), MIN_WATCHDOG_S)
@@ -221,6 +285,7 @@ def run_isolated(
             f"engine worker for {engine_name} returned unreadable "
             f"output: {exc}"
         )
+    _replay_child_events(result.get("events"))
     if not result.get("ok"):
         raise _unmarshal_error(result)
     return EngineAnswer(

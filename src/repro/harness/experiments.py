@@ -1044,6 +1044,67 @@ def b12_dispatch_degradation() -> ExperimentResult:
     )
 
 
+@experiment("B13")
+def b13_flight_replay() -> ExperimentResult:
+    from repro.dispatch import DispatchPolicy, Dispatcher
+    from repro.observability.flight import FlightRecorder, recording
+    from repro.observability.flight.replay import replay_envelope
+    from repro.runtime import FaultPlan, inject
+
+    # The B12 workload again, but recorded: every request runs under a
+    # seeded fault plan and a flight recorder in capture-everything
+    # mode, then each envelope is re-executed and must reproduce its
+    # answer, per-rung provenance, and outcome bit-for-bit.
+    paper = employee()
+    synth = employee_key_violations(3, 2, 2, seed=12)
+    requests = [
+        (paper, paper.queries["Q1"]),
+        (paper, paper.queries["Q2"]),
+        (synth, synth.queries["all"]),
+        (synth, synth.queries["names"]),
+    ]
+    recorder = FlightRecorder(mode="all")
+    dispatcher = Dispatcher(
+        DispatchPolicy(shadow_rate=0.5, shadow_seed=3)
+    )
+    with recording(recorder), inject(
+        FaultPlan(seed=11, sqlite_failure_rate=0.6, max_sqlite_failures=6)
+    ):
+        for s, q in requests:
+            try:
+                dispatcher.dispatch(s.db, s.constraints, q)
+            except Exception:
+                pass  # errored requests are still captured and replayed
+    envelopes = list(recorder.captured)
+    reports = [replay_envelope(env) for env in envelopes]
+    identical = sum(1 for r in reports if r.ok)
+    # The fault plan must actually have bitten somewhere, or the replay
+    # only exercises the happy path.
+    eventful = sum(
+        1
+        for env in envelopes
+        for d in env.decisions
+        if d.get("status") in ("failed", "breaker-open")
+    )
+    ok = (
+        len(envelopes) == len(requests)
+        and identical == len(envelopes)
+        and eventful > 0
+    )
+    return ExperimentResult(
+        "B13",
+        "Flight recorder: recorded requests replay bit-for-bit",
+        "debugging a nondeterministic serving pipeline needs evidence, "
+        "not logs: a black-box envelope re-executed under the recorded "
+        "seed/fault state must reproduce every decision exactly",
+        f"{len(envelopes)} request(s) recorded under a seeded fault "
+        f"plan, {identical} replayed identically (answer + provenance "
+        f"+ outcome); {eventful} injected-fault rung decision(s) "
+        "reproduced",
+        ok,
+    )
+
+
 def _cost_table(results: Sequence[ExperimentResult]) -> str:
     """Measured cost shapes, one row per experiment."""
     with_mem = any(r.mem_peak_kb is not None for r in results)

@@ -1,0 +1,333 @@
+"""Deterministic replay and the explain plane for flight envelopes.
+
+:func:`replay_envelope` re-executes a recorded request under the exact
+conditions the envelope captured — the pickled instance/constraints/
+query, the recorded policy, the budget spec with its already-consumed
+steps, the fault plan resumed at its recorded counters and RNG state,
+breakers restored to their recorded states, and the shadow sampling
+decision *forced* to what the recorded stream drew — then diffs the
+canonical answer, per-rung provenance projection, and outcome
+**bit-for-bit** (as canonical JSON strings).
+
+The replay contract (DESIGN.md "Flight recorder" has the normative
+version):
+
+* everything decision-shaped must match exactly: answers, completeness,
+  per-rung (engine, status, normalized reason, applicability verdict,
+  breaker gate), shadow verdicts, outcome status/engine/error;
+* wall-clock *values* are physics, not decisions — elapsed times,
+  watchdog seconds, and ``elapsed=...`` fragments inside error messages
+  are masked by the canonical projection before comparison;
+* requests whose control flow genuinely depends on wall time (a
+  ``timeout`` budget that expired mid-run, a breaker captured within
+  microseconds of its cooldown boundary) may legitimately diverge; the
+  chaos suite therefore injects *checkpoint-counted* faults, which
+  replay exactly.
+
+:func:`explain_envelope` renders the decision trail for humans: which
+rungs were skipped and why, which shape features drove the predicted
+cost, and how prediction compared to the measured rung time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...dispatch.dispatcher import DispatchPolicy, Dispatcher
+from ...errors import ReproError
+from ...runtime import Budget, FaultPlan, active_plan, inject
+from .envelope import FlightEnvelope, canonical_json, read_envelope
+from .recorder import FlightRecorder, recording
+
+__all__ = [
+    "ReplayDivergenceError",
+    "ReplayReport",
+    "explain_envelope",
+    "replay_envelope",
+    "replay_file",
+]
+
+
+class ReplayDivergenceError(ReproError):
+    """Raised by callers that demand a clean replay (the CI gate)."""
+
+
+@dataclass
+class ReplayReport:
+    """The verdict of one replay: per-section bit-for-bit comparison."""
+
+    envelope_id: str
+    request_id: Optional[str]
+    sections: Dict[str, Dict[str, object]]
+    replayed: FlightEnvelope
+
+    @property
+    def ok(self) -> bool:
+        return all(s["match"] for s in self.sections.values())
+
+    def divergent(self) -> List[str]:
+        """Names of the sections that failed the comparison."""
+        return [
+            name
+            for name, section in self.sections.items()
+            if not section["match"]
+        ]
+
+    def render(self) -> str:
+        rid = self.request_id or "?"
+        if self.ok:
+            return (
+                f"replay {self.envelope_id[:12]} ({rid}): OK — answer, "
+                "provenance, and outcome identical"
+            )
+        lines = [
+            f"replay {self.envelope_id[:12]} ({rid}): DIVERGED in "
+            + ", ".join(self.divergent())
+        ]
+        for name in self.divergent():
+            section = self.sections[name]
+            lines.append(f"  {name} recorded: "
+                         f"{canonical_json(section['recorded'])}")
+            lines.append(f"  {name} replayed: "
+                         f"{canonical_json(section['replayed'])}")
+        return "\n".join(lines)
+
+
+def _policy_from_spec(
+    spec: Dict[str, object], shadow_sampled: Optional[bool]
+) -> DispatchPolicy:
+    """The recorded policy, with the shadow stream forced.
+
+    The recorded dispatcher drew its shadow decision from an RNG stream
+    whose position a mid-stream capture cannot reconstruct, so replay
+    forces the *decision* instead: rate 1.0 when the recorded request
+    was sampled, 0.0 otherwise.
+    """
+    return DispatchPolicy(
+        ladder=tuple(spec.get("ladder") or ()),
+        failure_threshold=int(spec.get("failure_threshold", 3)),
+        cooldown_s=float(spec.get("cooldown_s", 30.0)),
+        isolate=tuple(spec.get("isolate") or ()),
+        watchdog_s=float(spec.get("watchdog_s", 10.0)),
+        rung_timeout=spec.get("rung_timeout"),
+        shadow_rate=1.0 if shadow_sampled else 0.0,
+        shadow_seed=int(spec.get("shadow_seed", 0)),
+    )
+
+
+def _budget_from_spec(
+    spec: Optional[Dict[str, object]],
+) -> Optional[Budget]:
+    if not spec:
+        return None
+    budget = Budget(
+        timeout=spec.get("timeout"),
+        max_steps=spec.get("max_steps"),
+        max_results=spec.get("max_results"),
+        strict=bool(spec.get("strict", False)),
+    )
+    # Resume consumption where the recorded request started.
+    budget.steps = int(spec.get("steps", 0))
+    budget.results = int(spec.get("results", 0))
+    return budget
+
+
+def _outcome_section(outcome: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "status": outcome.get("status"),
+        "engine": outcome.get("engine"),
+        "error": outcome.get("error"),
+    }
+
+
+def replay_envelope(envelope: FlightEnvelope) -> ReplayReport:
+    """Re-execute *envelope* and diff it against the recorded run."""
+    db, constraints, query = envelope.unpack_payload()
+    dispatcher = Dispatcher(
+        _policy_from_spec(envelope.policy, envelope.shadow_sampled)
+    )
+    for name, snapshot in envelope.breakers.items():
+        breaker = dispatcher.breakers.get(name)
+        if breaker is not None:
+            breaker.restore(snapshot)
+    faults = contextlib.nullcontext()
+    if envelope.fault_plan:
+        if active_plan() is not None:
+            raise ReproError(
+                "cannot replay under an already-installed fault plan"
+            )
+        faults = inject(FaultPlan.restore(envelope.fault_plan))
+    recorder = FlightRecorder(mode="all", keep=1)
+    with recording(recorder), faults:
+        try:
+            dispatcher.dispatch(
+                db,
+                constraints,
+                query,
+                semantics=envelope.semantics,
+                budget=_budget_from_spec(envelope.budget),
+            )
+        except Exception:  # noqa: BLE001 — the recorder captured it
+            pass
+    if not recorder.captured:
+        raise ReproError(
+            "replay produced no envelope (recorder missed the request)"
+        )
+    replayed = recorder.captured[-1]
+    sections: Dict[str, Dict[str, object]] = {}
+    for name, recorded, fresh in (
+        ("answer", envelope.answer, replayed.answer),
+        ("provenance", envelope.provenance, replayed.provenance),
+        (
+            "outcome",
+            _outcome_section(envelope.outcome),
+            _outcome_section(replayed.outcome),
+        ),
+    ):
+        sections[name] = {
+            "match": canonical_json(recorded) == canonical_json(fresh),
+            "recorded": recorded,
+            "replayed": fresh,
+        }
+    return ReplayReport(
+        envelope.envelope_id, envelope.request_id, sections, replayed
+    )
+
+
+def replay_file(path) -> ReplayReport:
+    """Load and replay one envelope file."""
+    return replay_envelope(read_envelope(path))
+
+
+# ----------------------------------------------------------------------
+# Explain: render the decision trail
+# ----------------------------------------------------------------------
+
+
+def _fmt_s(value) -> str:
+    if value is None:
+        return "-"
+    return f"{float(value) * 1000.0:.1f}ms"
+
+
+def explain_envelope(envelope: FlightEnvelope) -> str:
+    """Human rendering of one envelope's decision trail."""
+    lines: List[str] = []
+    trigger = ", ".join(envelope.trigger) or "on-demand"
+    lines.append(
+        f"flight {envelope.envelope_id[:12]}  request "
+        f"{envelope.request_id or '?'}  trigger: {trigger}"
+    )
+    digests = envelope.digests
+    lines.append(
+        f"semantics={envelope.semantics}  "
+        f"instance={digests.get('instance', '?')[:12]}  "
+        f"constraints={digests.get('constraints', '?')[:12]}  "
+        f"query={digests.get('query', '?')[:12]}"
+    )
+    stats = envelope.shape_stats
+    if stats:
+        lines.append(
+            "conflict shape: "
+            + " ".join(
+                f"{key}={stats[key]}"
+                for key in (
+                    "nodes",
+                    "conflicting_nodes",
+                    "edges",
+                    "components",
+                    "max_component_size",
+                    "max_degree",
+                )
+                if key in stats
+            )
+        )
+    if envelope.budget:
+        spec = envelope.budget
+        caps = [
+            f"{key}={spec[key]}"
+            for key in ("timeout", "max_steps", "max_results")
+            if spec.get(key) is not None
+        ]
+        lines.append("budget: " + (" ".join(caps) or "unbounded"))
+    if envelope.fault_plan:
+        plan = envelope.fault_plan
+        knobs = [
+            f"{key}={plan[key]}"
+            for key in (
+                "seed",
+                "expire_deadline_after",
+                "starve_steps_after",
+                "sqlite_failure_rate",
+            )
+            if plan.get(key)
+        ]
+        lines.append(
+            "fault plan: "
+            + " ".join(knobs)
+            + f"  (resumed at checkpoint {plan.get('checkpoints_seen', 0)})"
+        )
+    lines.append("ladder decisions:")
+    if not envelope.decisions:
+        lines.append("  (none recorded)")
+    for decision in envelope.decisions:
+        engine = decision.get("engine", "?")
+        status = decision.get("status", "?")
+        breaker = decision.get("breaker") or "-"
+        row = f"  {engine:<13} {status:<13} breaker={breaker:<9}"
+        if decision.get("slice_s") is not None:
+            row += f" slice={_fmt_s(decision['slice_s'])}"
+        predicted = decision.get("predicted_s")
+        actual = decision.get("actual_s")
+        if predicted is not None or actual is not None:
+            row += (
+                f" predicted={_fmt_s(predicted)}"
+                f" actual={_fmt_s(actual)}"
+            )
+        reason = decision.get("verdict") or decision.get("reason")
+        if reason:
+            row += f"  {reason}"
+        lines.append(row)
+    shadow = (envelope.provenance or {}).get("shadow")
+    if envelope.shadow_sampled is not None or shadow:
+        verdict = ""
+        if shadow:
+            verdict = (
+                f" -> {shadow.get('engine')}: "
+                + (
+                    "agreed"
+                    if shadow.get("agreed")
+                    else "DISAGREED"
+                    if shadow.get("agreed") is not None
+                    else f"failed ({shadow.get('reason')})"
+                )
+            )
+        lines.append(
+            f"shadow: sampled={bool(envelope.shadow_sampled)}{verdict}"
+        )
+    outcome = envelope.outcome
+    answer = envelope.answer or {}
+    summary = (
+        f"outcome: {outcome.get('status', '?')} via "
+        f"{outcome.get('engine') or '-'}"
+    )
+    if answer:
+        summary += f" — {len(answer.get('rows') or [])} answer(s)"
+        if not answer.get("complete", True):
+            summary += " (INCOMPLETE: sound under-approximation)"
+    if outcome.get("error"):
+        summary += f" — {outcome['error']}"
+    lines.append(summary)
+    if envelope.events:
+        tally: Dict[str, int] = {}
+        for record in envelope.events:
+            kind = record.get("kind", "?")
+            tally[kind] = tally.get(kind, 0) + 1
+        lines.append(
+            f"events: {len(envelope.events)} ("
+            + " ".join(f"{k}={v}" for k, v in sorted(tally.items()))
+            + ")"
+        )
+    return "\n".join(lines)

@@ -236,6 +236,13 @@ def live(plane: Optional[LivePlane] = None):
 
 # -- free functions: no-ops when no plane is installed -----------------
 
+#: Set by :mod:`repro.observability.flight.recorder` while a flight
+#: recorder is installed; every emitted event is mirrored to it so the
+#: recorder sees the stream even when no live plane is active.  Kept
+#: here (not imported from flight) so the inactive cost is one global
+#: read, mirroring the budget layer's ``_fault_hook``.
+_event_tap = None
+
 
 def live_add(name: str, n: int = 1) -> None:
     """Count *n* events on rolling counter *name* (no-op when off)."""
@@ -262,8 +269,13 @@ def emit_event(kind: str, **fields) -> None:
     """Emit a structured event (no-op when off).
 
     Safe to call from any layer — breaker, budget, worker — the
-    ambient :func:`request_scope` supplies the correlation id.
+    ambient :func:`request_scope` supplies the correlation id.  While a
+    flight recorder is installed the event is also mirrored to it,
+    independent of whether a live plane is active.
     """
     plane = _PLANE
     if plane is not None:
         plane.emit(kind, **fields)
+    tap = _event_tap
+    if tap is not None:
+        tap(kind, fields)

@@ -22,7 +22,11 @@ letting typos create silent new streams.
 
 The log is a bounded in-memory ring (for `obs status` and tests) plus an
 optional JSONL file sink, flushed per event so a crash never loses more
-than the in-flight line.
+than the in-flight line.  A path sink can be size-capped
+(``max_sink_bytes``): when the cap is crossed the file rotates to
+``<path>.1`` (one generation kept) and a fresh file takes its place, so
+a long-running service bounds its event-log disk use instead of growing
+without limit.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from __future__ import annotations
 import io
 import itertools
 import json
+import logging
 import os
 import threading
 import time
@@ -38,6 +43,8 @@ from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from ..spans import current_span
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "EVENT_KINDS",
@@ -109,9 +116,12 @@ class EventLog:
         capacity: int = 4096,
         clock: Callable[[], float] = time.monotonic,
         sink=None,
+        max_sink_bytes: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if max_sink_bytes is not None and max_sink_bytes < 1:
+            raise ValueError("max_sink_bytes must be >= 1")
         self._clock = clock
         self._lock = threading.Lock()
         self._ring: deque = deque(maxlen=capacity)
@@ -119,13 +129,24 @@ class EventLog:
         self._by_kind: _TallyCounter = _TallyCounter()
         self._emitted = 0
         self._sink_handle = None
+        self._sink_path: Optional[str] = None
+        self._sink_bytes = 0
         self._owns_sink = False
+        self.max_sink_bytes = max_sink_bytes
+        self.rotations = 0
         if sink is not None:
             if isinstance(sink, (str, bytes)) or hasattr(sink, "__fspath__"):
+                self._sink_path = os.fspath(sink)
                 self._sink_handle = open(
-                    os.fspath(sink), "a", encoding="utf-8"
+                    self._sink_path, "a", encoding="utf-8"
                 )
                 self._owns_sink = True
+                # Append mode: pre-existing bytes count against the cap,
+                # or a restart would double the bound.
+                try:
+                    self._sink_bytes = os.path.getsize(self._sink_path)
+                except OSError:
+                    self._sink_bytes = 0
             else:
                 self._sink_handle = sink
 
@@ -167,11 +188,31 @@ class EventLog:
             self._by_kind[kind] += 1
             self._emitted += 1
             if self._sink_handle is not None:
-                self._sink_handle.write(
-                    json.dumps(record, default=repr) + "\n"
-                )
+                line = json.dumps(record, default=repr) + "\n"
+                self._sink_handle.write(line)
                 self._sink_handle.flush()
+                self._sink_bytes += len(line.encode("utf-8"))
+                if (
+                    self.max_sink_bytes is not None
+                    and self._sink_path is not None
+                    and self._sink_bytes > self.max_sink_bytes
+                ):
+                    self._rotate_sink()
         return record
+
+    def _rotate_sink(self) -> None:
+        """Rotate an owned, size-capped path sink (lock held by caller).
+
+        The current file moves to ``<path>.1`` — clobbering any previous
+        rotation, so exactly one generation of history is kept — and a
+        fresh file takes its place: total disk use stays bounded at
+        roughly twice ``max_sink_bytes``.
+        """
+        self._sink_handle.close()
+        os.replace(self._sink_path, self._sink_path + ".1")
+        self._sink_handle = open(self._sink_path, "a", encoding="utf-8")
+        self._sink_bytes = 0
+        self.rotations += 1
 
     # -- queries -------------------------------------------------------
 
@@ -214,15 +255,37 @@ class EventLog:
 
 
 def read_events(source) -> List[Dict[str, object]]:
-    """Parse a JSONL event file (path or file object) into records."""
+    """Parse a JSONL event file (path or file object) into records.
+
+    Blank lines are skipped silently; lines that fail to parse (the
+    truncated trailing line of a crashed process, an editor artifact)
+    are skipped with a warning so one bad line never discards the rest
+    of the log — the same contract as
+    :func:`repro.observability.export.read_trace`.
+    """
     own = not isinstance(source, io.IOBase) and not hasattr(source, "read")
     handle = open(source, "r", encoding="utf-8") if own else source
     try:
         records = []
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                logger.warning(
+                    "skipping corrupt event line %d: %.60r", lineno, line
+                )
+                continue
+            if not isinstance(record, dict):
+                logger.warning(
+                    "skipping non-object event line %d: %.60r",
+                    lineno,
+                    line,
+                )
+                continue
+            records.append(record)
         return records
     finally:
         if own:

@@ -51,29 +51,40 @@ def _fmt(value) -> str:
 
 
 def prometheus_text(status: Dict[str, object]) -> str:
-    """Render a status document in the Prometheus text exposition format."""
+    """Render a status document in the Prometheus text exposition format.
+
+    Every metric family is announced with a ``# HELP`` line followed by
+    its ``# TYPE`` line (the order the Prometheus text parser expects),
+    the help text derived mechanically from the dotted source metric.
+    """
     lines: List[str] = []
 
-    def typed(name: str, kind: str) -> None:
+    def typed(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {kind}")
 
     uptime = status.get("uptime_s")
     if uptime is not None:
         name = _name("uptime_seconds")
-        typed(name, "gauge")
+        typed(name, "gauge", "Seconds since the live plane was installed.")
         lines.append(f"{name} {_fmt(uptime)}")
 
     for metric, summary in (status.get("counters") or {}).items():
         total = _name(metric, "_total")
-        typed(total, "counter")
+        typed(total, "counter", f"Lifetime count of {metric}.")
         lines.append(f"{total} {_fmt(summary['total'])}")
         rate = _name(metric, "_rate_per_s")
-        typed(rate, "gauge")
+        typed(rate, "gauge", f"Rolling-window rate of {metric}.")
         lines.append(f"{rate} {_fmt(summary['rate_per_s'])}")
 
     for metric, summary in (status.get("histograms") or {}).items():
         name = _name(metric)
-        typed(name, "summary")
+        typed(
+            name,
+            "summary",
+            f"Rolling-window quantiles of {metric} "
+            "(lifetime count/sum).",
+        )
         for quantile, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
             if summary.get(key) is not None:
                 lines.append(
@@ -86,7 +97,11 @@ def prometheus_text(status: Dict[str, object]) -> str:
     breakers = status.get("breakers") or {}
     if breakers:
         name = _name("dispatch_breaker_state")
-        typed(name, "gauge")
+        typed(
+            name,
+            "gauge",
+            "Circuit-breaker state per engine (1 = current state).",
+        )
         for engine, state in sorted(breakers.items()):
             lines.append(
                 f'{name}{{engine="{engine}",state="{state}"}} 1'
@@ -96,14 +111,18 @@ def prometheus_text(status: Dict[str, object]) -> str:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue  # string gauges (e.g. breaker states) expose above
         name = _name(metric)
-        typed(name, "gauge")
+        typed(name, "gauge", f"Current value of {metric}.")
         lines.append(f"{name} {_fmt(value)}")
 
     requests = status.get("requests") or {}
     availability = requests.get("availability")
     if availability is not None:
         name = _name("dispatch_availability")
-        typed(name, "gauge")
+        typed(
+            name,
+            "gauge",
+            "Served (ok+degraded) over total requests in the window.",
+        )
         lines.append(f"{name} {_fmt(availability)}")
 
     return "\n".join(lines) + "\n"

@@ -64,6 +64,56 @@ class FaultPlan:
         self.sqlite_attempts = 0
         self.sqlite_failures_injected = 0
 
+    # -- flight-recorder snapshot/restore ------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready full state: parameters, counters, and the RNG.
+
+        Captured at request start by the flight recorder so replay can
+        resume the injection schedule exactly where it stood — a plan
+        shared across many requests injects different faults per
+        request, and a mid-stream capture must replay *its* faults, not
+        the first request's.
+        """
+        with self._lock:
+            version, internal, gauss_next = self._rng.getstate()
+            return {
+                "seed": self.seed,
+                "expire_deadline_after": self.expire_deadline_after,
+                "starve_steps_after": self.starve_steps_after,
+                "sqlite_failure_rate": self.sqlite_failure_rate,
+                "max_sqlite_failures": self.max_sqlite_failures,
+                "checkpoints_seen": self.checkpoints_seen,
+                "sqlite_attempts": self.sqlite_attempts,
+                "sqlite_failures_injected": self.sqlite_failures_injected,
+                "rng_state": [version, list(internal), gauss_next],
+            }
+
+    @staticmethod
+    def restore(snapshot: dict) -> "FaultPlan":
+        """Rebuild a plan from a :meth:`snapshot` (deterministic replay)."""
+        plan = FaultPlan(
+            seed=int(snapshot.get("seed", 0)),
+            expire_deadline_after=snapshot.get("expire_deadline_after"),
+            starve_steps_after=snapshot.get("starve_steps_after"),
+            sqlite_failure_rate=float(
+                snapshot.get("sqlite_failure_rate") or 0.0
+            ),
+            max_sqlite_failures=snapshot.get("max_sqlite_failures"),
+        )
+        plan.checkpoints_seen = int(snapshot.get("checkpoints_seen", 0))
+        plan.sqlite_attempts = int(snapshot.get("sqlite_attempts", 0))
+        plan.sqlite_failures_injected = int(
+            snapshot.get("sqlite_failures_injected", 0)
+        )
+        rng_state = snapshot.get("rng_state")
+        if rng_state:
+            version, internal, gauss_next = rng_state
+            plan._rng.setstate(
+                (int(version), tuple(int(x) for x in internal), gauss_next)
+            )
+        return plan
+
     # -- hooks (called by budget.checkpoint / sqlbridge.run_sql) -------
 
     def _on_checkpoint(self) -> Optional[BudgetExhaustion]:

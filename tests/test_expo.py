@@ -1,0 +1,175 @@
+"""Prometheus exposition edge cases.
+
+The happy path (a seeded live plane's status parses line-by-line) lives
+in ``tests/test_live.py``; this file pins down the grammar corners: the
+``# HELP``/``# TYPE`` preamble contract, empty documents, name
+sanitization, missing quantiles, and the non-numeric gauges that must
+never leak into sample lines.
+"""
+
+import pytest
+
+from repro.observability.live import (
+    LivePlane,
+    live,
+    prometheus_text,
+    validate_prometheus,
+)
+from repro.workloads import employee
+
+
+def _status(**overrides):
+    """A minimal hand-built status document (the exposition's input)."""
+    status = {
+        "uptime_s": 1.5,
+        "counters": {
+            "dispatch.requests": {
+                "total": 20,
+                "window": 5,
+                "rate_per_s": 0.5,
+            }
+        },
+        "histograms": {
+            "dispatch.latency_ms": {
+                "p50": 1.25,
+                "p90": 2.5,
+                "p99": 3.0,
+                "sum": 40.0,
+                "count": 20,
+            }
+        },
+        "breakers": {"fm-sql": "closed"},
+        "gauges": {"dispatch.inflight": 2},
+        "requests": {"availability": 0.95},
+    }
+    status.update(overrides)
+    return status
+
+
+class TestHelpLines:
+    def test_every_type_line_is_preceded_by_matching_help(self):
+        lines = prometheus_text(_status()).splitlines()
+        type_lines = [
+            (i, line)
+            for i, line in enumerate(lines)
+            if line.startswith("# TYPE ")
+        ]
+        assert type_lines, "no metric families rendered at all"
+        for i, line in enumerate(lines):
+            if not line.startswith("# TYPE "):
+                continue
+            family = line.split()[2]
+            previous = lines[i - 1]
+            assert previous.startswith(f"# HELP {family} "), (
+                f"{line!r} not preceded by its HELP line "
+                f"(got {previous!r})"
+            )
+
+    def test_help_text_names_the_source_metric(self):
+        text = prometheus_text(_status())
+        assert (
+            "# HELP repro_dispatch_requests_total "
+            "Lifetime count of dispatch.requests." in text
+        )
+        assert (
+            "# HELP repro_dispatch_latency_ms "
+            "Rolling-window quantiles of dispatch.latency_ms" in text
+        )
+
+    def test_live_plane_status_renders_valid_help(self):
+        scenario = employee()
+        from repro.dispatch import Dispatcher
+
+        with live() as plane:
+            Dispatcher().dispatch(
+                scenario.db, scenario.constraints, scenario.queries["Q1"]
+            )
+            text = prometheus_text(plane.status())
+        assert validate_prometheus(text) > 0
+        assert text.count("# HELP") == text.count("# TYPE")
+
+    def test_validator_rejects_malformed_comment(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            validate_prometheus("# HELPX repro_x broken\n")
+        with pytest.raises(ValueError, match="malformed comment"):
+            validate_prometheus("# HELP !bad name\n")
+
+
+class TestExpositionEdgeCases:
+    def test_empty_status_is_a_valid_empty_document(self):
+        text = prometheus_text({})
+        assert validate_prometheus(text) == 0
+
+    def test_fresh_plane_exposes_only_uptime(self):
+        text = prometheus_text(LivePlane().status())
+        assert validate_prometheus(text) >= 1
+        assert "repro_uptime_seconds" in text
+
+    def test_missing_quantiles_are_omitted_not_nan(self):
+        status = _status(
+            histograms={
+                "dispatch.latency_ms": {
+                    "p50": None,
+                    "p90": None,
+                    "p99": None,
+                    "sum": 0,
+                    "count": 0,
+                }
+            }
+        )
+        text = prometheus_text(status)
+        assert 'quantile="' not in text  # no quantile sample lines
+        assert "repro_dispatch_latency_ms_sum 0" in text
+        assert "repro_dispatch_latency_ms_count 0" in text
+        validate_prometheus(text)
+
+    def test_non_numeric_gauges_never_become_samples(self):
+        status = _status(
+            gauges={
+                "dispatch.inflight": 2,
+                "dispatch.breaker.state.fm-sql": "closed",  # string
+                "dispatch.degraded": True,  # bool is not a number here
+            }
+        )
+        text = prometheus_text(status)
+        assert "repro_dispatch_inflight 2" in text
+        assert "closed}" not in text.replace(
+            'state="closed"', ""
+        )  # only the breaker-state label carries the string
+        assert "repro_dispatch_degraded" not in text
+        validate_prometheus(text)
+
+    def test_metric_names_are_sanitized(self):
+        status = _status(
+            counters={
+                "weird metric-name!": {
+                    "total": 1,
+                    "window": 1,
+                    "rate_per_s": 0.0,
+                }
+            }
+        )
+        text = prometheus_text(status)
+        assert "repro_weird_metric_name__total 1" in text
+        validate_prometheus(text)
+
+    def test_counter_exposes_total_and_rate_companion(self):
+        text = prometheus_text(_status())
+        assert "# TYPE repro_dispatch_requests_total counter" in text
+        assert "repro_dispatch_requests_total 20" in text
+        assert "# TYPE repro_dispatch_requests_rate_per_s gauge" in text
+        assert "repro_dispatch_requests_rate_per_s 0.5" in text
+
+    def test_breaker_states_are_labelled_gauges(self):
+        text = prometheus_text(
+            _status(breakers={"fm-sql": "open", "asp": "closed"})
+        )
+        assert (
+            'repro_dispatch_breaker_state{engine="asp",state="closed"} 1'
+            in text
+        )
+        assert (
+            'repro_dispatch_breaker_state{engine="fm-sql",state="open"} 1'
+            in text
+        )
+        validate_prometheus(text)

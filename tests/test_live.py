@@ -203,6 +203,75 @@ class TestEventLog:
         assert record["request_id"] == "r42"
 
 
+class TestEventLogSinkRotation:
+    """Size-capped rotation of the JSONL sink, and corrupt-line repair
+    on read — the parity contract with ``read_trace``."""
+
+    def test_sink_rotates_at_cap_keeping_one_generation(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        # A 1-byte cap forces a rotation after every event: the current
+        # file is always freshly empty, the previous event lives in .1.
+        log = EventLog(clock=FakeClock(), sink=sink, max_sink_bytes=1)
+        log.emit("rung.attempt", engine="fm-sql")
+        second = log.emit("rung.ok", engine="fm-sql")
+        log.close()
+        assert log.rotations == 2
+        rotated = read_events(str(sink) + ".1")
+        assert [r["kind"] for r in rotated] == ["rung.ok"]
+        assert rotated[0]["seq"] == second["seq"]
+        assert read_events(str(sink)) == []
+
+    def test_uncapped_sink_never_rotates(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        log = EventLog(clock=FakeClock(), sink=sink)
+        for _ in range(100):
+            log.emit("rung.attempt")
+        log.close()
+        assert log.rotations == 0
+        assert not (tmp_path / "events.jsonl.1").exists()
+        assert len(read_events(str(sink))) == 100
+
+    def test_preexisting_bytes_count_against_the_cap(self, tmp_path):
+        # Append mode: a restarted process inherits the file, and the
+        # inherited bytes must count or the disk bound doubles.
+        sink = tmp_path / "events.jsonl"
+        sink.write_bytes(b"x" * 500)
+        log = EventLog(clock=FakeClock(), sink=sink, max_sink_bytes=400)
+        log.emit("rung.attempt")
+        log.close()
+        assert log.rotations == 1
+
+    def test_stream_sinks_ignore_the_cap(self):
+        import io
+
+        stream = io.StringIO()
+        log = EventLog(clock=FakeClock(), sink=stream, max_sink_bytes=1)
+        log.emit("rung.attempt")
+        log.emit("rung.ok")
+        assert log.rotations == 0  # no path to rotate, no error either
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError, match="max_sink_bytes"):
+            EventLog(clock=FakeClock(), sink=None, max_sink_bytes=0)
+
+    def test_read_events_skips_corrupt_and_non_object_lines(
+        self, tmp_path
+    ):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"seq": 1, "kind": "request.start", "request_id": "r1"}\n'
+            "\n"  # blank: skipped silently
+            "[1, 2, 3]\n"  # valid JSON, not an object: skipped
+            '{"seq": 2, "kind": "request.end", "request_id": "r1"}\n'
+            '{"seq": 3, "kind": "rung.a'  # truncated trailing write
+        )
+        records = read_events(str(path))
+        assert [r["seq"] for r in records] == [1, 2]
+        assert [r["kind"] for r in records] == [
+            "request.start", "request.end",
+        ]
+
+
 class TestDispatchCorrelation:
     """Real dispatches produce a correlated event log."""
 
