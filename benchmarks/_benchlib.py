@@ -74,10 +74,21 @@ EXPORTED_COUNTERS = (
     "dispatch.requests.degraded",
     "dispatch.requests.error",
     "dispatch.fallbacks",
+    "dispatch.worker_runs",
     "dispatch.events.request.start",
     "dispatch.events.request.end",
     "dispatch.events.rung.failure",
     "dispatch.events.breaker.transition",
+    # CQA-as-a-service counters (PR 8): the serve benchmark's
+    # deterministic request counts gate on these.
+    "serve.requests",
+    "serve.requests.ok",
+    "serve.requests.degraded",
+    "serve.requests.shed",
+    "serve.requests.error",
+    "pool.dispatches",
+    "pool.spawns",
+    "pool.recycles",
 )
 
 

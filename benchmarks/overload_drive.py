@@ -1,0 +1,316 @@
+"""CI overload driver: 2× capacity must bend the server, never break it.
+
+Phase A (overload): measure the server's sequential capacity, then fire
+an *open-loop* load at twice that rate for ``--duration`` seconds — the
+arrival schedule does not relent when the server slows, so the server
+must shed or degrade.  The gate:
+
+* **zero wrong answers** — every 200 is the exact certain-answer set
+  (``complete: true``) or an explicitly-marked sound subset;
+* **well-formed sheds** — every 429/503 carries ``error: "shed"``, a
+  reason, ``retry_after_s``, and a ``Retry-After`` header;
+* **visible backpressure** — at 2× capacity at least one request must
+  have been shed or degraded (a server that "handled everything" at 2×
+  its measured capacity measured wrong);
+* **zero worker leaks** — the pool is back at full strength after the
+  storm, and no worker process survives the graceful stop.
+
+Phase B (record): a fresh server runs 100 deterministic sequential
+requests under the flight recorder (``mode="all"``) and writes the
+envelopes plus the live-plane status document.  CI then replays every
+envelope (``repro obs replay``) and checks the serving SLOs against the
+status — exercising the observability plane over the serving stack.
+
+Exit codes: 0 clean, 9 (EXIT_UNSOUND) on any wrong/malformed response,
+1 on any other gate failure.
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/overload_drive.py --duration 10
+"""
+
+import argparse
+import asyncio
+import os
+import pathlib
+import sys
+import threading
+
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.dispatch import DispatchPolicy, PoolConfig, WorkerPool
+from repro.observability.flight import (
+    FlightRecorder,
+    install_recorder,
+    uninstall_recorder,
+)
+from repro.observability.live import (
+    LivePlane,
+    install_live,
+    uninstall_live,
+    write_status_json,
+)
+from repro.serve import (
+    AdmissionController,
+    CQAHTTPServer,
+    CQAService,
+    ServerConfig,
+    TenantPolicy,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.loadgen import EXIT_UNSOUND
+
+EMPLOYEE_SPEC = {
+    "relations": {
+        "Employee": {
+            "columns": ["Name", "Salary"],
+            "key": ["Name"],
+            "rows": [
+                ["page", "5K"],
+                ["page", "8K"],
+                ["smith", "3K"],
+                ["stowe", "7K"],
+            ],
+        }
+    },
+    "constraints": {"fd": ["Employee: Name -> Salary"]},
+}
+
+CERTAIN_NAMES = [["page"], ["smith"], ["stowe"]]
+
+
+class Harness:
+    """A CQAHTTPServer on a private event-loop thread."""
+
+    def __init__(self, service, config):
+        self.server = CQAHTTPServer(service, config)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, daemon=True
+        )
+
+    def __enter__(self):
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self.loop
+        ).result(timeout=30.0)
+        self._serving = asyncio.run_coroutine_threadsafe(
+            self.server.serve_forever(), self.loop
+        )
+        return self.server
+
+    def __exit__(self, *exc):
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        ).result(timeout=60.0)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+        self.loop.close()
+
+
+def _worker_children() -> list:
+    """Pids of live repro.dispatch.worker children of this process."""
+    me = os.getpid()
+    found = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat") as fh:
+                rest = fh.read().split(") ", 1)[1].split()
+            if int(rest[1]) != me or rest[0] == "Z":
+                continue
+            with open(f"/proc/{entry}/cmdline", "rb") as fh:
+                cmdline = fh.read().replace(b"\0", b" ")
+        except OSError:
+            continue
+        if b"repro.dispatch.worker" in cmdline:
+            found.append(int(entry))
+    return found
+
+
+def _fail(message: str, code: int = 1) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return code
+
+
+def phase_overload(duration_s: float) -> int:
+    pool = WorkerPool(PoolConfig(size=2)).start()
+    service = CQAService(
+        policy=DispatchPolicy(isolate=("fm-sql",)),
+        pool=pool,
+        admission=AdmissionController(
+            TenantPolicy(
+                max_concurrent=4,
+                max_queue=4,
+                default_timeout_s=2.0,
+                max_timeout_s=5.0,
+            )
+        ),
+    )
+    service.register_db("emp", EMPLOYEE_SPEC)
+    payload = {
+        "db": "emp",
+        "query": "Q(X) :- Employee(X, Y)",
+        "timeout_s": 2.0,
+    }
+    with Harness(
+        service, ServerConfig(port=0, max_inflight=6)
+    ) as server:
+        calibration = run_closed_loop(
+            "127.0.0.1",
+            server.port,
+            payload,
+            total=30,
+            concurrency=1,
+            expect=CERTAIN_NAMES,
+        )
+        if not calibration.sound:
+            return _fail(
+                "calibration run unsound:\n" + calibration.render(),
+                EXIT_UNSOUND,
+            )
+        capacity_rps = calibration.to_dict()["throughput_rps"]
+        rate = max(2.0, 2.0 * capacity_rps)
+        print(
+            f"-- capacity ~{capacity_rps:.1f} rps sequential; "
+            f"driving open-loop at {rate:.1f} rps for {duration_s:.0f}s"
+        )
+        report = run_open_loop(
+            "127.0.0.1",
+            server.port,
+            payload,
+            rate_per_s=rate,
+            duration_s=duration_s,
+            expect=CERTAIN_NAMES,
+        )
+        print(report.render())
+        if not report.sound:
+            return _fail(
+                f"{report.wrong} wrong answer(s), "
+                f"{report.malformed} malformed shed(s) under overload",
+                EXIT_UNSOUND,
+            )
+        if report.shed + report.degraded == 0:
+            return _fail(
+                "no shed or degraded response at 2x capacity — "
+                "backpressure never engaged"
+            )
+        if report.ok == 0:
+            return _fail("no exact answer served under overload")
+        if report.transport_errors:
+            return _fail(
+                f"{report.transport_errors} transport error(s): "
+                "connections must survive overload"
+            )
+        if not pool.wait_ready(timeout_s=30.0):
+            return _fail(
+                f"pool did not return to full strength: {pool.stats()}"
+            )
+        stats = pool.stats()
+        print(
+            f"-- pool after storm: {stats['workers']} worker(s), "
+            f"{stats['spawns']} spawn(s), {stats['recycles']} recycle(s)"
+        )
+    leftover = _worker_children()
+    if leftover:
+        return _fail(f"worker process(es) leaked: {leftover}")
+    print("-- overload phase clean: sound, shedding, leak-free")
+    return 0
+
+
+def phase_record(flight_dir: str, status_out: str, total: int) -> int:
+    plane = install_live(LivePlane())
+    recorder = install_recorder(FlightRecorder(flight_dir, mode="all"))
+    try:
+        pool = WorkerPool(PoolConfig(size=1)).start()
+        service = CQAService(
+            policy=DispatchPolicy(isolate=("fm-sql",)),
+            pool=pool,
+            admission=AdmissionController(TenantPolicy()),
+        )
+        service.register_db("emp", EMPLOYEE_SPEC)
+        with Harness(
+            service, ServerConfig(port=0, max_inflight=4)
+        ) as server:
+            report = run_closed_loop(
+                "127.0.0.1",
+                server.port,
+                {
+                    "db": "emp",
+                    "query": "Q(X) :- Employee(X, Y)",
+                    "timeout_s": 20.0,
+                },
+                total=total,
+                concurrency=1,
+                expect=CERTAIN_NAMES,
+            )
+        print(report.render())
+        if not report.sound:
+            return _fail("recorded run unsound", EXIT_UNSOUND)
+        if report.ok != total:
+            return _fail(
+                f"recorded run expected {total} exact answers, "
+                f"got {report.ok}"
+            )
+    finally:
+        uninstall_recorder()
+        uninstall_live()
+    if len(recorder.written) != total:
+        return _fail(
+            f"flight recorder captured {len(recorder.written)} of "
+            f"{total} requests"
+        )
+    write_status_json(status_out, plane.status())
+    print(
+        f"-- recorded {len(recorder.written)} envelope(s) to "
+        f"{flight_dir}/, status to {status_out}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="open-loop overload duration in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--record-total", type=int, default=100,
+        help="requests in the recorded replay run (default 100)",
+    )
+    parser.add_argument(
+        "--flight-dir", default="flight_serve",
+        help="directory for phase-B flight envelopes",
+    )
+    parser.add_argument(
+        "--status-out", default="serve_status.json",
+        help="phase-B live-plane status document path",
+    )
+    parser.add_argument(
+        "--skip-overload", action="store_true",
+        help="run only the record phase",
+    )
+    parser.add_argument(
+        "--skip-record", action="store_true",
+        help="run only the overload phase",
+    )
+    args = parser.parse_args(argv)
+    if not args.skip_overload:
+        rc = phase_overload(args.duration)
+        if rc:
+            return rc
+    if not args.skip_record:
+        rc = phase_record(
+            args.flight_dir, args.status_out, args.record_total
+        )
+        if rc:
+            return rc
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

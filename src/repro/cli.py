@@ -16,7 +16,9 @@ Subcommands: ``check`` (violations report), ``repairs`` (enumerate
 S-/C-repairs), ``cqa`` (consistent answers by enumeration, Fuxman–Miller
 rewriting, or SQL), ``dispatch`` (consistent answers through the
 resilient multi-engine fallback ladder, with provenance), ``measure``
-(inconsistency degrees), and the ``obs`` family over recorded telemetry
+(inconsistency degrees), ``serve`` (the admission-controlled CQA HTTP
+server over a warm worker pool) with its ``loadgen`` counterpart, and
+the ``obs`` family over recorded telemetry
 (``obs report`` / ``obs flamegraph`` on JSONL traces, ``obs diff`` /
 ``obs check`` on ``BENCH_*.json`` perf suites).  CSV files need a
 header row naming the attributes.
@@ -380,6 +382,202 @@ def _cmd_measure(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# serve: CQA-as-a-service
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from .dispatch import DispatchPolicy, PoolConfig, WorkerPool
+    from .observability.flight import (
+        FlightRecorder,
+        install_recorder,
+        uninstall_recorder,
+    )
+    from .observability.live import (
+        LivePlane,
+        install_live,
+        uninstall_live,
+        write_prometheus,
+        write_status_json,
+    )
+    from .serve import (
+        AdmissionController,
+        CQAHTTPServer,
+        CQAService,
+        ServerConfig,
+        TenantPolicy,
+    )
+
+    plane = None
+    if args.telemetry:
+        os.makedirs(args.telemetry, exist_ok=True)
+        plane = install_live(LivePlane(
+            event_sink=os.path.join(args.telemetry, "events.jsonl"),
+        ))
+    recorder = None
+    record_dir = args.record or args.record_anomalies
+    if record_dir:
+        os.makedirs(record_dir, exist_ok=True)
+        recorder = install_recorder(FlightRecorder(
+            record_dir,
+            mode="all" if args.record else "anomaly",
+        ))
+    pool = None
+    isolate = tuple(args.isolate or ())
+    if args.workers > 0:
+        pool = WorkerPool(PoolConfig(
+            size=args.workers,
+            max_requests=args.max_requests_per_worker,
+            max_rss_kb=args.max_rss_kb,
+        )).start()
+        logger.info(
+            "warm worker pool ready: %d worker(s)", args.workers
+        )
+    service = CQAService(
+        policy=DispatchPolicy(isolate=isolate),
+        pool=pool,
+        admission=AdmissionController(TenantPolicy(
+            max_concurrent=args.max_concurrent,
+            max_queue=args.max_queue,
+            quota_requests=args.quota_requests,
+            quota_window_s=args.quota_window,
+        )),
+    )
+    if args.csv:
+        db = _build_database(args.csv)
+        constraints = _build_constraints(args)
+        service.register_instance(args.db_name, db, constraints)
+        logger.info(
+            "registered database %r: %d fact(s)", args.db_name, len(db)
+        )
+    server = CQAHTTPServer(service, ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+    ))
+
+    def _write_telemetry() -> None:
+        if plane is not None:
+            write_status_json(
+                os.path.join(args.telemetry, "status.json"),
+                plane.status(),
+            )
+            write_prometheus(
+                os.path.join(args.telemetry, "metrics.prom"),
+                plane.status(),
+            )
+
+    async def _main() -> None:
+        await server.start()
+        print(
+            f"-- serving CQA on http://{args.host}:{server.port} "
+            f"(pool={args.workers}, isolate={list(isolate)})",
+            file=sys.stderr,
+            flush=True,
+        )
+        loop = asyncio.get_event_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+
+        async def _flush_periodically() -> None:
+            while not stop.is_set():
+                await asyncio.sleep(args.status_interval)
+                _write_telemetry()
+
+        flusher = None
+        if plane is not None:
+            flusher = asyncio.ensure_future(_flush_periodically())
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        print("-- draining ...", file=sys.stderr, flush=True)
+        if flusher is not None:
+            flusher.cancel()
+        serving.cancel()
+        await server.stop()
+
+    try:
+        asyncio.run(_main())
+    finally:
+        if recorder is not None:
+            uninstall_recorder()
+            print(
+                f"-- recorded {len(recorder.written)} flight "
+                f"envelope(s) to {record_dir}",
+                file=sys.stderr,
+            )
+        if plane is not None:
+            uninstall_live()
+            _write_telemetry()
+            plane.close()
+    print("-- server stopped cleanly", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json as _json
+
+    from .serve.loadgen import (
+        EXIT_UNSOUND,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    payload = {
+        "db": args.db,
+        "query": args.query,
+        "semantics": args.semantics,
+        "tenant": args.tenant,
+    }
+    if args.request_timeout is not None:
+        payload["timeout_s"] = args.request_timeout
+    expect = None
+    if args.expect:
+        with open(args.expect, "r", encoding="utf-8") as handle:
+            expect = _json.load(handle)
+        if not isinstance(expect, list):
+            raise SystemExit(
+                f"{args.expect}: expected a JSON list of answer rows"
+            )
+    if args.rate is not None:
+        report = run_open_loop(
+            args.host,
+            args.port,
+            payload,
+            rate_per_s=args.rate,
+            duration_s=args.duration,
+            expect=expect,
+        )
+    else:
+        report = run_closed_loop(
+            args.host,
+            args.port,
+            payload,
+            total=args.requests,
+            concurrency=args.concurrency,
+            expect=expect,
+        )
+    print(report.render(), file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        logger.info("wrote load report to %s", args.out)
+    if args.check and not report.sound:
+        print(
+            f"error: {report.wrong} wrong answer(s), "
+            f"{report.malformed} malformed response(s)",
+            file=sys.stderr,
+        )
+        return EXIT_UNSOUND
+    return 0
+
+
+# ----------------------------------------------------------------------
 # obs: trace analysis and perf-regression gating
 # ----------------------------------------------------------------------
 
@@ -658,6 +856,154 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(measure)
     measure.set_defaults(func=_cmd_measure)
 
+    serve = sub.add_parser(
+        "serve",
+        help="CQA-as-a-service: admission-controlled HTTP server over "
+             "a warm worker pool",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8145,
+        help="listen port (0 picks a free one; default 8145)",
+    )
+    serve.add_argument(
+        "--csv", action="append", metavar="REL=FILE",
+        help="preload a relation into the named database (repeatable)",
+    )
+    serve.add_argument(
+        "--fd", action="append", metavar="'R: A -> B'",
+        help="functional dependency of the preloaded database",
+    )
+    serve.add_argument(
+        "--ind", action="append", metavar="'R[A] <= S[B]'",
+        help="inclusion dependency of the preloaded database",
+    )
+    serve.add_argument(
+        "--dc", action="append", metavar="':- R(X), S(X)'",
+        help="denial constraint of the preloaded database",
+    )
+    serve.add_argument(
+        "--db-name", default="default", dest="db_name",
+        help="name the preloaded --csv database registers under",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="warm isolation workers (0 disables the pool; default 2)",
+    )
+    serve.add_argument(
+        "--isolate", action="append", metavar="NAME",
+        help="run this engine on the warm pool (repeatable; only "
+             "isolatable engines are eligible)",
+    )
+    serve.add_argument(
+        "--max-requests-per-worker", type=int, default=200,
+        dest="max_requests_per_worker", metavar="N",
+        help="recycle a worker after N served requests (default 200)",
+    )
+    serve.add_argument(
+        "--max-rss-kb", type=int, dest="max_rss_kb", metavar="KB",
+        help="recycle a worker whose resident set exceeds KB",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=4, dest="max_concurrent",
+        help="per-tenant concurrent requests (default 4)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=8, dest="max_queue",
+        help="per-tenant queued requests beyond those running "
+             "(default 8)",
+    )
+    serve.add_argument(
+        "--quota-requests", type=int, dest="quota_requests", metavar="N",
+        help="per-tenant request quota per window (default unmetered)",
+    )
+    serve.add_argument(
+        "--quota-window", type=float, default=60.0, dest="quota_window",
+        metavar="SECONDS", help="quota window length (default 60)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, dest="max_inflight",
+        help="server-wide concurrent budgeted requests before the "
+             "server-busy shed (default 8)",
+    )
+    serve.add_argument(
+        "--telemetry", metavar="DIR",
+        help="install the live plane; periodically write status.json, "
+             "metrics.prom, and events.jsonl into DIR",
+    )
+    serve.add_argument(
+        "--status-interval", type=float, default=5.0,
+        dest="status_interval", metavar="SECONDS",
+        help="how often --telemetry flushes status.json (default 5)",
+    )
+    serve_record = serve.add_mutually_exclusive_group()
+    serve_record.add_argument(
+        "--record", metavar="DIR",
+        help="flight-record every served request into DIR",
+    )
+    serve_record.add_argument(
+        "--record-anomalies", metavar="DIR", dest="record_anomalies",
+        help="flight-record only anomalous requests into DIR",
+    )
+    verbosity = serve.add_mutually_exclusive_group()
+    verbosity.add_argument("-v", "--verbose", action="store_true")
+    verbosity.add_argument("-q", "--quiet", action="store_true")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive load at a CQA server and validate every response",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8145)
+    loadgen.add_argument(
+        "--db", default="default", help="registered database to query"
+    )
+    loadgen.add_argument(
+        "--query", required=True, metavar="'Q(X) :- R(X, Y)'",
+    )
+    loadgen.add_argument(
+        "--semantics", choices=("s", "c", "delete-only"), default="s",
+    )
+    loadgen.add_argument("--tenant", default="loadgen")
+    loadgen.add_argument(
+        "--request-timeout", type=float, dest="request_timeout",
+        metavar="SECONDS", help="per-request timeout_s sent upstream",
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=100, metavar="N",
+        help="closed loop: total requests (default 100)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4, metavar="C",
+        help="closed loop: concurrent workers (default 4)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, metavar="RPS",
+        help="open loop: fixed arrival rate (overrides --requests)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=30.0, metavar="SECONDS",
+        help="open loop: how long to fire (default 30)",
+    )
+    loadgen.add_argument(
+        "--expect", metavar="FILE",
+        help="JSON list of expected certain-answer rows; complete "
+             "responses must match exactly, degraded ones must be a "
+             "subset",
+    )
+    loadgen.add_argument(
+        "--out", metavar="FILE", help="write the report JSON to FILE"
+    )
+    loadgen.add_argument(
+        "--check", action="store_true",
+        help="exit 9 when any response was wrong or malformed",
+    )
+    verbosity = loadgen.add_mutually_exclusive_group()
+    verbosity.add_argument("-v", "--verbose", action="store_true")
+    verbosity.add_argument("-q", "--quiet", action="store_true")
+    loadgen.set_defaults(func=_cmd_loadgen)
+
     obs = sub.add_parser(
         "obs", help="analyse traces and gate benchmark regressions"
     )
@@ -826,7 +1172,8 @@ def main(argv: Sequence[str] = None) -> int:
     regression, 4 counter drift, 5 benchmark set changed; ``obs slo
     --check`` exits 7 when a declared objective is violated; ``obs
     replay`` exits 8 when a recorded flight envelope diverges from its
-    recording.
+    recording; ``loadgen --check`` exits 9 when the server answered
+    wrongly or shed malformedly.
     """
     parser = build_parser()
     args = parser.parse_args(argv)

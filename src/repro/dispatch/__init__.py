@@ -43,6 +43,7 @@ from .engines import (
     applicable_engines,
     get_engine,
 )
+from .pool import PoolConfig, PoolSaturatedError, WorkerPool
 from .worker import (
     WorkerCrashError,
     WorkerError,
@@ -63,12 +64,14 @@ __all__ = [
     "Engine",
     "EngineAnswer",
     "EngineInapplicableError",
+    "PoolConfig",
+    "PoolSaturatedError",
     "Provenance",
     "RungOutcome",
     "ShadowReport",
     "WorkerCrashError",
     "WorkerError",
-    "WorkerTimeoutError",
+    "WorkerPool",
     "applicable_engines",
     "dispatch_cqa",
     "get_engine",

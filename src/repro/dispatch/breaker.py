@@ -20,11 +20,20 @@ The clock is injectable so tests (and deterministic experiments) can
 drive state transitions without sleeping.  Applicability rejections
 (:class:`~repro.errors.NotRewritableError`) never reach the breaker —
 an engine that correctly reports "not my query class" is healthy.
+
+Breakers are shared across the serving layer's request threads, so all
+state transitions sit behind a per-breaker lock.  The contract that
+needs it most is the half-open probe: when many threads hit
+:meth:`CircuitBreaker.allows` on a just-cooled breaker, exactly one may
+win the probe slot — check-state and claim-probe must be one atomic
+step, or a thundering herd re-hammers the backend the breaker exists to
+protect.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from typing import Callable, Optional
 
@@ -58,6 +67,7 @@ class CircuitBreaker:
         "_state",
         "_opened_at",
         "_probe_inflight",
+        "_lock",
     )
 
     def __init__(
@@ -81,19 +91,22 @@ class CircuitBreaker:
         self._state = BreakerState.CLOSED
         self._opened_at: Optional[float] = None
         self._probe_inflight = False
+        # Reentrant: state() promotes inside allows()/record_failure().
+        self._lock = threading.RLock()
 
     # -- queries -------------------------------------------------------
 
     def state(self) -> BreakerState:
         """The current state, promoting OPEN to HALF_OPEN after cooldown."""
-        if (
-            self._state is BreakerState.OPEN
-            and self._opened_at is not None
-            and self._clock() - self._opened_at >= self.cooldown_s
-        ):
-            self._set_state(BreakerState.HALF_OPEN)
-            self._probe_inflight = False
-        return self._state
+        with self._lock:
+            if (
+                self._state is BreakerState.OPEN
+                and self._opened_at is not None
+                and self._clock() - self._opened_at >= self.cooldown_s
+            ):
+                self._set_state(BreakerState.HALF_OPEN)
+                self._probe_inflight = False
+            return self._state
 
     def _set_state(self, new: BreakerState) -> None:
         """Transition to *new*, emitting a ``breaker.transition`` event
@@ -118,12 +131,16 @@ class CircuitBreaker:
         probe; further requests are rejected until the probe reports
         back.  OPEN rejects (and records the skip for ``obs report``).
         """
-        state = self.state()
-        if state is BreakerState.CLOSED:
-            return True
-        if state is BreakerState.HALF_OPEN and not self._probe_inflight:
-            self._probe_inflight = True
-            return True
+        with self._lock:
+            state = self.state()
+            if state is BreakerState.CLOSED:
+                return True
+            if (
+                state is BreakerState.HALF_OPEN
+                and not self._probe_inflight
+            ):
+                self._probe_inflight = True
+                return True
         add("dispatch.breaker_open")
         add(f"dispatch.breaker_open.{self.name}")
         return False
@@ -137,19 +154,20 @@ class CircuitBreaker:
         replay restores an open breaker with the same remaining wait so
         a request recorded mid-cooldown replays the same skip decision.
         """
-        state = self.state()
-        remaining = None
-        if state is BreakerState.OPEN and self._opened_at is not None:
-            remaining = max(
-                0.0,
-                self.cooldown_s - (self._clock() - self._opened_at),
-            )
-        return {
-            "state": str(state),
-            "failures": self.failures,
-            "trips": self.trips,
-            "cooldown_remaining_s": remaining,
-        }
+        with self._lock:
+            state = self.state()
+            remaining = None
+            if state is BreakerState.OPEN and self._opened_at is not None:
+                remaining = max(
+                    0.0,
+                    self.cooldown_s - (self._clock() - self._opened_at),
+                )
+            return {
+                "state": str(state),
+                "failures": self.failures,
+                "trips": self.trips,
+                "cooldown_remaining_s": remaining,
+            }
 
     def restore(self, snapshot: dict) -> None:
         """Adopt a recorded snapshot (deterministic replay only).
@@ -158,44 +176,49 @@ class CircuitBreaker:
         emitted, since nothing transitioned; the breaker simply resumes
         where the recorded one stood.
         """
-        state = BreakerState(snapshot["state"])
-        self.failures = int(snapshot["failures"])
-        self.trips = int(snapshot.get("trips", 0))
-        self._probe_inflight = False
-        self._state = state
-        if state is BreakerState.OPEN:
-            remaining = float(snapshot.get("cooldown_remaining_s") or 0.0)
-            self._opened_at = self._clock() - (
-                self.cooldown_s - remaining
-            )
-        elif state is BreakerState.HALF_OPEN:
-            self._opened_at = self._clock() - self.cooldown_s
-        else:
-            self._opened_at = None
+        with self._lock:
+            state = BreakerState(snapshot["state"])
+            self.failures = int(snapshot["failures"])
+            self.trips = int(snapshot.get("trips", 0))
+            self._probe_inflight = False
+            self._state = state
+            if state is BreakerState.OPEN:
+                remaining = float(
+                    snapshot.get("cooldown_remaining_s") or 0.0
+                )
+                self._opened_at = self._clock() - (
+                    self.cooldown_s - remaining
+                )
+            elif state is BreakerState.HALF_OPEN:
+                self._opened_at = self._clock() - self.cooldown_s
+            else:
+                self._opened_at = None
 
     # -- outcome reporting ---------------------------------------------
 
     def record_success(self) -> None:
         """A request succeeded: reset failures, close from half-open."""
-        self.failures = 0
-        self._probe_inflight = False
-        if self._state is not BreakerState.CLOSED:
-            self._set_state(BreakerState.CLOSED)
-            self._opened_at = None
+        with self._lock:
+            self.failures = 0
+            self._probe_inflight = False
+            if self._state is not BreakerState.CLOSED:
+                self._set_state(BreakerState.CLOSED)
+                self._opened_at = None
 
     def record_failure(self) -> None:
         """A request failed: count it; trip or re-open as needed."""
-        self._probe_inflight = False
-        if self.state() is BreakerState.HALF_OPEN:
-            # The probe failed: straight back to OPEN, fresh cooldown.
-            self._trip()
-            return
-        self.failures += 1
-        if (
-            self._state is BreakerState.CLOSED
-            and self.failures >= self.failure_threshold
-        ):
-            self._trip()
+        with self._lock:
+            self._probe_inflight = False
+            if self.state() is BreakerState.HALF_OPEN:
+                # The probe failed: straight back to OPEN, fresh cooldown.
+                self._trip()
+                return
+            self.failures += 1
+            if (
+                self._state is BreakerState.CLOSED
+                and self.failures >= self.failure_threshold
+            ):
+                self._trip()
 
     def _trip(self) -> None:
         self.failures = self.failure_threshold

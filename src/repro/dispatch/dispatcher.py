@@ -44,6 +44,7 @@ from ..observability.flight.recorder import (
     flight_shadow,
 )
 from ..observability.live import (
+    current_request_id,
     emit_event,
     live_add,
     live_gauge,
@@ -67,6 +68,7 @@ from .engines import (
     EngineInapplicableError,
     get_engine,
 )
+from .pool import PoolSaturatedError, WorkerPool
 from .worker import run_isolated
 
 __all__ = [
@@ -93,7 +95,7 @@ class RungOutcome:
     """What one ladder rung did for one request."""
 
     engine: str
-    status: str  # "ok" | "failed" | "inapplicable" | "breaker-open"
+    status: str  # "ok"|"failed"|"inapplicable"|"breaker-open"|"saturated"
     reason: str = ""
     elapsed_s: float = 0.0
 
@@ -202,8 +204,15 @@ class Dispatcher:
         self,
         policy: Optional[DispatchPolicy] = None,
         clock=time.monotonic,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         self.policy = policy or DispatchPolicy()
+        # A warm pool replaces spawn-per-request for isolated rungs.  It
+        # is runtime wiring, not policy: the flight envelope records the
+        # same policy either way, and replay always re-executes through
+        # run_isolated (a recorded answer does not depend on which
+        # isolation transport produced it).
+        self._pool = pool
         self.breakers: Dict[str, CircuitBreaker] = {
             name: CircuitBreaker(
                 name,
@@ -244,7 +253,10 @@ class Dispatcher:
             budget.start()
         add("dispatch.requests")
         live_add("dispatch.requests")
-        with request_scope() as rid, span(
+        # Reuse the ambient request id when the serving layer already
+        # opened one, so serve.* and dispatch events correlate as one
+        # request trail; a bare library call still gets a fresh id.
+        with request_scope(current_request_id()) as rid, span(
             "dispatch.request", semantics=semantics, request_id=rid
         ):
             started = self._clock()
@@ -442,6 +454,31 @@ class Dispatcher:
                     breaker=str(breaker.state()),
                 )
                 continue
+            except PoolSaturatedError as exc:
+                # Every warm worker is busy: the engine is healthy, so
+                # no breaker penalty — fall through (typically to the
+                # in-process anytime bracket) and let admission control
+                # relieve the pressure.
+                reason = str(exc)
+                outcomes.append(
+                    RungOutcome(
+                        name,
+                        "saturated",
+                        reason,
+                        self._clock() - started,
+                    )
+                )
+                live_add("dispatch.rungs.saturated")
+                emit_event("rung.skip", engine=name, reason=reason)
+                flight_decision(
+                    engine=name,
+                    status="saturated",
+                    reason=reason,
+                    slice_s=slice_s,
+                    actual_s=self._clock() - started,
+                    breaker=str(breaker.state()),
+                )
+                continue
             except Exception as exc:  # noqa: BLE001 — rung firewall
                 breaker.record_failure()
                 add("dispatch.rung_failures")
@@ -564,6 +601,14 @@ class Dispatcher:
                     if slice_s is not None
                     else self.policy.watchdog_s
                 )
+                if self._pool is not None:
+                    return self._pool.run_engine(
+                        name,
+                        request,
+                        watchdog_s=watchdog,
+                        budget_timeout=slice_s,
+                        wedge_s=wedge_s,
+                    )
                 return run_isolated(
                     name,
                     request,

@@ -17,6 +17,21 @@ with
   :class:`WorkerTimeoutError` is raised — the dispatcher records a
   ``dispatch.worker_kills`` counter and falls to the next rung.
 
+Two execution modes share one job/result schema:
+
+* **one-shot** (:func:`child_main`, :func:`run_isolated`) — one job on
+  stdin, one result on stdout, process exits.  Pays a full interpreter
+  start-up + import per request; the right tool for a single CLI
+  dispatch, far too slow for serving.
+* **loop** (:func:`serve_loop`, ``python -m repro.dispatch.worker
+  --loop``) — length-prefixed pickle *frames* on the same pipes, served
+  until EOF or an ``exit`` op.  This is the warm-worker protocol behind
+  :class:`repro.dispatch.pool.WorkerPool`: the interpreter and the
+  engine imports are paid once at spawn, then each request is one
+  frame round-trip.  ``ping`` frames double as the supervisor's
+  heartbeat and carry the child's RSS and served-request count, which
+  drive the pool's recycling policy.
+
 The parent's **request id** crosses the boundary: the job carries the
 ambient :func:`~repro.observability.live.current_request_id`, the child
 runs under a matching :func:`~repro.observability.live.request_scope`,
@@ -27,9 +42,11 @@ correlated trail even for isolated rungs.
 
 Fault plans (:mod:`repro.runtime.faults`) are process-local and do NOT
 propagate into workers; isolation is for real wedges, fault injection
-exercises the in-process path.  The payload accepts a ``wedge_s`` test
-hook that makes the child sleep before evaluating, simulating a
-non-cooperative hang for watchdog tests.
+exercises the in-process path.  The payload accepts test hooks: a
+``wedge_s`` sleep simulating a non-cooperative hang (watchdog tests), a
+``crash_code`` hard exit simulating a dying worker, and a ``pad_rss_kb``
+ballast allocation that genuinely grows the child's RSS (pool-recycling
+tests).
 """
 
 from __future__ import annotations
@@ -37,9 +54,10 @@ from __future__ import annotations
 import contextlib
 import os
 import pickle
+import struct
 import subprocess
 import sys
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..errors import (
     BudgetExceededError,
@@ -63,13 +81,25 @@ __all__ = [
     "WorkerError",
     "WorkerTimeoutError",
     "WorkerCrashError",
+    "read_frame",
+    "write_frame",
     "run_isolated",
+    "serve_loop",
 ]
 
 #: Hard floor for the watchdog: interpreter start-up plus import of the
 #: repro package costs real time, and a watchdog below it would kill
-#: healthy workers before they compute anything.
+#: healthy workers before they compute anything.  Warm-pool workers have
+#: already paid the start-up, so :class:`~repro.dispatch.pool.WorkerPool`
+#: is exempt from this floor.
 MIN_WATCHDOG_S = 2.0
+
+#: Frame header of the loop protocol: 4-byte big-endian payload length.
+_FRAME = struct.Struct(">I")
+
+#: Refuse absurd frames instead of allocating them (a desynced or
+#: corrupted stream would otherwise ask for gigabytes).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 
 class WorkerError(ReproError):
@@ -120,30 +150,90 @@ def _unmarshal_error(record: Dict[str, object]) -> BaseException:
     return WorkerCrashError(message)
 
 
-def child_main(stdin=None, stdout=None) -> int:
-    """Entry point of the worker process (also callable in-process for
-    tests): read one pickled job, run it, write one pickled result."""
-    stdin = sys.stdin.buffer if stdin is None else stdin
-    stdout = sys.stdout.buffer if stdout is None else stdout
+# ----------------------------------------------------------------------
+# Frame protocol (loop mode).  Child side uses blocking buffered reads;
+# the parent side (pool.py) reads the raw fd under a select() deadline.
+# ----------------------------------------------------------------------
+
+
+def read_frame(stream) -> Optional[bytes]:
+    """Read one length-prefixed frame; None on clean EOF.
+
+    Raises :class:`WorkerCrashError` on a truncated or oversized frame —
+    a half-written frame means the peer died mid-send, and resyncing a
+    pickle stream is not possible.
+    """
+    header = stream.read(_FRAME.size)
+    if not header:
+        return None
+    if len(header) < _FRAME.size:
+        raise WorkerCrashError("truncated frame header")
+    (length,) = _FRAME.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WorkerCrashError(f"frame of {length} bytes exceeds the cap")
+    payload = stream.read(length)
+    if payload is None or len(payload) < length:
+        raise WorkerCrashError("truncated frame payload")
+    return payload
+
+
+def write_frame(stream, payload: bytes) -> None:
+    """Write one length-prefixed frame and flush it."""
+    stream.write(_FRAME.pack(len(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+# ----------------------------------------------------------------------
+# Child side
+# ----------------------------------------------------------------------
+
+#: Ballast kept alive by the ``pad_rss_kb`` test hook so the allocation
+#: actually shows up in the child's resident set.
+_BALLAST: List[bytearray] = []
+
+
+def _rss_kb() -> int:
+    """This process's *current* resident set in KiB (0 when unavailable).
+
+    Current, not peak (``ru_maxrss``): the pool's RSS recycling policy
+    watches for steady growth — a leak — and a peak figure would never
+    come back down after one large request.
+    """
     try:
-        job = pickle.loads(stdin.read())
-    except Exception as exc:  # malformed payload: structured, exit 0
-        pickle.dump(
-            {
-                "ok": False,
-                "kind": "failure",
-                "type": type(exc).__name__,
-                "message": f"cannot read job: {exc}",
-            },
-            stdout,
-        )
-        stdout.flush()
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * (os.sysconf("SC_PAGESIZE") // 1024)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - non-Linux fallback (peak, close enough)
+        import resource
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return int(rss // 1024) if sys.platform == "darwin" else int(rss)
+    except Exception:  # pragma: no cover
         return 0
+
+
+def _execute_job(job: Dict[str, object]) -> Dict[str, object]:
+    """Run one engine job; returns the marshalled result record.
+
+    Shared by the one-shot and loop modes, so both speak exactly the
+    same job/result schema.
+    """
     wedge_s = job.get("wedge_s")
     if wedge_s:  # test hook: simulate a non-cooperative hang
         import time
 
         time.sleep(wedge_s)
+    if job.get("crash_code") is not None:  # test hook: die mid-request
+        os._exit(int(job["crash_code"]))
+    pad_kb = job.get("pad_rss_kb")
+    if pad_kb:  # test hook: genuinely grow the resident set
+        # b"x" * n writes every byte, so the pages are dirty and
+        # resident — a zeroed bytearray would stay copy-on-write blank.
+        _BALLAST.append(b"x" * (int(pad_kb) * 1024))
     request_id = job.get("request_id")
     scope = (
         request_scope(request_id)
@@ -183,9 +273,101 @@ def child_main(stdin=None, stdout=None) -> int:
             }
             for record in plane.events.records()
         ]
-    pickle.dump(result, stdout)
+    return result
+
+
+def child_main(stdin=None, stdout=None) -> int:
+    """One-shot entry point (also callable in-process for tests): read
+    one pickled job, run it, write one pickled result."""
+    stdin = sys.stdin.buffer if stdin is None else stdin
+    stdout = sys.stdout.buffer if stdout is None else stdout
+    try:
+        job = pickle.loads(stdin.read())
+    except Exception as exc:  # malformed payload: structured, exit 0
+        pickle.dump(
+            {
+                "ok": False,
+                "kind": "failure",
+                "type": type(exc).__name__,
+                "message": f"cannot read job: {exc}",
+            },
+            stdout,
+        )
+        stdout.flush()
+        return 0
+    pickle.dump(_execute_job(job), stdout)
     stdout.flush()
     return 0
+
+
+def serve_loop(stdin=None, stdout=None) -> int:
+    """Warm-pool entry point: serve framed jobs until EOF or ``exit``.
+
+    Jobs are pickled dicts with an ``op`` discriminator:
+
+    * ``run`` (default) — the :func:`_execute_job` schema; the result
+      frame additionally carries ``served`` and ``rss_kb`` so every
+      response doubles as a health sample;
+    * ``ping`` — heartbeat; answers ``{"ok": True, "op": "pong", "pid",
+      "served", "rss_kb"}`` without touching any engine;
+    * ``exit`` — acknowledge and leave (the pool's graceful drain).
+
+    A malformed frame gets a structured error response; a truncated
+    stream (parent died) ends the loop.  Never raises: a worker that
+    dies of its own protocol handling would look like an engine crash
+    to the supervisor.
+    """
+    stdin = sys.stdin.buffer if stdin is None else stdin
+    stdout = sys.stdout.buffer if stdout is None else stdout
+    # Pre-warm: pay the engine imports at spawn, not on first request.
+    from . import engines  # noqa: F401
+
+    served = 0
+    while True:
+        try:
+            frame = read_frame(stdin)
+        except WorkerCrashError:
+            return 1
+        if frame is None:
+            return 0
+        try:
+            job = pickle.loads(frame)
+        except Exception as exc:
+            write_frame(stdout, pickle.dumps({
+                "ok": False,
+                "kind": "failure",
+                "type": type(exc).__name__,
+                "message": f"cannot read job: {exc}",
+            }))
+            continue
+        op = job.get("op", "run")
+        if op == "exit":
+            write_frame(stdout, pickle.dumps(
+                {"ok": True, "op": "exit", "served": served}
+            ))
+            return 0
+        if op == "ping":
+            write_frame(stdout, pickle.dumps({
+                "ok": True,
+                "op": "pong",
+                "pid": os.getpid(),
+                "served": served,
+                "rss_kb": _rss_kb(),
+            }))
+            continue
+        result = _execute_job(job)
+        served += 1
+        result["served"] = served
+        result["rss_kb"] = _rss_kb()
+        try:
+            write_frame(stdout, pickle.dumps(result))
+        except (BrokenPipeError, OSError):
+            return 1
+
+
+# ----------------------------------------------------------------------
+# Parent side (one-shot).  The warm-pool parent lives in pool.py.
+# ----------------------------------------------------------------------
 
 
 def _child_env() -> Dict[str, str]:
@@ -222,6 +404,83 @@ def _replay_child_events(records) -> None:
             continue
 
 
+def _teardown(proc: subprocess.Popen) -> None:
+    """Leave no trace of a worker child: dead, reaped, pipes closed.
+
+    Safe to call in any state (already exited, already killed, pipes
+    half closed) — the watchdog path, the crash path, and the normal
+    path all funnel through here, so repeated kills cannot accumulate
+    zombies or leak the parent ends of the stdin/stdout pipes.
+    """
+    try:
+        if proc.poll() is None:
+            proc.kill()
+    except OSError:  # pragma: no cover - racing an exiting child
+        pass
+    for stream in (proc.stdin, proc.stdout, proc.stderr):
+        if stream is not None and not stream.closed:
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - broken pipe on close
+                pass
+    try:
+        proc.wait(timeout=5.0)
+    except Exception:  # pragma: no cover - unkillable child
+        pass
+
+
+def _spawn_one_shot() -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.dispatch.worker"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=_child_env(),
+    )
+
+
+def build_job(
+    engine_name: str,
+    request,
+    *,
+    budget_timeout: Optional[float] = None,
+    wedge_s: Optional[float] = None,
+    crash_code: Optional[int] = None,
+    pad_rss_kb: Optional[int] = None,
+) -> Dict[str, object]:
+    """The job record both execution modes understand.
+
+    Captures the ambient request id and whether the parent is observing
+    at *build* time, so a job queued briefly still correlates with the
+    request that created it.
+    """
+    return {
+        "engine": engine_name,
+        "request": request,
+        "budget_timeout": budget_timeout,
+        "wedge_s": wedge_s,
+        "crash_code": crash_code,
+        "pad_rss_kb": pad_rss_kb,
+        "request_id": current_request_id(),
+        "collect_events": live_installed() or flight_installed(),
+    }
+
+
+def unmarshal_answer(result: Dict[str, object]):
+    """Turn a worker result record into an EngineAnswer (or raise the
+    marshalled engine error), replaying any child events first."""
+    from .engines import EngineAnswer
+
+    _replay_child_events(result.get("events"))
+    if not result.get("ok"):
+        raise _unmarshal_error(result)
+    return EngineAnswer(
+        frozenset(result["answers"]),
+        bool(result["complete"]),
+        dict(result.get("detail") or {}),
+    )
+
+
 def run_isolated(
     engine_name: str,
     request,
@@ -237,63 +496,51 @@ def run_isolated(
     budget inside the child so the engine can degrade before the
     watchdog has to fire.  Raises :class:`WorkerTimeoutError` on kill,
     :class:`WorkerCrashError` on a dead/garbled worker, and re-raises
-    marshalled engine errors as their typed classes.
+    marshalled engine errors as their typed classes.  Whatever happens,
+    the child is reaped and its pipe fds are closed before this
+    returns or raises.
     """
-    from .engines import EngineAnswer
-
-    job = {
-        "engine": engine_name,
-        "request": request,
-        "budget_timeout": budget_timeout,
-        "wedge_s": wedge_s,
-        "request_id": current_request_id(),
-        "collect_events": live_installed() or flight_installed(),
-    }
+    job = build_job(
+        engine_name,
+        request,
+        budget_timeout=budget_timeout,
+        wedge_s=wedge_s,
+    )
     payload = pickle.dumps(job)
     deadline = max(float(watchdog_s), MIN_WATCHDOG_S)
     add("dispatch.worker_runs")
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.dispatch.worker"],
-        stdin=subprocess.PIPE,
-        stdout=subprocess.PIPE,
-        stderr=subprocess.DEVNULL,
-        env=_child_env(),
-    )
+    proc = _spawn_one_shot()
     try:
-        out, _ = proc.communicate(payload, timeout=deadline)
-    except subprocess.TimeoutExpired:
-        proc.kill()
-        proc.communicate()
-        add("dispatch.worker_kills")
-        add(f"dispatch.worker_kills.{engine_name}")
-        emit_event(
-            "worker.kill", engine=engine_name, watchdog_s=deadline
-        )
-        raise WorkerTimeoutError(
-            f"engine {engine_name} exceeded its {deadline:.1f}s "
-            "watchdog and was killed"
-        )
-    if proc.returncode != 0:
-        raise WorkerCrashError(
-            f"engine worker for {engine_name} exited with code "
-            f"{proc.returncode}"
-        )
-    try:
-        result = pickle.loads(out)
-    except Exception as exc:
-        raise WorkerCrashError(
-            f"engine worker for {engine_name} returned unreadable "
-            f"output: {exc}"
-        )
-    _replay_child_events(result.get("events"))
-    if not result.get("ok"):
-        raise _unmarshal_error(result)
-    return EngineAnswer(
-        frozenset(result["answers"]),
-        bool(result["complete"]),
-        dict(result.get("detail") or {}),
-    )
+        try:
+            out, _ = proc.communicate(payload, timeout=deadline)
+        except subprocess.TimeoutExpired:
+            add("dispatch.worker_kills")
+            add(f"dispatch.worker_kills.{engine_name}")
+            emit_event(
+                "worker.kill", engine=engine_name, watchdog_s=deadline
+            )
+            raise WorkerTimeoutError(
+                f"engine {engine_name} exceeded its {deadline:.1f}s "
+                "watchdog and was killed"
+            )
+        if proc.returncode != 0:
+            raise WorkerCrashError(
+                f"engine worker for {engine_name} exited with code "
+                f"{proc.returncode}"
+            )
+        try:
+            result = pickle.loads(out)
+        except Exception as exc:
+            raise WorkerCrashError(
+                f"engine worker for {engine_name} returned unreadable "
+                f"output: {exc}"
+            )
+        return unmarshal_answer(result)
+    finally:
+        _teardown(proc)
 
 
 if __name__ == "__main__":  # pragma: no cover
+    if "--loop" in sys.argv[1:]:
+        sys.exit(serve_loop())
     sys.exit(child_main())

@@ -134,6 +134,15 @@ KEY_COUNTERS = (
     "dispatch.requests.ok",
     "dispatch.requests.degraded",
     "dispatch.requests.error",
+    "serve.requests",
+    "serve.requests.ok",
+    "serve.requests.degraded",
+    "serve.requests.shed",
+    "serve.requests.error",
+    "pool.dispatches",
+    "pool.spawns",
+    "pool.recycles",
+    "pool.saturated",
 )
 
 #: Cost-line counters matched by prefix: the live plane's per-kind

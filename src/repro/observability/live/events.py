@@ -67,6 +67,15 @@ EVENT_KINDS = (
     "budget.exhausted",
     "shadow.disagreement",
     "worker.kill",
+    # Warm worker pool (PR 8): supervisor lifecycle.
+    "pool.spawn",
+    "pool.recycle",
+    "pool.drain",
+    # Serving layer (PR 8): the admission-controlled HTTP front door.
+    "serve.request",
+    "serve.response",
+    "serve.shed",
+    "serve.degrade",
 )
 
 _request_ids = itertools.count(1)

@@ -21,9 +21,23 @@ Config shape (``benchmarks/slo.json`` is the committed example)::
 
 Availability counts degraded answers as served — the ladder's contract
 is "an answer with a stated confidence beats no answer", so only
-outright errors burn budget.  ``obs slo --check`` exits with
-:data:`EXIT_SLO_VIOLATION` (7) when any objective fails, which is what
-the chaos-matrix CI job gates on.
+outright errors burn budget.  By default availability reads the status
+document's ``requests`` block (the dispatch ladder); an objective may
+instead name explicit counters — ``total_counter`` plus a
+``served_counters`` list — to cover another serving surface, e.g. the
+HTTP front door (PR 8)::
+
+      {"name": "serve-availability", "kind": "availability",
+       "objective": 0.99, "total_counter": "serve.requests",
+       "served_counters": ["serve.requests.ok",
+                           "serve.requests.degraded"]}
+
+Shed requests (429, admission control's deliberate backpressure) are
+listed or omitted from ``served_counters`` by policy; the committed
+config counts them as served — shedding with a well-formed Retry-After
+is correct overload behavior, not an outage.  ``obs slo --check`` exits
+with :data:`EXIT_SLO_VIOLATION` (7) when any objective fails, which is
+what the chaos-matrix and serve-overload CI jobs gate on.
 """
 
 from __future__ import annotations
@@ -67,6 +81,22 @@ def load_slo_config(path) -> List[Dict[str, object]]:
                     f"{path}: availability slo {slo.get('name')!r} needs "
                     "an 'objective' in (0, 1]"
                 )
+            has_total = "total_counter" in slo
+            has_served = "served_counters" in slo
+            if has_total != has_served:
+                raise ValueError(
+                    f"{path}: availability slo {slo.get('name')!r} needs "
+                    "'total_counter' and 'served_counters' together "
+                    "(or neither, to read the requests block)"
+                )
+            if has_served and not (
+                isinstance(slo["served_counters"], list)
+                and slo["served_counters"]
+            ):
+                raise ValueError(
+                    f"{path}: availability slo {slo.get('name')!r}: "
+                    "'served_counters' must be a non-empty list"
+                )
         else:
             if "metric" not in slo or "target_ms" not in slo:
                 raise ValueError(
@@ -76,7 +106,23 @@ def load_slo_config(path) -> List[Dict[str, object]]:
     return slos
 
 
-def _availability(status: Dict[str, object]) -> Optional[float]:
+def _counter_total(status: Dict[str, object], name: str) -> float:
+    record = (status.get("counters") or {}).get(name) or {}
+    return float(record.get("total") or 0)
+
+
+def _availability(
+    status: Dict[str, object], slo: Optional[Dict[str, object]] = None
+) -> Optional[float]:
+    if slo is not None and slo.get("total_counter"):
+        total = _counter_total(status, slo["total_counter"])
+        if not total:
+            return None
+        served = sum(
+            _counter_total(status, name)
+            for name in slo["served_counters"]
+        )
+        return served / total
     requests = status.get("requests") or {}
     availability = requests.get("availability")
     if availability is not None:
@@ -113,7 +159,7 @@ def evaluate_slos(
         kind = slo["kind"]
         if kind == "availability":
             objective = float(slo["objective"])
-            observed = _availability(status)
+            observed = _availability(status, slo)
             ok = observed is None or observed >= objective
             burn: Optional[float] = None
             if observed is not None and objective < 1.0:

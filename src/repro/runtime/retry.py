@@ -50,13 +50,16 @@ def retry_transient(
     """Call ``fn`` with up to *attempts* tries on transient failures.
 
     Backoff delays are ``base_delay * factor**i`` capped at
-    ``max_delay``, scaled by a ±25% jitter drawn from
+    ``max_delay`` and scaled by a ±25% jitter drawn from
     ``random.Random(jitter_seed)`` (deterministic: the same seed gives
-    the same delay schedule), and finally capped at the ambient budget's
-    remaining wall time — a 0.25 s sleep must not overshoot a deadline
-    that expires mid-backoff, and the pre-sleep :func:`checkpoint` alone
-    cannot prevent that (it only fires *before* the sleep).  The final
-    failure is re-raised unchanged.
+    the same delay schedule).  When the ambient budget has less wall
+    time left than the next backoff interval, the transient failure is
+    re-raised *immediately* instead of sleeping: the retry could not
+    complete before the deadline anyway, so burning the caller's last
+    slice inside ``time.sleep`` would only convert a fast typed failure
+    into a late one — under a serving deadline, time spent sleeping past
+    the point of possible success is time stolen from the fallback rung
+    below.  The final failure is re-raised unchanged.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
@@ -71,14 +74,17 @@ def retry_transient(
                 add("runtime.retries_exhausted")
                 raise
             checkpoint()
-            add("runtime.retries")
             delay = min(base_delay * (factor ** attempt), max_delay)
             delay *= 1.0 + JITTER * (2.0 * rng.random() - 1.0)
             budget = current_budget()
             if budget is not None:
                 remaining = budget.remaining_time()
-                if remaining is not None:
-                    delay = min(delay, remaining)
+                if remaining is not None and remaining < delay:
+                    # Less than one backoff interval left: sleeping
+                    # would overshoot the deadline, so fail fast.
+                    add("runtime.retries_aborted")
+                    raise
+            add("runtime.retries")
             if delay > 0:
                 do_sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

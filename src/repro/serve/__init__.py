@@ -1,0 +1,48 @@
+"""CQA-as-a-service: the admission-controlled HTTP front door.
+
+The dispatch ladder answers one request well; this package makes it
+*servable*: many tenants, concurrent requests, overload that degrades
+instead of collapsing.  Stdlib only — ``asyncio`` + HTTP/1.1 + JSON —
+in four layers:
+
+* :mod:`repro.serve.admission` — the front door: per-tenant concurrency
+  slots, bounded queues, windowed request quotas (a reused
+  :class:`repro.runtime.Budget`), a per-tenant circuit breaker, and
+  deadline-aware shedding.  Every rejection is a typed
+  :class:`~repro.serve.admission.ShedError` carrying the HTTP status
+  and a Retry-After hint — queue collapse is replaced by fast, honest
+  429s.
+* :mod:`repro.serve.service` — the handlers: CQA dispatch (through a
+  shared :class:`~repro.dispatch.Dispatcher` over a warm
+  :class:`~repro.dispatch.WorkerPool`), repair enumeration, and
+  inconsistency reports over named registered databases.  When the pool
+  is saturated the CQA path degrades to the anytime certain-core
+  bracket — a sound under-approximation with ``complete: false``, never
+  a wrong answer.
+* :mod:`repro.serve.http` — the asyncio HTTP/1.1 server: keep-alive
+  connections, a bounded handler executor, graceful drain on shutdown.
+* :mod:`repro.serve.loadgen` — the load-generator client and report
+  (closed- and open-loop), which doubles as the overload CI gate: under
+  2× capacity the server must shed or degrade but never answer
+  wrongly, never deadlock, and never leak a worker.
+
+See README "Serving" for the endpoints and the saturation runbook, and
+DESIGN "CQA-as-a-service" for the supervisor state machine.
+"""
+
+from .admission import AdmissionController, ShedError, TenantPolicy
+from .http import CQAHTTPServer, ServerConfig
+from .loadgen import LoadReport, run_closed_loop, run_open_loop
+from .service import CQAService
+
+__all__ = [
+    "AdmissionController",
+    "CQAHTTPServer",
+    "CQAService",
+    "LoadReport",
+    "ServerConfig",
+    "ShedError",
+    "TenantPolicy",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,374 @@
+"""Load generator + soundness validator for the CQA server.
+
+Stdlib asyncio HTTP/1.1 client driving ``POST /v1/cqa`` two ways:
+
+* **closed loop** — ``concurrency`` workers, each with one keep-alive
+  connection, issue ``total`` requests as fast as responses return.
+  This measures the server's native throughput and latency profile.
+* **open loop** — requests fire on a fixed schedule (``rate_per_s`` for
+  ``duration_s``), regardless of how fast responses come back.  This is
+  the overload instrument: at 2× capacity the arrival rate does not
+  relent when the server slows, so the server must shed or degrade.
+
+Every response is *validated*, not just counted, against the expected
+certain-answer set when one is supplied:
+
+* ``complete: true`` answers must equal the expected set exactly;
+* ``complete: false`` (degraded) answers must be a subset — the anytime
+  bracket's soundness contract;
+* shed responses (429/503) must be well-formed: a JSON object with
+  ``error: "shed"``, a ``reason``, a ``retry_after_s``, and a
+  ``Retry-After`` header.
+
+Anything else — a wrong answer, an unsound superset, a malformed shed —
+counts in ``wrong``/``malformed``, and the CI overload gate fails the
+build on a single occurrence (exit :data:`EXIT_UNSOUND`).  Latency
+quantiles come from the same fixed-seed reservoir
+:class:`~repro.observability.metrics.Histogram` the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..observability.metrics import Histogram
+
+__all__ = [
+    "EXIT_UNSOUND",
+    "LoadReport",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+#: CLI exit code for ``repro loadgen --check``: the server answered
+#: wrongly (or shed malformedly) at least once.
+EXIT_UNSOUND = 9
+
+
+@dataclass
+class LoadReport:
+    """Tallies + latency profile of one load run."""
+
+    sent: int = 0
+    ok: int = 0
+    degraded: int = 0
+    shed: int = 0
+    errors: int = 0
+    wrong: int = 0
+    malformed: int = 0
+    transport_errors: int = 0
+    elapsed_s: float = 0.0
+    latency: Histogram = field(default_factory=Histogram)
+    status_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def sound(self) -> bool:
+        return self.wrong == 0 and self.malformed == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        completed = max(1e-9, self.elapsed_s)
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "errors": self.errors,
+            "wrong": self.wrong,
+            "malformed": self.malformed,
+            "transport_errors": self.transport_errors,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "throughput_rps": round(self.sent / completed, 2),
+            "latency_ms": {
+                "p50": self.latency.percentile(50),
+                "p90": self.latency.percentile(90),
+                "p99": self.latency.percentile(99),
+                "mean": self.latency.mean,
+            },
+            "status_counts": {
+                str(k): v for k, v in sorted(self.status_counts.items())
+            },
+            "sound": self.sound,
+        }
+
+    def render(self) -> str:
+        d = self.to_dict()
+        lat = d["latency_ms"]
+
+        def ms(v):
+            return f"{v:.1f}ms" if v is not None else "n/a"
+
+        return (
+            f"sent={d['sent']} ok={d['ok']} degraded={d['degraded']} "
+            f"shed={d['shed']} errors={d['errors']} "
+            f"wrong={d['wrong']} malformed={d['malformed']}\n"
+            f"throughput={d['throughput_rps']}rps "
+            f"p50={ms(lat['p50'])} p90={ms(lat['p90'])} "
+            f"p99={ms(lat['p99'])}  sound={d['sound']}"
+        )
+
+
+class _Connection:
+    """One keep-alive HTTP/1.1 client connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader = None
+        self.writer = None
+
+    async def _ensure(self) -> None:
+        if self.writer is None or self.writer.is_closing():
+            self.reader, self.writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def post(
+        self, path: str, payload: Dict[str, object], timeout_s: float
+    ) -> Tuple[int, Dict[str, str], Optional[Dict[str, object]]]:
+        """Returns (status, headers, parsed JSON body or None)."""
+        await self._ensure()
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        self.writer.write(head + body)
+        await self.writer.drain()
+        return await asyncio.wait_for(
+            self._read_response(), timeout=timeout_s
+        )
+
+    async def _read_response(self):
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        parts = line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self.reader.readline()
+            text = line.decode("latin-1").strip()
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self.reader.readexactly(length) if length else b""
+        parsed: Optional[Dict[str, object]] = None
+        if raw:
+            try:
+                parsed = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                parsed = None
+        if headers.get("connection", "").lower() == "close":
+            self.close()
+        return status, headers, parsed
+
+    def close(self) -> None:
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except Exception:  # noqa: BLE001 — already gone
+                pass
+            self.writer = None
+            self.reader = None
+
+
+def _classify(
+    status: int,
+    headers: Dict[str, str],
+    body: Optional[Dict[str, object]],
+    expect: Optional[List[List[object]]],
+    report: LoadReport,
+) -> None:
+    """Tally one response; soundness and shed-shape checks live here."""
+    report.status_counts[status] = (
+        report.status_counts.get(status, 0) + 1
+    )
+    if status == 200:
+        if not isinstance(body, dict) or "answers" not in body:
+            report.malformed += 1
+            return
+        answers = {tuple(row) for row in body["answers"]}
+        complete = bool(body.get("complete"))
+        if expect is not None:
+            expected = {tuple(row) for row in expect}
+            if complete and answers != expected:
+                report.wrong += 1
+                return
+            if not complete and not answers <= expected:
+                report.wrong += 1
+                return
+        if complete:
+            report.ok += 1
+        else:
+            report.degraded += 1
+        return
+    if status in (429, 503):
+        well_formed = (
+            isinstance(body, dict)
+            and body.get("error") == "shed"
+            and isinstance(body.get("reason"), str)
+            and isinstance(body.get("retry_after_s"), (int, float))
+            and "retry-after" in headers
+        )
+        if well_formed:
+            report.shed += 1
+        elif status == 503 and isinstance(body, dict) and body.get(
+            "error"
+        ) == "unavailable":
+            # DispatchError surface: a refusal, not a shed.
+            report.errors += 1
+        else:
+            report.malformed += 1
+        return
+    report.errors += 1
+
+
+async def _run_closed_loop(
+    host: str,
+    port: int,
+    payload: Dict[str, object],
+    total: int,
+    concurrency: int,
+    expect: Optional[List[List[object]]],
+    request_timeout_s: float,
+) -> LoadReport:
+    report = LoadReport()
+    counter = {"next": 0}
+    started = time.monotonic()
+
+    async def worker() -> None:
+        conn = _Connection(host, port)
+        try:
+            while True:
+                if counter["next"] >= total:
+                    return
+                counter["next"] += 1
+                report.sent += 1
+                t0 = time.monotonic()
+                try:
+                    status, headers, body = await conn.post(
+                        "/v1/cqa", payload, request_timeout_s
+                    )
+                except (
+                    OSError,
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    report.transport_errors += 1
+                    conn.close()
+                    continue
+                report.latency.observe(
+                    (time.monotonic() - t0) * 1000.0
+                )
+                _classify(status, headers, body, expect, report)
+        finally:
+            conn.close()
+
+    await asyncio.gather(
+        *(worker() for _ in range(max(1, concurrency)))
+    )
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+async def _run_open_loop(
+    host: str,
+    port: int,
+    payload: Dict[str, object],
+    rate_per_s: float,
+    duration_s: float,
+    expect: Optional[List[List[object]]],
+    request_timeout_s: float,
+) -> LoadReport:
+    report = LoadReport()
+    started = time.monotonic()
+    interval = 1.0 / max(0.001, rate_per_s)
+    tasks: List[asyncio.Task] = []
+    pool: List[_Connection] = []
+
+    async def fire() -> None:
+        conn = pool.pop() if pool else _Connection(host, port)
+        report.sent += 1
+        t0 = time.monotonic()
+        try:
+            status, headers, body = await conn.post(
+                "/v1/cqa", payload, request_timeout_s
+            )
+        except (
+            OSError,
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+        ):
+            report.transport_errors += 1
+            conn.close()
+            return
+        report.latency.observe((time.monotonic() - t0) * 1000.0)
+        _classify(status, headers, body, expect, report)
+        pool.append(conn)
+
+    tick = 0
+    while True:
+        now = time.monotonic()
+        if now - started >= duration_s:
+            break
+        target = started + tick * interval
+        delay = target - now
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(fire()))
+        tick += 1
+    if tasks:
+        await asyncio.wait(tasks)
+    for conn in pool:
+        conn.close()
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def run_closed_loop(
+    host: str,
+    port: int,
+    payload: Dict[str, object],
+    total: int = 100,
+    concurrency: int = 4,
+    expect: Optional[List[List[object]]] = None,
+    request_timeout_s: float = 30.0,
+) -> LoadReport:
+    """Drive ``total`` requests with ``concurrency`` workers; validate
+    each response against ``expect`` when given."""
+    return asyncio.run(
+        _run_closed_loop(
+            host, port, payload, total, concurrency, expect,
+            request_timeout_s,
+        )
+    )
+
+
+def run_open_loop(
+    host: str,
+    port: int,
+    payload: Dict[str, object],
+    rate_per_s: float,
+    duration_s: float,
+    expect: Optional[List[List[object]]] = None,
+    request_timeout_s: float = 30.0,
+) -> LoadReport:
+    """Fire at a fixed arrival rate for ``duration_s`` seconds — the
+    overload instrument; see the module docstring."""
+    return asyncio.run(
+        _run_open_loop(
+            host, port, payload, rate_per_s, duration_s, expect,
+            request_timeout_s,
+        )
+    )

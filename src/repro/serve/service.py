@@ -1,0 +1,478 @@
+"""The CQA service: named databases, handlers, and the degrade path.
+
+One :class:`CQAService` owns everything the HTTP layer needs but HTTP
+knows nothing about: a registry of named ``(Database, constraints)``
+instances, one shared :class:`~repro.dispatch.Dispatcher` (breaker
+state and shape caches live across requests) over an optional warm
+:class:`~repro.dispatch.WorkerPool`, and the
+:class:`~repro.serve.admission.AdmissionController` front door.
+
+Handlers take a parsed JSON payload and return ``(status, body,
+headers)`` — plain data, callable from the asyncio server's executor
+threads, from tests, or from a future transport.  All are thread-safe.
+
+The soundness contract under overload mirrors the ladder's: when the
+worker pool reports no idle capacity, the CQA path does not queue
+behind it — it answers immediately from the anytime **certain-core
+bracket** (a sound under-approximation marked ``complete: false``), or
+sheds if even that is inapplicable.  A served answer is therefore
+always either exact or an explicitly-marked subset; pressure changes
+latency and completeness, never correctness.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dispatch import (
+    CQARequest,
+    DispatchError,
+    DispatchPolicy,
+    Dispatcher,
+    get_engine,
+)
+from ..dispatch.pool import WorkerPool
+from ..errors import ReproError
+from ..logic.parser import (
+    parse_denial,
+    parse_fd,
+    parse_inclusion,
+    parse_query,
+)
+from ..measures.inconsistency import InconsistencyReport
+from ..observability import add
+from ..observability.live import (
+    emit_event,
+    live_add,
+    live_observe,
+    request_scope,
+)
+from ..relational.database import Database
+from ..relational.schema import RelationSchema, Schema
+from ..repairs import c_repairs_partial, s_repairs_partial
+from ..runtime import Budget, use_budget
+from .admission import AdmissionController, ShedError
+
+__all__ = ["CQAService"]
+
+Handled = Tuple[int, Dict[str, object], Dict[str, str]]
+
+_NO_HEADERS: Dict[str, str] = {}
+
+
+class PayloadError(ReproError):
+    """The request payload is malformed; maps to HTTP 400."""
+
+
+def _parse_constraints(spec: Optional[Dict[str, List[str]]]) -> List:
+    constraints: List = []
+    for text in (spec or {}).get("fd", []):
+        constraints.append(parse_fd(text))
+    for text in (spec or {}).get("ind", []):
+        constraints.append(parse_inclusion(text))
+    for text in (spec or {}).get("dc", []):
+        constraints.append(parse_denial(text))
+    return constraints
+
+
+def _parse_database(spec: Dict[str, object]) -> Database:
+    relations = spec.get("relations")
+    if not isinstance(relations, dict) or not relations:
+        raise PayloadError("payload needs a non-empty 'relations' object")
+    rel_schemas = []
+    rows: Dict[str, List[tuple]] = {}
+    for name, rel in relations.items():
+        if not isinstance(rel, dict):
+            raise PayloadError(
+                f"relation {name!r} must be an object with "
+                "'columns' and 'rows'"
+            )
+        columns = rel.get("columns")
+        if not isinstance(columns, list) or not columns:
+            raise PayloadError(f"relation {name!r} needs 'columns'")
+        key = rel.get("key")
+        rel_schemas.append(
+            RelationSchema(
+                name,
+                tuple(str(c) for c in columns),
+                tuple(str(k) for k in key) if key else None,
+            )
+        )
+        rel_rows = rel.get("rows", [])
+        if not isinstance(rel_rows, list):
+            raise PayloadError(f"relation {name!r}: 'rows' must be a list")
+        for row in rel_rows:
+            if not isinstance(row, list) or len(row) != len(columns):
+                raise PayloadError(
+                    f"relation {name!r}: every row needs "
+                    f"{len(columns)} values"
+                )
+        rows[name] = [tuple(row) for row in rel_rows]
+    try:
+        return Database.from_dict(rows, schema=Schema.of(*rel_schemas))
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise PayloadError(f"cannot build database: {exc}")
+
+
+def _serialize_repair(repair) -> Dict[str, List[List[object]]]:
+    def facts(fact_set) -> List[List[object]]:
+        return sorted(
+            [fact.relation, *fact.values] for fact in fact_set
+        )
+
+    return {
+        "deleted": facts(repair.deleted),
+        "inserted": facts(repair.inserted),
+    }
+
+
+class CQAService:
+    """Handlers over named databases; see the module docstring."""
+
+    def __init__(
+        self,
+        policy: Optional[DispatchPolicy] = None,
+        pool: Optional[WorkerPool] = None,
+        admission: Optional[AdmissionController] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.pool = pool
+        self.dispatcher = Dispatcher(policy, clock=clock, pool=pool)
+        self.admission = admission or AdmissionController(clock=clock)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._databases: Dict[str, Tuple[Database, tuple]] = {}
+
+    # -- database registry --------------------------------------------
+
+    def register_db(self, name: str, spec: Dict[str, object]) -> Handled:
+        if not name or "/" in name:
+            return self._bad_request(f"invalid database name {name!r}")
+        try:
+            db = _parse_database(spec)
+            constraints = tuple(
+                _parse_constraints(spec.get("constraints"))
+            )
+        except ReproError as exc:
+            return self._bad_request(str(exc))
+        with self._lock:
+            self._databases[name] = (db, constraints)
+        add("serve.db_registered")
+        return (
+            200,
+            {
+                "db": name,
+                "facts": len(db),
+                "constraints": len(constraints),
+            },
+            _NO_HEADERS,
+        )
+
+    def register_instance(
+        self, name: str, db: Database, constraints: Sequence
+    ) -> None:
+        """Register a pre-built instance (the CLI's --csv preload)."""
+        with self._lock:
+            self._databases[name] = (db, tuple(constraints))
+        add("serve.db_registered")
+
+    def remove_db(self, name: str) -> Handled:
+        with self._lock:
+            found = self._databases.pop(name, None)
+        if found is None:
+            return 404, {"error": f"no database {name!r}"}, _NO_HEADERS
+        return 200, {"db": name, "removed": True}, _NO_HEADERS
+
+    def list_dbs(self) -> Handled:
+        with self._lock:
+            listing = {
+                name: {"facts": len(db), "constraints": len(constraints)}
+                for name, (db, constraints) in sorted(
+                    self._databases.items()
+                )
+            }
+        return 200, {"databases": listing}, _NO_HEADERS
+
+    def _resolve_instance(
+        self, payload: Dict[str, object]
+    ) -> Tuple[Database, Sequence]:
+        """The instance a request addresses: a registered name or an
+        inline definition (one-shot, nothing persisted)."""
+        name = payload.get("db")
+        if name is not None:
+            with self._lock:
+                found = self._databases.get(name)
+            if found is None:
+                raise PayloadError(f"no database {name!r} is registered")
+            return found
+        if "relations" in payload:
+            return (
+                _parse_database(payload),
+                tuple(_parse_constraints(payload.get("constraints"))),
+            )
+        raise PayloadError("payload needs 'db' or inline 'relations'")
+
+    # -- the CQA endpoint ---------------------------------------------
+
+    def handle_cqa(self, payload: Dict[str, object]) -> Handled:
+        """POST /v1/cqa — consistent answers through the ladder.
+
+        Degrades to the certain-core bracket when the warm pool is
+        saturated; sheds (via the admission controller) before it
+        queues past the deadline.
+        """
+        return self._serve_request(payload, self._run_cqa)
+
+    def handle_repairs(self, payload: Dict[str, object]) -> Handled:
+        """POST /v1/repairs — budgeted repair enumeration."""
+        return self._serve_request(payload, self._run_repairs)
+
+    def _serve_request(self, payload, runner) -> Handled:
+        """Admission, accounting, and the error firewall shared by the
+        budgeted endpoints."""
+        tenant = str(payload.get("tenant") or "default")
+        timeout_s = self.admission.clamp_timeout(payload.get("timeout_s"))
+        with request_scope() as rid:
+            add("serve.requests")
+            live_add("serve.requests")
+            emit_event("serve.request", tenant=tenant, timeout_s=timeout_s)
+            started = self._clock()
+            try:
+                ticket = self.admission.admit(tenant, timeout_s)
+            except ShedError as exc:
+                return self._shed_response(rid, started, exc)
+            outcome = "error"
+            try:
+                status, body, headers = runner(payload, timeout_s, rid)
+                outcome = body.get("outcome", "ok")
+                return status, body, headers
+            except ShedError as exc:
+                outcome = "shed"
+                return self._shed_response(rid, started, exc)
+            except PayloadError as exc:
+                outcome = "bad-request"
+                return self._finish(
+                    rid, started, "error",
+                    (400, {"error": str(exc), "request_id": rid},
+                     _NO_HEADERS),
+                )
+            except DispatchError as exc:
+                return self._finish(
+                    rid, started, "error",
+                    (503, {"error": "unavailable", "detail": str(exc),
+                           "request_id": rid}, _NO_HEADERS),
+                )
+            except Exception as exc:  # noqa: BLE001 — handler firewall
+                return self._finish(
+                    rid, started, "error",
+                    (500,
+                     {"error": f"{type(exc).__name__}: {exc}",
+                      "request_id": rid},
+                     _NO_HEADERS),
+                )
+            finally:
+                ticket.finish(outcome, self._clock() - started)
+
+    def _shed_response(
+        self, rid: str, started: float, exc: ShedError
+    ) -> Handled:
+        add("serve.requests.shed")
+        live_add("serve.requests.shed")
+        live_observe(
+            "serve.latency_ms", (self._clock() - started) * 1000.0
+        )
+        retry_after = max(0.1, exc.retry_after_s)
+        return (
+            exc.status,
+            {
+                "error": "shed",
+                "reason": exc.reason,
+                "retry_after_s": round(retry_after, 3),
+                "request_id": rid,
+            },
+            {"Retry-After": str(max(1, int(round(retry_after))))},
+        )
+
+    def _finish(
+        self, rid: str, started: float, outcome: str, handled: Handled
+    ) -> Handled:
+        elapsed_ms = (self._clock() - started) * 1000.0
+        add(f"serve.requests.{outcome}")
+        live_add(f"serve.requests.{outcome}")
+        live_observe("serve.latency_ms", elapsed_ms)
+        emit_event(
+            "serve.response",
+            outcome=outcome,
+            status=handled[0],
+            elapsed_ms=elapsed_ms,
+        )
+        return handled
+
+    def _run_cqa(
+        self, payload: Dict[str, object], timeout_s: float, rid: str
+    ) -> Handled:
+        db, constraints = self._resolve_instance(payload)
+        query_text = payload.get("query")
+        if not isinstance(query_text, str):
+            raise PayloadError("payload needs a 'query' string")
+        try:
+            query = parse_query(query_text)
+        except Exception as exc:
+            raise PayloadError(f"cannot parse query: {exc}")
+        semantics = str(payload.get("semantics", "s"))
+        started = self._clock()
+        request = CQARequest(db, tuple(constraints), query, semantics)
+        degraded_reason = None
+        if self._should_degrade():
+            answer = self._certain_core(request)
+            if answer is not None:
+                degraded_reason = "pool-saturated"
+        if degraded_reason is None:
+            result = self.dispatcher.dispatch(
+                db,
+                constraints,
+                query,
+                semantics=semantics,
+                budget=Budget(timeout=timeout_s),
+            )
+            answers, complete = result.answers, result.complete
+            engine = result.provenance.engine
+            detail = result.detail
+        else:
+            answers, complete = answer.answers, answer.complete
+            engine = "certain-core"
+            detail = answer.detail
+            add("serve.degraded_fastpath")
+            live_add("serve.degraded_fastpath")
+            emit_event("serve.degrade", reason=degraded_reason)
+        outcome = "ok" if complete else "degraded"
+        body = {
+            "answers": sorted(list(row) for row in answers),
+            "complete": complete,
+            "engine": engine,
+            "semantics": semantics,
+            "elapsed_ms": round(
+                (self._clock() - started) * 1000.0, 3
+            ),
+            "request_id": rid,
+            "outcome": outcome,
+        }
+        if degraded_reason:
+            body["degraded_reason"] = degraded_reason
+        upper = detail.get("upper_bound") if detail else None
+        if upper is not None:
+            body["upper_bound"] = sorted(list(row) for row in upper)
+        return self._finish(
+            rid, started, outcome, (200, body, _NO_HEADERS)
+        )
+
+    def _should_degrade(self) -> bool:
+        """Degrade rather than queue when the pool has no idle worker
+        (only meaningful when isolation is actually pool-backed)."""
+        pool = self.pool
+        return (
+            pool is not None
+            and bool(self.dispatcher.policy.isolate)
+            and pool.idle_count() == 0
+        )
+
+    def _certain_core(self, request: CQARequest):
+        """The anytime bracket, or None if it cannot serve this request
+        (then the full ladder runs and takes its chances)."""
+        engine = get_engine("certain-core")
+        try:
+            engine.check(request)
+            return engine.run(request)
+        except Exception:  # noqa: BLE001 — fall back to the ladder
+            return None
+
+    def _run_repairs(
+        self, payload: Dict[str, object], timeout_s: float, rid: str
+    ) -> Handled:
+        db, constraints = self._resolve_instance(payload)
+        semantics = str(payload.get("semantics", "s"))
+        limit = payload.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int) or limit < 1
+        ):
+            raise PayloadError("'limit' must be a positive integer")
+        started = self._clock()
+        budget = Budget(timeout=timeout_s, max_results=limit)
+        with use_budget(budget):
+            if semantics == "s":
+                partial = s_repairs_partial(
+                    db, constraints, limit=limit, budget=budget
+                )
+            elif semantics == "c":
+                partial = c_repairs_partial(
+                    db, constraints, budget=budget
+                )
+            else:
+                raise PayloadError(
+                    f"unknown repair semantics {semantics!r}; "
+                    "expected 's' or 'c'"
+                )
+        outcome = "ok" if partial.complete else "degraded"
+        body = {
+            "repairs": [
+                _serialize_repair(repair) for repair in partial.value
+            ],
+            "complete": partial.complete,
+            "semantics": semantics,
+            "elapsed_ms": round(
+                (self._clock() - started) * 1000.0, 3
+            ),
+            "request_id": rid,
+            "outcome": outcome,
+        }
+        return self._finish(
+            rid, started, outcome, (200, body, _NO_HEADERS)
+        )
+
+    # -- unbudgeted introspection endpoints ---------------------------
+
+    def handle_report(self, name: str) -> Handled:
+        """GET /v1/db/<name>/report — inconsistency measures."""
+        with self._lock:
+            found = self._databases.get(name)
+        if found is None:
+            return 404, {"error": f"no database {name!r}"}, _NO_HEADERS
+        db, constraints = found
+        report = InconsistencyReport.of(db, constraints)
+        ratio = report.violation_ratio
+        return (
+            200,
+            {
+                "db": name,
+                "size": report.size,
+                "repair_distance": report.repair_distance,
+                "cardinality_measure": report.cardinality_measure,
+                "g3": report.g3,
+                # NaN (non-denial constraint mix) is not valid JSON.
+                "violation_ratio": None if ratio != ratio else ratio,
+                "per_constraint": dict(report.per_constraint),
+            },
+            _NO_HEADERS,
+        )
+
+    def health(self) -> Handled:
+        body: Dict[str, object] = {"status": "ok"}
+        if self.pool is not None:
+            stats = self.pool.stats()
+            body["pool"] = stats
+            if stats["workers"] == 0 and not stats["draining"]:
+                body["status"] = "degraded"
+        body["tenants"] = self.admission.stats()
+        return 200, body, _NO_HEADERS
+
+    def _bad_request(self, message: str) -> Handled:
+        return 400, {"error": message}, _NO_HEADERS
+
+    def close(self) -> None:
+        """Drain the pool; idempotent."""
+        if self.pool is not None:
+            self.pool.drain()

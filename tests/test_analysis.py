@@ -347,7 +347,7 @@ class TestCommittedBaselines:
         / "baselines"
     )
 
-    def test_all_eleven_suites_are_committed(self):
+    def test_all_twelve_suites_are_committed(self):
         names = sorted(
             p.stem[len("BENCH_"):]
             for p in self.BASELINES.glob("BENCH_*.json")
@@ -355,7 +355,7 @@ class TestCommittedBaselines:
         assert names == [
             "asp", "causality", "cqa_methods", "crepairs", "extensions",
             "further_developments", "incremental", "measures",
-            "paper_examples", "scaling", "sql_rewriting",
+            "paper_examples", "scaling", "serve", "sql_rewriting",
         ]
 
     def test_obs_diff_round_trips_every_baseline(self):

@@ -124,6 +124,40 @@ class TestCircuitBreaker:
         clock.advance(0.1)
         assert b.allows()
 
+    def test_half_open_admits_exactly_one_probe_across_threads(self):
+        # The serving layer hits a shared breaker from many handler
+        # threads at once; check-state + claim-probe must be atomic or
+        # a just-cooled breaker lets a thundering herd through.
+        import threading
+
+        clock = FakeClock()
+        b = CircuitBreaker(
+            "e", failure_threshold=1, cooldown_s=5.0, clock=clock
+        )
+        b.record_failure()
+        clock.advance(5.0)  # cooled: next allows() promotes to HALF_OPEN
+        n = 16
+        barrier = threading.Barrier(n)
+        admitted = []
+
+        def contender():
+            barrier.wait()
+            if b.allows():
+                admitted.append(threading.get_ident())
+
+        threads = [
+            threading.Thread(target=contender) for _ in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1
+        assert b.state() is BreakerState.HALF_OPEN
+        # The winning probe reports back; everyone is admitted again.
+        b.record_success()
+        assert b.state() is BreakerState.CLOSED
+
     def test_validation(self):
         with pytest.raises(ValueError):
             CircuitBreaker("e", failure_threshold=0)
@@ -488,9 +522,10 @@ class TestRetryBackoff:
         for s in sleeps:
             assert 0.075 <= s <= 0.125
 
-    def test_sleep_capped_at_remaining_budget(self):
-        # Nominal backoff of 5s per retry must be capped at the
-        # budget's remaining wall time (well under a second here).
+    def test_deadline_shorter_than_backoff_raises_immediately(self):
+        # Nominal backoff of 5s per retry, but only ~0.5s of wall time
+        # left: sleeping would overshoot the deadline, so the transient
+        # error must be re-raised immediately with zero sleeps (PR 8).
         budget = Budget(timeout=1000.0)
         budget.start()
         budget._deadline = budget._clock() + 0.5
@@ -498,7 +533,18 @@ class TestRetryBackoff:
             sleeps = self._delays(
                 jitter_seed=0, base_delay=5.0, max_delay=5.0
             )
-        assert sleeps and all(s <= 0.5 for s in sleeps)
+        assert sleeps == []
+
+    def test_ample_deadline_still_sleeps_full_backoff(self):
+        # With hours of wall time left the fail-fast path must not
+        # trigger: the full jittered schedule runs as before.
+        budget = Budget(timeout=1000.0)
+        budget.start()
+        with use_budget(budget):
+            sleeps = self._delays(
+                jitter_seed=0, base_delay=0.01, max_delay=0.25
+            )
+        assert len(sleeps) == 3
 
     def test_expired_budget_aborts_backoff_without_sleeping(self):
         # remaining_time() is clamped at 0 and the pre-sleep checkpoint
