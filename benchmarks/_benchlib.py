@@ -89,6 +89,17 @@ EXPORTED_COUNTERS = (
     "pool.dispatches",
     "pool.spawns",
     "pool.recycles",
+    # Durable tenant state (PR 9): the store benchmark's deterministic
+    # append/replay counts gate on these.
+    "serve.mutations",
+    "store.appends",
+    "store.append_failures",
+    "store.fsyncs",
+    "store.compactions",
+    "store.snapshots_written",
+    "store.records_replayed",
+    "store.recoveries",
+    "store.torn_tail_truncated",
 )
 
 

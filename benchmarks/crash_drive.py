@@ -1,0 +1,323 @@
+"""CI crash-recovery driver: kill -9 mid-storm, lose nothing acked.
+
+The drive is one cycle of the durability contract, end to end, against
+the real server process:
+
+1. **Storm** — start ``repro serve --data-dir`` (optionally under a
+   seeded storage-fault plan), register a tenant database, and fire a
+   mutation storm over HTTP, recording every *acknowledged* row (a 200
+   carrying an ``lsn``).  Refusals (503 ``store-unavailable`` after an
+   injected fault trips the crash-only latch) are recorded too — they
+   must NOT reappear after recovery as if they had been acked.
+2. **Kill** — SIGKILL the server at a seeded random point mid-storm.
+   No drain, no atexit, no flush: whatever the WAL holds is the state.
+3. **Verify offline** — ``verify_store`` must accept the directory
+   (torn tails are repairable; acked-record corruption is not).
+4. **Recover** — restart the server clean and wait for ``/healthz`` to
+   flip from 503 ``recovering`` to 200 ``ready``; then check via
+   ``/v1/cqa`` that every acknowledged row survived, and evaluate the
+   recovery-time SLO (``store-recovery-p99``) against ``/status``.
+
+Exit codes: 0 clean; 9 (EXIT_UNSOUND) on any acknowledged-then-lost
+mutation; 10 (EXIT_STORE_CORRUPT) when offline verification refuses the
+directory; 7 (EXIT_SLO_VIOLATION) on a recovery-time SLO breach; 1 on
+any other gate failure.
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/crash_drive.py --fault-plan short-write --seed 7
+"""
+
+import argparse
+import http.client
+import json
+import os
+import pathlib
+import random
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SRC = str(_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.cli import EXIT_STORE_CORRUPT
+from repro.observability.live.slo import (
+    EXIT_SLO_VIOLATION,
+    evaluate_slos,
+    load_slo_config,
+    render_slo,
+)
+from repro.serve.loadgen import EXIT_UNSOUND
+from repro.serve.store import verify_store
+
+EMPLOYEE_SPEC = {
+    "relations": {
+        "Employee": {
+            "columns": ["Name", "Salary"],
+            "key": ["Name"],
+            "rows": [
+                ["page", "5K"],
+                ["page", "8K"],
+                ["smith", "3K"],
+                ["stowe", "7K"],
+            ],
+        },
+        "Audit": {"columns": ["K", "V"], "rows": []},
+    },
+    "constraints": {"fd": ["Employee: Name -> Salary"]},
+}
+
+#: Seeded storage-fault plans for the CI matrix.  Bit flips are absent
+#: by design: they corrupt *acknowledged* records, which recovery must
+#: refuse (exit 10) rather than survive — that refusal path is covered
+#: by tests/test_store.py, not by this zero-loss gate.
+FAULT_PLANS = {
+    "clean": [],
+    "short-write": [
+        "--fault-storage-short-rate", "0.03",
+        "--fault-storage-max", "2",
+    ],
+    # Lower rate than short-write: with ``--fsync always`` every append
+    # fsyncs, and the first fault latches the store crash-only, so a
+    # higher rate would end the storm before it accumulates acks.
+    "fsync-fail": [
+        "--fault-storage-fsync-rate", "0.01",
+        "--fault-storage-max", "2",
+    ],
+}
+
+
+def _fail(message: str, code: int = 1) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return code
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn(port: int, data_dir: str, extra=(), telemetry=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [_SRC] + env.get("PYTHONPATH", "").split(os.pathsep)
+    )
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", str(port),
+        "--workers", "0",
+        "--data-dir", data_dir,
+        "--fsync", "always",
+    ]
+    if telemetry:
+        command += ["--telemetry", telemetry]
+    command += list(extra)
+    return subprocess.Popen(command, env=env)
+
+
+def _request(port, method, path, payload=None, timeout=10.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            parsed = {}
+        return response.status, parsed
+    finally:
+        conn.close()
+
+
+def _wait_phase(port, deadline_s=60.0):
+    """Poll /healthz until 200; returns (ok, saw_recovering)."""
+    saw_recovering = False
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        try:
+            status, body = _request(port, "GET", "/healthz", timeout=2.0)
+        except OSError:
+            time.sleep(0.1)
+            continue
+        if status == 200:
+            return True, saw_recovering
+        if status == 503 and body.get("phase") == "recovering":
+            saw_recovering = True
+        time.sleep(0.05)
+    return False, saw_recovering
+
+
+def phase_storm(port, data_dir, plan, seed):
+    """Returns (acked rows list, refused count) after the kill."""
+    rng = random.Random(seed)
+    extra = list(FAULT_PLANS[plan])
+    if extra:
+        extra = ["--fault-seed", str(seed)] + extra
+    server = _spawn(port, data_dir, extra=extra)
+    acked, refused = [], 0
+    try:
+        ok, _ = _wait_phase(port)
+        if not ok:
+            raise RuntimeError("server never became ready for the storm")
+        status, body = _request(
+            port, "PUT", "/v1/db/emp", EMPLOYEE_SPEC
+        )
+        if status != 200:
+            raise RuntimeError(f"registration refused: {status} {body}")
+        kill_after = rng.randint(40, 160)
+        for i in range(1, kill_after + 1):
+            row = f"row{seed:04d}x{i:05d}"
+            try:
+                status, body = _request(
+                    port, "POST", "/v1/db/emp/mutate",
+                    {"insert": [["Audit", row, "v"]]},
+                )
+            except OSError:
+                break
+            if status == 200 and "lsn" in body:
+                acked.append((body["lsn"], row))
+            elif status == 503:
+                refused += 1
+            else:
+                raise RuntimeError(
+                    f"unexpected mutation response {status}: {body}"
+                )
+        os.kill(server.pid, signal.SIGKILL)
+        server.wait(timeout=15.0)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=15.0)
+    print(
+        f"-- storm: {len(acked)} acked, {refused} refused "
+        f"(plan {plan}, seed {seed}), then SIGKILL"
+    )
+    return acked, refused
+
+
+def phase_recover(port, data_dir, telemetry, acked, slo_path):
+    server = _spawn(port, data_dir, telemetry=telemetry)
+    try:
+        ok, saw_recovering = _wait_phase(port)
+        if not ok:
+            return _fail("restarted server never reached ready")
+        status, body = _request(
+            port, "POST", "/v1/cqa",
+            {"db": "emp", "query": "Q(K) :- Audit(K, V)"},
+            timeout=30.0,
+        )
+        if status != 200:
+            return _fail(f"post-recovery query failed: {status} {body}")
+        recovered = {row[0] for row in body.get("answers", [])}
+        missing = [row for _, row in acked if row not in recovered]
+        if missing:
+            return _fail(
+                f"{len(missing)} acknowledged mutation(s) lost after "
+                f"recovery (first: {missing[:5]})",
+                EXIT_UNSOUND,
+            )
+        status, doc = _request(port, "GET", "/status", timeout=10.0)
+        if status != 200 or doc.get("phase") != "ready":
+            return _fail(f"/status not ready: {status} {doc}")
+        store = doc.get("store") or {}
+        print(
+            f"-- recovered: {len(recovered)} row(s), last_lsn "
+            f"{store.get('last_lsn')}, replayed "
+            f"{(store.get('recovery') or {}).get('records_replayed')}, "
+            f"healthz saw recovering={saw_recovering}"
+        )
+        results = evaluate_slos(load_slo_config(slo_path), doc)
+        recovery = [r for r in results if r["name"].startswith("store-")]
+        print(render_slo(recovery or results))
+        if any(not r["ok"] for r in recovery):
+            return _fail(
+                "recovery-time SLO violated", EXIT_SLO_VIOLATION
+            )
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait(timeout=15.0)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the kill point and the storage-fault plan",
+    )
+    parser.add_argument(
+        "--fault-plan", choices=sorted(FAULT_PLANS), default="clean",
+        help="seeded storage-fault plan for the storm phase",
+    )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="durable directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--slo", default=str(_ROOT / "benchmarks" / "slo.json"),
+        help="SLO config with the store-recovery objective",
+    )
+    args = parser.parse_args(argv)
+
+    scratch = None
+    data_dir = args.data_dir
+    if data_dir is None:
+        scratch = tempfile.mkdtemp(prefix="crash_drive_")
+        data_dir = os.path.join(scratch, "data")
+    telemetry = os.path.join(
+        scratch or os.path.dirname(data_dir) or ".", "telemetry"
+    )
+    try:
+        storm_port = _free_port()
+        acked, refused = phase_storm(
+            storm_port, data_dir, args.fault_plan, args.seed
+        )
+        if len(acked) < 10:
+            return _fail(
+                f"storm acked only {len(acked)} mutation(s) — "
+                "nothing meaningful to recover"
+            )
+        report = verify_store(data_dir)
+        if not report["ok"]:
+            return _fail(
+                f"offline verification refused the store: "
+                f"{report['problems']}",
+                EXIT_STORE_CORRUPT,
+            )
+        for note in report.get("repairable", []):
+            print(f"-- repairable: {note}")
+        max_acked = max(lsn for lsn, _ in acked)
+        if report["last_lsn"] < max_acked:
+            return _fail(
+                f"on-disk last_lsn {report['last_lsn']} < max acked "
+                f"lsn {max_acked}: acknowledged suffix missing",
+                EXIT_UNSOUND,
+            )
+        return phase_recover(
+            _free_port(), data_dir, telemetry, acked, args.slo
+        )
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,6 +63,11 @@ EXIT_BUDGET_EXHAUSTED = 6
 #: reproduces its answer/provenance bit-for-bit (the CI replay gate).
 EXIT_REPLAY_DIVERGENCE = 8
 
+#: Exit code for ``store verify`` (and a ``serve`` that cannot
+#: recover): the durable log holds acknowledged records that cannot be
+#: recovered — mid-log corruption, not a truncatable torn tail.
+EXIT_STORE_CORRUPT = 10
+
 logger = logging.getLogger("repro.cli")
 
 
@@ -388,10 +393,12 @@ def _cmd_measure(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import contextlib
     import os
     import signal
 
     from .dispatch import DispatchPolicy, PoolConfig, WorkerPool
+    from .runtime.faults import FaultPlan, inject
     from .observability.flight import (
         FlightRecorder,
         install_recorder,
@@ -437,6 +444,31 @@ def _cmd_serve(args) -> int:
         logger.info(
             "warm worker pool ready: %d worker(s)", args.workers
         )
+    store = None
+    if args.data_dir:
+        from .serve.store import StorePolicy, TenantStore
+
+        os.makedirs(args.data_dir, exist_ok=True)
+        store = TenantStore(args.data_dir, StorePolicy(
+            fsync=args.fsync,
+            fsync_interval=args.fsync_interval,
+            compact_every=args.compact_every,
+        ))
+    # Seeded storage chaos (CI crash drives): installed for the whole
+    # server lifetime so WAL appends fault deterministically.
+    chaos = contextlib.nullcontext()
+    if (
+        args.fault_storage_short_rate
+        or args.fault_storage_bitflip_rate
+        or args.fault_storage_fsync_rate
+    ):
+        chaos = inject(FaultPlan(
+            seed=args.fault_seed,
+            storage_short_write_rate=args.fault_storage_short_rate,
+            storage_bitflip_rate=args.fault_storage_bitflip_rate,
+            storage_fsync_fail_rate=args.fault_storage_fsync_rate,
+            max_storage_faults=args.fault_storage_max,
+        ))
     service = CQAService(
         policy=DispatchPolicy(isolate=isolate),
         pool=pool,
@@ -446,14 +478,30 @@ def _cmd_serve(args) -> int:
             quota_requests=args.quota_requests,
             quota_window_s=args.quota_window,
         )),
+        store=store,
     )
-    if args.csv:
+
+    def _preload() -> None:
+        if not args.csv:
+            return
         db = _build_database(args.csv)
         constraints = _build_constraints(args)
-        service.register_instance(args.db_name, db, constraints)
+        service.register_instance(
+            args.db_name,
+            db,
+            constraints,
+            constraint_spec={
+                "fd": list(args.fd or []),
+                "ind": list(args.ind or []),
+                "dc": list(args.dc or []),
+            },
+        )
         logger.info(
             "registered database %r: %d fact(s)", args.db_name, len(db)
         )
+
+    if store is None:
+        _preload()
     server = CQAHTTPServer(service, ServerConfig(
         host=args.host,
         port=args.port,
@@ -471,11 +519,19 @@ def _cmd_serve(args) -> int:
                 plane.status(),
             )
 
+    recovery_failure: List[BaseException] = []
+
     async def _main() -> None:
+        # Listen first, recover second: the server answers /healthz
+        # with 503 {"phase": "recovering"} while WAL replay runs, so
+        # orchestrators see liveness without being served from a
+        # half-recovered registry.
         await server.start()
         print(
             f"-- serving CQA on http://{args.host}:{server.port} "
-            f"(pool={args.workers}, isolate={list(isolate)})",
+            f"(pool={args.workers}, isolate={list(isolate)}"
+            + (f", data-dir={args.data_dir}" if store is not None else "")
+            + ")",
             file=sys.stderr,
             flush=True,
         )
@@ -483,6 +539,28 @@ def _cmd_serve(args) -> int:
         stop = asyncio.Event()
         for signum in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(signum, stop.set)
+
+        def _recover_and_preload() -> None:
+            try:
+                info = service.recover()
+                _preload()
+                print(
+                    f"-- recovered {info['databases']} database(s) "
+                    f"through lsn {info.get('last_lsn', 0)} "
+                    f"({info.get('records_replayed', 0)} replayed) in "
+                    f"{info.get('elapsed_s', 0.0):.3f}s",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            except BaseException as exc:  # noqa: BLE001 — must surface
+                recovery_failure.append(exc)
+                loop.call_soon_threadsafe(stop.set)
+
+        recovering = None
+        if store is not None:
+            recovering = loop.run_in_executor(
+                None, _recover_and_preload
+            )
 
         async def _flush_periodically() -> None:
             while not stop.is_set():
@@ -497,11 +575,14 @@ def _cmd_serve(args) -> int:
         print("-- draining ...", file=sys.stderr, flush=True)
         if flusher is not None:
             flusher.cancel()
+        if recovering is not None:
+            await recovering
         serving.cancel()
         await server.stop()
 
     try:
-        asyncio.run(_main())
+        with chaos:
+            asyncio.run(_main())
     finally:
         if recorder is not None:
             uninstall_recorder()
@@ -514,6 +595,14 @@ def _cmd_serve(args) -> int:
             uninstall_live()
             _write_telemetry()
             plane.close()
+    if recovery_failure:
+        from .serve.store import StoreCorruptionError
+
+        exc = recovery_failure[0]
+        print(f"error: recovery failed: {exc}", file=sys.stderr)
+        if isinstance(exc, StoreCorruptionError):
+            return EXIT_STORE_CORRUPT
+        return 2
     print("-- server stopped cleanly", file=sys.stderr)
     return 0
 
@@ -543,6 +632,12 @@ def _cmd_loadgen(args) -> int:
             raise SystemExit(
                 f"{args.expect}: expected a JSON list of answer rows"
             )
+    mix = dict(
+        mutation_rate=args.mutation_rate,
+        mutate_relation=args.mutate_relation,
+        mutate_width=args.mutate_width,
+        seed=args.seed,
+    )
     if args.rate is not None:
         report = run_open_loop(
             args.host,
@@ -551,6 +646,7 @@ def _cmd_loadgen(args) -> int:
             rate_per_s=args.rate,
             duration_s=args.duration,
             expect=expect,
+            **mix,
         )
     else:
         report = run_closed_loop(
@@ -560,6 +656,7 @@ def _cmd_loadgen(args) -> int:
             total=args.requests,
             concurrency=args.concurrency,
             expect=expect,
+            **mix,
         )
     print(report.render(), file=sys.stderr)
     if args.out:
@@ -574,6 +671,38 @@ def _cmd_loadgen(args) -> int:
             file=sys.stderr,
         )
         return EXIT_UNSOUND
+    return 0
+
+
+# ----------------------------------------------------------------------
+# store: durable tenant data directories
+# ----------------------------------------------------------------------
+
+
+def _cmd_store_inspect(args) -> int:
+    import json as _json
+
+    from .serve.store import inspect_store
+
+    print(_json.dumps(inspect_store(args.data_dir), indent=2,
+                      sort_keys=True))
+    return 0
+
+
+def _cmd_store_verify(args) -> int:
+    import json as _json
+
+    from .serve.store import verify_store
+
+    report = verify_store(args.data_dir)
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    for note in report["repairable"]:
+        print(f"note: repairable at next recovery: {note}",
+              file=sys.stderr)
+    if not report["ok"]:
+        for problem in report["problems"]:
+            print(f"error: {problem}", file=sys.stderr)
+        return EXIT_STORE_CORRUPT
     return 0
 
 
@@ -927,6 +1056,56 @@ def build_parser() -> argparse.ArgumentParser:
              "server-busy shed (default 8)",
     )
     serve.add_argument(
+        "--data-dir", dest="data_dir", metavar="DIR",
+        help="durable tenant state: WAL + snapshots live in DIR; "
+             "mutations ack only after a durable append, and startup "
+             "recovers snapshot + WAL suffix (healthz is 503 "
+             "'recovering' until replay completes)",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "interval", "never"),
+        default="interval",
+        help="WAL fsync policy (default interval; see README "
+             "'Durability' for the tradeoffs)",
+    )
+    serve.add_argument(
+        "--fsync-interval", type=int, default=16, dest="fsync_interval",
+        metavar="N", help="appends between fsyncs under the interval "
+                          "policy (default 16)",
+    )
+    serve.add_argument(
+        "--compact-every", type=int, default=256, dest="compact_every",
+        metavar="N",
+        help="WAL records between snapshot compactions (default 256)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0, dest="fault_seed",
+        help="seed for injected storage faults (default 0)",
+    )
+    serve.add_argument(
+        "--fault-storage-short-rate", type=float, default=0.0,
+        dest="fault_storage_short_rate", metavar="RATE",
+        help="per-append probability of an injected short write "
+             "(crash-drive chaos; default 0)",
+    )
+    serve.add_argument(
+        "--fault-storage-bitflip-rate", type=float, default=0.0,
+        dest="fault_storage_bitflip_rate", metavar="RATE",
+        help="per-append probability of a silent injected bit flip "
+             "(default 0)",
+    )
+    serve.add_argument(
+        "--fault-storage-fsync-rate", type=float, default=0.0,
+        dest="fault_storage_fsync_rate", metavar="RATE",
+        help="per-fsync probability of an injected fsync failure "
+             "(default 0)",
+    )
+    serve.add_argument(
+        "--fault-storage-max", type=int, dest="fault_storage_max",
+        metavar="N",
+        help="cap total injected storage faults (default unlimited)",
+    )
+    serve.add_argument(
         "--telemetry", metavar="DIR",
         help="install the live plane; periodically write status.json, "
              "metrics.prom, and events.jsonl into DIR",
@@ -993,6 +1172,29 @@ def build_parser() -> argparse.ArgumentParser:
              "subset",
     )
     loadgen.add_argument(
+        "--mutation-rate", type=float, default=0.0,
+        dest="mutation_rate", metavar="RATE",
+        help="mixed read/write workload: per-request probability of a "
+             "unique-row insert via POST /v1/db/<db>/mutate instead of "
+             "the query (default 0; point --mutate-relation at a "
+             "relation the query does not mention)",
+    )
+    loadgen.add_argument(
+        "--mutate-relation", default="Audit", dest="mutate_relation",
+        metavar="REL",
+        help="relation the mutation workload inserts into "
+             "(default Audit)",
+    )
+    loadgen.add_argument(
+        "--mutate-width", type=int, default=2, dest="mutate_width",
+        metavar="N",
+        help="column count of the mutated relation (default 2)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the read/write mix (default 0)",
+    )
+    loadgen.add_argument(
         "--out", metavar="FILE", help="write the report JSON to FILE"
     )
     loadgen.add_argument(
@@ -1003,6 +1205,27 @@ def build_parser() -> argparse.ArgumentParser:
     verbosity.add_argument("-v", "--verbose", action="store_true")
     verbosity.add_argument("-q", "--quiet", action="store_true")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and verify durable tenant data directories "
+             "(serve --data-dir)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_inspect = store_sub.add_parser(
+        "inspect",
+        help="describe the WAL and snapshots (read-only, no recovery)",
+    )
+    store_inspect.add_argument("data_dir", metavar="DIR")
+    store_inspect.set_defaults(func=_cmd_store_inspect)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="verify the CRC chain, snapshot digests, and a clean "
+             "replay; exit 10 when acknowledged records cannot be "
+             "recovered",
+    )
+    store_verify.add_argument("data_dir", metavar="DIR")
+    store_verify.set_defaults(func=_cmd_store_verify)
 
     obs = sub.add_parser(
         "obs", help="analyse traces and gate benchmark regressions"
@@ -1173,7 +1396,9 @@ def main(argv: Sequence[str] = None) -> int:
     --check`` exits 7 when a declared objective is violated; ``obs
     replay`` exits 8 when a recorded flight envelope diverges from its
     recording; ``loadgen --check`` exits 9 when the server answered
-    wrongly or shed malformedly.
+    wrongly or shed malformedly; ``store verify`` (and a ``serve
+    --data-dir`` that cannot recover) exits 10 when the durable log
+    holds acknowledged records that cannot be recovered.
     """
     parser = build_parser()
     args = parser.parse_args(argv)

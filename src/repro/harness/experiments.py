@@ -139,10 +139,21 @@ KEY_COUNTERS = (
     "serve.requests.degraded",
     "serve.requests.shed",
     "serve.requests.error",
+    "serve.mutations",
     "pool.dispatches",
     "pool.spawns",
     "pool.recycles",
     "pool.saturated",
+    "store.appends",
+    "store.append_failures",
+    "store.fsyncs",
+    "store.compactions",
+    "store.snapshots_written",
+    "store.snapshot_corrupt_skipped",
+    "store.records_replayed",
+    "store.recoveries",
+    "store.torn_tail_truncated",
+    "events.corrupt_lines_skipped",
 )
 
 #: Cost-line counters matched by prefix: the live plane's per-kind

@@ -42,6 +42,7 @@ from collections import Counter as _TallyCounter
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
+from ..metrics import add
 from ..spans import current_span
 
 logger = logging.getLogger(__name__)
@@ -76,6 +77,10 @@ EVENT_KINDS = (
     "serve.response",
     "serve.shed",
     "serve.degrade",
+    # Durable tenant store (PR 9): recovery and compaction lifecycle.
+    "store.recover",
+    "store.compact",
+    "store.truncate",
 )
 
 _request_ids = itertools.count(1)
@@ -216,12 +221,33 @@ class EventLog:
         rotation, so exactly one generation of history is kept — and a
         fresh file takes its place: total disk use stays bounded at
         roughly twice ``max_sink_bytes``.
+
+        The rename and the fresh file's creation are made durable with
+        a directory fsync — the same guarantee as
+        :func:`repro.observability.export.write_trace` and the tenant
+        store's snapshot writes, so a crash right after rotation cannot
+        leave the directory entry unjournaled and resurrect the
+        pre-rotation file over the ``.1`` generation.
         """
         self._sink_handle.close()
         os.replace(self._sink_path, self._sink_path + ".1")
         self._sink_handle = open(self._sink_path, "a", encoding="utf-8")
+        self._fsync_sink_dir()
         self._sink_bytes = 0
         self.rotations += 1
+
+    def _fsync_sink_dir(self) -> None:
+        directory = os.path.dirname(self._sink_path) or "."
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     # -- queries -------------------------------------------------------
 
@@ -270,7 +296,10 @@ def read_events(source) -> List[Dict[str, object]]:
     truncated trailing line of a crashed process, an editor artifact)
     are skipped with a warning so one bad line never discards the rest
     of the log — the same contract as
-    :func:`repro.observability.export.read_trace`.
+    :func:`repro.observability.export.read_trace`.  Every skip also
+    bumps the ``events.corrupt_lines_skipped`` counter so silent decay
+    of an event log is visible in exported metrics, not only in
+    warnings someone has to be watching for.
     """
     own = not isinstance(source, io.IOBase) and not hasattr(source, "read")
     handle = open(source, "r", encoding="utf-8") if own else source
@@ -283,11 +312,13 @@ def read_events(source) -> List[Dict[str, object]]:
             try:
                 record = json.loads(line)
             except ValueError:
+                add("events.corrupt_lines_skipped")
                 logger.warning(
                     "skipping corrupt event line %d: %.60r", lineno, line
                 )
                 continue
             if not isinstance(record, dict):
+                add("events.corrupt_lines_skipped")
                 logger.warning(
                     "skipping non-object event line %d: %.60r",
                     lineno,

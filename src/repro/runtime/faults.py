@@ -9,7 +9,14 @@ layer must degrade gracefully under:
 * **transient SQLite failures** — the rewriting backend's
   :func:`repro.relational.sqlbridge.run_sql` raises
   :class:`~repro.errors.TransientBackendError` with a seed-driven
-  probability, exercising the retry/backoff path.
+  probability, exercising the retry/backoff path;
+* **storage faults** — the durable store's WAL
+  (:mod:`repro.serve.store.wal`) routes every frame write through
+  :func:`storage_write` and every fsync through :func:`storage_fsync`,
+  so a plan can inject short writes (the frame is cut to a prefix and
+  the append fails un-acked), silent bit flips (the frame lands whole
+  but corrupted — acked, then caught by CRC at recovery), and fsync
+  failures, all on the same seeded schedule.
 
 Everything is driven by one ``random.Random(seed)``: the same seed and
 the same call sequence inject the same faults, so stress tests assert
@@ -29,7 +36,14 @@ from ..observability import add
 from . import budget as _budget
 from .budget import BudgetExhaustion
 
-__all__ = ["FaultPlan", "inject", "active_plan"]
+__all__ = [
+    "FaultPlan",
+    "active_plan",
+    "inject",
+    "sqlite_attempt",
+    "storage_fsync",
+    "storage_write",
+]
 
 
 class FaultPlan:
@@ -40,6 +54,10 @@ class FaultPlan:
     exhaustion.  ``sqlite_failure_rate`` is the per-attempt probability
     of a transient backend error, capped at ``max_sqlite_failures``
     total injections (None = unlimited).
+
+    The ``storage_*_rate`` knobs are per-write (or per-fsync)
+    probabilities of the corresponding storage fault, jointly capped at
+    ``max_storage_faults`` total injections.
     """
 
     def __init__(
@@ -50,19 +68,36 @@ class FaultPlan:
         starve_steps_after: Optional[int] = None,
         sqlite_failure_rate: float = 0.0,
         max_sqlite_failures: Optional[int] = None,
+        storage_short_write_rate: float = 0.0,
+        storage_bitflip_rate: float = 0.0,
+        storage_fsync_fail_rate: float = 0.0,
+        max_storage_faults: Optional[int] = None,
     ) -> None:
         if not 0.0 <= sqlite_failure_rate <= 1.0:
             raise ValueError("sqlite_failure_rate must be in [0, 1]")
+        for label, rate in (
+            ("storage_short_write_rate", storage_short_write_rate),
+            ("storage_bitflip_rate", storage_bitflip_rate),
+            ("storage_fsync_fail_rate", storage_fsync_fail_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
         self.seed = seed
         self.expire_deadline_after = expire_deadline_after
         self.starve_steps_after = starve_steps_after
         self.sqlite_failure_rate = sqlite_failure_rate
         self.max_sqlite_failures = max_sqlite_failures
+        self.storage_short_write_rate = storage_short_write_rate
+        self.storage_bitflip_rate = storage_bitflip_rate
+        self.storage_fsync_fail_rate = storage_fsync_fail_rate
+        self.max_storage_faults = max_storage_faults
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.checkpoints_seen = 0
         self.sqlite_attempts = 0
         self.sqlite_failures_injected = 0
+        self.storage_writes = 0
+        self.storage_faults_injected = 0
 
     # -- flight-recorder snapshot/restore ------------------------------
 
@@ -83,9 +118,15 @@ class FaultPlan:
                 "starve_steps_after": self.starve_steps_after,
                 "sqlite_failure_rate": self.sqlite_failure_rate,
                 "max_sqlite_failures": self.max_sqlite_failures,
+                "storage_short_write_rate": self.storage_short_write_rate,
+                "storage_bitflip_rate": self.storage_bitflip_rate,
+                "storage_fsync_fail_rate": self.storage_fsync_fail_rate,
+                "max_storage_faults": self.max_storage_faults,
                 "checkpoints_seen": self.checkpoints_seen,
                 "sqlite_attempts": self.sqlite_attempts,
                 "sqlite_failures_injected": self.sqlite_failures_injected,
+                "storage_writes": self.storage_writes,
+                "storage_faults_injected": self.storage_faults_injected,
                 "rng_state": [version, list(internal), gauss_next],
             }
 
@@ -100,11 +141,25 @@ class FaultPlan:
                 snapshot.get("sqlite_failure_rate") or 0.0
             ),
             max_sqlite_failures=snapshot.get("max_sqlite_failures"),
+            storage_short_write_rate=float(
+                snapshot.get("storage_short_write_rate") or 0.0
+            ),
+            storage_bitflip_rate=float(
+                snapshot.get("storage_bitflip_rate") or 0.0
+            ),
+            storage_fsync_fail_rate=float(
+                snapshot.get("storage_fsync_fail_rate") or 0.0
+            ),
+            max_storage_faults=snapshot.get("max_storage_faults"),
         )
         plan.checkpoints_seen = int(snapshot.get("checkpoints_seen", 0))
         plan.sqlite_attempts = int(snapshot.get("sqlite_attempts", 0))
         plan.sqlite_failures_injected = int(
             snapshot.get("sqlite_failures_injected", 0)
+        )
+        plan.storage_writes = int(snapshot.get("storage_writes", 0))
+        plan.storage_faults_injected = int(
+            snapshot.get("storage_faults_injected", 0)
         )
         rng_state = snapshot.get("rng_state")
         if rng_state:
@@ -155,6 +210,62 @@ class FaultPlan:
             f"(#{self.sqlite_failures_injected}, seed={self.seed})"
         )
 
+    def _storage_budget_spent(self) -> bool:
+        return (
+            self.max_storage_faults is not None
+            and self.storage_faults_injected >= self.max_storage_faults
+        )
+
+    def _on_storage_write(self, data: bytes) -> bytes:
+        """Possibly corrupt one WAL frame write, per the seeded schedule.
+
+        Returns the bytes the writer should actually put on disk: a
+        strict prefix for a short write (the caller detects the length
+        mismatch and fails the append un-acked) or a bit-flipped copy
+        of the full frame (silent — the ack stands, and recovery's CRC
+        scan is what must catch it).
+        """
+        with self._lock:
+            self.storage_writes += 1
+            if self._storage_budget_spent() or len(data) == 0:
+                return data
+            if (
+                self.storage_short_write_rate > 0.0
+                and self._rng.random() < self.storage_short_write_rate
+            ):
+                self.storage_faults_injected += 1
+                cut = self._rng.randrange(len(data))
+                add("runtime.faults.storage_short_write_injected")
+                return data[:cut]
+            if (
+                self.storage_bitflip_rate > 0.0
+                and self._rng.random() < self.storage_bitflip_rate
+            ):
+                self.storage_faults_injected += 1
+                position = self._rng.randrange(len(data))
+                bit = 1 << self._rng.randrange(8)
+                add("runtime.faults.storage_bitflip_injected")
+                flipped = bytearray(data)
+                flipped[position] ^= bit
+                return bytes(flipped)
+        return data
+
+    def _on_storage_fsync(self) -> None:
+        """Raise an injected fsync failure per the seeded schedule."""
+        if self.storage_fsync_fail_rate <= 0.0:
+            return
+        with self._lock:
+            if self._storage_budget_spent():
+                return
+            if self._rng.random() >= self.storage_fsync_fail_rate:
+                return
+            self.storage_faults_injected += 1
+        add("runtime.faults.storage_fsync_injected")
+        raise OSError(
+            "injected fsync failure "
+            f"(#{self.storage_faults_injected}, seed={self.seed})"
+        )
+
 
 _PLAN: Optional[FaultPlan] = None
 
@@ -169,6 +280,21 @@ def sqlite_attempt() -> None:
     plan = _PLAN
     if plan is not None:
         plan._on_sqlite_attempt()
+
+
+def storage_write(data: bytes) -> bytes:
+    """Fault hook for WAL frame writes (identity without a plan)."""
+    plan = _PLAN
+    if plan is not None:
+        return plan._on_storage_write(data)
+    return data
+
+
+def storage_fsync() -> None:
+    """Fault hook for WAL fsyncs (no-op without a plan)."""
+    plan = _PLAN
+    if plan is not None:
+        plan._on_storage_fsync()
 
 
 @contextmanager

@@ -18,12 +18,13 @@ that would drag in a dependency.
 Endpoints (see README "Serving"):
 
 ====== ============================ =====================================
-GET    /healthz                     liveness + pool/tenant snapshot
-GET    /status                      live-plane status document (JSON)
+GET    /healthz                     readiness (503 while recovering)
+GET    /status                      live-plane status + store stats
 GET    /metrics                     Prometheus-style exposition
 GET    /v1/db                       list registered databases
 PUT    /v1/db/<name>                register a database (JSON spec)
 DELETE /v1/db/<name>                remove a database
+POST   /v1/db/<name>/mutate         durable tuple insert/delete delta
 GET    /v1/db/<name>/report         inconsistency report
 POST   /v1/cqa                      consistent answers (budgeted)
 POST   /v1/repairs                  repair enumeration (budgeted)
@@ -245,6 +246,16 @@ class CQAHTTPServer:
                     self.service.handle_report, name
                 )
                 return status, payload, extra, keep_alive
+            if method == "POST" and rest.endswith("/mutate"):
+                name = rest[: -len("/mutate")]
+                payload_obj, error = self._parse_json(body)
+                if error:
+                    return 400, {"error": error}, {}, keep_alive
+                # Offloaded: an append may block on fsync.
+                status, payload, extra = await self._offload(
+                    self.service.handle_mutate, name, payload_obj
+                )
+                return status, payload, extra, keep_alive
             if method == "PUT":
                 payload_obj, error = self._parse_json(body)
                 if error:
@@ -306,8 +317,15 @@ class CQAHTTPServer:
 
     def _status_doc(self) -> Dict[str, object]:
         if live_installed():
-            return live_plane().status()
-        return {"schema": None, "note": "live telemetry not installed"}
+            doc = dict(live_plane().status())
+        else:
+            doc = {"schema": None, "note": "live telemetry not installed"}
+        doc["phase"] = self.service.phase
+        if self.service.store is not None:
+            # Snapshot age, WAL length, last-compaction stats — the
+            # operator's durability dashboard.
+            doc["store"] = self.service.store.stats()
+        return doc
 
     @staticmethod
     def _parse_json(body: bytes):

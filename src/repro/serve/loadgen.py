@@ -25,12 +25,24 @@ counts in ``wrong``/``malformed``, and the CI overload gate fails the
 build on a single occurrence (exit :data:`EXIT_UNSOUND`).  Latency
 quantiles come from the same fixed-seed reservoir
 :class:`~repro.observability.metrics.Histogram` the benchmarks use.
+
+With ``mutation_rate > 0`` the workload is mixed read/write: a seeded
+coin decides per request between the query and a unique-row insert via
+``POST /v1/db/<db>/mutate``, which exercises the WAL append path under
+the same pressure the reads create.  Mutations target
+``mutate_relation`` — point it at a relation the query does *not*
+mention (the crash drives use a dedicated ``Audit`` relation), or the
+expected-answer validation would race the writes.  A 200 carrying an
+``lsn`` counts as *durably acknowledged*: the crash-recovery gate holds
+the server to exactly those.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -61,6 +73,12 @@ class LoadReport:
     wrong: int = 0
     malformed: int = 0
     transport_errors: int = 0
+    mutations_sent: int = 0
+    mutations_acked: int = 0
+    #: Acked mutations whose response carried a WAL ``lsn`` (a durable
+    #: server); the highest such lsn is ``last_lsn``.
+    mutations_durable: int = 0
+    last_lsn: Optional[int] = None
     elapsed_s: float = 0.0
     latency: Histogram = field(default_factory=Histogram)
     status_counts: Dict[int, int] = field(default_factory=dict)
@@ -80,6 +98,10 @@ class LoadReport:
             "wrong": self.wrong,
             "malformed": self.malformed,
             "transport_errors": self.transport_errors,
+            "mutations_sent": self.mutations_sent,
+            "mutations_acked": self.mutations_acked,
+            "mutations_durable": self.mutations_durable,
+            "last_lsn": self.last_lsn,
             "elapsed_s": round(self.elapsed_s, 3),
             "throughput_rps": round(self.sent / completed, 2),
             "latency_ms": {
@@ -101,11 +123,20 @@ class LoadReport:
         def ms(v):
             return f"{v:.1f}ms" if v is not None else "n/a"
 
+        mutated = ""
+        if self.mutations_sent:
+            mutated = (
+                f"mutations={d['mutations_sent']} "
+                f"acked={d['mutations_acked']} "
+                f"durable={d['mutations_durable']} "
+                f"last_lsn={d['last_lsn']}\n"
+            )
         return (
             f"sent={d['sent']} ok={d['ok']} degraded={d['degraded']} "
             f"shed={d['shed']} errors={d['errors']} "
             f"wrong={d['wrong']} malformed={d['malformed']}\n"
-            f"throughput={d['throughput_rps']}rps "
+            + mutated
+            + f"throughput={d['throughput_rps']}rps "
             f"p50={ms(lat['p50'])} p90={ms(lat['p90'])} "
             f"p99={ms(lat['p99'])}  sound={d['sound']}"
         )
@@ -223,11 +254,81 @@ def _classify(
             report.shed += 1
         elif status == 503 and isinstance(body, dict) and body.get(
             "error"
-        ) == "unavailable":
-            # DispatchError surface: a refusal, not a shed.
+        ) in ("unavailable", "store-unavailable", "not ready"):
+            # Refusals (dispatch down, store failed, still recovering),
+            # not sheds — honest, well-formed, and un-acknowledged.
             report.errors += 1
         else:
             report.malformed += 1
+        return
+    report.errors += 1
+
+
+class _MutationMix:
+    """Seeded read/write mixer for the mutation workload.
+
+    One ``random.Random(seed)`` decides per request whether to mutate,
+    so a drive is reproducible; each mutation inserts one globally
+    unique row into ``relation`` (``width`` columns), so every
+    acknowledged write is identifiable when a crash drive re-reads the
+    recovered state.
+    """
+
+    def __init__(
+        self,
+        db: str,
+        rate: float,
+        relation: str,
+        width: int,
+        seed: int,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("mutation rate must be in [0, 1]")
+        self.rate = rate
+        self.relation = relation
+        self.width = max(1, width)
+        self.path = f"/v1/db/{db}/mutate"
+        self._rng = random.Random(seed)
+        self._seq = itertools.count(1)
+
+    def take_turn(self) -> bool:
+        return self.rate > 0.0 and self._rng.random() < self.rate
+
+    def next_payload(self) -> Dict[str, object]:
+        seq = next(self._seq)
+        row = [self.relation] + [
+            f"lg{seq:08d}c{j}" for j in range(self.width)
+        ]
+        return {"insert": [row]}
+
+
+def _classify_mutation(
+    status: int,
+    headers: Dict[str, str],
+    body: Optional[Dict[str, object]],
+    report: LoadReport,
+) -> None:
+    """Tally one mutate response; a 200 with an ``lsn`` is durable."""
+    report.status_counts[status] = (
+        report.status_counts.get(status, 0) + 1
+    )
+    if status == 200:
+        if not isinstance(body, dict) or "db" not in body:
+            report.malformed += 1
+            return
+        report.mutations_acked += 1
+        lsn = body.get("lsn")
+        if isinstance(lsn, int):
+            report.mutations_durable += 1
+            if report.last_lsn is None or lsn > report.last_lsn:
+                report.last_lsn = lsn
+        return
+    if status in (429, 503) and isinstance(body, dict):
+        if body.get("error") == "shed":
+            report.shed += 1
+        else:
+            # store-unavailable / not ready: refused, never acked.
+            report.errors += 1
         return
     report.errors += 1
 
@@ -240,6 +341,7 @@ async def _run_closed_loop(
     concurrency: int,
     expect: Optional[List[List[object]]],
     request_timeout_s: float,
+    mutations: Optional[_MutationMix],
 ) -> LoadReport:
     report = LoadReport()
     counter = {"next": 0}
@@ -253,10 +355,21 @@ async def _run_closed_loop(
                     return
                 counter["next"] += 1
                 report.sent += 1
+                mutating = (
+                    mutations is not None and mutations.take_turn()
+                )
+                if mutating:
+                    report.mutations_sent += 1
+                    path, body_out = (
+                        mutations.path,
+                        mutations.next_payload(),
+                    )
+                else:
+                    path, body_out = "/v1/cqa", payload
                 t0 = time.monotonic()
                 try:
                     status, headers, body = await conn.post(
-                        "/v1/cqa", payload, request_timeout_s
+                        path, body_out, request_timeout_s
                     )
                 except (
                     OSError,
@@ -270,7 +383,10 @@ async def _run_closed_loop(
                 report.latency.observe(
                     (time.monotonic() - t0) * 1000.0
                 )
-                _classify(status, headers, body, expect, report)
+                if mutating:
+                    _classify_mutation(status, headers, body, report)
+                else:
+                    _classify(status, headers, body, expect, report)
         finally:
             conn.close()
 
@@ -289,6 +405,7 @@ async def _run_open_loop(
     duration_s: float,
     expect: Optional[List[List[object]]],
     request_timeout_s: float,
+    mutations: Optional[_MutationMix],
 ) -> LoadReport:
     report = LoadReport()
     started = time.monotonic()
@@ -299,10 +416,16 @@ async def _run_open_loop(
     async def fire() -> None:
         conn = pool.pop() if pool else _Connection(host, port)
         report.sent += 1
+        mutating = mutations is not None and mutations.take_turn()
+        if mutating:
+            report.mutations_sent += 1
+            path, body_out = mutations.path, mutations.next_payload()
+        else:
+            path, body_out = "/v1/cqa", payload
         t0 = time.monotonic()
         try:
             status, headers, body = await conn.post(
-                "/v1/cqa", payload, request_timeout_s
+                path, body_out, request_timeout_s
             )
         except (
             OSError,
@@ -314,7 +437,10 @@ async def _run_open_loop(
             conn.close()
             return
         report.latency.observe((time.monotonic() - t0) * 1000.0)
-        _classify(status, headers, body, expect, report)
+        if mutating:
+            _classify_mutation(status, headers, body, report)
+        else:
+            _classify(status, headers, body, expect, report)
         pool.append(conn)
 
     tick = 0
@@ -336,6 +462,24 @@ async def _run_open_loop(
     return report
 
 
+def _build_mix(
+    payload: Dict[str, object],
+    mutation_rate: float,
+    mutate_relation: str,
+    mutate_width: int,
+    seed: int,
+) -> Optional[_MutationMix]:
+    if mutation_rate <= 0.0:
+        return None
+    return _MutationMix(
+        db=str(payload.get("db") or "default"),
+        rate=mutation_rate,
+        relation=mutate_relation,
+        width=mutate_width,
+        seed=seed,
+    )
+
+
 def run_closed_loop(
     host: str,
     port: int,
@@ -344,6 +488,10 @@ def run_closed_loop(
     concurrency: int = 4,
     expect: Optional[List[List[object]]] = None,
     request_timeout_s: float = 30.0,
+    mutation_rate: float = 0.0,
+    mutate_relation: str = "Audit",
+    mutate_width: int = 2,
+    seed: int = 0,
 ) -> LoadReport:
     """Drive ``total`` requests with ``concurrency`` workers; validate
     each response against ``expect`` when given."""
@@ -351,6 +499,10 @@ def run_closed_loop(
         _run_closed_loop(
             host, port, payload, total, concurrency, expect,
             request_timeout_s,
+            _build_mix(
+                payload, mutation_rate, mutate_relation, mutate_width,
+                seed,
+            ),
         )
     )
 
@@ -363,6 +515,10 @@ def run_open_loop(
     duration_s: float,
     expect: Optional[List[List[object]]] = None,
     request_timeout_s: float = 30.0,
+    mutation_rate: float = 0.0,
+    mutate_relation: str = "Audit",
+    mutate_width: int = 2,
+    seed: int = 0,
 ) -> LoadReport:
     """Fire at a fixed arrival rate for ``duration_s`` seconds — the
     overload instrument; see the module docstring."""
@@ -370,5 +526,9 @@ def run_open_loop(
         _run_open_loop(
             host, port, payload, rate_per_s, duration_s, expect,
             request_timeout_s,
+            _build_mix(
+                payload, mutation_rate, mutate_relation, mutate_width,
+                seed,
+            ),
         )
     )

@@ -18,6 +18,16 @@ bracket** (a sound under-approximation marked ``complete: false``), or
 sheds if even that is inapplicable.  A served answer is therefore
 always either exact or an explicitly-marked subset; pressure changes
 latency and completeness, never correctness.
+
+With a :class:`~repro.serve.store.TenantStore` attached (``serve
+--data-dir``), the registry is *durable*: every state-mutating handler
+acknowledges only after its WAL append is durable per the store's
+fsync policy, and startup runs :meth:`CQAService.recover` — until it
+completes the service is in phase ``recovering`` and every handler
+that touches the registry answers 503 (``/healthz`` included, so load
+balancers hold traffic).  A store write failure flips the service to
+crash-only mode: mutations refuse with 503 until a restart
+re-establishes truth from disk.
 """
 
 from __future__ import annotations
@@ -35,12 +45,7 @@ from ..dispatch import (
 )
 from ..dispatch.pool import WorkerPool
 from ..errors import ReproError
-from ..logic.parser import (
-    parse_denial,
-    parse_fd,
-    parse_inclusion,
-    parse_query,
-)
+from ..logic.parser import parse_query
 from ..measures.inconsistency import InconsistencyReport
 from ..observability import add
 from ..observability.live import (
@@ -49,73 +54,23 @@ from ..observability.live import (
     live_observe,
     request_scope,
 )
-from ..relational.database import Database
-from ..relational.schema import RelationSchema, Schema
+from ..relational.database import Database, fact
 from ..repairs import c_repairs_partial, s_repairs_partial
 from ..runtime import Budget, use_budget
 from .admission import AdmissionController, ShedError
+from .specs import (
+    PayloadError,
+    parse_constraints as _parse_constraints,
+    parse_database as _parse_database,
+    spec_of_instance,
+)
+from .store import StoreWriteError, TenantStore
 
-__all__ = ["CQAService"]
+__all__ = ["CQAService", "PayloadError"]
 
 Handled = Tuple[int, Dict[str, object], Dict[str, str]]
 
 _NO_HEADERS: Dict[str, str] = {}
-
-
-class PayloadError(ReproError):
-    """The request payload is malformed; maps to HTTP 400."""
-
-
-def _parse_constraints(spec: Optional[Dict[str, List[str]]]) -> List:
-    constraints: List = []
-    for text in (spec or {}).get("fd", []):
-        constraints.append(parse_fd(text))
-    for text in (spec or {}).get("ind", []):
-        constraints.append(parse_inclusion(text))
-    for text in (spec or {}).get("dc", []):
-        constraints.append(parse_denial(text))
-    return constraints
-
-
-def _parse_database(spec: Dict[str, object]) -> Database:
-    relations = spec.get("relations")
-    if not isinstance(relations, dict) or not relations:
-        raise PayloadError("payload needs a non-empty 'relations' object")
-    rel_schemas = []
-    rows: Dict[str, List[tuple]] = {}
-    for name, rel in relations.items():
-        if not isinstance(rel, dict):
-            raise PayloadError(
-                f"relation {name!r} must be an object with "
-                "'columns' and 'rows'"
-            )
-        columns = rel.get("columns")
-        if not isinstance(columns, list) or not columns:
-            raise PayloadError(f"relation {name!r} needs 'columns'")
-        key = rel.get("key")
-        rel_schemas.append(
-            RelationSchema(
-                name,
-                tuple(str(c) for c in columns),
-                tuple(str(k) for k in key) if key else None,
-            )
-        )
-        rel_rows = rel.get("rows", [])
-        if not isinstance(rel_rows, list):
-            raise PayloadError(f"relation {name!r}: 'rows' must be a list")
-        for row in rel_rows:
-            if not isinstance(row, list) or len(row) != len(columns):
-                raise PayloadError(
-                    f"relation {name!r}: every row needs "
-                    f"{len(columns)} values"
-                )
-        rows[name] = [tuple(row) for row in rel_rows]
-    try:
-        return Database.from_dict(rows, schema=Schema.of(*rel_schemas))
-    except ReproError:
-        raise
-    except Exception as exc:
-        raise PayloadError(f"cannot build database: {exc}")
 
 
 def _serialize_repair(repair) -> Dict[str, List[List[object]]]:
@@ -138,18 +93,97 @@ class CQAService:
         policy: Optional[DispatchPolicy] = None,
         pool: Optional[WorkerPool] = None,
         admission: Optional[AdmissionController] = None,
+        store: Optional[TenantStore] = None,
         clock=time.monotonic,
     ) -> None:
         self.pool = pool
         self.dispatcher = Dispatcher(policy, clock=clock, pool=pool)
         self.admission = admission or AdmissionController(clock=clock)
+        self.store = store
         self._clock = clock
         self._lock = threading.Lock()
         self._databases: Dict[str, Tuple[Database, tuple]] = {}
+        # With a store attached nothing may be served until recover()
+        # re-establishes the registry from disk; without one there is
+        # nothing to recover and the service is born ready.
+        self._phase = "recovering" if store is not None else "ready"
+
+    # -- durability ----------------------------------------------------
+
+    @property
+    def phase(self) -> str:
+        """``recovering`` until WAL replay completes, then ``ready``."""
+        return self._phase
+
+    def recover(self) -> Dict[str, object]:
+        """Load the durable state and open for traffic (idempotent).
+
+        Snapshot → replay → torn-tail truncation happen inside
+        :meth:`TenantStore.recover`; this method turns the recovered
+        specs back into live ``(Database, constraints)`` pairs,
+        re-warms the worker pool against the recovered tenant set, and
+        flips the phase to ``ready``.  Raises
+        :class:`~repro.serve.store.StoreCorruptionError` (leaving the
+        phase at ``recovering``) rather than serving a state with
+        acknowledged writes missing.
+        """
+        if self.store is None:
+            self._phase = "ready"
+            return {"phase": self._phase, "databases": 0}
+        recovered = self.store.recover()
+        databases: Dict[str, Tuple[Database, tuple]] = {}
+        for name, spec in recovered.specs.items():
+            databases[name] = (
+                _parse_database(spec),
+                tuple(_parse_constraints(spec.get("constraints"))),
+            )
+        with self._lock:
+            self._databases = databases
+        if self.pool is not None:
+            # The pool outlived nothing (fresh process) — ping every
+            # worker so the first post-recovery request hits a warm,
+            # verified interpreter rather than paying spawn latency.
+            self.pool.health_check()
+        self._phase = "ready"
+        return {
+            "phase": self._phase,
+            "databases": len(databases),
+            "last_lsn": recovered.last_lsn,
+            "records_replayed": recovered.records_replayed,
+            "state_digest": recovered.state_digest,
+            "elapsed_s": recovered.elapsed_s,
+        }
+
+    def _not_ready(self) -> Optional[Handled]:
+        if self._phase == "ready":
+            return None
+        add("serve.requests.not_ready")
+        live_add("serve.requests.not_ready")
+        return (
+            503,
+            {"error": "not ready", "phase": self._phase},
+            {"Retry-After": "1"},
+        )
+
+    def _store_unavailable(self, exc: StoreWriteError) -> Handled:
+        add("serve.store_unavailable")
+        live_add("serve.store_unavailable")
+        return (
+            503,
+            {
+                "error": "store-unavailable",
+                "detail": str(exc),
+                "phase": self._phase,
+            },
+            _NO_HEADERS,
+        )
 
     # -- database registry --------------------------------------------
 
     def register_db(self, name: str, spec: Dict[str, object]) -> Handled:
+        gate = self._not_ready()
+        if gate is not None:
+            return gate
         if not name or "/" in name:
             return self._bad_request(f"invalid database name {name!r}")
         try:
@@ -159,33 +193,154 @@ class CQAService:
             )
         except ReproError as exc:
             return self._bad_request(str(exc))
+        body: Dict[str, object] = {
+            "db": name,
+            "facts": len(db),
+            "constraints": len(constraints),
+        }
         with self._lock:
+            if self.store is not None:
+                try:
+                    body["lsn"] = self.store.append_put_db(name, spec)
+                except StoreWriteError as exc:
+                    return self._store_unavailable(exc)
             self._databases[name] = (db, constraints)
         add("serve.db_registered")
-        return (
-            200,
-            {
-                "db": name,
-                "facts": len(db),
-                "constraints": len(constraints),
-            },
-            _NO_HEADERS,
-        )
+        return 200, body, _NO_HEADERS
 
     def register_instance(
-        self, name: str, db: Database, constraints: Sequence
+        self,
+        name: str,
+        db: Database,
+        constraints: Sequence,
+        constraint_spec: Optional[Dict[str, List[str]]] = None,
     ) -> None:
-        """Register a pre-built instance (the CLI's --csv preload)."""
+        """Register a pre-built instance (the CLI's --csv preload).
+
+        With a store attached the instance is logged durably like any
+        other registration; ``constraint_spec`` must then carry the
+        textual constraint block (constraint objects do not
+        round-trip), and :class:`StoreWriteError` propagates — a
+        preload that could not be made durable must not look loaded.
+        """
         with self._lock:
+            if self.store is not None:
+                self.store.append_put_db(
+                    name, spec_of_instance(db, constraint_spec)
+                )
             self._databases[name] = (db, tuple(constraints))
         add("serve.db_registered")
 
     def remove_db(self, name: str) -> Handled:
+        gate = self._not_ready()
+        if gate is not None:
+            return gate
+        body: Dict[str, object] = {"db": name, "removed": True}
         with self._lock:
-            found = self._databases.pop(name, None)
-        if found is None:
-            return 404, {"error": f"no database {name!r}"}, _NO_HEADERS
-        return 200, {"db": name, "removed": True}, _NO_HEADERS
+            if name not in self._databases:
+                return (
+                    404,
+                    {"error": f"no database {name!r}"},
+                    _NO_HEADERS,
+                )
+            if self.store is not None:
+                try:
+                    body["lsn"] = self.store.append_del_db(name)
+                except StoreWriteError as exc:
+                    return self._store_unavailable(exc)
+            del self._databases[name]
+        return 200, body, _NO_HEADERS
+
+    def handle_mutate(
+        self, name: str, payload: Dict[str, object]
+    ) -> Handled:
+        """POST /v1/db/<name>/mutate — a durable tuple-level delta.
+
+        ``{"insert": [["Rel", v, ...], ...], "delete": [...]}`` — set
+        semantics (inserting a present fact or deleting an absent one
+        is a no-op), deletes applied before inserts, acknowledged only
+        after the WAL append is durable.  The response carries the
+        assigned ``lsn``: a client that saw it is entitled to find the
+        delta present after any crash.
+        """
+        gate = self._not_ready()
+        if gate is not None:
+            return gate
+        try:
+            deletes = self._parse_delta(payload, "delete")
+            inserts = self._parse_delta(payload, "insert")
+        except PayloadError as exc:
+            return self._bad_request(str(exc))
+        if not deletes and not inserts:
+            return self._bad_request(
+                "payload needs a non-empty 'insert' or 'delete' list"
+            )
+        body: Dict[str, object] = {"db": name}
+        with self._lock:
+            found = self._databases.get(name)
+            if found is None:
+                return (
+                    404,
+                    {"error": f"no database {name!r}"},
+                    _NO_HEADERS,
+                )
+            db, constraints = found
+            try:
+                for relation, values in deletes + inserts:
+                    schema_rel = db.schema.relations.get(relation)
+                    if schema_rel is None:
+                        raise PayloadError(
+                            f"no relation {relation!r} in {name!r}"
+                        )
+                    if len(values) != len(schema_rel.attributes):
+                        raise PayloadError(
+                            f"relation {relation!r} needs "
+                            f"{len(schema_rel.attributes)} values"
+                        )
+                new_db = db.delete(
+                    fact(rel, *values) for rel, values in deletes
+                ).insert(fact(rel, *values) for rel, values in inserts)
+            except ReproError as exc:
+                return self._bad_request(str(exc))
+            if self.store is not None:
+                try:
+                    body["lsn"] = self.store.append_mutate(
+                        name,
+                        insert=[[r, *v] for r, v in inserts],
+                        delete=[[r, *v] for r, v in deletes],
+                    )
+                except StoreWriteError as exc:
+                    return self._store_unavailable(exc)
+            self._databases[name] = (new_db, constraints)
+        add("serve.mutations")
+        live_add("serve.mutations")
+        body.update(
+            inserted=len(inserts),
+            deleted=len(deletes),
+            facts=len(new_db),
+        )
+        return 200, body, _NO_HEADERS
+
+    @staticmethod
+    def _parse_delta(
+        payload: Dict[str, object], key: str
+    ) -> List[Tuple[str, list]]:
+        entries = payload.get(key) or []
+        if not isinstance(entries, list):
+            raise PayloadError(f"'{key}' must be a list of fact lists")
+        out: List[Tuple[str, list]] = []
+        for entry in entries:
+            if (
+                not isinstance(entry, list)
+                or not entry
+                or not isinstance(entry[0], str)
+            ):
+                raise PayloadError(
+                    f"every '{key}' entry must be "
+                    "[\"Relation\", value, ...]"
+                )
+            out.append((entry[0], entry[1:]))
+        return out
 
     def list_dbs(self) -> Handled:
         with self._lock:
@@ -234,6 +389,9 @@ class CQAService:
     def _serve_request(self, payload, runner) -> Handled:
         """Admission, accounting, and the error firewall shared by the
         budgeted endpoints."""
+        gate = self._not_ready()
+        if gate is not None:
+            return gate
         tenant = str(payload.get("tenant") or "default")
         timeout_s = self.admission.clamp_timeout(payload.get("timeout_s"))
         with request_scope() as rid:
@@ -460,11 +618,25 @@ class CQAService:
         )
 
     def health(self) -> Handled:
-        body: Dict[str, object] = {"status": "ok"}
+        """Liveness *and* readiness: 503 ``{"phase": "recovering"}``
+        until WAL replay completes, 200 ``{"phase": "ready"}`` after —
+        so a load balancer holds traffic exactly as long as answers
+        could be served from a half-recovered registry."""
+        body: Dict[str, object] = {
+            "status": "ok",
+            "phase": self._phase,
+        }
+        if self._phase != "ready":
+            body["status"] = "recovering"
+            return 503, body, _NO_HEADERS
         if self.pool is not None:
             stats = self.pool.stats()
             body["pool"] = stats
             if stats["workers"] == 0 and not stats["draining"]:
+                body["status"] = "degraded"
+        if self.store is not None:
+            body["store"] = self.store.stats()
+            if self.store.failed is not None:
                 body["status"] = "degraded"
         body["tenants"] = self.admission.stats()
         return 200, body, _NO_HEADERS
@@ -473,6 +645,8 @@ class CQAService:
         return 400, {"error": message}, _NO_HEADERS
 
     def close(self) -> None:
-        """Drain the pool; idempotent."""
+        """Drain the pool and close the store; idempotent."""
         if self.pool is not None:
             self.pool.drain()
+        if self.store is not None:
+            self.store.close()

@@ -1,0 +1,135 @@
+"""JSON database specs: the wire format shared by service and store.
+
+A *spec* is the JSON shape a ``PUT /v1/db/<name>`` payload carries::
+
+    {"relations": {"Employee": {"columns": ["Name", "Salary"],
+                                "key": ["Name"],
+                                "rows": [["page", "5K"], ...]}},
+     "constraints": {"fd": ["Employee: Name -> Salary"],
+                     "ind": [...], "dc": [...]}}
+
+It is also the durable representation: the write-ahead log records
+specs (and tuple-level deltas against them), and snapshots hold one
+spec per registered database — JSON all the way down, so a recovery
+replay never needs to unpickle anything.  This module owns the
+spec → in-memory translation both layers share:
+:func:`parse_database` / :func:`parse_constraints` build the immutable
+:class:`~repro.relational.database.Database` and constraint objects,
+:func:`spec_of_instance` goes the other way for pre-built instances
+(the CLI's ``--csv`` preload) so they can be logged durably too.
+
+Values inside rows must be JSON-native (strings, numbers, booleans,
+None); :func:`spec_of_instance` enforces this rather than letting a
+non-serializable value corrupt a WAL record at append time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from ..logic.parser import parse_denial, parse_fd, parse_inclusion
+from ..relational.database import Database
+from ..relational.schema import RelationSchema, Schema
+
+__all__ = [
+    "PayloadError",
+    "parse_constraints",
+    "parse_database",
+    "spec_of_instance",
+]
+
+_JSON_VALUE_TYPES = (str, int, float, bool, type(None))
+
+
+class PayloadError(ReproError):
+    """The request payload is malformed; maps to HTTP 400."""
+
+
+def parse_constraints(spec: Optional[Dict[str, List[str]]]) -> List:
+    """Parse a ``{"fd": [...], "ind": [...], "dc": [...]}`` block."""
+    constraints: List = []
+    for text in (spec or {}).get("fd", []):
+        constraints.append(parse_fd(text))
+    for text in (spec or {}).get("ind", []):
+        constraints.append(parse_inclusion(text))
+    for text in (spec or {}).get("dc", []):
+        constraints.append(parse_denial(text))
+    return constraints
+
+
+def parse_database(spec: Dict[str, object]) -> Database:
+    """Build a :class:`Database` from a JSON spec (validating shape)."""
+    relations = spec.get("relations")
+    if not isinstance(relations, dict) or not relations:
+        raise PayloadError("payload needs a non-empty 'relations' object")
+    rel_schemas = []
+    rows: Dict[str, List[tuple]] = {}
+    for name, rel in relations.items():
+        if not isinstance(rel, dict):
+            raise PayloadError(
+                f"relation {name!r} must be an object with "
+                "'columns' and 'rows'"
+            )
+        columns = rel.get("columns")
+        if not isinstance(columns, list) or not columns:
+            raise PayloadError(f"relation {name!r} needs 'columns'")
+        key = rel.get("key")
+        rel_schemas.append(
+            RelationSchema(
+                name,
+                tuple(str(c) for c in columns),
+                tuple(str(k) for k in key) if key else None,
+            )
+        )
+        rel_rows = rel.get("rows", [])
+        if not isinstance(rel_rows, list):
+            raise PayloadError(f"relation {name!r}: 'rows' must be a list")
+        for row in rel_rows:
+            if not isinstance(row, list) or len(row) != len(columns):
+                raise PayloadError(
+                    f"relation {name!r}: every row needs "
+                    f"{len(columns)} values"
+                )
+        rows[name] = [tuple(row) for row in rel_rows]
+    try:
+        return Database.from_dict(rows, schema=Schema.of(*rel_schemas))
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise PayloadError(f"cannot build database: {exc}")
+
+
+def spec_of_instance(
+    db: Database, constraint_spec: Optional[Dict[str, List[str]]] = None
+) -> Dict[str, object]:
+    """The JSON spec of a pre-built instance (rows sorted for stability).
+
+    ``constraint_spec`` is the textual constraint block the instance
+    was built from — constraints do not round-trip from their objects,
+    so the caller that parsed them must supply the source texts for
+    the spec to be durable.
+    """
+    relations: Dict[str, object] = {}
+    for name, rel in sorted(db.schema.relations.items()):
+        rel_rows = sorted(db.relation(name), key=lambda r: tuple(map(repr, r)))
+        for row in rel_rows:
+            for value in row:
+                if not isinstance(value, _JSON_VALUE_TYPES):
+                    raise PayloadError(
+                        f"relation {name!r} holds non-JSON value "
+                        f"{value!r}; durable specs need JSON-native rows"
+                    )
+        relations[name] = {
+            "columns": list(rel.attributes),
+            "key": list(rel.key) if rel.key else None,
+            "rows": [list(row) for row in rel_rows],
+        }
+    spec: Dict[str, object] = {"relations": relations}
+    if constraint_spec:
+        spec["constraints"] = {
+            kind: list(texts)
+            for kind, texts in sorted(constraint_spec.items())
+            if texts
+        }
+    return spec

@@ -1,0 +1,545 @@
+"""Durable tenant state: WAL + snapshots + crash-only recovery.
+
+PR 8 left every named database in a process-local dict; this package
+makes that dict *survive the process*.  Three pieces:
+
+* :mod:`.wal` — a CRC32-framed append-only log of mutations
+  (create/delete database, tuple insert/delete) with a configurable
+  fsync policy.  A mutation is acknowledged only after its WAL append
+  is durable per policy;
+* :mod:`.snapshot` — periodic compaction of the log into
+  content-addressed JSON snapshots keyed by the flight recorder's
+  instance/constraint digests;
+* :class:`TenantStore` (here) — the facade the
+  :class:`~repro.serve.service.CQAService` talks to: ``recover()`` on
+  startup (load latest valid snapshot, replay the WAL suffix, truncate
+  a torn tail), ``append_*`` per mutation, automatic compaction every
+  ``compact_every`` records.
+
+The recovery contract is *exactly the acknowledged prefix*: after a
+kill -9 at any byte, restart yields the state produced by every
+acknowledged mutation and no unacknowledged one.  A torn tail (the
+frame a dying writer left incomplete) is truncated, never replayed;
+mid-log corruption (a complete frame failing CRC with data behind it —
+bit rot, not a tear) makes ``recover()`` *refuse* with
+:class:`StoreCorruptionError` rather than silently serve a state with
+acknowledged writes missing.
+
+The WAL doubles as the tuple-level delta stream Lopatenko–Bertossi
+incremental repair semantics consume (ROADMAP item 3): every ``mutate``
+record is an ``(insert, delete)`` fact-set pair against a known-good
+base state.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...errors import ReproError
+from ...observability import add, span
+from ...observability.live import emit_event, live_add, live_observe
+from .snapshot import (
+    Snapshot,
+    list_snapshots,
+    load_latest_snapshot,
+    prune_snapshots,
+    state_digest,
+    write_snapshot,
+)
+from .wal import (
+    FSYNC_POLICIES,
+    WalWriteError,
+    WriteAheadLog,
+    fsync_dir,
+    scan_wal,
+    truncate_wal,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "RecoveredState",
+    "StoreCorruptionError",
+    "StorePolicy",
+    "StoreWriteError",
+    "TenantStore",
+    "apply_record",
+    "inspect_store",
+    "verify_store",
+]
+
+#: Re-export: the append-side failure the service maps to HTTP 503.
+StoreWriteError = WalWriteError
+
+WAL_FILE = "wal.log"
+
+
+class StoreCorruptionError(ReproError):
+    """The log holds acknowledged records that cannot be recovered."""
+
+
+@dataclass(frozen=True)
+class StorePolicy:
+    """Durability tunables (see README "Durability" for the tradeoffs)."""
+
+    #: ``always`` | ``interval`` | ``never`` — when appends fsync.
+    fsync: str = "interval"
+    #: Appends between fsyncs under the ``interval`` policy.
+    fsync_interval: int = 16
+    #: WAL records between automatic compactions.
+    compact_every: int = 256
+    #: Snapshot generations kept on disk after a compaction.
+    snapshots_kept: int = 2
+    #: Truncate past mid-log corruption instead of refusing recovery
+    #: (forensics/repair mode only; loses acknowledged records).
+    allow_corruption: bool = False
+
+
+@dataclass
+class RecoveredState:
+    """What :meth:`TenantStore.recover` re-established."""
+
+    specs: Dict[str, Dict[str, object]]
+    last_lsn: int
+    snapshot_lsn: int
+    records_replayed: int
+    torn_bytes_truncated: int
+    corrupt_bytes_dropped: int
+    state_digest: str
+    elapsed_s: float
+    problems: List[str] = field(default_factory=list)
+
+
+def apply_record(
+    specs: Dict[str, Dict[str, object]], record: Dict[str, object]
+) -> None:
+    """Apply one WAL record to a spec map, in place.
+
+    Set semantics mirror :class:`~repro.relational.database.Database`:
+    inserting a present row is a no-op, deleting an absent one too —
+    so replaying an acknowledged prefix is idempotent per record.
+    """
+    op = record.get("op")
+    name = record.get("db")
+    if op == "put_db":
+        specs[name] = copy.deepcopy(record["spec"])
+    elif op == "del_db":
+        specs.pop(name, None)
+    elif op == "mutate":
+        spec = specs.get(name)
+        if spec is None:
+            raise StoreCorruptionError(
+                f"lsn {record.get('lsn')}: mutate against unknown "
+                f"database {name!r}"
+            )
+        relations = spec.get("relations", {})
+        for rel_name, *values in record.get("delete") or ():
+            rel = relations.get(rel_name)
+            if rel is None:
+                continue
+            rel["rows"] = [row for row in rel["rows"] if row != values]
+        for rel_name, *values in record.get("insert") or ():
+            rel = relations.get(rel_name)
+            if rel is None:
+                raise StoreCorruptionError(
+                    f"lsn {record.get('lsn')}: insert into unknown "
+                    f"relation {rel_name!r} of {name!r}"
+                )
+            if values not in rel["rows"]:
+                rel["rows"].append(values)
+    else:
+        raise StoreCorruptionError(
+            f"lsn {record.get('lsn')}: unknown op {op!r}"
+        )
+
+
+class TenantStore:
+    """Durable mirror of the service's database registry.
+
+    All methods are thread-safe; appends are serialized under one lock
+    (group commit is a future refinement — at the serve layer's request
+    rates a single fsync stream is nowhere near the bottleneck, see
+    ``benchmarks/bench_store.py``).
+    """
+
+    def __init__(
+        self,
+        data_dir,
+        policy: Optional[StorePolicy] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.data_dir = os.fspath(data_dir)
+        self.policy = policy or StorePolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._specs: Dict[str, Dict[str, object]] = {}
+        self._last_lsn = 0
+        self._snapshot_lsn = 0
+        self._snapshot_digest: Optional[str] = None
+        self._snapshot_at: Optional[float] = None
+        self._records_since_snapshot = 0
+        self._last_compaction: Optional[Dict[str, object]] = None
+        self._recovery: Optional[RecoveredState] = None
+        self._wal: Optional[WriteAheadLog] = None
+
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(self.data_dir, WAL_FILE)
+
+    @property
+    def recovered(self) -> Optional[RecoveredState]:
+        return self._recovery
+
+    # -- recovery ------------------------------------------------------
+
+    def recover(self) -> RecoveredState:
+        """Snapshot → replay → torn-tail truncation → ready.
+
+        Raises :class:`StoreCorruptionError` on mid-log corruption
+        (unless the policy allows it) so acknowledged-write loss is
+        refused, never silent.
+        """
+        with self._lock, span("store.recover"):
+            started = self._clock()
+            os.makedirs(self.data_dir, exist_ok=True)
+            add("store.recoveries")
+            problems: List[str] = []
+            snapshot = load_latest_snapshot(self.data_dir)
+            snap_lsn = snapshot.lsn if snapshot else 0
+            specs: Dict[str, Dict[str, object]] = (
+                copy.deepcopy(snapshot.specs) if snapshot else {}
+            )
+            scan = scan_wal(self.wal_path)
+            dropped = 0
+            if scan.corrupt:
+                detail = (
+                    f"{self.wal_path}: {scan.detail} — complete frames "
+                    "behind the bad one mean acknowledged records would "
+                    "be lost"
+                )
+                if not self.policy.allow_corruption:
+                    raise StoreCorruptionError(detail)
+                problems.append(detail)
+                dropped = scan.total_bytes - scan.good_bytes
+                truncate_wal(self.wal_path, scan.good_bytes)
+                emit_event(
+                    "store.truncate",
+                    bytes=dropped,
+                    reason="corruption-allowed",
+                )
+            torn = 0
+            if scan.torn:
+                torn = truncate_wal(self.wal_path, scan.good_bytes)
+                problems.append(
+                    f"torn tail truncated ({torn} byte(s): {scan.detail})"
+                )
+                emit_event(
+                    "store.truncate", bytes=torn, reason="torn-tail"
+                )
+            replayed = 0
+            last_lsn = snap_lsn
+            for record in scan.records:
+                if record["lsn"] <= snap_lsn:
+                    continue  # folded into the snapshot already
+                apply_record(specs, record)
+                replayed += 1
+                last_lsn = record["lsn"]
+            add("store.records_replayed", replayed)
+            digest, _per_db = state_digest(specs)
+            elapsed = self._clock() - started
+            self._specs = specs
+            self._last_lsn = last_lsn
+            self._snapshot_lsn = snap_lsn
+            self._snapshot_digest = snapshot.digest if snapshot else None
+            self._snapshot_at = self._clock() if snapshot else None
+            self._records_since_snapshot = replayed
+            self._wal = WriteAheadLog(
+                self.wal_path,
+                fsync=self.policy.fsync,
+                fsync_interval=self.policy.fsync_interval,
+            ).open(at_bytes=scan.good_bytes)
+            self._recovery = RecoveredState(
+                specs=specs,
+                last_lsn=last_lsn,
+                snapshot_lsn=snap_lsn,
+                records_replayed=replayed,
+                torn_bytes_truncated=torn,
+                corrupt_bytes_dropped=dropped,
+                state_digest=digest,
+                elapsed_s=elapsed,
+                problems=problems,
+            )
+            live_observe("store.recovery_ms", elapsed * 1000.0)
+            live_add("store.recoveries")
+            emit_event(
+                "store.recover",
+                databases=len(specs),
+                replayed=replayed,
+                last_lsn=last_lsn,
+                snapshot_lsn=snap_lsn,
+                torn_bytes=torn,
+                digest=digest[:12],
+            )
+            return self._recovery
+
+    # -- durable appends ----------------------------------------------
+
+    def _append(self, record: Dict[str, object]) -> int:
+        """Assign the next LSN, append durably, mirror, maybe compact.
+        Caller holds no lock; raises :class:`StoreWriteError` (no ack,
+        no state change) on any durability failure."""
+        with self._lock:
+            if self._wal is None:
+                raise StoreWriteError(
+                    "store is not recovered; call recover() first"
+                )
+            lsn = self._last_lsn + 1
+            record = dict(record, lsn=lsn)
+            self._wal.append(record)
+            self._last_lsn = lsn
+            apply_record(self._specs, record)
+            self._records_since_snapshot += 1
+            live_add("store.appends")
+            if (
+                self._records_since_snapshot
+                >= self.policy.compact_every
+            ):
+                self._compact_locked()
+            return lsn
+
+    def append_put_db(self, name: str, spec: Dict[str, object]) -> int:
+        return self._append({"op": "put_db", "db": name, "spec": spec})
+
+    def append_del_db(self, name: str) -> int:
+        return self._append({"op": "del_db", "db": name})
+
+    def append_mutate(
+        self,
+        name: str,
+        insert: List[List[object]],
+        delete: List[List[object]],
+    ) -> int:
+        return self._append(
+            {
+                "op": "mutate",
+                "db": name,
+                "insert": insert,
+                "delete": delete,
+            }
+        )
+
+    # -- compaction ----------------------------------------------------
+
+    def compact(self) -> Dict[str, object]:
+        """Fold the WAL into a fresh snapshot now; returns its stats."""
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> Dict[str, object]:
+        started = self._clock()
+        with span("store.compact"):
+            folded = self._records_since_snapshot
+            snapshot = write_snapshot(
+                self.data_dir,
+                copy.deepcopy(self._specs),
+                self._last_lsn,
+                compaction={
+                    "records_folded": folded,
+                    "at_lsn": self._last_lsn,
+                },
+            )
+            if self._wal is not None:
+                self._wal.reset()
+            prune_snapshots(
+                self.data_dir, keep=self.policy.snapshots_kept
+            )
+        elapsed = self._clock() - started
+        self._snapshot_lsn = snapshot.lsn
+        self._snapshot_digest = snapshot.digest
+        self._snapshot_at = self._clock()
+        self._records_since_snapshot = 0
+        self._last_compaction = {
+            "at_lsn": snapshot.lsn,
+            "records_folded": folded,
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+            "digest": snapshot.digest[:12],
+        }
+        add("store.compactions")
+        live_add("store.compactions")
+        emit_event(
+            "store.compact",
+            at_lsn=snapshot.lsn,
+            records_folded=folded,
+            elapsed_ms=round(elapsed * 1000.0, 3),
+        )
+        return dict(self._last_compaction)
+
+    # -- introspection -------------------------------------------------
+
+    def current_state_digest(self) -> str:
+        """Digest of the in-memory mirror (recomputed, not cached)."""
+        with self._lock:
+            digest, _ = state_digest(self._specs)
+            return digest
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready durability stats for ``/status`` and health."""
+        with self._lock:
+            wal = self._wal
+            snapshot_age = (
+                round(self._clock() - self._snapshot_at, 3)
+                if self._snapshot_at is not None
+                else None
+            )
+            recovery = None
+            if self._recovery is not None:
+                recovery = {
+                    "records_replayed": self._recovery.records_replayed,
+                    "torn_bytes_truncated": (
+                        self._recovery.torn_bytes_truncated
+                    ),
+                    "elapsed_ms": round(
+                        self._recovery.elapsed_s * 1000.0, 3
+                    ),
+                    "state_digest": self._recovery.state_digest[:12],
+                }
+            return {
+                "data_dir": self.data_dir,
+                "fsync": self.policy.fsync,
+                "databases": len(self._specs),
+                "last_lsn": self._last_lsn,
+                "wal": {
+                    "records_since_snapshot": (
+                        self._records_since_snapshot
+                    ),
+                    "size_bytes": wal.size_bytes if wal else None,
+                    "appended": wal.appended if wal else 0,
+                    "failed": wal.failed if wal else None,
+                },
+                "snapshot": {
+                    "lsn": self._snapshot_lsn,
+                    "digest": (
+                        self._snapshot_digest[:12]
+                        if self._snapshot_digest
+                        else None
+                    ),
+                    "age_s": snapshot_age,
+                },
+                "last_compaction": self._last_compaction,
+                "recovery": recovery,
+            }
+
+    @property
+    def failed(self) -> Optional[str]:
+        """Why the store refuses writes, or None while healthy."""
+        wal = self._wal
+        return wal.failed if wal is not None else None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+
+
+# -- offline tools (the ``repro store`` CLI family) --------------------
+
+
+def inspect_store(data_dir) -> Dict[str, object]:
+    """Read-only description of a data directory (no recovery run)."""
+    data_dir = os.fspath(data_dir)
+    wal_path = os.path.join(data_dir, WAL_FILE)
+    scan = scan_wal(wal_path)
+    by_op: Dict[str, int] = {}
+    for record in scan.records:
+        op = str(record.get("op"))
+        by_op[op] = by_op.get(op, 0) + 1
+    snapshots = [
+        {"lsn": lsn, "path": os.path.basename(path)}
+        for lsn, path in list_snapshots(data_dir)
+    ]
+    return {
+        "data_dir": data_dir,
+        "wal": {
+            "records": len(scan.records),
+            "by_op": dict(sorted(by_op.items())),
+            "good_bytes": scan.good_bytes,
+            "total_bytes": scan.total_bytes,
+            "torn": scan.torn,
+            "corrupt": scan.corrupt,
+            "detail": scan.detail,
+            "first_lsn": (
+                scan.records[0]["lsn"] if scan.records else None
+            ),
+            "last_lsn": (
+                scan.records[-1]["lsn"] if scan.records else None
+            ),
+        },
+        "snapshots": snapshots,
+    }
+
+
+def verify_store(data_dir) -> Dict[str, object]:
+    """Full verification: CRC chain, snapshot digests, clean replay.
+
+    ``ok`` is False exactly when recovery would lose acknowledged
+    records: mid-log corruption, a replay that fails, or every
+    snapshot generation corrupt while the WAL references one.  A torn
+    tail is *repairable* (a crash artifact recovery truncates) and is
+    reported without failing verification.
+    """
+    data_dir = os.fspath(data_dir)
+    problems: List[str] = []
+    repairable: List[str] = []
+    wal_path = os.path.join(data_dir, WAL_FILE)
+    scan = scan_wal(wal_path)
+    if scan.corrupt:
+        problems.append(f"wal: {scan.detail}")
+    elif scan.torn:
+        repairable.append(f"wal torn tail: {scan.detail}")
+    snapshot = load_latest_snapshot(data_dir)
+    if snapshot is None and list_snapshots(data_dir):
+        problems.append(
+            "all snapshot generations are corrupt or unreadable"
+        )
+    specs: Dict[str, Dict[str, object]] = (
+        copy.deepcopy(snapshot.specs) if snapshot else {}
+    )
+    snap_lsn = snapshot.lsn if snapshot else 0
+    last_lsn = snap_lsn
+    replayed = 0
+    digest = None
+    try:
+        for record in scan.records:
+            if record["lsn"] <= snap_lsn:
+                continue
+            apply_record(specs, record)
+            replayed += 1
+            last_lsn = record["lsn"]
+        digest, _ = state_digest(specs)
+    except Exception as exc:  # noqa: BLE001 — verification must report
+        problems.append(f"replay failed: {exc}")
+    return {
+        "data_dir": data_dir,
+        "ok": not problems,
+        "problems": problems,
+        "repairable": repairable,
+        "snapshot_lsn": snap_lsn,
+        "snapshot_digest": snapshot.digest if snapshot else None,
+        "records_replayed": replayed,
+        "last_lsn": last_lsn,
+        "state_digest": digest,
+        "databases": {
+            name: {
+                "facts": sum(
+                    len(rel.get("rows", []))
+                    for rel in spec.get("relations", {}).values()
+                ),
+            }
+            for name, spec in sorted(specs.items())
+        },
+    }
