@@ -100,6 +100,17 @@ EXPORTED_COUNTERS = (
     "store.records_replayed",
     "store.recoveries",
     "store.torn_tail_truncated",
+    # Replication & failover (PR 10): the replica benchmark's
+    # deterministic ship/apply/bootstrap counts gate on these.
+    "store.epoch_bumps",
+    "store.duplicate_skipped",
+    "replica.pulls_served",
+    "replica.records_shipped",
+    "replica.records_applied",
+    "replica.bootstraps",
+    "replica.bootstraps_served",
+    "replica.state_transfers",
+    "replica.fenced_rejects",
 )
 
 

@@ -17,7 +17,9 @@ S-/C-repairs), ``cqa`` (consistent answers by enumeration, Fuxman–Miller
 rewriting, or SQL), ``dispatch`` (consistent answers through the
 resilient multi-engine fallback ladder, with provenance), ``measure``
 (inconsistency degrees), ``serve`` (the admission-controlled CQA HTTP
-server over a warm worker pool) with its ``loadgen`` counterpart, and
+server over a warm worker pool; ``--follower-of`` runs it as a
+WAL-shipping read replica) with its ``loadgen`` counterpart,
+``replica`` (failover operations: status / promote / fence), and
 the ``obs`` family over recorded telemetry
 (``obs report`` / ``obs flamegraph`` on JSONL traces, ``obs diff`` /
 ``obs check`` on ``BENCH_*.json`` perf suites).  CSV files need a
@@ -454,13 +456,22 @@ def _cmd_serve(args) -> int:
             fsync_interval=args.fsync_interval,
             compact_every=args.compact_every,
         ))
-    # Seeded storage chaos (CI crash drives): installed for the whole
-    # server lifetime so WAL appends fault deterministically.
+    if args.follower_of and store is None:
+        raise SystemExit(
+            "--follower-of requires --data-dir (the follower applies "
+            "the shipped WAL to its own durable store)"
+        )
+    # Seeded storage/network chaos (CI crash and failover drives):
+    # installed for the whole server lifetime so WAL appends and
+    # replica pulls fault deterministically.
     chaos = contextlib.nullcontext()
     if (
         args.fault_storage_short_rate
         or args.fault_storage_bitflip_rate
         or args.fault_storage_fsync_rate
+        or args.fault_replica_drop_rate
+        or args.fault_replica_stall_rate
+        or args.fault_replica_dup_rate
     ):
         chaos = inject(FaultPlan(
             seed=args.fault_seed,
@@ -468,6 +479,10 @@ def _cmd_serve(args) -> int:
             storage_bitflip_rate=args.fault_storage_bitflip_rate,
             storage_fsync_fail_rate=args.fault_storage_fsync_rate,
             max_storage_faults=args.fault_storage_max,
+            replica_drop_rate=args.fault_replica_drop_rate,
+            replica_stall_rate=args.fault_replica_stall_rate,
+            replica_dup_rate=args.fault_replica_dup_rate,
+            max_replica_faults=args.fault_replica_max,
         ))
     service = CQAService(
         policy=DispatchPolicy(isolate=isolate),
@@ -482,7 +497,9 @@ def _cmd_serve(args) -> int:
     )
 
     def _preload() -> None:
-        if not args.csv:
+        if not args.csv or args.follower_of:
+            # A follower's databases arrive over the replication
+            # stream; a locally preloaded one would be shadowed state.
             return
         db = _build_database(args.csv)
         constraints = _build_constraints(args)
@@ -552,6 +569,22 @@ def _cmd_serve(args) -> int:
                     file=sys.stderr,
                     flush=True,
                 )
+                if args.follower_of:
+                    from .serve import ReplicaConfig
+
+                    service.start_follower(ReplicaConfig(
+                        upstream=args.follower_of,
+                        follower_id=args.replica_id,
+                        poll_interval_s=args.replica_poll_interval,
+                        max_stale_s=args.max_stale_s,
+                    ))
+                    print(
+                        f"-- following {args.follower_of} as "
+                        f"{args.replica_id!r} (catching up; reads "
+                        f"shed past {args.max_stale_s}s staleness)",
+                        file=sys.stderr,
+                        flush=True,
+                    )
             except BaseException as exc:  # noqa: BLE001 — must surface
                 recovery_failure.append(exc)
                 loop.call_soon_threadsafe(stop.set)
@@ -637,6 +670,8 @@ def _cmd_loadgen(args) -> int:
         mutate_relation=args.mutate_relation,
         mutate_width=args.mutate_width,
         seed=args.seed,
+        read_your_writes=args.read_your_writes,
+        read_port=args.read_port,
     )
     if args.rate is not None:
         report = run_open_loop(
@@ -667,7 +702,8 @@ def _cmd_loadgen(args) -> int:
     if args.check and not report.sound:
         print(
             f"error: {report.wrong} wrong answer(s), "
-            f"{report.malformed} malformed response(s)",
+            f"{report.malformed} malformed response(s), "
+            f"{report.ryw_violations} read-your-writes violation(s)",
             file=sys.stderr,
         )
         return EXIT_UNSOUND
@@ -703,6 +739,65 @@ def _cmd_store_verify(args) -> int:
         for problem in report["problems"]:
             print(f"error: {problem}", file=sys.stderr)
         return EXIT_STORE_CORRUPT
+    return 0
+
+
+# ----------------------------------------------------------------------
+# replica: failover operations against a running server
+# ----------------------------------------------------------------------
+
+
+def _replica_request(url: str, method: str, path: str, payload=None):
+    """One JSON request against a server's replica plane."""
+    import http.client
+    import json as _json
+    import urllib.parse
+
+    parsed = urllib.parse.urlsplit(url)
+    if parsed.hostname is None:
+        parsed = urllib.parse.urlsplit(f"//{url}")
+    if parsed.hostname is None:
+        raise SystemExit(f"cannot parse server URL {url!r}")
+    connection = http.client.HTTPConnection(
+        parsed.hostname, parsed.port or 80, timeout=30.0
+    )
+    try:
+        body = _json.dumps(payload) if payload is not None else None
+        connection.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        try:
+            parsed_body = _json.loads(raw) if raw else {}
+        except ValueError:
+            parsed_body = {"raw": raw.decode("utf-8", "replace")}
+        return response.status, parsed_body
+    finally:
+        connection.close()
+
+
+def _cmd_replica(args) -> int:
+    import json as _json
+
+    if args.replica_command == "status":
+        status, body = _replica_request(
+            args.url, "GET", "/v1/replica/status"
+        )
+    elif args.replica_command == "promote":
+        status, body = _replica_request(
+            args.url, "POST", "/v1/replica/promote", {}
+        )
+    else:  # fence
+        status, body = _replica_request(
+            args.url, "POST", "/v1/replica/fence",
+            {"epoch": args.epoch},
+        )
+    print(_json.dumps(body, indent=2, sort_keys=True))
+    if status >= 400:
+        print(f"error: server answered {status}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -1106,6 +1201,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap total injected storage faults (default unlimited)",
     )
     serve.add_argument(
+        "--follower-of", dest="follower_of", metavar="URL",
+        help="run as a read-only follower of the primary at URL "
+             "(http://host:port); requires --data-dir, serves reads "
+             "under the min_lsn/as_of_lsn staleness contract, and "
+             "rejects mutations with 403 not-primary until promoted",
+    )
+    serve.add_argument(
+        "--replica-id", default="follower", dest="replica_id",
+        metavar="NAME",
+        help="stable follower identity reported to the primary "
+             "(per-follower lag gauges; default 'follower')",
+    )
+    serve.add_argument(
+        "--replica-poll-interval", type=float, default=0.2,
+        dest="replica_poll_interval", metavar="SECONDS",
+        help="follower pause between empty pulls (default 0.2)",
+    )
+    serve.add_argument(
+        "--max-stale-s", type=float, default=5.0, dest="max_stale_s",
+        metavar="SECONDS",
+        help="follower reads shed once the replication feed has been "
+             "silent this long (default 5)",
+    )
+    serve.add_argument(
+        "--fault-replica-drop-rate", type=float, default=0.0,
+        dest="fault_replica_drop_rate", metavar="RATE",
+        help="per-pull probability the follower drops the pull "
+             "entirely (failover-drill chaos; default 0)",
+    )
+    serve.add_argument(
+        "--fault-replica-stall-rate", type=float, default=0.0,
+        dest="fault_replica_stall_rate", metavar="RATE",
+        help="per-pull probability of an injected stall before the "
+             "pull (default 0)",
+    )
+    serve.add_argument(
+        "--fault-replica-dup-rate", type=float, default=0.0,
+        dest="fault_replica_dup_rate", metavar="RATE",
+        help="per-pull probability the shipped records are applied "
+             "twice (exercises idempotence; default 0)",
+    )
+    serve.add_argument(
+        "--fault-replica-max", type=int, dest="fault_replica_max",
+        metavar="N",
+        help="cap total injected replica faults (default unlimited)",
+    )
+    serve.add_argument(
         "--telemetry", metavar="DIR",
         help="install the live plane; periodically write status.json, "
              "metrics.prom, and events.jsonl into DIR",
@@ -1195,11 +1337,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the read/write mix (default 0)",
     )
     loadgen.add_argument(
+        "--read-your-writes", action="store_true",
+        dest="read_your_writes",
+        help="thread the highest durably acked lsn into every read as "
+             "min_lsn; a 200 whose as_of_lsn is below it is a "
+             "read-your-writes violation (fails --check)",
+    )
+    loadgen.add_argument(
+        "--read-port", type=int, dest="read_port", metavar="PORT",
+        help="send reads to PORT (a follower) while mutations keep "
+             "hitting --port (the primary)",
+    )
+    loadgen.add_argument(
         "--out", metavar="FILE", help="write the report JSON to FILE"
     )
     loadgen.add_argument(
         "--check", action="store_true",
-        help="exit 9 when any response was wrong or malformed",
+        help="exit 9 when any response was wrong, malformed, or a "
+             "stale read below a requested min_lsn",
     )
     verbosity = loadgen.add_mutually_exclusive_group()
     verbosity.add_argument("-v", "--verbose", action="store_true")
@@ -1226,6 +1381,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_verify.add_argument("data_dir", metavar="DIR")
     store_verify.set_defaults(func=_cmd_store_verify)
+
+    replica = sub.add_parser(
+        "replica",
+        help="failover operations against a running server "
+             "(status / promote / fence)",
+    )
+    replica_sub = replica.add_subparsers(
+        dest="replica_command", required=True
+    )
+    replica_status = replica_sub.add_parser(
+        "status",
+        help="print the server's replication status document",
+    )
+    replica_status.add_argument(
+        "--url", required=True, metavar="http://host:port",
+    )
+    replica_status.set_defaults(func=_cmd_replica)
+    replica_promote = replica_sub.add_parser(
+        "promote",
+        help="promote a follower: stop pulling, drain the residual "
+             "stream, bump the epoch durably, start taking writes",
+    )
+    replica_promote.add_argument(
+        "--url", required=True, metavar="http://host:port",
+    )
+    replica_promote.set_defaults(func=_cmd_replica)
+    replica_fence = replica_sub.add_parser(
+        "fence",
+        help="fence a (possibly ex-primary) server: all further "
+             "appends at or below --epoch are rejected durably",
+    )
+    replica_fence.add_argument(
+        "--url", required=True, metavar="http://host:port",
+    )
+    replica_fence.add_argument(
+        "--epoch", type=int, required=True,
+        help="the fencing epoch (the new primary's epoch)",
+    )
+    replica_fence.set_defaults(func=_cmd_replica)
 
     obs = sub.add_parser(
         "obs", help="analyse traces and gate benchmark regressions"
@@ -1396,7 +1590,8 @@ def main(argv: Sequence[str] = None) -> int:
     --check`` exits 7 when a declared objective is violated; ``obs
     replay`` exits 8 when a recorded flight envelope diverges from its
     recording; ``loadgen --check`` exits 9 when the server answered
-    wrongly or shed malformedly; ``store verify`` (and a ``serve
+    wrongly, shed malformedly, or served a stale read below a
+    requested ``min_lsn``; ``store verify`` (and a ``serve
     --data-dir`` that cannot recover) exits 10 when the durable log
     holds acknowledged records that cannot be recovered.
     """

@@ -153,6 +153,17 @@ KEY_COUNTERS = (
     "store.records_replayed",
     "store.recoveries",
     "store.torn_tail_truncated",
+    "store.epoch_bumps",
+    "store.duplicate_skipped",
+    "replica.pulls",
+    "replica.pulls_served",
+    "replica.records_shipped",
+    "replica.records_applied",
+    "replica.bootstraps",
+    "replica.bootstraps_served",
+    "replica.fenced_rejects",
+    "replica.promotions",
+    "replica.stale_reads_shed",
     "events.corrupt_lines_skipped",
 )
 

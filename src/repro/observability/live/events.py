@@ -81,6 +81,12 @@ EVENT_KINDS = (
     "store.recover",
     "store.compact",
     "store.truncate",
+    # Replication & failover (PR 10): role transitions and the stream.
+    "replica.bootstrap",
+    "replica.caught_up",
+    "replica.promote",
+    "replica.fence",
+    "serve.drain",
 )
 
 _request_ids = itertools.count(1)

@@ -25,14 +25,22 @@ in four layers:
   (closed- and open-loop), which doubles as the overload CI gate: under
   2× capacity the server must shed or degrade but never answer
   wrongly, never deadlock, and never leak a worker.
+* :mod:`repro.serve.replica` — WAL-shipping replication: followers
+  long-poll the primary for records past their LSN, apply them through
+  their own durable store, and serve lag-bounded reads under the
+  ``min_lsn`` / ``as_of_lsn`` staleness contract; fenced promotion
+  (monotonic epochs stamped into every record and snapshot) makes
+  failover safe against the ex-primary coming back.
 
-See README "Serving" for the endpoints and the saturation runbook, and
-DESIGN "CQA-as-a-service" for the supervisor state machine.
+See README "Serving" / "Replication & failover" for the endpoints and
+runbooks, and DESIGN "CQA-as-a-service" for the supervisor and role
+state machines.
 """
 
 from .admission import AdmissionController, ShedError, TenantPolicy
 from .http import CQAHTTPServer, ServerConfig
 from .loadgen import LoadReport, run_closed_loop, run_open_loop
+from .replica import ReplicaClient, ReplicaConfig, StaleReadError
 from .service import CQAService
 
 __all__ = [
@@ -40,8 +48,11 @@ __all__ = [
     "CQAHTTPServer",
     "CQAService",
     "LoadReport",
+    "ReplicaClient",
+    "ReplicaConfig",
     "ServerConfig",
     "ShedError",
+    "StaleReadError",
     "TenantPolicy",
     "run_closed_loop",
     "run_open_loop",

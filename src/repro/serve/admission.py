@@ -293,6 +293,31 @@ class AdmissionController:
         live_gauge(f"serve.tenant.inflight.{state.name}", state.inflight)
         live_gauge(f"serve.tenant.queued.{state.name}", state.queued)
 
+    def retry_after_hint(self) -> float:
+        """Expected seconds until a slot frees up, across tenants.
+
+        The busiest tenant's service-time EWMA scaled by its backlog
+        per concurrency slot — the controller's best estimate of when
+        a retried request would actually be admitted, used wherever a
+        shed needs a Retry-After that is not a made-up constant.
+        Clamped to [0.1, 30]; 1.0 when there is no signal yet.
+        """
+        with self._lock:
+            tenants = list(self._tenants.values())
+        hint = 0.0
+        for state in tenants:
+            with state.cond:
+                backlog = state.inflight + state.queued
+                ewma = state.ewma_s
+            if backlog and ewma:
+                per_slot = (
+                    ewma * backlog / max(1, self.policy.max_concurrent)
+                )
+                hint = max(hint, per_slot)
+        if hint <= 0.0:
+            return 1.0
+        return min(30.0, max(0.1, hint))
+
     def stats(self) -> Dict[str, Dict[str, object]]:
         with self._lock:
             tenants = dict(self._tenants)

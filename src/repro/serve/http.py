@@ -28,10 +28,16 @@ POST   /v1/db/<name>/mutate         durable tuple insert/delete delta
 GET    /v1/db/<name>/report         inconsistency report
 POST   /v1/cqa                      consistent answers (budgeted)
 POST   /v1/repairs                  repair enumeration (budgeted)
+POST   /v1/replica/pull             WAL shipping long-poll (followers)
+POST   /v1/replica/promote          follower → primary (fenced epoch)
+POST   /v1/replica/fence            demote by epoch (operator/peer)
+GET    /v1/replica/status           role, lag, epoch, follower table
 ====== ============================ =====================================
 
-Graceful shutdown: stop accepting, give in-flight requests a drain
-window, then close the service (which drains the worker pool).
+Graceful shutdown: ``stop()`` first flips the service to ``draining``
+(``/healthz`` answers 503 so load balancers stop routing), then stops
+accepting, gives in-flight requests a drain window, and closes the
+service (which stops replication and drains the worker pool).
 """
 
 from __future__ import annotations
@@ -51,8 +57,10 @@ __all__ = ["CQAHTTPServer", "ServerConfig"]
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -117,6 +125,9 @@ class CQAHTTPServer:
     async def stop(self) -> None:
         """Graceful: stop accepting, drain in-flight, close the pool."""
         self._stopping = True
+        # Flip /healthz to 503 "draining" *before* the listener closes
+        # so load balancers stop routing during the drain window.
+        self.service.begin_drain()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -268,6 +279,30 @@ class CQAHTTPServer:
                 status, payload, extra = self.service.remove_db(rest)
                 return status, payload, extra, keep_alive
             return 405, {"error": f"{method} not allowed"}, {}, keep_alive
+        if path.startswith("/v1/replica/"):
+            action = path[len("/v1/replica/"):]
+            if method == "GET" and action == "status":
+                status, payload, extra = (
+                    self.service.handle_replica_status()
+                )
+                return status, payload, extra, keep_alive
+            if method == "POST" and action in (
+                "pull", "promote", "fence"
+            ):
+                payload_obj, error = self._parse_json(body)
+                if error:
+                    return 400, {"error": error}, {}, keep_alive
+                handler = {
+                    # Offloaded: pull long-polls, promote fsyncs.
+                    "pull": self.service.handle_replica_pull,
+                    "promote": self.service.handle_replica_promote,
+                    "fence": self.service.handle_replica_fence,
+                }[action]
+                status, payload, extra = await self._offload(
+                    handler, payload_obj
+                )
+                return status, payload, extra, keep_alive
+            return 405, {"error": f"{method} not allowed"}, {}, keep_alive
         if method == "POST" and path in ("/v1/cqa", "/v1/repairs"):
             payload_obj, error = self._parse_json(body)
             if error:
@@ -279,7 +314,10 @@ class CQAHTTPServer:
             )
             if self._inflight >= self.config.max_inflight:
                 # Server-level valve: all handler threads busy.  Shed
-                # with the same well-formed shape admission uses.
+                # with the same well-formed shape admission uses, and
+                # a Retry-After derived from the admission
+                # controller's backlog estimate (echoed verbatim in
+                # the body so clients and proxies agree).
                 from ..observability import add
                 from ..observability.live import live_add
 
@@ -288,14 +326,19 @@ class CQAHTTPServer:
                 live_add("serve.requests")
                 live_add("serve.requests.shed")
                 live_add("serve.shed.server-busy")
+                retry_after = self.service.admission.retry_after_hint()
                 return (
                     429,
                     {
                         "error": "shed",
                         "reason": "server-busy",
-                        "retry_after_s": 1.0,
+                        "retry_after_s": round(retry_after, 3),
                     },
-                    {"Retry-After": "1"},
+                    {
+                        "Retry-After": str(
+                            max(1, int(round(retry_after)))
+                        ),
+                    },
                     keep_alive,
                 )
             status, payload, extra = await self._offload(
@@ -321,10 +364,12 @@ class CQAHTTPServer:
         else:
             doc = {"schema": None, "note": "live telemetry not installed"}
         doc["phase"] = self.service.phase
+        doc["role"] = self.service.role
         if self.service.store is not None:
             # Snapshot age, WAL length, last-compaction stats — the
             # operator's durability dashboard.
             doc["store"] = self.service.store.stats()
+            doc["replication"] = self.service.replication()
         return doc
 
     @staticmethod

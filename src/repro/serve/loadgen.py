@@ -35,6 +35,16 @@ mention (the crash drives use a dedicated ``Audit`` relation), or the
 expected-answer validation would race the writes.  A 200 carrying an
 ``lsn`` counts as *durably acknowledged*: the crash-recovery gate holds
 the server to exactly those.
+
+With ``read_your_writes=True`` the mixer threads the highest durably
+acked ``lsn`` into every subsequent read as ``min_lsn`` — the
+staleness contract of the replication layer.  A 200 whose
+``as_of_lsn`` is *below* the requested ``min_lsn`` is a read-your-
+writes violation (``ryw_violations``, fails ``sound``); a typed 503
+``stale-read`` refusal is honest and counts in ``stale_rejected``.
+``read_port`` points the reads at a follower while mutations keep
+hitting the primary — the replicated-read topology of the failover
+drill.
 """
 
 from __future__ import annotations
@@ -79,13 +89,24 @@ class LoadReport:
     #: server); the highest such lsn is ``last_lsn``.
     mutations_durable: int = 0
     last_lsn: Optional[int] = None
+    #: Reads that carried a ``min_lsn`` bound.
+    min_lsn_reads: int = 0
+    #: 200s whose ``as_of_lsn`` fell below the requested ``min_lsn``
+    #: — stale data served as if fresh; any occurrence is unsound.
+    ryw_violations: int = 0
+    #: Typed ``stale-read`` 503s — the honest refusal, never unsound.
+    stale_rejected: int = 0
     elapsed_s: float = 0.0
     latency: Histogram = field(default_factory=Histogram)
     status_counts: Dict[int, int] = field(default_factory=dict)
 
     @property
     def sound(self) -> bool:
-        return self.wrong == 0 and self.malformed == 0
+        return (
+            self.wrong == 0
+            and self.malformed == 0
+            and self.ryw_violations == 0
+        )
 
     def to_dict(self) -> Dict[str, object]:
         completed = max(1e-9, self.elapsed_s)
@@ -102,6 +123,9 @@ class LoadReport:
             "mutations_acked": self.mutations_acked,
             "mutations_durable": self.mutations_durable,
             "last_lsn": self.last_lsn,
+            "min_lsn_reads": self.min_lsn_reads,
+            "ryw_violations": self.ryw_violations,
+            "stale_rejected": self.stale_rejected,
             "elapsed_s": round(self.elapsed_s, 3),
             "throughput_rps": round(self.sent / completed, 2),
             "latency_ms": {
@@ -130,6 +154,12 @@ class LoadReport:
                 f"acked={d['mutations_acked']} "
                 f"durable={d['mutations_durable']} "
                 f"last_lsn={d['last_lsn']}\n"
+            )
+        if self.min_lsn_reads:
+            mutated += (
+                f"min_lsn_reads={d['min_lsn_reads']} "
+                f"ryw_violations={d['ryw_violations']} "
+                f"stale_rejected={d['stale_rejected']}\n"
             )
         return (
             f"sent={d['sent']} ok={d['ok']} degraded={d['degraded']} "
@@ -218,6 +248,7 @@ def _classify(
     body: Optional[Dict[str, object]],
     expect: Optional[List[List[object]]],
     report: LoadReport,
+    min_lsn: Optional[int] = None,
 ) -> None:
     """Tally one response; soundness and shed-shape checks live here."""
     report.status_counts[status] = (
@@ -227,6 +258,16 @@ def _classify(
         if not isinstance(body, dict) or "answers" not in body:
             report.malformed += 1
             return
+        if min_lsn is not None:
+            as_of = body.get("as_of_lsn")
+            if not isinstance(as_of, int):
+                # We asked for a freshness bound and got an answer
+                # with no as_of stamp at all — the contract is broken.
+                report.malformed += 1
+                return
+            if as_of < min_lsn:
+                report.ryw_violations += 1
+                return
         answers = {tuple(row) for row in body["answers"]}
         complete = bool(body.get("complete"))
         if expect is not None:
@@ -243,6 +284,25 @@ def _classify(
             report.degraded += 1
         return
     if status in (429, 503):
+        if (
+            status == 503
+            and isinstance(body, dict)
+            and body.get("error") == "stale-read"
+        ):
+            # The staleness contract's honest refusal: typed, with a
+            # retry hint and (when known) the primary to go ask.
+            well_formed = (
+                isinstance(body.get("reason"), str)
+                and isinstance(
+                    body.get("retry_after_s"), (int, float)
+                )
+                and "retry-after" in headers
+            )
+            if well_formed:
+                report.stale_rejected += 1
+            else:
+                report.malformed += 1
+            return
         well_formed = (
             isinstance(body, dict)
             and body.get("error") == "shed"
@@ -260,6 +320,12 @@ def _classify(
             report.errors += 1
         else:
             report.malformed += 1
+        return
+    if status == 403 and isinstance(body, dict) and body.get(
+        "error"
+    ) == "not-primary":
+        # Mis-routed to a follower: an honest redirect, not unsound.
+        report.errors += 1
         return
     report.errors += 1
 
@@ -342,13 +408,23 @@ async def _run_closed_loop(
     expect: Optional[List[List[object]]],
     request_timeout_s: float,
     mutations: Optional[_MutationMix],
+    read_your_writes: bool = False,
+    read_port: Optional[int] = None,
 ) -> LoadReport:
     report = LoadReport()
     counter = {"next": 0}
     started = time.monotonic()
 
     async def worker() -> None:
+        # Mutations always hit (host, port) — the primary; reads go to
+        # read_port when set, so one run can write through the primary
+        # while validating read-your-writes against a follower.
         conn = _Connection(host, port)
+        read_conn = (
+            _Connection(host, read_port)
+            if read_port is not None and read_port != port
+            else conn
+        )
         try:
             while True:
                 if counter["next"] >= total:
@@ -358,17 +434,24 @@ async def _run_closed_loop(
                 mutating = (
                     mutations is not None and mutations.take_turn()
                 )
+                min_lsn: Optional[int] = None
                 if mutating:
-                    report.mutations_sent += 1
+                    use = conn
                     path, body_out = (
                         mutations.path,
                         mutations.next_payload(),
                     )
+                    report.mutations_sent += 1
                 else:
+                    use = read_conn
                     path, body_out = "/v1/cqa", payload
+                    if read_your_writes and report.last_lsn is not None:
+                        min_lsn = report.last_lsn
+                        body_out = dict(payload, min_lsn=min_lsn)
+                        report.min_lsn_reads += 1
                 t0 = time.monotonic()
                 try:
-                    status, headers, body = await conn.post(
+                    status, headers, body = await use.post(
                         path, body_out, request_timeout_s
                     )
                 except (
@@ -378,7 +461,7 @@ async def _run_closed_loop(
                     ConnectionResetError,
                 ):
                     report.transport_errors += 1
-                    conn.close()
+                    use.close()
                     continue
                 report.latency.observe(
                     (time.monotonic() - t0) * 1000.0
@@ -386,9 +469,13 @@ async def _run_closed_loop(
                 if mutating:
                     _classify_mutation(status, headers, body, report)
                 else:
-                    _classify(status, headers, body, expect, report)
+                    _classify(
+                        status, headers, body, expect, report, min_lsn
+                    )
         finally:
             conn.close()
+            if read_conn is not conn:
+                read_conn.close()
 
     await asyncio.gather(
         *(worker() for _ in range(max(1, concurrency)))
@@ -406,22 +493,39 @@ async def _run_open_loop(
     expect: Optional[List[List[object]]],
     request_timeout_s: float,
     mutations: Optional[_MutationMix],
+    read_your_writes: bool = False,
+    read_port: Optional[int] = None,
 ) -> LoadReport:
     report = LoadReport()
     started = time.monotonic()
     interval = 1.0 / max(0.001, rate_per_s)
     tasks: List[asyncio.Task] = []
     pool: List[_Connection] = []
+    read_pool: List[_Connection] = []
+    split_reads = read_port is not None and read_port != port
 
     async def fire() -> None:
-        conn = pool.pop() if pool else _Connection(host, port)
-        report.sent += 1
         mutating = mutations is not None and mutations.take_turn()
+        use_read_pool = split_reads and not mutating
+        if use_read_pool:
+            conn = (
+                read_pool.pop()
+                if read_pool
+                else _Connection(host, read_port)
+            )
+        else:
+            conn = pool.pop() if pool else _Connection(host, port)
+        report.sent += 1
+        min_lsn: Optional[int] = None
         if mutating:
             report.mutations_sent += 1
             path, body_out = mutations.path, mutations.next_payload()
         else:
             path, body_out = "/v1/cqa", payload
+            if read_your_writes and report.last_lsn is not None:
+                min_lsn = report.last_lsn
+                body_out = dict(payload, min_lsn=min_lsn)
+                report.min_lsn_reads += 1
         t0 = time.monotonic()
         try:
             status, headers, body = await conn.post(
@@ -440,8 +544,8 @@ async def _run_open_loop(
         if mutating:
             _classify_mutation(status, headers, body, report)
         else:
-            _classify(status, headers, body, expect, report)
-        pool.append(conn)
+            _classify(status, headers, body, expect, report, min_lsn)
+        (read_pool if use_read_pool else pool).append(conn)
 
     tick = 0
     while True:
@@ -456,7 +560,7 @@ async def _run_open_loop(
         tick += 1
     if tasks:
         await asyncio.wait(tasks)
-    for conn in pool:
+    for conn in pool + read_pool:
         conn.close()
     report.elapsed_s = time.monotonic() - started
     return report
@@ -492,6 +596,8 @@ def run_closed_loop(
     mutate_relation: str = "Audit",
     mutate_width: int = 2,
     seed: int = 0,
+    read_your_writes: bool = False,
+    read_port: Optional[int] = None,
 ) -> LoadReport:
     """Drive ``total`` requests with ``concurrency`` workers; validate
     each response against ``expect`` when given."""
@@ -503,6 +609,8 @@ def run_closed_loop(
                 payload, mutation_rate, mutate_relation, mutate_width,
                 seed,
             ),
+            read_your_writes=read_your_writes,
+            read_port=read_port,
         )
     )
 
@@ -519,6 +627,8 @@ def run_open_loop(
     mutate_relation: str = "Audit",
     mutate_width: int = 2,
     seed: int = 0,
+    read_your_writes: bool = False,
+    read_port: Optional[int] = None,
 ) -> LoadReport:
     """Fire at a fixed arrival rate for ``duration_s`` seconds — the
     overload instrument; see the module docstring."""
@@ -530,5 +640,7 @@ def run_open_loop(
                 payload, mutation_rate, mutate_relation, mutate_width,
                 seed,
             ),
+            read_your_writes=read_your_writes,
+            read_port=read_port,
         )
     )

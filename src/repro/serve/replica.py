@@ -1,0 +1,300 @@
+"""WAL-shipping replication: the follower's pull loop.
+
+Replication is *pull-based* over the plain HTTP plane: a follower
+long-polls the primary's ``POST /v1/replica/pull`` with its current
+``from_lsn`` and epoch, and the primary answers with either the WAL
+records past that LSN (the in-memory tail :meth:`TenantStore
+.records_since` keeps since the last compaction) or — when compaction
+has already folded the requested range — a full
+:meth:`~repro.serve.store.TenantStore.state_transfer` snapshot the
+follower installs atomically before resuming the stream.  Records are
+applied through :meth:`~repro.serve.store.TenantStore
+.apply_replicated`: idempotent under duplicated/retried pulls, refusing
+gaps and lower-epoch writers, durable in the follower's own WAL — so a
+follower crash recovers exactly like a primary crash and the stream
+resumes from whatever LSN survived.
+
+The client deliberately has no failure-handling cleverness: a dropped
+or timed-out pull is just retried after ``backoff_s``, because the
+protocol is a pure idempotent fetch.  Seeded network faults
+(:func:`repro.runtime.faults.replica_pull`: drop / stall / duplicate)
+exercise exactly that claim in CI.
+
+:class:`StaleReadError` is the staleness contract's refusal: a read
+carrying ``min_lsn`` that the local state cannot satisfy within its
+wait budget, or a replica whose feed has been silent past
+``max_stale_s``, sheds with a typed 503 pointing at the primary rather
+than serving an answer it knows may be stale.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ReproError
+from ..observability import add
+from ..observability.live import emit_event, live_add, live_gauge
+from ..runtime import faults as _faults
+from .store import StoreCorruptionError, StoreWriteError
+
+__all__ = ["ReplicaClient", "ReplicaConfig", "StaleReadError"]
+
+
+class StaleReadError(ReproError):
+    """A lag-bounded read the local replica state cannot honour."""
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        min_lsn: Optional[int] = None,
+        as_of_lsn: Optional[int] = None,
+        stale_s: Optional[float] = None,
+        primary_url: Optional[str] = None,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.min_lsn = min_lsn
+        self.as_of_lsn = as_of_lsn
+        self.stale_s = stale_s
+        self.primary_url = primary_url
+        self.retry_after_s = max(0.1, retry_after_s)
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """How a follower reaches and paces its primary."""
+
+    #: Primary base URL (``http://host:port``).
+    upstream: str
+    #: Stable follower identity (per-follower lag gauge key).
+    follower_id: str = "follower"
+    #: Server-side long-poll hold when the tail is empty.
+    wait_s: float = 1.0
+    #: Client-side pause after an empty or failed pull.
+    poll_interval_s: float = 0.2
+    #: Pause after a transport error before retrying.
+    backoff_s: float = 0.5
+    #: Freshness bound: reads shed once the feed is silent this long.
+    max_stale_s: float = 5.0
+    #: Socket timeout per pull (must exceed ``wait_s``).
+    request_timeout_s: float = 10.0
+
+
+class ReplicaClient:
+    """The follower-side pull thread.
+
+    Owns no state of its own beyond telemetry: every applied record
+    goes through the *service* (``apply_replicated`` /
+    ``install_replica_state``) so the durable store and the live
+    ``(Database, constraints)`` registry advance together.
+    """
+
+    def __init__(self, service, config: ReplicaConfig, clock=time.monotonic):
+        self._service = service
+        self.config = config
+        self._clock = clock
+        parsed = urllib.parse.urlsplit(config.upstream)
+        if parsed.hostname is None:
+            parsed = urllib.parse.urlsplit(f"//{config.upstream}")
+        if parsed.hostname is None:
+            raise ValueError(
+                f"cannot parse upstream URL {config.upstream!r}"
+            )
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.pulls = 0
+        self.pull_errors = 0
+        self.records_applied = 0
+        self.duplicates_skipped = 0
+        self.bootstraps = 0
+        self.last_pull_at: Optional[float] = None
+        self.upstream_lsn: Optional[int] = None
+        self.upstream_epoch: Optional[int] = None
+        self.upstream_fenced = False
+        self.last_error: Optional[str] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ReplicaClient":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"replica-pull[{self.config.follower_id}]",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                applied = self.pull_once()
+            except (StoreCorruptionError, StoreWriteError) as exc:
+                # Local apply failed (gap after a lost snapshot, store
+                # latch, ...) — crash-only discipline: record it, back
+                # off, and let the next pull bootstrap or keep failing
+                # visibly rather than guessing at a repair.
+                self.last_error = str(exc)
+                live_add("replica.apply_errors")
+                self._stop.wait(self.config.backoff_s)
+                continue
+            if applied == 0 and not self._stop.is_set():
+                self._stop.wait(self.config.poll_interval_s)
+
+    # -- one pull ------------------------------------------------------
+
+    def pull_once(self, wait_s: Optional[float] = None) -> int:
+        """One pull/apply round; returns the records applied.
+
+        Safe to call from tests without the thread running.  Raises
+        only on *local* apply failures; transport errors and upstream
+        refusals are counted and absorbed (the loop just retries).
+        """
+        fault = _faults.replica_pull()
+        if fault == "drop":
+            live_add("replica.pulls_dropped")
+            return 0
+        if fault == "stall":
+            plan = _faults.active_plan()
+            self._stop.wait(plan.replica_stall_s if plan else 0.5)
+        store = self._service.store
+        payload = {
+            "from_lsn": store.last_lsn,
+            "epoch": store.epoch,
+            "follower": self.config.follower_id,
+            "wait_s": self.config.wait_s if wait_s is None else wait_s,
+        }
+        try:
+            status, body = self._post("/v1/replica/pull", payload)
+        except (OSError, http.client.HTTPException) as exc:
+            self.pull_errors += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            live_add("replica.pull_errors")
+            self._stop.wait(self.config.backoff_s)
+            return 0
+        if status != 200:
+            self.pull_errors += 1
+            self.last_error = f"pull refused: {status} {body}"
+            self.upstream_fenced = status == 409 or (
+                isinstance(body, dict) and body.get("error") == "fenced"
+            )
+            live_add("replica.pull_errors")
+            self._stop.wait(self.config.backoff_s)
+            return 0
+        self.pulls += 1
+        self.upstream_fenced = False
+        self.last_error = None
+        self.last_pull_at = self._clock()
+        if isinstance(body.get("last_lsn"), int):
+            self.upstream_lsn = body["last_lsn"]
+        if isinstance(body.get("epoch"), int):
+            self.upstream_epoch = body["epoch"]
+        add("replica.pulls")
+        live_add("replica.pulls")
+        applied = 0
+        bootstrap = body.get("bootstrap")
+        if bootstrap:
+            self._service.install_replica_state(bootstrap)
+            self.bootstraps += 1
+            applied = 1  # progressed, even though no records replayed
+            emit_event(
+                "replica.bootstrap",
+                lsn=bootstrap.get("lsn"),
+                epoch=bootstrap.get("epoch"),
+                follower=self.config.follower_id,
+            )
+        else:
+            records = body.get("records") or []
+            if fault == "dup":
+                records = list(records) + list(records)
+            for record in records:
+                if self._service.apply_replicated(record):
+                    applied += 1
+                else:
+                    self.duplicates_skipped += 1
+            if applied:
+                self.records_applied += applied
+                add("replica.records_applied", applied)
+        live_gauge("replica.lag_records", self.lag() or 0)
+        self._service.note_replica_progress(self)
+        return applied
+
+    def _post(self, path: str, payload: Dict[str, object]):
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.config.request_timeout_s
+        )
+        try:
+            connection.request(
+                "POST",
+                path,
+                body=json.dumps(payload),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                parsed = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                parsed = {}
+            return response.status, parsed
+        finally:
+            connection.close()
+
+    # -- staleness -----------------------------------------------------
+
+    def lag(self) -> Optional[int]:
+        """Records behind the upstream at the last pull, or None."""
+        if self.upstream_lsn is None:
+            return None
+        return max(0, self.upstream_lsn - self._service.store.last_lsn)
+
+    def staleness_s(self) -> Optional[float]:
+        """Seconds since the feed last proved freshness (None = never)."""
+        if self.last_pull_at is None:
+            return None
+        return max(0.0, self._clock() - self.last_pull_at)
+
+    def stats(self) -> Dict[str, object]:
+        staleness = self.staleness_s()
+        return {
+            "upstream": self.config.upstream,
+            "follower_id": self.config.follower_id,
+            "running": self.running,
+            "pulls": self.pulls,
+            "pull_errors": self.pull_errors,
+            "records_applied": self.records_applied,
+            "duplicates_skipped": self.duplicates_skipped,
+            "bootstraps": self.bootstraps,
+            "upstream_lsn": self.upstream_lsn,
+            "upstream_epoch": self.upstream_epoch,
+            "upstream_fenced": self.upstream_fenced,
+            "lag_records": self.lag(),
+            "stale_s": (
+                round(staleness, 3) if staleness is not None else None
+            ),
+            "last_error": self.last_error,
+        }

@@ -28,6 +28,25 @@ that touches the registry answers 503 (``/healthz`` included, so load
 balancers hold traffic).  A store write failure flips the service to
 crash-only mode: mutations refuse with 503 until a restart
 re-establishes truth from disk.
+
+Replication adds a *role* axis orthogonal to the phase:
+
+* ``primary`` — the only role that acks mutations; serves
+  ``/v1/replica/pull`` to followers and tracks their lag;
+* ``follower`` — mutations answer 403 ``not-primary`` (with the
+  primary's URL); reads are served under the staleness contract
+  (``min_lsn`` in, ``as_of_lsn``/``stale_s`` out, typed 503
+  ``stale-read`` when the bound cannot be met); a background
+  :class:`~repro.serve.replica.ReplicaClient` pulls the primary's WAL;
+* ``fenced`` — a demoted primary: a higher epoch exists, the store
+  latches every append with :class:`~repro.serve.store.FencedError`,
+  and mutations answer 403 until an operator restarts it as a fresh
+  follower.
+
+The phase gate gains ``catching-up`` (follower replaying toward the
+primary's head — not yet serving reads) and ``draining`` (SIGTERM
+received: ``/healthz`` flips to 503 so load balancers stop routing,
+while in-flight and straggler requests still complete).
 """
 
 from __future__ import annotations
@@ -51,6 +70,7 @@ from ..observability import add
 from ..observability.live import (
     emit_event,
     live_add,
+    live_gauge,
     live_observe,
     request_scope,
 )
@@ -58,13 +78,19 @@ from ..relational.database import Database, fact
 from ..repairs import c_repairs_partial, s_repairs_partial
 from ..runtime import Budget, use_budget
 from .admission import AdmissionController, ShedError
+from .replica import ReplicaClient, ReplicaConfig, StaleReadError
 from .specs import (
     PayloadError,
     parse_constraints as _parse_constraints,
     parse_database as _parse_database,
     spec_of_instance,
 )
-from .store import StoreWriteError, TenantStore
+from .store import (
+    FencedError,
+    StoreCorruptionError,
+    StoreWriteError,
+    TenantStore,
+)
 
 __all__ = ["CQAService", "PayloadError"]
 
@@ -107,13 +133,24 @@ class CQAService:
         # re-establishes the registry from disk; without one there is
         # nothing to recover and the service is born ready.
         self._phase = "recovering" if store is not None else "ready"
+        self._role = "primary"
+        self._primary_url: Optional[str] = None
+        self._replica: Optional[ReplicaClient] = None
+        self._max_stale_s = 5.0
+        #: Primary-side per-follower shipping state (lag gauges).
+        self._followers: Dict[str, Dict[str, object]] = {}
 
     # -- durability ----------------------------------------------------
 
     @property
     def phase(self) -> str:
-        """``recovering`` until WAL replay completes, then ``ready``."""
+        """``recovering`` → (``catching-up``) → ``ready`` → ``draining``."""
         return self._phase
+
+    @property
+    def role(self) -> str:
+        """``primary`` | ``follower`` | ``fenced``."""
+        return self._role
 
     def recover(self) -> Dict[str, object]:
         """Load the durable state and open for traffic (idempotent).
@@ -155,7 +192,9 @@ class CQAService:
         }
 
     def _not_ready(self) -> Optional[Handled]:
-        if self._phase == "ready":
+        # Draining still serves: the 503 lives on /healthz so load
+        # balancers stop *routing*, while stragglers complete.
+        if self._phase in ("ready", "draining"):
             return None
         add("serve.requests.not_ready")
         live_add("serve.requests.not_ready")
@@ -165,7 +204,37 @@ class CQAService:
             {"Retry-After": "1"},
         )
 
+    def _not_primary(self) -> Optional[Handled]:
+        """403 every mutation on a node that may not ack writes."""
+        if self._role == "primary":
+            return None
+        add("serve.requests.not_primary")
+        live_add("serve.requests.not_primary")
+        body: Dict[str, object] = {
+            "error": "not-primary",
+            "role": self._role,
+        }
+        if self._primary_url:
+            body["primary_url"] = self._primary_url
+        return 403, body, _NO_HEADERS
+
     def _store_unavailable(self, exc: StoreWriteError) -> Handled:
+        if isinstance(exc, FencedError):
+            # Race window: the store latched between our role gate and
+            # the append.  The epoch check is the authority — refuse
+            # like any other demoted primary.
+            add("serve.requests.not_primary")
+            live_add("serve.requests.not_primary")
+            return (
+                403,
+                {
+                    "error": "not-primary",
+                    "role": self._role,
+                    "reason": "fenced",
+                    "detail": str(exc),
+                },
+                _NO_HEADERS,
+            )
         add("serve.store_unavailable")
         live_add("serve.store_unavailable")
         return (
@@ -181,7 +250,7 @@ class CQAService:
     # -- database registry --------------------------------------------
 
     def register_db(self, name: str, spec: Dict[str, object]) -> Handled:
-        gate = self._not_ready()
+        gate = self._not_ready() or self._not_primary()
         if gate is not None:
             return gate
         if not name or "/" in name:
@@ -232,7 +301,7 @@ class CQAService:
         add("serve.db_registered")
 
     def remove_db(self, name: str) -> Handled:
-        gate = self._not_ready()
+        gate = self._not_ready() or self._not_primary()
         if gate is not None:
             return gate
         body: Dict[str, object] = {"db": name, "removed": True}
@@ -263,7 +332,7 @@ class CQAService:
         assigned ``lsn``: a client that saw it is entitled to find the
         delta present after any crash.
         """
-        gate = self._not_ready()
+        gate = self._not_ready() or self._not_primary()
         if gate is not None:
             return gate
         try:
@@ -405,9 +474,17 @@ class CQAService:
                 return self._shed_response(rid, started, exc)
             outcome = "error"
             try:
+                view = self._read_view(payload, timeout_s)
                 status, body, headers = runner(payload, timeout_s, rid)
                 outcome = body.get("outcome", "ok")
+                if view is not None and status == 200:
+                    body, headers = self._stamp_view(body, headers, view)
                 return status, body, headers
+            except StaleReadError as exc:
+                outcome = "stale"
+                return self._finish(
+                    rid, started, "stale", self._stale_response(rid, exc)
+                )
             except ShedError as exc:
                 outcome = "shed"
                 return self._shed_response(rid, started, exc)
@@ -434,6 +511,98 @@ class CQAService:
                 )
             finally:
                 ticket.finish(outcome, self._clock() - started)
+
+    def _read_view(
+        self, payload: Dict[str, object], timeout_s: float
+    ) -> Optional[Dict[str, object]]:
+        """Enforce the staleness contract for one read.
+
+        Returns the view doc to stamp on a 200 (``None`` without a
+        durable store).  A ``min_lsn`` the local state has not reached
+        is waited on briefly (read-your-writes usually needs only the
+        in-flight pull to land); past the wait budget, and whenever a
+        follower's feed has been silent beyond ``max_stale_s``, the
+        read sheds with :class:`StaleReadError` — a typed refusal, not
+        a stale answer.
+        """
+        store = self.store
+        if store is None:
+            return None
+        min_lsn = payload.get("min_lsn")
+        if min_lsn is not None and (
+            not isinstance(min_lsn, int) or min_lsn < 0
+        ):
+            raise PayloadError("'min_lsn' must be a non-negative integer")
+        replica = self._replica
+        stale_s = (
+            replica.staleness_s() if replica is not None else 0.0
+        )
+        if min_lsn and store.last_lsn < min_lsn:
+            wait_budget = min(max(0.0, timeout_s), 2.0)
+            if not store.wait_for_lsn(min_lsn, wait_budget):
+                add("replica.stale_reads_shed")
+                live_add("replica.stale_reads_shed")
+                raise StaleReadError(
+                    "behind-min-lsn",
+                    min_lsn=min_lsn,
+                    as_of_lsn=store.last_lsn,
+                    stale_s=stale_s,
+                    primary_url=self._primary_url,
+                )
+        if self._role == "follower":
+            stale_s = (
+                replica.staleness_s() if replica is not None else None
+            )
+            if stale_s is None or stale_s > self._max_stale_s:
+                add("replica.stale_reads_shed")
+                live_add("replica.stale_reads_shed")
+                raise StaleReadError(
+                    "replication-stalled",
+                    min_lsn=min_lsn,
+                    as_of_lsn=store.last_lsn,
+                    stale_s=stale_s,
+                    primary_url=self._primary_url,
+                )
+        return {"stale_s": stale_s}
+
+    def _stamp_view(
+        self,
+        body: Dict[str, object],
+        headers: Dict[str, str],
+        view: Dict[str, object],
+    ) -> Tuple[Dict[str, object], Dict[str, str]]:
+        # ``last_lsn`` read *after* the query: the registry only
+        # advances, and the min_lsn wait already ran before it, so the
+        # served state reflects at least the stamped LSN's prefix.
+        as_of = self.store.last_lsn
+        stale_s = view.get("stale_s")
+        body["as_of_lsn"] = as_of
+        headers = dict(headers)
+        headers["X-As-Of-LSN"] = str(as_of)
+        if stale_s is not None:
+            body["stale_s"] = round(stale_s, 3)
+            headers["X-Stale-S"] = f"{stale_s:.3f}"
+        return body, headers
+
+    def _stale_response(self, rid: str, exc: StaleReadError) -> Handled:
+        body: Dict[str, object] = {
+            "error": "stale-read",
+            "reason": exc.reason,
+            "request_id": rid,
+            "as_of_lsn": exc.as_of_lsn,
+            "retry_after_s": round(exc.retry_after_s, 3),
+        }
+        if exc.min_lsn is not None:
+            body["min_lsn"] = exc.min_lsn
+        if exc.stale_s is not None:
+            body["stale_s"] = round(exc.stale_s, 3)
+        if exc.primary_url:
+            body["primary_url"] = exc.primary_url
+        return (
+            503,
+            body,
+            {"Retry-After": str(max(1, int(round(exc.retry_after_s))))},
+        )
 
     def _shed_response(
         self, rid: str, started: float, exc: ShedError
@@ -591,6 +760,370 @@ class CQAService:
             rid, started, outcome, (200, body, _NO_HEADERS)
         )
 
+    # -- replication ---------------------------------------------------
+
+    def start_follower(self, config: ReplicaConfig) -> None:
+        """Enter the follower role and start pulling (post-recovery).
+
+        The phase drops to ``catching-up`` until the pull loop reports
+        zero lag once; mutations 403 from here on.
+        """
+        if self.store is None:
+            raise ReproError(
+                "follower mode requires a durable store (--data-dir)"
+            )
+        self._role = "follower"
+        self._primary_url = config.upstream
+        self._max_stale_s = config.max_stale_s
+        self._phase = "catching-up"
+        live_gauge("replica.epoch", self.store.epoch)
+        self._replica = ReplicaClient(
+            self, config, clock=self._clock
+        ).start()
+
+    def note_replica_progress(self, client: ReplicaClient) -> None:
+        """Pull-loop callback: flip ``catching-up`` → ``ready`` at lag 0."""
+        store = self.store
+        if store is not None:
+            live_gauge("replica.epoch", store.epoch)
+        if self._phase == "catching-up" and client.lag() == 0:
+            self._phase = "ready"
+            add("replica.catch_ups")
+            live_add("replica.catch_ups")
+            emit_event(
+                "replica.caught_up",
+                lsn=store.last_lsn if store else None,
+                follower=client.config.follower_id,
+            )
+
+    def apply_replicated(self, record: Dict[str, object]) -> bool:
+        """Apply one shipped record to the store *and* the registry."""
+        with self._lock:
+            applied = self.store.apply_replicated(record)
+            if applied:
+                self._apply_to_registry(record)
+        return applied
+
+    def _apply_to_registry(self, record: Dict[str, object]) -> None:
+        op = record.get("op")
+        name = record.get("db")
+        if op == "put_db":
+            spec = record["spec"]
+            self._databases[name] = (
+                _parse_database(spec),
+                tuple(_parse_constraints(spec.get("constraints"))),
+            )
+        elif op == "del_db":
+            self._databases.pop(name, None)
+        elif op == "mutate":
+            found = self._databases.get(name)
+            if found is None:
+                raise StoreCorruptionError(
+                    f"replicated mutate against unknown database "
+                    f"{name!r} (registry diverged from store)"
+                )
+            db, constraints = found
+            deletes = record.get("delete") or []
+            inserts = record.get("insert") or []
+            new_db = db.delete(
+                fact(entry[0], *entry[1:]) for entry in deletes
+            ).insert(fact(entry[0], *entry[1:]) for entry in inserts)
+            self._databases[name] = (new_db, constraints)
+        elif op == "epoch":
+            pass
+        else:
+            raise StoreCorruptionError(
+                f"replicated record with unknown op {op!r}"
+            )
+
+    def install_replica_state(
+        self, bootstrap: Dict[str, object]
+    ) -> None:
+        """Adopt a snapshot bootstrap: store and registry atomically."""
+        specs = bootstrap.get("databases") or {}
+        lsn = int(bootstrap.get("lsn") or 0)
+        epoch = int(bootstrap.get("epoch") or 0)
+        databases: Dict[str, Tuple[Database, tuple]] = {}
+        for name, spec in specs.items():
+            databases[name] = (
+                _parse_database(spec),
+                tuple(_parse_constraints(spec.get("constraints"))),
+            )
+        with self._lock:
+            self.store.install_state(specs, lsn, epoch)
+            self._databases = databases
+
+    def handle_replica_pull(
+        self, payload: Dict[str, object]
+    ) -> Handled:
+        """POST /v1/replica/pull — ship the WAL tail to a follower.
+
+        Long-polls ``wait_s`` when the follower is caught up; answers
+        a snapshot ``bootstrap`` when compaction already folded the
+        requested range.  A pull carrying a *higher* epoch than ours
+        is proof a successor was promoted: we fence ourselves before
+        answering (split-brain guard — the 409 is the demotion).
+        """
+        store = self.store
+        if store is None:
+            return (
+                400,
+                {"error": "replication requires a durable store"},
+                _NO_HEADERS,
+            )
+        if self._phase == "recovering":
+            gate = self._not_ready()
+            if gate is not None:
+                return gate
+        req_epoch = payload.get("epoch")
+        if not isinstance(req_epoch, int):
+            req_epoch = 0
+        if req_epoch > store.epoch:
+            store.fence(req_epoch)
+            self._role = "fenced"
+            add("replica.self_fenced")
+            live_add("replica.self_fenced")
+            emit_event(
+                "replica.fence", epoch=req_epoch, reason="higher-epoch-pull"
+            )
+            return (
+                409,
+                {
+                    "error": "fenced",
+                    "epoch": req_epoch,
+                    "own_epoch": store.epoch,
+                },
+                _NO_HEADERS,
+            )
+        if self._role != "primary":
+            body: Dict[str, object] = {
+                "error": "fenced" if self._role == "fenced" else "not-primary",
+                "role": self._role,
+                "epoch": store.epoch,
+            }
+            if self._primary_url:
+                body["primary_url"] = self._primary_url
+            return (
+                409 if self._role == "fenced" else 403,
+                body,
+                _NO_HEADERS,
+            )
+        from_lsn = payload.get("from_lsn")
+        if not isinstance(from_lsn, int) or from_lsn < 0:
+            return self._bad_request(
+                "'from_lsn' must be a non-negative integer"
+            )
+        try:
+            wait_s = min(max(0.0, float(payload.get("wait_s") or 0.0)), 5.0)
+        except (TypeError, ValueError):
+            return self._bad_request("'wait_s' must be a number")
+        records = store.records_since(from_lsn)
+        if records is not None and not records and wait_s > 0:
+            store.wait_for_lsn(from_lsn + 1, wait_s)
+            records = store.records_since(from_lsn)
+        add("replica.pulls_served")
+        live_add("replica.pulls_served")
+        if records is None:
+            add("replica.bootstraps_served")
+            live_add("replica.bootstraps_served")
+            body = {
+                "bootstrap": store.state_transfer(),
+                "last_lsn": store.last_lsn,
+                "epoch": store.epoch,
+            }
+        else:
+            add("replica.records_shipped", len(records))
+            live_add("replica.records_shipped", len(records))
+            body = {
+                "records": records,
+                "last_lsn": store.last_lsn,
+                "epoch": store.epoch,
+            }
+        follower = str(payload.get("follower") or "anon")
+        lag = max(0, store.last_lsn - from_lsn)
+        with self._lock:
+            self._followers[follower] = {
+                "acked_lsn": from_lsn,
+                "lag_records": lag,
+                "epoch": req_epoch,
+                "last_pull_age_s": 0.0,
+                "_last_pull_at": self._clock(),
+            }
+        live_gauge(f"replica.follower.lag.{follower}", lag)
+        return 200, body, _NO_HEADERS
+
+    def handle_replica_promote(
+        self, payload: Optional[Dict[str, object]] = None
+    ) -> Handled:
+        """POST /v1/replica/promote — follower → candidate → primary.
+
+        Candidate catch-up drains whatever the (possibly dead) primary
+        still serves with one final best-effort pull, then the epoch
+        bump makes the claim durable: from that record on, the old
+        primary's epoch is stale and every surviving node will fence
+        it on contact.
+        """
+        store = self.store
+        if store is None:
+            return (
+                400,
+                {"error": "replication requires a durable store"},
+                _NO_HEADERS,
+            )
+        if self._role == "primary":
+            return (
+                200,
+                {
+                    "role": "primary",
+                    "epoch": store.epoch,
+                    "last_lsn": store.last_lsn,
+                    "already_primary": True,
+                },
+                _NO_HEADERS,
+            )
+        if self._role == "fenced":
+            return (
+                409,
+                {"error": "fenced", "epoch": store.fenced},
+                _NO_HEADERS,
+            )
+        started = self._clock()
+        self._phase = "catching-up"
+        replica = self._replica
+        residual_lag = None
+        if replica is not None:
+            replica.stop()
+            try:
+                replica.pull_once(wait_s=0.0)
+            except (StoreCorruptionError, StoreWriteError):
+                pass  # dead or diverged upstream — promote from here
+            residual_lag = replica.lag()
+        try:
+            epoch = store.bump_epoch()
+        except StoreWriteError as exc:
+            # The claim never became durable: stay a follower (the
+            # pull loop is restarted by the operator's retry).
+            self._phase = "ready"
+            return self._store_unavailable(exc)
+        self._replica = None
+        self._role = "primary"
+        self._primary_url = None
+        self._phase = "ready"
+        elapsed_ms = (self._clock() - started) * 1000.0
+        add("replica.promotions")
+        live_add("replica.promotions")
+        live_observe("replica.promotion_ms", elapsed_ms)
+        live_gauge("replica.epoch", epoch)
+        emit_event(
+            "replica.promote",
+            epoch=epoch,
+            last_lsn=store.last_lsn,
+            elapsed_ms=round(elapsed_ms, 3),
+            residual_lag=residual_lag,
+        )
+        return (
+            200,
+            {
+                "role": "primary",
+                "epoch": epoch,
+                "last_lsn": store.last_lsn,
+                "promotion_ms": round(elapsed_ms, 3),
+                "residual_lag": residual_lag,
+            },
+            _NO_HEADERS,
+        )
+
+    def handle_replica_fence(
+        self, payload: Dict[str, object]
+    ) -> Handled:
+        """POST /v1/replica/fence — operator/peer demotion by epoch."""
+        store = self.store
+        if store is None:
+            return (
+                400,
+                {"error": "replication requires a durable store"},
+                _NO_HEADERS,
+            )
+        epoch = payload.get("epoch")
+        if not isinstance(epoch, int) or epoch < 1:
+            return self._bad_request(
+                "'epoch' must be a positive integer"
+            )
+        if not store.fence(epoch):
+            return (
+                409,
+                {
+                    "error": "stale-epoch",
+                    "epoch": store.epoch,
+                    "detail": (
+                        f"own epoch {store.epoch} >= {epoch}; "
+                        "refusing to fence the highest-epoch node"
+                    ),
+                },
+                _NO_HEADERS,
+            )
+        if self._replica is not None:
+            self._replica.stop()
+            self._replica = None
+        self._role = "fenced"
+        add("replica.fenced")
+        live_add("replica.fenced")
+        emit_event("replica.fence", epoch=epoch, reason="operator")
+        return (
+            200,
+            {
+                "role": "fenced",
+                "fenced_by": epoch,
+                "epoch": store.epoch,
+                "last_lsn": store.last_lsn,
+            },
+            _NO_HEADERS,
+        )
+
+    def replication(self) -> Dict[str, object]:
+        """JSON-ready replication status for ``/v1/replica/status``."""
+        doc: Dict[str, object] = {
+            "role": self._role,
+            "phase": self._phase,
+        }
+        store = self.store
+        if store is not None:
+            doc["epoch"] = store.epoch
+            doc["last_lsn"] = store.last_lsn
+            doc["fenced_by"] = store.fenced
+        replica = self._replica
+        if replica is not None:
+            doc["client"] = replica.stats()
+            doc["max_stale_s"] = self._max_stale_s
+        with self._lock:
+            if self._followers:
+                now = self._clock()
+                followers = {}
+                for name, info in self._followers.items():
+                    entry = {
+                        key: value
+                        for key, value in info.items()
+                        if not key.startswith("_")
+                    }
+                    entry["last_pull_age_s"] = round(
+                        now - info["_last_pull_at"], 3
+                    )
+                    followers[name] = entry
+                doc["followers"] = followers
+        return doc
+
+    def handle_replica_status(self) -> Handled:
+        return 200, self.replication(), _NO_HEADERS
+
+    def begin_drain(self) -> None:
+        """SIGTERM received: stop advertising readiness (idempotent)."""
+        if self._phase == "draining":
+            return
+        self._phase = "draining"
+        add("serve.drains")
+        live_add("serve.drains")
+        emit_event("serve.drain", role=self._role)
+
     # -- unbudgeted introspection endpoints ---------------------------
 
     def handle_report(self, name: str) -> Handled:
@@ -618,16 +1151,18 @@ class CQAService:
         )
 
     def health(self) -> Handled:
-        """Liveness *and* readiness: 503 ``{"phase": "recovering"}``
-        until WAL replay completes, 200 ``{"phase": "ready"}`` after —
-        so a load balancer holds traffic exactly as long as answers
-        could be served from a half-recovered registry."""
+        """Liveness *and* readiness: 503 with the phase while it is
+        anything but ``ready`` — ``recovering``/``catching-up`` because
+        answers could come from a half-recovered registry, and
+        ``draining`` so load balancers stop routing during the drain
+        window instead of only after close."""
         body: Dict[str, object] = {
             "status": "ok",
             "phase": self._phase,
+            "role": self._role,
         }
         if self._phase != "ready":
-            body["status"] = "recovering"
+            body["status"] = self._phase
             return 503, body, _NO_HEADERS
         if self.pool is not None:
             stats = self.pool.stats()
@@ -638,6 +1173,8 @@ class CQAService:
             body["store"] = self.store.stats()
             if self.store.failed is not None:
                 body["status"] = "degraded"
+        if self._role != "primary" or self._followers:
+            body["replication"] = self.replication()
         body["tenants"] = self.admission.stats()
         return 200, body, _NO_HEADERS
 
@@ -645,7 +1182,10 @@ class CQAService:
         return 400, {"error": message}, _NO_HEADERS
 
     def close(self) -> None:
-        """Drain the pool and close the store; idempotent."""
+        """Stop replication, drain the pool, close the store; idempotent."""
+        if self._replica is not None:
+            self._replica.stop()
+            self._replica = None
         if self.pool is not None:
             self.pool.drain()
         if self.store is not None:

@@ -29,6 +29,17 @@ The WAL doubles as the tuple-level delta stream Lopatenko–Bertossi
 incremental repair semantics consume (ROADMAP item 3): every ``mutate``
 record is an ``(insert, delete)`` fact-set pair against a known-good
 base state.
+
+PR 10 makes the same log the unit of *replication*: every record and
+snapshot carries a monotonically increasing fencing ``epoch``,
+:meth:`TenantStore.records_since` streams the tail to followers (with
+:meth:`TenantStore.state_transfer` as the snapshot-bootstrap fallback
+once compaction has folded the requested range), and
+:meth:`TenantStore.apply_replicated` is the follower-side apply loop —
+idempotent under duplicated pulls, refusing gaps and lower-epoch
+writers.  :meth:`TenantStore.fence` latches a demoted primary so its
+appends raise :class:`FencedError` (split-brain acks are impossible:
+at most one node holds the highest durable epoch and only it acks).
 """
 
 from __future__ import annotations
@@ -62,6 +73,7 @@ from .wal import (
 
 __all__ = [
     "FSYNC_POLICIES",
+    "FencedError",
     "RecoveredState",
     "StoreCorruptionError",
     "StorePolicy",
@@ -80,6 +92,10 @@ WAL_FILE = "wal.log"
 
 class StoreCorruptionError(ReproError):
     """The log holds acknowledged records that cannot be recovered."""
+
+
+class FencedError(StoreWriteError):
+    """A higher-epoch writer exists; this node may not ack writes."""
 
 
 @dataclass(frozen=True)
@@ -111,6 +127,7 @@ class RecoveredState:
     corrupt_bytes_dropped: int
     state_digest: str
     elapsed_s: float
+    epoch: int = 0
     problems: List[str] = field(default_factory=list)
 
 
@@ -151,6 +168,8 @@ def apply_record(
                 )
             if values not in rel["rows"]:
                 rel["rows"].append(values)
+    elif op == "epoch":
+        pass  # fencing marker: durable but state-neutral
     else:
         raise StoreCorruptionError(
             f"lsn {record.get('lsn')}: unknown op {op!r}"
@@ -176,8 +195,16 @@ class TenantStore:
         self.policy = policy or StorePolicy()
         self._clock = clock
         self._lock = threading.Lock()
+        #: Signalled on every applied record; backs ``wait_for_lsn``
+        #: (long-poll shipping, follower read-your-writes waits).
+        self._applied = threading.Condition(self._lock)
         self._specs: Dict[str, Dict[str, object]] = {}
         self._last_lsn = 0
+        self._epoch = 0
+        self._fenced_by: Optional[int] = None
+        #: Records since the snapshot, in LSN order — the shippable
+        #: tail.  Bounded by ``compact_every`` (cleared on compaction).
+        self._tail: List[Dict[str, object]] = []
         self._snapshot_lsn = 0
         self._snapshot_digest: Optional[str] = None
         self._snapshot_at: Optional[float] = None
@@ -242,10 +269,16 @@ class TenantStore:
                 )
             replayed = 0
             last_lsn = snap_lsn
+            epoch = snapshot.epoch if snapshot else 0
+            tail: List[Dict[str, object]] = []
             for record in scan.records:
+                record_epoch = record.get("epoch", 0)
+                if isinstance(record_epoch, int):
+                    epoch = max(epoch, record_epoch)
                 if record["lsn"] <= snap_lsn:
                     continue  # folded into the snapshot already
                 apply_record(specs, record)
+                tail.append(record)
                 replayed += 1
                 last_lsn = record["lsn"]
             add("store.records_replayed", replayed)
@@ -253,6 +286,8 @@ class TenantStore:
             elapsed = self._clock() - started
             self._specs = specs
             self._last_lsn = last_lsn
+            self._epoch = epoch
+            self._tail = tail
             self._snapshot_lsn = snap_lsn
             self._snapshot_digest = snapshot.digest if snapshot else None
             self._snapshot_at = self._clock() if snapshot else None
@@ -271,6 +306,7 @@ class TenantStore:
                 corrupt_bytes_dropped=dropped,
                 state_digest=digest,
                 elapsed_s=elapsed,
+                epoch=epoch,
                 problems=problems,
             )
             live_observe("store.recovery_ms", elapsed * 1000.0)
@@ -297,11 +333,19 @@ class TenantStore:
                 raise StoreWriteError(
                     "store is not recovered; call recover() first"
                 )
+            if self._fenced_by is not None:
+                add("replica.fenced_rejects")
+                live_add("replica.fenced_rejects")
+                raise FencedError(
+                    f"fenced: epoch {self._fenced_by} supersedes "
+                    f"{self._epoch}; this node may not ack writes"
+                )
             lsn = self._last_lsn + 1
-            record = dict(record, lsn=lsn)
+            record = dict(record, lsn=lsn, epoch=self._epoch)
             self._wal.append(record)
             self._last_lsn = lsn
             apply_record(self._specs, record)
+            self._tail.append(record)
             self._records_since_snapshot += 1
             live_add("store.appends")
             if (
@@ -309,6 +353,7 @@ class TenantStore:
                 >= self.policy.compact_every
             ):
                 self._compact_locked()
+            self._applied.notify_all()
             return lsn
 
     def append_put_db(self, name: str, spec: Dict[str, object]) -> int:
@@ -332,6 +377,215 @@ class TenantStore:
             }
         )
 
+    # -- replication ---------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        return self._last_lsn
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def fenced(self) -> Optional[int]:
+        """The superseding epoch this node was fenced by, or None."""
+        return self._fenced_by
+
+    def bump_epoch(self) -> int:
+        """Durably claim the next epoch (promotion); returns it.
+
+        The claim is a WAL record synced to disk regardless of the
+        fsync policy: a primary that acked writes under epoch *e* must
+        never reboot believing it is still entitled to epoch *e* after
+        a successor claimed *e+1* through it.
+        """
+        with self._lock:
+            if self._wal is None:
+                raise StoreWriteError(
+                    "store is not recovered; call recover() first"
+                )
+            if self._fenced_by is not None:
+                raise FencedError(
+                    f"fenced by epoch {self._fenced_by}; a fenced node "
+                    "cannot claim a new epoch without operator intent"
+                )
+            self._epoch += 1
+            lsn = self._last_lsn + 1
+            record = {"op": "epoch", "lsn": lsn, "epoch": self._epoch}
+            self._wal.append(record)
+            self._wal.sync()
+            self._last_lsn = lsn
+            self._tail.append(record)
+            self._records_since_snapshot += 1
+            add("store.epoch_bumps")
+            live_add("store.epoch_bumps")
+            self._applied.notify_all()
+            return self._epoch
+
+    def fence(self, epoch: int) -> bool:
+        """Latch the store against a higher-epoch writer.
+
+        Returns True when the latch engaged (``epoch`` strictly
+        exceeds our own); False means the caller's epoch is stale and
+        *they* should fence instead.  Idempotent; crash-only in the
+        same sense as the failed latch — only a restart that observes
+        a newer epoch on disk clears it.
+        """
+        with self._lock:
+            if epoch <= self._epoch and self._fenced_by is None:
+                return False
+            if self._fenced_by is None or epoch > self._fenced_by:
+                self._fenced_by = epoch
+            return True
+
+    def records_since(
+        self, from_lsn: int
+    ) -> Optional[List[Dict[str, object]]]:
+        """Shippable records with ``lsn > from_lsn``, in order.
+
+        Returns None when the range predates the in-memory tail
+        (compaction folded it): the follower must bootstrap from
+        :meth:`state_transfer` instead.
+        """
+        with self._lock:
+            if from_lsn >= self._last_lsn:
+                return []
+            if from_lsn < self._snapshot_lsn or (
+                self._tail
+                and from_lsn < self._tail[0]["lsn"] - 1
+            ):
+                return None
+            return [
+                copy.deepcopy(record)
+                for record in self._tail
+                if record["lsn"] > from_lsn
+            ]
+
+    def state_transfer(self) -> Dict[str, object]:
+        """Full-state bootstrap payload for a new/lagging follower."""
+        with self._lock:
+            add("replica.state_transfers")
+            return {
+                "databases": copy.deepcopy(self._specs),
+                "lsn": self._last_lsn,
+                "epoch": self._epoch,
+                "state_digest": state_digest(self._specs)[0],
+            }
+
+    def apply_replicated(self, record: Dict[str, object]) -> bool:
+        """Follower apply loop: replay one shipped record durably.
+
+        Preserves the primary's LSN and epoch.  Duplicates
+        (``lsn <= last_lsn``, from a retried/duplicated pull) are
+        skipped idempotently (returns False); a gap means the stream
+        desynchronized and raises :class:`StoreCorruptionError`; a
+        record from a *lower* epoch than ours is a fenced writer's and
+        raises :class:`FencedError`.
+        """
+        with self._lock:
+            if self._wal is None:
+                raise StoreWriteError(
+                    "store is not recovered; call recover() first"
+                )
+            lsn = record.get("lsn")
+            if not isinstance(lsn, int) or lsn <= 0:
+                raise StoreCorruptionError(
+                    f"replicated record without a valid lsn: {record!r}"
+                )
+            record_epoch = record.get("epoch", 0)
+            if not isinstance(record_epoch, int):
+                record_epoch = 0
+            # Stale-writer guard, both forms: a record older than what
+            # we have already applied, or older than the epoch we were
+            # explicitly fenced by (the fence may name an epoch no
+            # record has reached us from yet).
+            floor = max(self._epoch, self._fenced_by or 0)
+            if record_epoch < floor:
+                add("replica.fenced_rejects")
+                live_add("replica.fenced_rejects")
+                raise FencedError(
+                    f"record lsn {lsn} from stale epoch "
+                    f"{record_epoch} < {floor}"
+                )
+            if lsn <= self._last_lsn:
+                add("store.duplicate_skipped")
+                live_add("store.duplicate_skipped")
+                return False
+            if lsn != self._last_lsn + 1:
+                raise StoreCorruptionError(
+                    f"replication gap: expected lsn "
+                    f"{self._last_lsn + 1}, got {lsn}"
+                )
+            self._wal.append(record)
+            apply_record(self._specs, record)
+            self._last_lsn = lsn
+            self._epoch = max(self._epoch, record_epoch)
+            self._tail.append(dict(record))
+            self._records_since_snapshot += 1
+            live_add("store.appends")
+            live_add("replica.records_applied")
+            if (
+                self._records_since_snapshot
+                >= self.policy.compact_every
+            ):
+                self._compact_locked()
+            self._applied.notify_all()
+            return True
+
+    def install_state(
+        self,
+        specs: Dict[str, Dict[str, object]],
+        lsn: int,
+        epoch: int,
+    ) -> None:
+        """Adopt a :meth:`state_transfer` payload (snapshot bootstrap).
+
+        Crash-safe like compaction: the snapshot is written atomically
+        *before* the WAL resets, so a kill between the two replays
+        pre-bootstrap records, sees their LSNs folded into the
+        snapshot, and skips them.
+        """
+        with self._lock:
+            if self._wal is None:
+                raise StoreWriteError(
+                    "store is not recovered; call recover() first"
+                )
+            specs = copy.deepcopy(specs)
+            snapshot = write_snapshot(
+                self.data_dir,
+                specs,
+                lsn,
+                compaction={"bootstrap": True, "at_lsn": lsn},
+                epoch=epoch,
+            )
+            self._wal.reset()
+            prune_snapshots(
+                self.data_dir, keep=self.policy.snapshots_kept
+            )
+            self._specs = specs
+            self._last_lsn = lsn
+            self._epoch = epoch
+            self._tail = []
+            self._snapshot_lsn = lsn
+            self._snapshot_digest = snapshot.digest
+            self._snapshot_at = self._clock()
+            self._records_since_snapshot = 0
+            add("replica.bootstraps")
+            live_add("replica.bootstraps")
+            self._applied.notify_all()
+
+    def wait_for_lsn(self, lsn: int, timeout_s: float) -> bool:
+        """Block until ``last_lsn >= lsn`` or the timeout elapses."""
+        deadline = self._clock() + max(0.0, timeout_s)
+        with self._applied:
+            while self._last_lsn < lsn:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._applied.wait(min(remaining, 0.5))
+            return True
+
     # -- compaction ----------------------------------------------------
 
     def compact(self) -> Dict[str, object]:
@@ -351,6 +605,7 @@ class TenantStore:
                     "records_folded": folded,
                     "at_lsn": self._last_lsn,
                 },
+                epoch=self._epoch,
             )
             if self._wal is not None:
                 self._wal.reset()
@@ -362,6 +617,7 @@ class TenantStore:
         self._snapshot_digest = snapshot.digest
         self._snapshot_at = self._clock()
         self._records_since_snapshot = 0
+        self._tail = []
         self._last_compaction = {
             "at_lsn": snapshot.lsn,
             "records_folded": folded,
@@ -412,6 +668,9 @@ class TenantStore:
                 "fsync": self.policy.fsync,
                 "databases": len(self._specs),
                 "last_lsn": self._last_lsn,
+                "epoch": self._epoch,
+                "fenced_by": self._fenced_by,
+                "tail_records": len(self._tail),
                 "wal": {
                     "records_since_snapshot": (
                         self._records_since_snapshot
@@ -511,10 +770,14 @@ def verify_store(data_dir) -> Dict[str, object]:
     )
     snap_lsn = snapshot.lsn if snapshot else 0
     last_lsn = snap_lsn
+    epoch = snapshot.epoch if snapshot else 0
     replayed = 0
     digest = None
     try:
         for record in scan.records:
+            record_epoch = record.get("epoch", 0)
+            if isinstance(record_epoch, int):
+                epoch = max(epoch, record_epoch)
             if record["lsn"] <= snap_lsn:
                 continue
             apply_record(specs, record)
@@ -532,6 +795,7 @@ def verify_store(data_dir) -> Dict[str, object]:
         "snapshot_digest": snapshot.digest if snapshot else None,
         "records_replayed": replayed,
         "last_lsn": last_lsn,
+        "epoch": epoch,
         "state_digest": digest,
         "databases": {
             name: {

@@ -91,6 +91,9 @@ class Snapshot:
     digest: str
     per_db: Dict[str, Dict[str, str]]
     compaction: Optional[Dict[str, object]] = None
+    #: Fencing epoch the state was current under (0 for pre-replication
+    #: snapshots — the key is optional so old generations still load).
+    epoch: int = 0
 
 
 def write_snapshot(
@@ -98,12 +101,14 @@ def write_snapshot(
     specs: Dict[str, Dict[str, object]],
     lsn: int,
     compaction: Optional[Dict[str, object]] = None,
+    epoch: int = 0,
 ) -> Snapshot:
     """Atomically write the state at *lsn*; returns the snapshot."""
     digest, per_db = state_digest(specs)
     document = {
         "schema": SNAPSHOT_SCHEMA,
         "lsn": lsn,
+        "epoch": epoch,
         "state_digest": digest,
         "per_db": per_db,
         "databases": specs,
@@ -128,6 +133,7 @@ def write_snapshot(
         digest=digest,
         per_db=per_db,
         compaction=compaction,
+        epoch=epoch,
     )
 
 
@@ -178,6 +184,9 @@ def _load_one(path: str) -> Optional[Snapshot]:
             digest,
         )
         return None
+    epoch = document.get("epoch", 0)
+    if not isinstance(epoch, int) or epoch < 0:
+        epoch = 0
     return Snapshot(
         path=path,
         lsn=document["lsn"],
@@ -185,6 +194,7 @@ def _load_one(path: str) -> Optional[Snapshot]:
         digest=digest,
         per_db=per_db,
         compaction=document.get("compaction"),
+        epoch=epoch,
     )
 
 

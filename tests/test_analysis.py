@@ -347,7 +347,7 @@ class TestCommittedBaselines:
         / "baselines"
     )
 
-    def test_all_thirteen_suites_are_committed(self):
+    def test_all_fourteen_suites_are_committed(self):
         names = sorted(
             p.stem[len("BENCH_"):]
             for p in self.BASELINES.glob("BENCH_*.json")
@@ -355,8 +355,8 @@ class TestCommittedBaselines:
         assert names == [
             "asp", "causality", "cqa_methods", "crepairs", "extensions",
             "further_developments", "incremental", "measures",
-            "paper_examples", "scaling", "serve", "sql_rewriting",
-            "store",
+            "paper_examples", "replica", "scaling", "serve",
+            "sql_rewriting", "store",
         ]
 
     def test_obs_diff_round_trips_every_baseline(self):
