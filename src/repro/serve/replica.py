@@ -162,6 +162,23 @@ class ReplicaClient:
                 live_add("replica.apply_errors")
                 self._stop.wait(self.config.backoff_s)
                 continue
+            except Exception as exc:  # noqa: BLE001 — loop must survive
+                # Anything unexpected (malformed body shape, a parse
+                # error inside a bootstrap, a bug) must not kill the
+                # daemon thread silently: replication stopping forever
+                # with running=True-looking stats is worse than any
+                # single bad pull.  Record, count, back off, retry.
+                self.pull_errors += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                add("replica.loop_errors")
+                live_add("replica.loop_errors")
+                emit_event(
+                    "replica.loop_error",
+                    follower=self.config.follower_id,
+                    error=self.last_error,
+                )
+                self._stop.wait(self.config.backoff_s)
+                continue
             if applied == 0 and not self._stop.is_set():
                 self._stop.wait(self.config.poll_interval_s)
 

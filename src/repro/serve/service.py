@@ -39,9 +39,12 @@ Replication adds a *role* axis orthogonal to the phase:
   ``stale-read`` when the bound cannot be met); a background
   :class:`~repro.serve.replica.ReplicaClient` pulls the primary's WAL;
 * ``fenced`` — a demoted primary: a higher epoch exists, the store
-  latches every append with :class:`~repro.serve.store.FencedError`,
-  and mutations answer 403 until an operator restarts it as a fresh
-  follower.
+  latches every append with :class:`~repro.serve.store.FencedError`
+  (the latch is durable — a restart recovers straight back into
+  ``fenced``), mutations answer 403, and reads shed with a typed 503
+  (``fenced``) because with no pull feed the node's staleness is
+  unknowable.  It re-enters service only as ``--follower-of`` the
+  superseding lineage, whose stream clears the latch on catch-up.
 
 The phase gate gains ``catching-up`` (follower replaying toward the
 primary's head — not yet serving reads) and ``draining`` (SIGTERM
@@ -176,6 +179,17 @@ class CQAService:
             )
         with self._lock:
             self._databases = databases
+        if recovered.fenced_by is not None:
+            # The durable latch survived the restart: a fenced
+            # ex-primary reboots fenced, not back into acking at its
+            # old epoch.  (``start_follower`` may still turn it into a
+            # follower of the superseding lineage.)
+            self._role = "fenced"
+            emit_event(
+                "replica.fence",
+                epoch=recovered.fenced_by,
+                reason="restored-from-disk",
+            )
         if self.pool is not None:
             # The pool outlived nothing (fresh process) — ping every
             # worker so the first post-recovery request hits a warm,
@@ -422,18 +436,31 @@ class CQAService:
         return 200, {"databases": listing}, _NO_HEADERS
 
     def _resolve_instance(
-        self, payload: Dict[str, object]
+        self,
+        payload: Dict[str, object],
+        view: Optional[Dict[str, object]] = None,
     ) -> Tuple[Database, Sequence]:
         """The instance a request addresses: a registered name or an
-        inline definition (one-shot, nothing persisted)."""
+        inline definition (one-shot, nothing persisted).
+
+        When a *view* doc is passed, the store's ``last_lsn`` is
+        captured into it under the same lock that snapshots the
+        registry, so the stamped ``as_of_lsn`` is exactly the LSN the
+        served instance reflects — a write landing while the query
+        runs cannot inflate it.
+        """
         name = payload.get("db")
         if name is not None:
             with self._lock:
                 found = self._databases.get(name)
+                if view is not None and self.store is not None:
+                    view["as_of_lsn"] = self.store.last_lsn
             if found is None:
                 raise PayloadError(f"no database {name!r} is registered")
             return found
         if "relations" in payload:
+            if view is not None and self.store is not None:
+                view["as_of_lsn"] = self.store.last_lsn
             return (
                 _parse_database(payload),
                 tuple(_parse_constraints(payload.get("constraints"))),
@@ -475,7 +502,9 @@ class CQAService:
             outcome = "error"
             try:
                 view = self._read_view(payload, timeout_s)
-                status, body, headers = runner(payload, timeout_s, rid)
+                status, body, headers = runner(
+                    payload, timeout_s, rid, view
+                )
                 outcome = body.get("outcome", "ok")
                 if view is not None and status == 200:
                     body, headers = self._stamp_view(body, headers, view)
@@ -521,9 +550,13 @@ class CQAService:
         durable store).  A ``min_lsn`` the local state has not reached
         is waited on briefly (read-your-writes usually needs only the
         in-flight pull to land); past the wait budget, and whenever a
-        follower's feed has been silent beyond ``max_stale_s``, the
-        read sheds with :class:`StaleReadError` — a typed refusal, not
-        a stale answer.
+        non-primary's feed cannot prove freshness within
+        ``max_stale_s``, the read sheds with :class:`StaleReadError` —
+        a typed refusal, not a stale answer.  Lag-bounded is a
+        property of the *replica*: a fenced node has no feed at all
+        (its pull client is stopped), so its staleness is unknowable
+        and every read sheds rather than aging silently behind a
+        fabricated ``stale_s: 0.0``.
         """
         store = self.store
         if store is None:
@@ -533,10 +566,16 @@ class CQAService:
             not isinstance(min_lsn, int) or min_lsn < 0
         ):
             raise PayloadError("'min_lsn' must be a non-negative integer")
+        role = self._role
         replica = self._replica
-        stale_s = (
-            replica.staleness_s() if replica is not None else 0.0
-        )
+        if role == "primary":
+            stale_s: Optional[float] = 0.0
+        else:
+            # No replica client (never started, or stopped by a
+            # fence) means freshness is unknowable: None, never 0.0.
+            stale_s = (
+                replica.staleness_s() if replica is not None else None
+            )
         if min_lsn and store.last_lsn < min_lsn:
             wait_budget = min(max(0.0, timeout_s), 2.0)
             if not store.wait_for_lsn(min_lsn, wait_budget):
@@ -549,20 +588,18 @@ class CQAService:
                     stale_s=stale_s,
                     primary_url=self._primary_url,
                 )
-        if self._role == "follower":
-            stale_s = (
-                replica.staleness_s() if replica is not None else None
+        if role != "primary" and (
+            stale_s is None or stale_s > self._max_stale_s
+        ):
+            add("replica.stale_reads_shed")
+            live_add("replica.stale_reads_shed")
+            raise StaleReadError(
+                "fenced" if role == "fenced" else "replication-stalled",
+                min_lsn=min_lsn,
+                as_of_lsn=store.last_lsn,
+                stale_s=stale_s,
+                primary_url=self._primary_url,
             )
-            if stale_s is None or stale_s > self._max_stale_s:
-                add("replica.stale_reads_shed")
-                live_add("replica.stale_reads_shed")
-                raise StaleReadError(
-                    "replication-stalled",
-                    min_lsn=min_lsn,
-                    as_of_lsn=store.last_lsn,
-                    stale_s=stale_s,
-                    primary_url=self._primary_url,
-                )
         return {"stale_s": stale_s}
 
     def _stamp_view(
@@ -571,10 +608,15 @@ class CQAService:
         headers: Dict[str, str],
         view: Dict[str, object],
     ) -> Tuple[Dict[str, object], Dict[str, str]]:
-        # ``last_lsn`` read *after* the query: the registry only
-        # advances, and the min_lsn wait already ran before it, so the
-        # served state reflects at least the stamped LSN's prefix.
-        as_of = self.store.last_lsn
+        # ``as_of_lsn`` was captured by ``_resolve_instance`` under
+        # the registry lock, so it is exactly the LSN of the snapshot
+        # that answered — never inflated by a write that landed while
+        # the query ran.  (The min_lsn wait precedes resolution, so it
+        # is also >= any satisfied ``min_lsn``.)  The fallback covers
+        # handlers that never resolve an instance.
+        as_of = view.get("as_of_lsn")
+        if not isinstance(as_of, int):
+            as_of = self.store.last_lsn
         stale_s = view.get("stale_s")
         body["as_of_lsn"] = as_of
         headers = dict(headers)
@@ -640,9 +682,13 @@ class CQAService:
         return handled
 
     def _run_cqa(
-        self, payload: Dict[str, object], timeout_s: float, rid: str
+        self,
+        payload: Dict[str, object],
+        timeout_s: float,
+        rid: str,
+        view: Optional[Dict[str, object]] = None,
     ) -> Handled:
-        db, constraints = self._resolve_instance(payload)
+        db, constraints = self._resolve_instance(payload, view)
         query_text = payload.get("query")
         if not isinstance(query_text, str):
             raise PayloadError("payload needs a 'query' string")
@@ -718,9 +764,13 @@ class CQAService:
             return None
 
     def _run_repairs(
-        self, payload: Dict[str, object], timeout_s: float, rid: str
+        self,
+        payload: Dict[str, object],
+        timeout_s: float,
+        rid: str,
+        view: Optional[Dict[str, object]] = None,
     ) -> Handled:
-        db, constraints = self._resolve_instance(payload)
+        db, constraints = self._resolve_instance(payload, view)
         semantics = str(payload.get("semantics", "s"))
         limit = payload.get("limit")
         if limit is not None and (

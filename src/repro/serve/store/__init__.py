@@ -40,11 +40,18 @@ idempotent under duplicated pulls, refusing gaps and lower-epoch
 writers.  :meth:`TenantStore.fence` latches a demoted primary so its
 appends raise :class:`FencedError` (split-brain acks are impossible:
 at most one node holds the highest durable epoch and only it acks).
+The latch is *durable*: engaging it writes a ``fenced.json`` marker
+(atomic tmp + rename + dir fsync, like snapshots) that ``recover()``
+reads back, so a fenced ex-primary that restarts stays fenced instead
+of acking at its old epoch again.  It clears only when the directory's
+history adopts the superseding lineage — a replicated record or
+bootstrap at/above the fencing epoch (the rejoin-as-follower path).
 """
 
 from __future__ import annotations
 
 import copy
+import json
 import os
 import threading
 import time
@@ -88,6 +95,9 @@ __all__ = [
 StoreWriteError = WalWriteError
 
 WAL_FILE = "wal.log"
+#: Durable fencing latch: present iff a higher-epoch writer superseded
+#: this directory; read back by ``recover()`` so restarts stay fenced.
+FENCE_FILE = "fenced.json"
 
 
 class StoreCorruptionError(ReproError):
@@ -128,6 +138,7 @@ class RecoveredState:
     state_digest: str
     elapsed_s: float
     epoch: int = 0
+    fenced_by: Optional[int] = None
     problems: List[str] = field(default_factory=list)
 
 
@@ -218,6 +229,63 @@ class TenantStore:
         return os.path.join(self.data_dir, WAL_FILE)
 
     @property
+    def fence_path(self) -> str:
+        return os.path.join(self.data_dir, FENCE_FILE)
+
+    def _persist_fence_locked(self) -> None:
+        """Write the fencing latch durably (atomic, like snapshots).
+
+        Best-effort on I/O failure: the in-memory latch already
+        engaged (refusing acks needs no disk), so a marker that could
+        not be written degrades durability of the *restart* guarantee
+        only — loudly, via the event log.
+        """
+        tmp = f"{self.fence_path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"fenced_by": self._fenced_by, "epoch": self._epoch},
+                    handle,
+                )
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.fence_path)
+            fsync_dir(self.fence_path)
+        except OSError as exc:
+            add("store.fence_persist_failures")
+            emit_event(
+                "store.fence_persist_failed",
+                fenced_by=self._fenced_by,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def _clear_fence_locked(self) -> None:
+        self._fenced_by = None
+        try:
+            os.unlink(self.fence_path)
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass  # stale marker; recover() ignores it once epoch caught up
+        else:
+            fsync_dir(self.fence_path)
+
+    def _read_fence_marker(self) -> Optional[int]:
+        try:
+            with open(self.fence_path, "r", encoding="utf-8") as handle:
+                fenced_by = json.load(handle).get("fenced_by")
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            emit_event(
+                "store.fence_marker_unreadable",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return None
+        return fenced_by if isinstance(fenced_by, int) else None
+
+    @property
     def recovered(self) -> Optional[RecoveredState]:
         return self._recovery
 
@@ -282,11 +350,24 @@ class TenantStore:
                 replayed += 1
                 last_lsn = record["lsn"]
             add("store.records_replayed", replayed)
+            fenced_by = self._read_fence_marker()
+            if fenced_by is not None and fenced_by <= epoch:
+                # The directory's history already adopted the
+                # superseding lineage (rejoined as a follower and
+                # replayed records at/above the fencing epoch): the
+                # latch is spent.
+                fenced_by = None
             digest, _per_db = state_digest(specs)
             elapsed = self._clock() - started
             self._specs = specs
             self._last_lsn = last_lsn
             self._epoch = epoch
+            self._fenced_by = fenced_by
+            if fenced_by is None:
+                try:
+                    os.unlink(self.fence_path)
+                except OSError:
+                    pass
             self._tail = tail
             self._snapshot_lsn = snap_lsn
             self._snapshot_digest = snapshot.digest if snapshot else None
@@ -307,6 +388,7 @@ class TenantStore:
                 state_digest=digest,
                 elapsed_s=elapsed,
                 epoch=epoch,
+                fenced_by=fenced_by,
                 problems=problems,
             )
             live_observe("store.recovery_ms", elapsed * 1000.0)
@@ -424,19 +506,24 @@ class TenantStore:
             return self._epoch
 
     def fence(self, epoch: int) -> bool:
-        """Latch the store against a higher-epoch writer.
+        """Latch the store against a higher-epoch writer — durably.
 
         Returns True when the latch engaged (``epoch`` strictly
         exceeds our own); False means the caller's epoch is stale and
-        *they* should fence instead.  Idempotent; crash-only in the
-        same sense as the failed latch — only a restart that observes
-        a newer epoch on disk clears it.
+        *they* should fence instead.  Idempotent and crash-surviving:
+        the latch is persisted as a ``fenced.json`` marker that
+        ``recover()`` restores, so a fenced ex-primary never reboots
+        back into acking at its old epoch.  It clears only when this
+        directory's history adopts records at/above the fencing epoch
+        (:meth:`apply_replicated` / :meth:`install_state` — the
+        rejoin-as-follower path).
         """
         with self._lock:
             if epoch <= self._epoch and self._fenced_by is None:
                 return False
             if self._fenced_by is None or epoch > self._fenced_by:
                 self._fenced_by = epoch
+                self._persist_fence_locked()
             return True
 
     def records_since(
@@ -521,6 +608,14 @@ class TenantStore:
             apply_record(self._specs, record)
             self._last_lsn = lsn
             self._epoch = max(self._epoch, record_epoch)
+            if (
+                self._fenced_by is not None
+                and self._epoch >= self._fenced_by
+            ):
+                # We durably adopted the superseding writer's lineage:
+                # the latch did its job and a future append would carry
+                # the new epoch, so it is no longer a stale-ack risk.
+                self._clear_fence_locked()
             self._tail.append(dict(record))
             self._records_since_snapshot += 1
             live_add("store.appends")
@@ -551,6 +646,13 @@ class TenantStore:
                 raise StoreWriteError(
                     "store is not recovered; call recover() first"
                 )
+            if self._fenced_by is not None and epoch < self._fenced_by:
+                add("replica.fenced_rejects")
+                live_add("replica.fenced_rejects")
+                raise FencedError(
+                    f"bootstrap from stale epoch {epoch} < "
+                    f"{self._fenced_by}"
+                )
             specs = copy.deepcopy(specs)
             snapshot = write_snapshot(
                 self.data_dir,
@@ -566,6 +668,11 @@ class TenantStore:
             self._specs = specs
             self._last_lsn = lsn
             self._epoch = epoch
+            if (
+                self._fenced_by is not None
+                and epoch >= self._fenced_by
+            ):
+                self._clear_fence_locked()
             self._tail = []
             self._snapshot_lsn = lsn
             self._snapshot_digest = snapshot.digest

@@ -127,6 +127,47 @@ class TestStoreEpochs:
             st.bump_epoch()
         st.close()
 
+    def test_fence_survives_restart(self, tmp_path):
+        """The latch is durable: a kill -9'd fenced ex-primary must
+        not reboot back into acking at its old epoch."""
+        st = _store(tmp_path)
+        st.recover()
+        st.append_put_db("d", AUDIT_SPEC)
+        assert st.fence(3) is True
+        st.close()
+        st2 = TenantStore(str(tmp_path / "s"), StorePolicy())
+        recovered = st2.recover()
+        assert recovered.fenced_by == 3 and st2.fenced == 3
+        with pytest.raises(FencedError):
+            st2.append_mutate("d", [["Audit", "b", "2"]], [])
+        with pytest.raises(FencedError):
+            st2.bump_epoch()
+        st2.close()
+
+    def test_fence_clears_on_adopting_the_superseding_lineage(
+        self, tmp_path
+    ):
+        """Rejoin path: once the directory durably holds records at
+        the fencing epoch, the latch is spent — in memory and across
+        a restart."""
+        st = _store(tmp_path)
+        st.recover()
+        st.append_put_db("d", AUDIT_SPEC)  # lsn 1, epoch 0
+        st.fence(2)
+        with pytest.raises(FencedError):
+            st.install_state({}, 9, epoch=1)  # still a stale lineage
+        assert st.apply_replicated(
+            {"op": "epoch", "lsn": 2, "epoch": 2}
+        )
+        assert st.fenced is None
+        st.append_mutate("d", [["Audit", "b", "2"]], [])
+        st.close()
+        st2 = TenantStore(str(tmp_path / "s"), StorePolicy())
+        recovered = st2.recover()
+        assert recovered.fenced_by is None and st2.fenced is None
+        assert st2.epoch == 2
+        st2.close()
+
     def test_records_since_boundaries(self, tmp_path):
         st = _store(tmp_path)
         st.recover()
@@ -466,6 +507,33 @@ class TestPromotionAndFencing:
         old.close()
         new.close()
 
+    def test_fenced_ex_primary_recovers_fenced_after_restart(
+        self, tmp_path
+    ):
+        """The durable latch at the service layer: restart over a
+        fenced directory yields role 'fenced' — mutations 403 and
+        reads shed — never a primary acking at its old epoch."""
+        svc = _recovered_service(tmp_path, "p")
+        svc.register_db("d", AUDIT_SPEC)
+        status, _, _ = svc.handle_replica_fence({"epoch": 2})
+        assert status == 200
+        svc.close()
+        svc2 = CQAService(store=_store(tmp_path, "p"))
+        svc2.recover()
+        assert svc2.role == "fenced"
+        status, body, _ = svc2.handle_mutate(
+            "d", {"insert": [["Audit", "b", "2"]]}
+        )
+        assert status == 403 and body["error"] == "not-primary"
+        status, body, _ = svc2.handle_cqa(
+            {"db": "d", "query": "Q(K) :- Audit(K, V)"}
+        )
+        assert status == 503 and body["error"] == "stale-read"
+        assert body["reason"] == "fenced"
+        # With no pull feed, staleness is unknowable — never 0.0.
+        assert "stale_s" not in body
+        svc2.close()
+
 
 class TestStalenessContract:
     def test_reads_stamp_as_of_lsn(self, tmp_path):
@@ -552,6 +620,22 @@ class TestStalenessContract:
         follower.close()
         primary.close()
 
+    def test_fenced_node_sheds_reads(self, tmp_path):
+        """Fencing stops the pull client, so freshness is unknowable:
+        every read sheds (typed 'fenced') instead of aging forever
+        behind a fabricated ``stale_s: 0.0``."""
+        svc = _recovered_service(tmp_path, "p")
+        svc.register_db("emp", EMPLOYEE_SPEC)
+        assert svc.handle_replica_fence({"epoch": 7})[0] == 200
+        status, body, _ = svc.handle_cqa(
+            {"db": "emp", "query": "Q(X) :- Employee(X, Y)"}
+        )
+        assert status == 503
+        assert body["error"] == "stale-read"
+        assert body["reason"] == "fenced"
+        assert "stale_s" not in body
+        svc.close()
+
     def test_min_lsn_validation(self, tmp_path):
         svc = _recovered_service(tmp_path, "p")
         svc.register_db("emp", EMPLOYEE_SPEC)
@@ -598,6 +682,37 @@ def _wait_until(predicate, timeout_s=30.0, interval_s=0.02):
             return True
         time.sleep(interval_s)
     return False
+
+
+class TestPullLoopResilience:
+    def test_pull_loop_survives_unexpected_errors(self, tmp_path):
+        """Any exception in a pull — not just the typed store errors —
+        must leave the daemon thread alive and retrying, with the
+        failure recorded, not kill replication silently."""
+        follower = _follower_service(tmp_path)
+        client = ReplicaClient(
+            follower,
+            ReplicaConfig(
+                upstream="http://127.0.0.1:1",
+                backoff_s=0.01,
+                poll_interval_s=0.01,
+            ),
+        )
+        calls = []
+
+        def boom(wait_s=None):
+            calls.append(1)
+            raise ValueError("malformed pull body")
+
+        client.pull_once = boom
+        before = client.pull_errors
+        client.start()
+        assert _wait_until(lambda: len(calls) >= 3)
+        assert client.running
+        assert "ValueError" in (client.last_error or "")
+        assert client.pull_errors > before
+        client.stop()
+        follower.close()
 
 
 class TestEndToEndReplication:
